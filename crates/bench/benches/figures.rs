@@ -1,0 +1,185 @@
+//! Criterion benches mirroring the paper's figures at CI-friendly sizes.
+//!
+//! Full paper-scale sweeps live in the `figures` binary
+//! (`cargo run --release -p quark-bench --bin figures -- all`); these
+//! benches keep the same parameter axes but shrink sizes so
+//! `cargo bench --workspace` terminates quickly while still showing the
+//! orderings (UNGROUPED ≫ GROUPED ≥ GROUPED-AGG; growth in depth and
+//! satisfied count; flatness in data size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quark_bench::{build, WorkloadSpec};
+use quark_core::Mode;
+
+fn small_spec(mode: Mode) -> WorkloadSpec {
+    let mut s = WorkloadSpec::quick(mode);
+    s.depth = 3;
+    s.leaf_count = 4 * 1024;
+    s.fanout = 16;
+    s.triggers = 200;
+    s.satisfied = 5;
+    s.full_action = false;
+    s
+}
+
+fn bench_fig17_triggers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_triggers");
+    g.sample_size(10);
+    for &n in &[10usize, 100, 500] {
+        for mode in [Mode::Ungrouped, Mode::Grouped, Mode::GroupedAgg] {
+            if mode == Mode::Ungrouped && n > 100 {
+                continue; // the point of Fig. 17: this does not scale
+            }
+            let mut spec = small_spec(mode);
+            spec.triggers = n;
+            let mut w = build(spec).expect("workload");
+            g.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), n),
+                &n,
+                |b, _| b.iter(|| w.one_update().expect("update")),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig18_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18_depth");
+    g.sample_size(10);
+    for depth in [2usize, 3, 4] {
+        for mode in [Mode::Grouped, Mode::GroupedAgg] {
+            let mut spec = small_spec(mode);
+            spec.depth = depth;
+            let mut w = build(spec).expect("workload");
+            g.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), depth),
+                &depth,
+                |b, _| b.iter(|| w.one_update().expect("update")),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig22_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig22_fanout");
+    g.sample_size(10);
+    for fanout in [16usize, 64] {
+        for mode in [Mode::Grouped, Mode::GroupedAgg] {
+            let mut spec = small_spec(mode);
+            spec.fanout = fanout;
+            let mut w = build(spec).expect("workload");
+            g.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), fanout),
+                &fanout,
+                |b, _| b.iter(|| w.one_update().expect("update")),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig23_datasize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig23_datasize");
+    g.sample_size(10);
+    for leaves in [4096usize, 16_384] {
+        let mut spec = small_spec(Mode::GroupedAgg);
+        spec.leaf_count = leaves;
+        let mut w = build(spec).expect("workload");
+        g.bench_with_input(BenchmarkId::new("GroupedAgg", leaves), &leaves, |b, _| {
+            b.iter(|| w.one_update().expect("update"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig24_satisfied(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig24_satisfied");
+    g.sample_size(10);
+    for satisfied in [1usize, 10, 50] {
+        let mut spec = small_spec(Mode::GroupedAgg);
+        spec.satisfied = satisfied;
+        let mut w = build(spec).expect("workload");
+        g.bench_with_input(BenchmarkId::new("GroupedAgg", satisfied), &satisfied, |b, _| {
+            b.iter(|| w.one_update().expect("update"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile_time(c: &mut Criterion) {
+    // §6: XML-trigger compile time (first trigger of a group).
+    let mut g = c.benchmark_group("trigger_compile");
+    g.sample_size(10);
+    for depth in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("first_trigger", depth), &depth, |b, &d| {
+            b.iter_with_setup(
+                || {
+                    let mut spec = small_spec(Mode::GroupedAgg);
+                    spec.depth = d;
+                    spec.triggers = 0;
+                    spec.satisfied = 0;
+                    build(spec).expect("workload")
+                },
+                |mut w| {
+                    use quark_core::relational::expr::BinOp;
+                    use quark_core::{
+                        Action, ActionParam, Condition, NodePath, NodeRef, TriggerSpec,
+                        XmlEvent,
+                    };
+                    w.quark
+                        .create_trigger(TriggerSpec {
+                            name: "bench_compile".into(),
+                            event: XmlEvent::Update,
+                            view: "bench".into(),
+                            anchor: "e0".into(),
+                            condition: Condition::cmp(
+                                NodePath::attr(NodeRef::Old, "name"),
+                                BinOp::Eq,
+                                "name_0_0",
+                            ),
+                            action: Action {
+                                function: "insertTemp".into(),
+                                params: vec![ActionParam::NewNode],
+                            },
+                        })
+                        .expect("trigger");
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_materialized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_materialized");
+    g.sample_size(10);
+    let mut spec = small_spec(Mode::GroupedAgg);
+    spec.triggers = 0;
+    spec.satisfied = 0;
+    let mut mat =
+        quark_bench::ablation::materialized_workload(spec).expect("materialized");
+    g.bench_function("materialized_strawman", |b| {
+        b.iter(|| mat.one_update().expect("update"))
+    });
+    let mut spec2 = small_spec(Mode::GroupedAgg);
+    spec2.triggers = 10;
+    spec2.satisfied = 2;
+    let mut w = build(spec2).expect("workload");
+    g.bench_function("translated_triggers", |b| {
+        b.iter(|| w.one_update().expect("update"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig17_triggers,
+    bench_fig18_depth,
+    bench_fig22_fanout,
+    bench_fig23_datasize,
+    bench_fig24_satisfied,
+    bench_compile_time,
+    bench_ablation_materialized
+);
+criterion_main!(benches);

@@ -1,0 +1,329 @@
+//! Figure harness: regenerates every measurement figure of the paper
+//! (Figs. 17, 18, 22, 23, 24), the §6 compile-time observation, and the
+//! repository's extra ablations.
+//!
+//! ```text
+//! cargo run --release -p quark-bench --bin figures -- [fig17|fig18|fig22|fig23|fig24|compile|ablations|all] [--quick] [--full-ungrouped]
+//! ```
+//!
+//! `--quick` scales the workload down (CI-friendly); `--full-ungrouped`
+//! extends the UNGROUPED sweep of Fig. 17 beyond 1 000 triggers (slow, as
+//! the paper's own Fig. 17 demonstrates).
+
+use std::time::Duration;
+
+use quark_bench::{build, WorkloadSpec};
+use quark_core::Mode;
+
+struct Args {
+    which: String,
+    quick: bool,
+    full_ungrouped: bool,
+    updates: usize,
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let which = argv
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let quick = argv.iter().any(|a| a == "--quick");
+    let args = Args {
+        which,
+        quick,
+        full_ungrouped: argv.iter().any(|a| a == "--full-ungrouped"),
+        updates: if quick { 20 } else { 100 },
+    };
+
+    let run = |name: &str, f: &dyn Fn(&Args)| {
+        if args.which == name || args.which == "all" {
+            f(&args);
+        }
+    };
+    run("compile", &compile_time);
+    run("fig17", &fig17);
+    run("fig18", &fig18);
+    run("fig22", &fig22);
+    run("fig24", &fig24);
+    run("fig23", &fig23);
+    run("ablations", &ablations);
+}
+
+fn base_spec(args: &Args, mode: Mode) -> WorkloadSpec {
+    if args.quick {
+        let mut s = WorkloadSpec::quick(mode);
+        s.depth = 3;
+        s.leaf_count = 8 * 1024;
+        s.fanout = 32;
+        s.triggers = 1000;
+        s.satisfied = 5;
+        s
+    } else {
+        WorkloadSpec::paper_default(mode)
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn banner(title: &str, spec: &WorkloadSpec, args: &Args) {
+    println!("\n== {title} ==");
+    println!(
+        "   defaults: depth={} leaves={} fanout={} triggers={} satisfied={} updates={}",
+        spec.depth, spec.leaf_count, spec.fanout, spec.triggers, spec.satisfied, args.updates
+    );
+}
+
+/// §6: "the compile time for an XML trigger … is fairly small (a hundred
+/// milliseconds, even for a complex view)".
+fn compile_time(args: &Args) {
+    let spec = base_spec(args, Mode::GroupedAgg);
+    banner("Trigger compile time (§6)", &spec, args);
+    println!("{:<8} {:>20} {:>26}", "depth", "first trigger (ms)", "9999 more, total (ms)");
+    for depth in [2usize, 3, 4, 5] {
+        let mut s = spec;
+        s.depth = depth;
+        s.triggers = if args.quick { 1000 } else { 10_000 };
+        let w = build(s).expect("workload");
+        println!(
+            "{:<8} {:>20.3} {:>26.1}",
+            depth,
+            ms(w.first_trigger_compile),
+            ms(w.trigger_creation)
+        );
+    }
+}
+
+/// Fig. 17: average time per update vs number of triggers (log x),
+/// UNGROUPED / GROUPED / GROUPED-AGG.
+fn fig17(args: &Args) {
+    let spec = base_spec(args, Mode::Grouped);
+    banner("Figure 17: varying the number of triggers", &spec, args);
+    let counts: &[usize] = if args.quick {
+        &[1, 10, 100, 1000]
+    } else {
+        &[1, 10, 100, 1000, 10_000, 100_000]
+    };
+    println!(
+        "{:<12} {:>16} {:>16} {:>16}",
+        "#triggers", "UNGROUPED (ms)", "GROUPED (ms)", "GROUPED-AGG (ms)"
+    );
+    for &n in counts {
+        let mut row = format!("{n:<12}");
+        for mode in [Mode::Ungrouped, Mode::Grouped, Mode::GroupedAgg] {
+            // UNGROUPED beyond 1 000 triggers takes minutes per point —
+            // exactly the paper's point; skip unless asked.
+            if mode == Mode::Ungrouped && n > 1000 && !args.full_ungrouped {
+                row.push_str(&format!("{:>16}", "(skipped)"));
+                continue;
+            }
+            let mut s = spec;
+            s.mode = mode;
+            s.triggers = n;
+            s.satisfied = s.satisfied.min(n);
+            let updates = if mode == Mode::Ungrouped && n >= 1000 {
+                args.updates.min(20)
+            } else {
+                args.updates
+            };
+            let mut w = build(s).expect("workload");
+            let avg = w.measure(updates).expect("measure");
+            row.push_str(&format!("{:>16.3}", ms(avg)));
+        }
+        println!("{row}");
+    }
+}
+
+/// Fig. 18: average time per update vs hierarchy depth (GROUPED,
+/// GROUPED-AGG).
+fn fig18(args: &Args) {
+    let spec = base_spec(args, Mode::Grouped);
+    banner("Figure 18: varying the hierarchy depth", &spec, args);
+    println!("{:<8} {:>16} {:>16}", "depth", "GROUPED (ms)", "GROUPED-AGG (ms)");
+    for depth in [2usize, 3, 4, 5] {
+        let mut row = format!("{depth:<8}");
+        for mode in [Mode::Grouped, Mode::GroupedAgg] {
+            let mut s = spec;
+            s.mode = mode;
+            s.depth = depth;
+            let mut w = build(s).expect("workload");
+            let avg = w.measure(args.updates).expect("measure");
+            row.push_str(&format!("{:>16.3}", ms(avg)));
+        }
+        println!("{row}");
+    }
+}
+
+/// Fig. 22 (App. G): varying the fanout (leaf tuples per XML element);
+/// digest action to keep insert cost constant.
+fn fig22(args: &Args) {
+    let spec = base_spec(args, Mode::Grouped);
+    banner("Figure 22: varying the fanout", &spec, args);
+    let fanouts: &[usize] =
+        if args.quick { &[16, 32, 64] } else { &[16, 32, 64, 128, 256] };
+    println!("{:<8} {:>16} {:>16}", "fanout", "GROUPED (ms)", "GROUPED-AGG (ms)");
+    for &fanout in fanouts {
+        let mut row = format!("{fanout:<8}");
+        for mode in [Mode::Grouped, Mode::GroupedAgg] {
+            let mut s = spec;
+            s.mode = mode;
+            s.fanout = fanout;
+            s.full_action = false;
+            let mut w = build(s).expect("workload");
+            let avg = w.measure(args.updates).expect("measure");
+            row.push_str(&format!("{:>16.3}", ms(avg)));
+        }
+        println!("{row}");
+    }
+}
+
+/// Fig. 23 (App. G): varying the number of leaf tuples (database size).
+fn fig23(args: &Args) {
+    let spec = base_spec(args, Mode::Grouped);
+    banner("Figure 23: varying the data size", &spec, args);
+    let sizes: &[usize] = if args.quick {
+        &[8 * 1024, 16 * 1024, 32 * 1024]
+    } else {
+        &[32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024]
+    };
+    println!("{:<12} {:>16} {:>16}", "leaves", "GROUPED (ms)", "GROUPED-AGG (ms)");
+    for &n in sizes {
+        let mut row = format!("{n:<12}");
+        for mode in [Mode::Grouped, Mode::GroupedAgg] {
+            let mut s = spec;
+            s.mode = mode;
+            s.leaf_count = n;
+            s.full_action = false;
+            let mut w = build(s).expect("workload");
+            let avg = w.measure(args.updates).expect("measure");
+            row.push_str(&format!("{:>16.3}", ms(avg)));
+        }
+        println!("{row}");
+    }
+}
+
+/// Fig. 24 (App. G): varying the number of satisfied triggers.
+fn fig24(args: &Args) {
+    let spec = base_spec(args, Mode::Grouped);
+    banner("Figure 24: varying the number of fired triggers", &spec, args);
+    let satisfied: &[usize] = if args.quick { &[1, 5, 20] } else { &[1, 20, 40, 60, 80, 100] };
+    println!("{:<12} {:>16} {:>16}", "#satisfied", "GROUPED (ms)", "GROUPED-AGG (ms)");
+    for &k in satisfied {
+        let mut row = format!("{k:<12}");
+        for mode in [Mode::Grouped, Mode::GroupedAgg] {
+            let mut s = spec;
+            s.mode = mode;
+            s.satisfied = k;
+            s.triggers = s.triggers.max(k);
+            s.full_action = false;
+            let mut w = build(s).expect("workload");
+            let avg = w.measure(args.updates).expect("measure");
+            row.push_str(&format!("{:>16.3}", ms(avg)));
+        }
+        println!("{row}");
+    }
+}
+
+/// Repository ablations: the §1 materialization strawman, and the
+/// Appendix-F optimizations toggled off.
+fn ablations(args: &Args) {
+    let mut spec = base_spec(args, Mode::GroupedAgg);
+    spec.full_action = false;
+    banner("Ablations", &spec, args);
+
+    // MATERIALIZED strawman across data sizes: grows with the database
+    // while the translated system stays flat.
+    let sizes: &[usize] = if args.quick {
+        &[2 * 1024, 8 * 1024]
+    } else {
+        &[8 * 1024, 32 * 1024, 128 * 1024]
+    };
+    println!("{:<12} {:>20} {:>20}", "leaves", "MATERIALIZED (ms)", "GROUPED-AGG (ms)");
+    for &n in sizes {
+        let mut s = spec;
+        s.leaf_count = n;
+        let mut mat = quark_bench::ablation::materialized_workload(s).expect("materialized");
+        let mat_avg = mat.measure(args.updates.min(10)).expect("measure");
+        let mut w = build(s).expect("workload");
+        let avg = w.measure(args.updates).expect("measure");
+        println!("{n:<12} {:>20.3} {:>20.3}", ms(mat_avg), ms(avg));
+    }
+
+    // Appendix-F toggles: injective elision + skeletons off.
+    println!("\n{:<34} {:>16}", "variant", "avg/update (ms)");
+    let variants: Vec<(&str, Box<dyn Fn(&mut quark_core::AnOptions)>)> = vec![
+        ("all optimizations (GROUPED-AGG)", Box::new(|_| {})),
+        ("no agg compensation (GROUPED)", Box::new(|o| o.agg_compensation = false)),
+        (
+            "no skeletons (full old/new sides)",
+            Box::new(|o| {
+                o.agg_compensation = false;
+                o.use_skeletons = false;
+            }),
+        ),
+        (
+            "no injective elision",
+            Box::new(|o| {
+                o.agg_compensation = false;
+                o.use_skeletons = false;
+                o.injective_opt = false;
+            }),
+        ),
+    ];
+    for (name, tweak) in variants {
+        let mut s = spec;
+        s.mode = Mode::GroupedAgg;
+        // Build with default options, then adjust before installing
+        // triggers: rebuild with the tweak applied via a custom path.
+        let mut w = build_with_options(s, &tweak);
+        let avg = w.measure(args.updates).expect("measure");
+        println!("{name:<34} {:>16.3}", ms(avg));
+    }
+}
+
+/// Build a workload with modified translation options. Options must be in
+/// place before triggers are created, so rebuild the trigger set.
+fn build_with_options(
+    spec: WorkloadSpec,
+    tweak: &dyn Fn(&mut quark_core::AnOptions),
+) -> quark_bench::Workload {
+    let mut zero = spec;
+    zero.triggers = 0;
+    zero.satisfied = 0;
+    let mut w = build(zero).expect("workload");
+    let mut options = w.quark.options();
+    tweak(&mut options);
+    w.quark.set_options(options);
+    // Install the real triggers now that options are set.
+    use quark_core::relational::expr::BinOp;
+    use quark_core::{Action, ActionParam, Condition, NodePath, NodeRef, TriggerSpec, XmlEvent};
+    let top_count = (spec.leaf_count / spec.fanout).max(2);
+    for i in 0..spec.triggers {
+        let watched = if i < spec.satisfied {
+            "name_0_0".to_string()
+        } else {
+            format!("name_0_{}", 1 + (i - spec.satisfied) % (top_count - 1))
+        };
+        w.quark
+            .create_trigger(TriggerSpec {
+                name: format!("ab_{i}"),
+                event: XmlEvent::Update,
+                view: "bench".into(),
+                anchor: "e0".into(),
+                condition: Condition::cmp(
+                    NodePath::attr(NodeRef::Old, "name"),
+                    BinOp::Eq,
+                    watched.as_str(),
+                ),
+                action: Action {
+                    function: "insertTemp".into(),
+                    params: vec![ActionParam::NewNode],
+                },
+            })
+            .expect("trigger");
+    }
+    w
+}

@@ -1,0 +1,448 @@
+//! `CreateANGraph` (Figure 12): assemble the plan that produces
+//! `(OLD_NODE, NEW_NODE)` pairs for one `(table, statement)` source.
+//!
+//! Structure, following the paper:
+//!
+//! 1. affected keys from the Δ side over `G` and the ∇ side over `G_old`
+//!    ([`crate::akgraph`]), normalized to the full canonical key and
+//!    unioned (`Ou`);
+//! 2. `O_new = Ou ⋈ G` and `O_old = Ou ⋈ G_old`, compiled *restricted* so
+//!    the join on affected keys is pushed down to index probes (§5.2);
+//! 3. the event-specific join: inner for UPDATE (both nodes exist), left
+//!    anti for INSERT (new only), right anti for DELETE (old only);
+//! 4. for UPDATE, the `OLD_NODE ≠ NEW_NODE` guard — elided when the view
+//!    is injective w.r.t. the table and transition tables are pruned
+//!    (Theorem 3, Appendix F).
+//!
+//! Two §5.2 cost optimizations apply per side: a side whose constructed
+//! node is not needed (condition touches only mapped attributes, action
+//! ignores it) evaluates the *skeleton* graph instead, and — in
+//! GROUPED-AGG mode — old-epoch group-bys over the skeleton are replaced
+//! by `old = new ∓ transition` compensation instead of re-aggregating the
+//! old children.
+
+use std::collections::HashMap;
+
+use quark_relational::expr::{AggFunc, Expr};
+use quark_relational::plan::{JoinKind, PhysicalPlan, PlanRef};
+use quark_relational::{Database, Result, Value};
+use quark_xqgm::{AggCompensation, Compiler, Driver, OpId, OpKind, TableSource};
+
+use crate::akgraph::{create_ak_graph, AkOptions, AkResult, AkSide};
+use crate::inject::{is_injective, skeleton, SkeletonMap};
+use crate::spec::{PathGraph, XmlEvent};
+
+/// Translation options (which paper optimizations are active).
+#[derive(Debug, Clone, Copy)]
+pub struct AnOptions {
+    /// Pruned transition tables (Appendix F, Def. 8).
+    pub pruned_transitions: bool,
+    /// Elide the `OLD ≠ NEW` check for injective views (Theorem 3).
+    pub injective_opt: bool,
+    /// Evaluate skeleton graphs for sides whose node value is unused.
+    pub use_skeletons: bool,
+    /// GROUPED-AGG: compensate old aggregates from new ones (§5.2).
+    pub agg_compensation: bool,
+}
+
+impl Default for AnOptions {
+    fn default() -> Self {
+        AnOptions {
+            pruned_transitions: true,
+            injective_opt: true,
+            use_skeletons: true,
+            agg_compensation: true,
+        }
+    }
+}
+
+/// What each side of the affected-node pair must supply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SideNeeds {
+    /// The constructed XML node value is required (action parameter or a
+    /// condition path into node content).
+    pub node: bool,
+}
+
+/// Requirements for both sides.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Needs {
+    /// OLD side requirements.
+    pub old: SideNeeds,
+    /// NEW side requirements.
+    pub new: SideNeeds,
+}
+
+/// Column layout of the affected-node plan output.
+#[derive(Debug, Clone, Default)]
+pub struct AffectedLayout {
+    /// Number of leading canonical-key columns.
+    pub key_len: usize,
+    /// Column with `OLD_NODE` (NULL for INSERT events / skeleton sides).
+    pub old_node: Option<usize>,
+    /// Column with `NEW_NODE`.
+    pub new_node: Option<usize>,
+    /// Scalar OLD attribute columns.
+    pub old_attrs: HashMap<String, usize>,
+    /// Scalar NEW attribute columns.
+    pub new_attrs: HashMap<String, usize>,
+}
+
+/// The affected-node plan for one `(table, relational event)` pair.
+#[derive(Debug, Clone)]
+pub struct AffectedNodePlan {
+    /// Plan producing one row per affected node, in [`AffectedLayout`]
+    /// layout, when executed with the firing statement's transitions.
+    pub plan: PlanRef,
+    /// Output layout.
+    pub layout: AffectedLayout,
+}
+
+/// One side (old or new) of the affected computation.
+struct SidePlan {
+    plan: PlanRef,
+    arity: usize,
+    key_cols: Vec<usize>,
+    node_col: Option<usize>,
+    attr_cols: HashMap<String, usize>,
+}
+
+/// Build the affected-node plan. Returns `None` when `table` cannot affect
+/// the path graph at all.
+pub fn build_affected(
+    pg: &mut PathGraph,
+    table: &str,
+    event: XmlEvent,
+    needs: Needs,
+    opts: AnOptions,
+    db: &Database,
+) -> Result<Option<AffectedNodePlan>> {
+    let root = pg.root;
+    let key = pg.key().to_vec();
+    let ak_opts = AkOptions { pruned_transitions: opts.pruned_transitions };
+
+    // ---------- Phase A: graph construction ----------
+    let injective = is_injective(&pg.kg, root, table, db)?;
+    // Skeleton sides are only sound for UPDATE when the injective shortcut
+    // removes the value comparison; INSERT/DELETE need no comparison.
+    let may_skel_old = !needs.old.node
+        && opts.use_skeletons
+        && (event != XmlEvent::Update || (injective && opts.injective_opt));
+    let may_skel_new = !needs.new.node
+        && opts.use_skeletons
+        && (event != XmlEvent::Update || (injective && opts.injective_opt));
+
+    let skel_new: Option<(OpId, SkeletonMap)> = if may_skel_old || may_skel_new {
+        skeleton(&mut pg.kg, root, db)?
+    } else {
+        None
+    };
+
+    let (old_root, _old_map) = pg.kg.old_version_mapped(root, table);
+    let skel_old: Option<((OpId, SkeletonMap), HashMap<OpId, OpId>)> =
+        skel_new.as_ref().map(|(skel_root, map)| {
+            let (o, m) = pg.kg.old_version_mapped(*skel_root, table);
+            ((o, map.clone()), m)
+        });
+
+    // GROUPED-AGG compensation recipes for distributive old group-bys.
+    let mut recipes: Vec<(OpId, AggCompensation)> = Vec::new();
+    if opts.agg_compensation {
+        if let Some(((skel_old_root, _), mirror)) = &skel_old {
+            let source_delta = TableSource::Delta { pruned: opts.pruned_transitions };
+            let source_nabla = TableSource::Nabla { pruned: opts.pruned_transitions };
+            // Pair each mirrored (old) GroupBy with its new counterpart.
+            let pairs: Vec<(OpId, OpId)> = mirror
+                .iter()
+                .filter(|(new_id, old_id)| new_id != old_id)
+                .map(|(&new_id, &old_id)| (new_id, old_id))
+                .collect();
+            let _ = skel_old_root;
+            for (gb_new, gb_old) in pairs {
+                let op = pg.kg.graph.op(gb_new).clone();
+                let OpKind::GroupBy { aggs, .. } = &op.kind else { continue };
+                let distributive = aggs.iter().all(|a| {
+                    matches!(a.func, AggFunc::CountStar)
+                        || (a.func == AggFunc::Sum && a.arg.is_some())
+                });
+                if !distributive {
+                    continue;
+                }
+                let existence_agg =
+                    aggs.iter().position(|a| matches!(a.func, AggFunc::CountStar));
+                let input = op.inputs[0];
+                let delta_input = pg.kg.variant_with_source(input, table, source_delta);
+                let nabla_input = pg.kg.variant_with_source(input, table, source_nabla);
+                recipes.push((
+                    gb_old,
+                    AggCompensation { new_op: gb_new, delta_input, nabla_input, existence_agg },
+                ));
+            }
+        }
+    }
+
+    let ak_new = create_ak_graph(&mut pg.kg, root, table, AkSide::Delta, ak_opts, db)?;
+    let ak_old = create_ak_graph(&mut pg.kg, old_root, table, AkSide::Nabla, ak_opts, db)?;
+    if ak_new.is_none() && ak_old.is_none() {
+        return Ok(None);
+    }
+
+    // ---------- Phase B: plan assembly ----------
+    let mut compiler = Compiler::new(&pg.kg.graph, db);
+    for (op, recipe) in recipes {
+        compiler.add_compensation(op, recipe);
+    }
+
+    let mut key_branches: Vec<PlanRef> = Vec::new();
+    if let Some(ak) = &ak_new {
+        key_branches.push(full_key_plan(&mut compiler, ak, root, &key, db)?);
+    }
+    if let Some(ak) = &ak_old {
+        key_branches.push(full_key_plan(&mut compiler, ak, old_root, &key, db)?);
+    }
+    let ou = PhysicalPlan::Distinct {
+        input: PhysicalPlan::UnionAll { inputs: key_branches }.into_ref(),
+    }
+    .into_ref();
+    let driver = Driver { plan: ou, cols: (0..key.len()).collect() };
+
+    let new_side = build_side(
+        &mut compiler,
+        pg,
+        root,
+        if may_skel_new { skel_new.as_ref() } else { None },
+        &key,
+        &driver,
+        db,
+    )?;
+    let old_skel_pair: Option<(OpId, SkeletonMap)> =
+        skel_old.as_ref().map(|((r, m), _)| (*r, m.clone()));
+    let old_side = build_side(
+        &mut compiler,
+        pg,
+        old_root,
+        if may_skel_old { old_skel_pair.as_ref() } else { None },
+        &key,
+        &driver,
+        db,
+    )?;
+
+    assemble(event, new_side, old_side, &key, injective && opts.injective_opt, db)
+        .map(Some)
+}
+
+/// Normalize an affected-keys result to a plan producing distinct full
+/// canonical-key rows of the path root.
+fn full_key_plan(
+    compiler: &mut Compiler<'_>,
+    ak: &AkResult,
+    root: OpId,
+    key: &[usize],
+    db: &Database,
+) -> Result<PlanRef> {
+    let ak_plan = compiler.compile(ak.op)?;
+    let projected = PhysicalPlan::Distinct {
+        input: PhysicalPlan::Project {
+            input: ak_plan,
+            exprs: ak.cols_in_ak.iter().map(|&c| Expr::col(c)).collect(),
+        }
+        .into_ref(),
+    }
+    .into_ref();
+    if ak.cols_in_o == key {
+        return Ok(projected);
+    }
+    // Partial key: join back with the path graph (restricted by the partial
+    // keys) and project the full key.
+    let driver = Driver { plan: projected, cols: (0..ak.cols_in_ak.len()).collect() };
+    let restricted = compiler.compile_restricted(root, &ak.cols_in_o, &driver)?;
+    let _ = db;
+    Ok(PhysicalPlan::Distinct {
+        input: PhysicalPlan::Project {
+            input: restricted,
+            exprs: key.iter().map(|&c| Expr::col(c)).collect(),
+        }
+        .into_ref(),
+    }
+    .into_ref())
+}
+
+fn build_side(
+    compiler: &mut Compiler<'_>,
+    pg: &PathGraph,
+    side_root: OpId,
+    skel: Option<&(OpId, SkeletonMap)>,
+    key: &[usize],
+    driver: &Driver,
+    db: &Database,
+) -> Result<SidePlan> {
+    match skel {
+        Some((skel_root, map)) => {
+            // All key and attribute columns must have survived pruning.
+            let mapped_key: Option<Vec<usize>> =
+                key.iter().map(|&c| map.get(c).cloned().flatten()).collect();
+            let mapped_attrs: Option<HashMap<String, usize>> = pg
+                .attr_cols
+                .iter()
+                .map(|(a, &c)| map.get(c).cloned().flatten().map(|nc| (a.clone(), nc)))
+                .collect();
+            if let (Some(mk), Some(ma)) = (mapped_key, mapped_attrs) {
+                let plan = compiler.compile_restricted(*skel_root, &mk, driver)?;
+                let arity = plan.arity(db)?;
+                return Ok(SidePlan {
+                    plan,
+                    arity,
+                    key_cols: mk,
+                    node_col: None,
+                    attr_cols: ma,
+                });
+            }
+            // Fall through to the full side when pruning lost something.
+            let plan = compiler.compile_restricted(side_root, key, driver)?;
+            let arity = plan.arity(db)?;
+            Ok(SidePlan {
+                plan,
+                arity,
+                key_cols: key.to_vec(),
+                node_col: Some(pg.node_col),
+                attr_cols: pg.attr_cols.clone(),
+            })
+        }
+        None => {
+            let plan = compiler.compile_restricted(side_root, key, driver)?;
+            let arity = plan.arity(db)?;
+            Ok(SidePlan {
+                plan,
+                arity,
+                key_cols: key.to_vec(),
+                node_col: Some(pg.node_col),
+                attr_cols: pg.attr_cols.clone(),
+            })
+        }
+    }
+}
+
+/// Event-specific join and final projection to [`AffectedLayout`].
+fn assemble(
+    event: XmlEvent,
+    new_side: SidePlan,
+    old_side: SidePlan,
+    key: &[usize],
+    skip_value_check: bool,
+    db: &Database,
+) -> Result<AffectedNodePlan> {
+    let key_len = key.len();
+    let keyed = |side: &SidePlan| -> Vec<Expr> {
+        side.key_cols.iter().map(|&c| Expr::col(c)).collect()
+    };
+
+    // Final layout: [key…, old_node, new_node, old attrs…, new attrs…].
+    let mut layout = AffectedLayout { key_len, ..Default::default() };
+    let mut attr_names: Vec<String> = old_side.attr_cols.keys().cloned().collect();
+    attr_names.sort();
+    let mut new_attr_names: Vec<String> = new_side.attr_cols.keys().cloned().collect();
+    new_attr_names.sort();
+
+    let (plan, old_base, new_base): (PlanRef, Option<usize>, Option<usize>) = match event {
+        XmlEvent::Update => {
+            let joined = PhysicalPlan::HashJoin {
+                left: new_side.plan.clone(),
+                right: old_side.plan.clone(),
+                left_keys: keyed(&new_side),
+                right_keys: keyed(&old_side),
+                kind: JoinKind::Inner,
+                filter: None,
+            }
+            .into_ref();
+            let plan = match (skip_value_check, new_side.node_col, old_side.node_col) {
+                (false, Some(nn), Some(on)) => PhysicalPlan::Filter {
+                    input: joined,
+                    predicate: Expr::bin(
+                        quark_relational::expr::BinOp::Ne,
+                        Expr::col(nn),
+                        Expr::col(new_side.arity + on),
+                    ),
+                }
+                .into_ref(),
+                _ => joined,
+            };
+            (plan, Some(new_side.arity), Some(0))
+        }
+        XmlEvent::Insert => {
+            let plan = PhysicalPlan::HashJoin {
+                left: new_side.plan.clone(),
+                right: old_side.plan.clone(),
+                left_keys: keyed(&new_side),
+                right_keys: keyed(&old_side),
+                kind: JoinKind::LeftAnti,
+                filter: None,
+            }
+            .into_ref();
+            (plan, None, Some(0))
+        }
+        XmlEvent::Delete => {
+            let plan = PhysicalPlan::HashJoin {
+                left: old_side.plan.clone(),
+                right: new_side.plan.clone(),
+                left_keys: keyed(&old_side),
+                right_keys: keyed(&new_side),
+                kind: JoinKind::LeftAnti,
+                filter: None,
+            }
+            .into_ref();
+            (plan, Some(0), None)
+        }
+    };
+
+    // Column accessors into the joined row.
+    let old_col = |c: usize| old_base.map(|b| b + c);
+    let new_col = |c: usize| new_base.map(|b| b + c);
+
+    let mut exprs: Vec<Expr> = Vec::new();
+    // Keys come from whichever side exists (prefer new).
+    let key_src: Vec<usize> = match (new_base, old_base) {
+        (Some(_), _) => new_side.key_cols.iter().map(|&c| new_col(c).expect("new")).collect(),
+        (None, Some(_)) => {
+            old_side.key_cols.iter().map(|&c| old_col(c).expect("old")).collect()
+        }
+        (None, None) => unreachable!("one side always present"),
+    };
+    exprs.extend(key_src.into_iter().map(Expr::col));
+
+    layout.old_node = match (old_base, old_side.node_col) {
+        (Some(_), Some(nc)) => {
+            exprs.push(Expr::col(old_col(nc).expect("old base")));
+            Some(exprs.len() - 1)
+        }
+        _ => {
+            exprs.push(Expr::lit(Value::Null));
+            None
+        }
+    };
+    layout.new_node = match (new_base, new_side.node_col) {
+        (Some(_), Some(nc)) => {
+            exprs.push(Expr::col(new_col(nc).expect("new base")));
+            Some(exprs.len() - 1)
+        }
+        _ => {
+            exprs.push(Expr::lit(Value::Null));
+            None
+        }
+    };
+    for a in &attr_names {
+        if let (Some(_), Some(&c)) = (old_base, old_side.attr_cols.get(a)) {
+            exprs.push(Expr::col(old_col(c).expect("old base")));
+            layout.old_attrs.insert(a.clone(), exprs.len() - 1);
+        }
+    }
+    for a in &new_attr_names {
+        if let (Some(_), Some(&c)) = (new_base, new_side.attr_cols.get(a)) {
+            exprs.push(Expr::col(new_col(c).expect("new base")));
+            layout.new_attrs.insert(a.clone(), exprs.len() - 1);
+        }
+    }
+
+    let projected = PhysicalPlan::Project { input: plan, exprs }.into_ref();
+    let _ = db;
+    Ok(AffectedNodePlan { plan: projected, layout })
+}

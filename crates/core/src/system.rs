@@ -1,0 +1,618 @@
+//! The Quark active-system façade (§3.2, Figure 6).
+//!
+//! `Quark` owns the relational database, the registered XML views, the
+//! action-function registry, and the trigger groups. Creating an XML
+//! trigger runs the full translation pipeline:
+//!
+//! ```text
+//! parse → compose path → event pushdown → affected-node graph generation
+//!       → trigger grouping → trigger pushdown → SQL triggers
+//! ```
+//!
+//! In the two grouped modes, a trigger that is structurally similar to an
+//! existing group (§5.1) skips translation entirely: it only inserts its
+//! constants into the group's *constants table* — which is why trigger
+//! creation cost amortizes and why firing cost is independent of the
+//! number of XML triggers (Fig. 17).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use quark_relational::expr::{BinOp, Expr};
+use quark_relational::plan::{PhysicalPlan, PlanRef, SortKey};
+use quark_relational::{
+    ColumnDef, ColumnType, Database, Error, Result, Row, SqlTrigger, TableSchema, TriggerBody,
+    Value,
+};
+
+use crate::angraph::{build_affected, AnOptions, Needs, SideNeeds};
+use crate::condition::{CondLayout, Condition, NodeRef};
+use crate::events::{source_events, SourceEvent};
+use crate::spec::{Action, ActionParam, PathGraph, TriggerSpec, XmlView};
+
+/// Translation strategy (the three systems compared in §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// One set of SQL triggers per XML trigger (no sharing).
+    Ungrouped,
+    /// Constants-table grouping (§5.1).
+    Grouped,
+    /// Grouping plus old-aggregate compensation (§5.2).
+    GroupedAgg,
+}
+
+/// An action invocation delivered to a registered action function.
+#[derive(Debug, Clone)]
+pub struct ActionCall {
+    /// Name of the XML trigger that fired.
+    pub trigger: String,
+    /// Parameter values (bound `OLD_NODE`/`NEW_NODE`/constants).
+    pub params: Vec<Value>,
+}
+
+/// A registered action function.
+pub type ActionFn = Arc<dyn Fn(&mut Database, &ActionCall) -> Result<()>>;
+
+type ActionRegistry = Arc<Mutex<HashMap<String, ActionFn>>>;
+
+/// Per-trigger bookkeeping shared with SQL-trigger handlers.
+#[derive(Clone)]
+struct Member {
+    trigger: String,
+    function: String,
+    params: Vec<ActionParam>,
+}
+
+type Members = Arc<Mutex<HashMap<i64, Vec<Member>>>>;
+
+struct Group {
+    signature: String,
+    constants_table: Option<String>,
+    members: Members,
+    /// constants vector → set id
+    sets: HashMap<Vec<Value>, i64>,
+    next_set: i64,
+    sql_triggers: Vec<String>,
+    trigger_count: usize,
+}
+
+struct TriggerRecord {
+    group_signature: String,
+    set_id: i64,
+}
+
+/// The active XML-view system.
+pub struct Quark {
+    /// The underlying relational database.
+    pub db: Database,
+    views: HashMap<String, XmlView>,
+    actions: ActionRegistry,
+    groups: HashMap<String, Group>,
+    triggers: HashMap<String, TriggerRecord>,
+    mode: Mode,
+    options: AnOptions,
+    group_counter: usize,
+}
+
+impl Quark {
+    /// Create a system over a database, with the given translation mode.
+    pub fn new(db: Database, mode: Mode) -> Self {
+        let mut options = AnOptions::default();
+        options.agg_compensation = mode == Mode::GroupedAgg;
+        Quark {
+            db,
+            views: HashMap::new(),
+            actions: Arc::new(Mutex::new(HashMap::new())),
+            groups: HashMap::new(),
+            triggers: HashMap::new(),
+            mode,
+            options,
+            group_counter: 0,
+        }
+    }
+
+    /// Override translation options (ablations).
+    pub fn set_options(&mut self, options: AnOptions) {
+        self.options = options;
+    }
+
+    /// Current translation options.
+    pub fn options(&self) -> AnOptions {
+        self.options
+    }
+
+    /// Translation mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Register an XML view (its anchors become monitorable paths).
+    pub fn register_view(&mut self, view: XmlView) {
+        self.views.insert(view.name.clone(), view);
+    }
+
+    /// Look up a registered view.
+    pub fn view(&self, name: &str) -> Option<&XmlView> {
+        self.views.get(name)
+    }
+
+    /// Register an action function callable from trigger DO clauses.
+    pub fn register_action(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&mut Database, &ActionCall) -> Result<()> + 'static,
+    ) {
+        self.actions.lock().expect("action registry").insert(name.into(), Arc::new(f));
+    }
+
+    /// Number of XML triggers registered.
+    pub fn xml_trigger_count(&self) -> usize {
+        self.triggers.len()
+    }
+
+    /// Number of SQL triggers generated (the paper's scalability concern).
+    pub fn sql_trigger_count(&self) -> usize {
+        self.db.trigger_count()
+    }
+
+    /// Number of trigger groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Create an XML trigger: the paper's `CREATE TRIGGER … AFTER Event ON
+    /// view('v')/anchor WHERE Condition DO action(params)`.
+    pub fn create_trigger(&mut self, spec: TriggerSpec) -> Result<()> {
+        if self.triggers.contains_key(&spec.name) {
+            return Err(Error::TriggerExists(spec.name));
+        }
+        let view = self
+            .views
+            .get(&spec.view)
+            .ok_or_else(|| Error::Plan(format!("unknown view `{}`", spec.view)))?;
+        let template = view
+            .anchors
+            .get(&spec.anchor)
+            .ok_or_else(|| {
+                Error::Plan(format!("view `{}` has no element `{}`", spec.view, spec.anchor))
+            })?
+            .clone();
+
+        let grouped = self.mode != Mode::Ungrouped;
+        let (cond, consts) = if grouped {
+            spec.condition.extract_constants()
+        } else {
+            (spec.condition.clone(), Vec::new())
+        };
+        let signature = if grouped {
+            format!(
+                "{}|{}|{}|{:?}|{:?}",
+                spec.view,
+                spec.anchor,
+                spec.event,
+                cond,
+                shape_of(&spec.action)
+            )
+        } else {
+            format!("ungrouped|{}", spec.name)
+        };
+
+        if let Some(group) = self.groups.get_mut(&signature) {
+            // Fast path (§5.1): join an existing group — one constants-table
+            // row, no recompilation.
+            let set_id = match group.sets.get(&consts) {
+                Some(&id) => id,
+                None => {
+                    let id = group.next_set;
+                    group.next_set += 1;
+                    group.sets.insert(consts.clone(), id);
+                    if let Some(ct) = &group.constants_table {
+                        let mut row = vec![Value::Int(id)];
+                        row.extend(consts.iter().cloned());
+                        self.db.load(ct, vec![row])?;
+                    }
+                    id
+                }
+            };
+            group.members.lock().expect("members").entry(set_id).or_default().push(Member {
+                trigger: spec.name.clone(),
+                function: spec.action.function.clone(),
+                params: spec.action.params.clone(),
+            });
+            group.trigger_count += 1;
+            self.triggers
+                .insert(spec.name, TriggerRecord { group_signature: signature, set_id });
+            return Ok(());
+        }
+
+        self.translate_new_group(spec, template, signature, cond, consts, grouped)
+    }
+
+    /// Full translation for the first trigger of a group.
+    fn translate_new_group(
+        &mut self,
+        spec: TriggerSpec,
+        template: PathGraph,
+        signature: String,
+        cond: Condition,
+        consts: Vec<Value>,
+        grouped: bool,
+    ) -> Result<()> {
+        let group_id = self.group_counter;
+        self.group_counter += 1;
+
+        // Which node values does this group actually need?
+        let attr_names: Vec<&str> = template.attr_cols.keys().map(String::as_str).collect();
+        let uses = |p: &ActionParam, which: &ActionParam| {
+            std::mem::discriminant(p) == std::mem::discriminant(which)
+        };
+        let action_old = spec.action.params.iter().any(|p| uses(p, &ActionParam::OldNode));
+        let action_new = spec.action.params.iter().any(|p| uses(p, &ActionParam::NewNode));
+        let needs = Needs {
+            old: SideNeeds {
+                node: action_old || cond.needs_node_content(NodeRef::Old, &attr_names),
+            },
+            new: SideNeeds {
+                node: action_new || cond.needs_node_content(NodeRef::New, &attr_names),
+            },
+        };
+
+        // Constants table for the group.
+        let constants_table = if grouped && !consts.is_empty() {
+            let name = format!("__quark_const_{group_id}");
+            let mut columns = vec![ColumnDef::new("set_id", ColumnType::Int)];
+            for (i, v) in consts.iter().enumerate() {
+                let ty = match v {
+                    Value::Int(_) => ColumnType::Int,
+                    Value::Double(_) => ColumnType::Double,
+                    Value::Bool(_) => ColumnType::Bool,
+                    _ => ColumnType::Str,
+                };
+                columns.push(ColumnDef::new(format!("c{i}"), ty));
+            }
+            self.db.create_table(TableSchema::new(name.clone(), columns, &["set_id"])?)?;
+            // Every constant column gets an index so the generated trigger
+            // probes instead of scanning (or hashing) all constants rows.
+            for i in 0..consts.len() {
+                self.db.create_index(&name, &format!("c{i}"))?;
+            }
+            Some(name)
+        } else {
+            None
+        };
+
+        let members: Members = Arc::new(Mutex::new(HashMap::new()));
+        let set_id: i64 = 0;
+        members.lock().expect("members").insert(
+            set_id,
+            vec![Member {
+                trigger: spec.name.clone(),
+                function: spec.action.function.clone(),
+                params: spec.action.params.clone(),
+            }],
+        );
+        if let Some(ct) = &constants_table {
+            let mut row = vec![Value::Int(set_id)];
+            row.extend(consts.iter().cloned());
+            self.db.load(ct, vec![row])?;
+        }
+
+        // Event pushdown on the composed path graph.
+        let events =
+            source_events(&template.kg.graph, template.root, spec.event, &self.db)?;
+        let mut sql_triggers = Vec::new();
+        for src in events {
+            let mut pg = template.clone();
+            let Some(affected) =
+                build_affected(&mut pg, &src.table, spec.event, needs, self.options, &self.db)?
+            else {
+                continue;
+            };
+
+            let (plan, residual) = self.attach_condition(
+                affected.plan,
+                &affected.layout,
+                &cond,
+                constants_table.as_deref(),
+                consts.len(),
+                &self.db,
+            )?;
+
+            let trigger_name = format!("__quark_g{group_id}_{}_{}", src.table, src.event);
+            let body = self.make_handler(
+                plan,
+                residual,
+                src.clone(),
+                Arc::clone(&members),
+                consts.len(),
+            );
+            self.db.create_trigger(SqlTrigger {
+                name: trigger_name.clone(),
+                table: src.table.clone(),
+                event: src.event,
+                body,
+            })?;
+            sql_triggers.push(trigger_name);
+        }
+
+        // Register the group and the trigger.
+        let mut sets = HashMap::new();
+        sets.insert(consts, set_id);
+        // For ungrouped mode, make the signature unique per trigger so no
+        // sharing occurs (done by caller via the signature string).
+        self.groups.insert(
+            signature.clone(),
+            Group {
+                signature: signature.clone(),
+                constants_table,
+                members,
+                sets,
+                next_set: 1,
+                sql_triggers,
+                trigger_count: 1,
+            },
+        );
+        self.triggers
+            .insert(spec.name, TriggerRecord { group_signature: signature, set_id });
+        Ok(())
+    }
+
+    /// Stack the condition (and constants join) on top of the affected-node
+    /// plan. Output layout: `[set_id, old_node, new_node, c_0 … c_{k-1}]`.
+    /// Returns the plan plus a residual condition to evaluate per row in
+    /// the handler when relational compilation was not possible.
+    fn attach_condition(
+        &self,
+        affected: PlanRef,
+        layout: &crate::angraph::AffectedLayout,
+        cond: &Condition,
+        constants_table: Option<&str>,
+        n_consts: usize,
+        db: &Database,
+    ) -> Result<(PlanRef, Option<Condition>)> {
+        let affected_arity = affected.arity(db)?;
+        let old_expr = layout.old_node.map(Expr::col).unwrap_or_else(|| Expr::lit(Value::Null));
+        let new_expr = layout.new_node.map(Expr::col).unwrap_or_else(|| Expr::lit(Value::Null));
+
+        let (joined, base_layout, param_cols, set_expr): (PlanRef, CondLayout, Vec<usize>, Expr) =
+            match constants_table {
+                Some(ct) => {
+                    // Join with the constants table (Fig. 14/15): hash-join
+                    // on a pushable `path = const` equality when one exists,
+                    // else nested-loop.
+                    let const_scan = PhysicalPlan::TableScan {
+                        table: ct.to_string(),
+                        epoch: quark_relational::plan::TableEpoch::Current,
+                    }
+                    .into_ref();
+                    let params: Vec<usize> =
+                        (0..n_consts).map(|i| affected_arity + 1 + i).collect();
+                    let cl = CondLayout {
+                        old_node: layout.old_node,
+                        new_node: layout.new_node,
+                        old_attrs: layout.old_attrs.clone(),
+                        new_attrs: layout.new_attrs.clone(),
+                        params: params.clone(),
+                    };
+                    let join = match pushable_equality(cond) {
+                        Some((_, param_idx)) => {
+                            // Probe the constants table through its index:
+                            // cost per update stays proportional to the
+                            // affected nodes, not to the number of XML
+                            // triggers (Fig. 17's flat GROUPED curve).
+                            let key_expr = compile_cond_value_for_join(cond, layout)?;
+                            let _ = const_scan;
+                            PhysicalPlan::IndexJoin {
+                                outer: affected,
+                                table: ct.to_string(),
+                                epoch: quark_relational::plan::TableEpoch::Current,
+                                probe: vec![(1 + param_idx, key_expr)],
+                                kind: quark_relational::plan::JoinKind::Inner,
+                                filter: None,
+                            }
+                            .into_ref()
+                        }
+                        None => PhysicalPlan::NestedLoopJoin {
+                            left: affected,
+                            right: const_scan,
+                            predicate: None,
+                            kind: quark_relational::plan::JoinKind::Inner,
+                        }
+                        .into_ref(),
+                    };
+                    (join, cl, params, Expr::col(affected_arity))
+                }
+                None => {
+                    let cl = CondLayout {
+                        old_node: layout.old_node,
+                        new_node: layout.new_node,
+                        old_attrs: layout.old_attrs.clone(),
+                        new_attrs: layout.new_attrs.clone(),
+                        params: vec![],
+                    };
+                    (affected, cl, vec![], Expr::lit(0i64))
+                }
+            };
+
+        // Apply the full condition relationally when possible.
+        let (filtered, residual) = match cond.compile(&base_layout) {
+            Ok(pred) => (
+                PhysicalPlan::Filter { input: joined, predicate: pred }.into_ref(),
+                None,
+            ),
+            Err(_) => (joined, Some(cond.clone())),
+        };
+
+        // Final projection [set_id, old, new, params…], sorted by set id.
+        let mut exprs = vec![set_expr, old_expr, new_expr];
+        exprs.extend(param_cols.into_iter().map(Expr::col));
+        let projected = PhysicalPlan::Project { input: filtered, exprs }.into_ref();
+        let sorted = PhysicalPlan::Sort {
+            input: projected,
+            keys: vec![SortKey::asc(0)],
+        }
+        .into_ref();
+        Ok((sorted, residual))
+    }
+
+    /// Build the SQL-trigger body: relevance check, plan execution,
+    /// residual filtering, and action activation.
+    fn make_handler(
+        &self,
+        plan: PlanRef,
+        residual: Option<Condition>,
+        src: SourceEvent,
+        members: Members,
+        n_consts: usize,
+    ) -> TriggerBody {
+        let actions = Arc::clone(&self.actions);
+        TriggerBody::Native(Arc::new(move |db, trans| {
+            // Column-level relevance (event pushdown's UPDATE(o, C)).
+            if !src.statement_relevant(&trans.inserted, &trans.deleted) {
+                return Ok(());
+            }
+            let rows: Vec<Row> =
+                quark_relational::exec::execute_with_transitions(db, &plan, trans)?;
+            for row in rows {
+                let Value::Int(set_id) = row[0] else {
+                    return Err(Error::Eval("set_id must be an integer".into()));
+                };
+                let old = match &row[1] {
+                    Value::Xml(x) => Some(x.clone()),
+                    _ => None,
+                };
+                let new = match &row[2] {
+                    Value::Xml(x) => Some(x.clone()),
+                    _ => None,
+                };
+                let params: Vec<Value> = row[3..3 + n_consts.min(row.len() - 3)].to_vec();
+                if let Some(cond) = &residual {
+                    if !cond.eval(old.as_ref(), new.as_ref(), &params)? {
+                        continue;
+                    }
+                }
+                let firing: Vec<Member> = members
+                    .lock()
+                    .expect("members")
+                    .get(&set_id)
+                    .cloned()
+                    .unwrap_or_default();
+                for m in firing {
+                    let f = actions
+                        .lock()
+                        .expect("actions")
+                        .get(&m.function)
+                        .cloned()
+                        .ok_or_else(|| {
+                            Error::Plan(format!("unregistered action `{}`", m.function))
+                        })?;
+                    let call = ActionCall {
+                        trigger: m.trigger.clone(),
+                        params: m
+                            .params
+                            .iter()
+                            .map(|p| match p {
+                                ActionParam::OldNode => {
+                                    old.clone().map(Value::Xml).unwrap_or(Value::Null)
+                                }
+                                ActionParam::NewNode => {
+                                    new.clone().map(Value::Xml).unwrap_or(Value::Null)
+                                }
+                                ActionParam::Const(v) => v.clone(),
+                            })
+                            .collect(),
+                    };
+                    f(db, &call)?;
+                }
+            }
+            Ok(())
+        }))
+    }
+
+    /// Drop an XML trigger. The group's SQL triggers are removed once the
+    /// last member leaves.
+    pub fn drop_trigger(&mut self, name: &str) -> Result<()> {
+        let record = self
+            .triggers
+            .remove(name)
+            .ok_or_else(|| Error::UnknownTrigger(name.to_string()))?;
+        let remove_group = {
+            let group = self
+                .groups
+                .get_mut(&record.group_signature)
+                .ok_or_else(|| Error::Plan("trigger group missing".into()))?;
+            let mut members = group.members.lock().expect("members");
+            if let Some(list) = members.get_mut(&record.set_id) {
+                list.retain(|m| m.trigger != name);
+            }
+            group.trigger_count -= 1;
+            group.trigger_count == 0
+        };
+        if remove_group {
+            let group = self.groups.remove(&record.group_signature).expect("checked");
+            for t in &group.sql_triggers {
+                self.db.drop_trigger(t)?;
+            }
+            if let Some(ct) = &group.constants_table {
+                self.db.drop_table(ct)?;
+            }
+            let _ = group.signature;
+        }
+        Ok(())
+    }
+}
+
+fn shape_of(action: &Action) -> Vec<String> {
+    action
+        .params
+        .iter()
+        .map(|p| match p {
+            ActionParam::OldNode => "OLD".to_string(),
+            ActionParam::NewNode => "NEW".to_string(),
+            ActionParam::Const(v) => format!("CONST({v:?})"),
+        })
+        .collect()
+}
+
+/// Find a top-level conjunct of the form `path = Param(i)` usable as a
+/// hash-join key against the constants table (Fig. 14's select→join
+/// conversion).
+fn pushable_equality(cond: &Condition) -> Option<(crate::condition::CondValue, usize)> {
+    match cond {
+        Condition::Cmp {
+            left: l @ crate::condition::CondValue::Path(_),
+            op: BinOp::Eq,
+            right: crate::condition::CondValue::Param(i),
+        } => Some((l.clone(), *i)),
+        Condition::Cmp {
+            left: crate::condition::CondValue::Param(i),
+            op: BinOp::Eq,
+            right: r @ crate::condition::CondValue::Path(_),
+        } => Some((r.clone(), *i)),
+        Condition::And(a, b) => pushable_equality(a).or_else(|| pushable_equality(b)),
+        _ => None,
+    }
+}
+
+/// Compile the pushable equality's path into a join-key expression over the
+/// affected row.
+fn compile_cond_value_for_join(
+    cond: &Condition,
+    layout: &crate::angraph::AffectedLayout,
+) -> Result<Expr> {
+    let (path_value, _) =
+        pushable_equality(cond).ok_or_else(|| Error::Plan("no pushable equality".into()))?;
+    let cl = CondLayout {
+        old_node: layout.old_node,
+        new_node: layout.new_node,
+        old_attrs: layout.old_attrs.clone(),
+        new_attrs: layout.new_attrs.clone(),
+        params: vec![],
+    };
+    match &path_value {
+        crate::condition::CondValue::Path(p) => {
+            crate::condition::compile_path_public(p, &cl)
+        }
+        _ => Err(Error::Plan("pushable equality must be a path".into())),
+    }
+}

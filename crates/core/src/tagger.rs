@@ -1,0 +1,249 @@
+//! The constant-space tagger (§3.2): convert sorted-outer-union rows into
+//! XML.
+//!
+//! XPERANTO-style publishing systems return nested XML from a relational
+//! engine as a single *sorted outer union* (SOU) query: one UNION ALL
+//! branch per element type, a discriminator column, and NULL padding; rows
+//! arrive sorted so that each element's children follow it immediately.
+//! The tagger streams over these rows keeping only a stack of open
+//! elements — space proportional to the nesting depth, not the document —
+//! exactly like the "constant-space Tagger \[23\]" box of Figure 6.
+//!
+//! Translated triggers in this repository construct nodes with in-plan XML
+//! functions (the engine, unlike SQL-over-the-wire, can return trees); the
+//! tagger is provided and tested as the faithful middleware-architecture
+//! component, is exercised by the `trigger_explain` example, and lets
+//! benches compare both strategies.
+
+use quark_relational::{Error, Result, Row, Value};
+use quark_xml::{element, text, XmlNodeRef};
+
+/// Description of one SOU level (one UNION ALL branch).
+#[derive(Debug, Clone)]
+pub struct TagLevel {
+    /// Discriminator value identifying this level in the tag column.
+    pub tag: i64,
+    /// Element name to emit.
+    pub element: String,
+    /// Index into `levels` of the parent level (`None` for roots).
+    pub parent: Option<usize>,
+    /// `(attribute name, column)` pairs.
+    pub attrs: Vec<(String, usize)>,
+    /// `(child element name, column)` pairs emitted as scalar children,
+    /// in order, skipping NULLs.
+    pub scalar_children: Vec<(String, usize)>,
+}
+
+/// A tagging plan: the tag column plus level descriptions.
+#[derive(Debug, Clone)]
+pub struct TaggerPlan {
+    /// Column holding the level discriminator.
+    pub tag_col: usize,
+    /// Levels, outermost first; `parent` indices point into this list.
+    pub levels: Vec<TagLevel>,
+}
+
+/// An open element on the tagger stack.
+struct Open {
+    level: usize,
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<XmlNodeRef>,
+}
+
+impl Open {
+    fn close(self) -> XmlNodeRef {
+        element(self.name, self.attrs, self.children)
+    }
+}
+
+/// Depth of a level in the plan (root = 0).
+fn depth(plan: &TaggerPlan, mut level: usize) -> usize {
+    let mut d = 0;
+    while let Some(p) = plan.levels[level].parent {
+        d += 1;
+        level = p;
+    }
+    d
+}
+
+/// Stream sorted-outer-union rows into XML trees. Returns one node per
+/// top-level element encountered. Memory use is bounded by the maximum
+/// nesting depth (plus the output), independent of row count.
+pub fn tag_rows(plan: &TaggerPlan, rows: &[Row]) -> Result<Vec<XmlNodeRef>> {
+    let mut stack: Vec<Open> = Vec::new();
+    let mut out: Vec<XmlNodeRef> = Vec::new();
+
+    let close_to_depth = |stack: &mut Vec<Open>, out: &mut Vec<XmlNodeRef>, d: usize| {
+        while stack.len() > d {
+            let done = stack.pop().expect("len checked").close();
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(done),
+                None => out.push(done),
+            }
+        }
+    };
+
+    for row in rows {
+        let Value::Int(tag) = row[plan.tag_col] else {
+            return Err(Error::Eval("tagger: non-integer tag column".into()));
+        };
+        let level_idx = plan
+            .levels
+            .iter()
+            .position(|l| l.tag == tag)
+            .ok_or_else(|| Error::Eval(format!("tagger: unknown tag {tag}")))?;
+        let level = &plan.levels[level_idx];
+        let d = depth(plan, level_idx);
+        close_to_depth(&mut stack, &mut out, d);
+        if let Some(parent) = level.parent {
+            match stack.last() {
+                Some(open) if open.level == parent => {}
+                _ => {
+                    return Err(Error::Eval(format!(
+                        "tagger: row for `{}` arrived without its parent open \
+                         (rows not sorted outer-union ordered?)",
+                        level.element
+                    )))
+                }
+            }
+        }
+        let attrs = level
+            .attrs
+            .iter()
+            .map(|(name, col)| (name.clone(), row[*col].to_string()))
+            .collect();
+        let mut children = Vec::new();
+        for (name, col) in &level.scalar_children {
+            if !row[*col].is_null() {
+                children.push(element(name.clone(), vec![], vec![text(row[*col].to_string())]));
+            }
+        }
+        stack.push(Open { level: level_idx, name: level.element.clone(), attrs, children });
+    }
+    close_to_depth(&mut stack, &mut out, 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quark_relational::row;
+
+    /// The Fig. 16 output shape: tag 1 = product (TrigIDs, name), tag 2 =
+    /// vendor (vid, price), sorted so each product's vendors follow it.
+    fn plan() -> TaggerPlan {
+        TaggerPlan {
+            tag_col: 0,
+            levels: vec![
+                TagLevel {
+                    tag: 1,
+                    element: "product".into(),
+                    parent: None,
+                    attrs: vec![("name".into(), 1)],
+                    scalar_children: vec![],
+                },
+                TagLevel {
+                    tag: 2,
+                    element: "vendor".into(),
+                    parent: Some(0),
+                    attrs: vec![],
+                    scalar_children: vec![("vid".into(), 2), ("price".into(), 3)],
+                },
+            ],
+        }
+    }
+
+    fn product_row(name: &str) -> Row {
+        row([Value::Int(1), Value::str(name), Value::Null, Value::Null])
+    }
+
+    fn vendor_row(vid: &str, price: f64) -> Row {
+        row([Value::Int(2), Value::Null, Value::str(vid), Value::Double(price)])
+    }
+
+    #[test]
+    fn tags_nested_product_vendors() {
+        let rows = vec![
+            product_row("CRT 15"),
+            vendor_row("Amazon", 100.0),
+            vendor_row("Bestbuy", 120.0),
+            product_row("LCD 19"),
+            vendor_row("Buy.com", 200.0),
+        ];
+        let nodes = tag_rows(&plan(), &rows).unwrap();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].attr("name"), Some("CRT 15"));
+        assert_eq!(nodes[0].children_named("vendor").count(), 2);
+        assert_eq!(nodes[1].children_named("vendor").count(), 1);
+        let v = nodes[1].children_named("vendor").next().unwrap();
+        assert_eq!(v.children_named("vid").next().unwrap().text_content(), "Buy.com");
+        assert_eq!(v.children_named("price").next().unwrap().text_content(), "200");
+    }
+
+    #[test]
+    fn empty_input_produces_no_nodes() {
+        assert!(tag_rows(&plan(), &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn orphan_child_row_is_an_error() {
+        let rows = vec![vendor_row("Amazon", 100.0)];
+        let err = tag_rows(&plan(), &rows).unwrap_err();
+        assert!(err.to_string().contains("parent"), "{err}");
+    }
+
+    #[test]
+    fn null_scalar_children_are_skipped() {
+        let rows = vec![
+            product_row("CRT 15"),
+            row([Value::Int(2), Value::Null, Value::str("Amazon"), Value::Null]),
+        ];
+        let nodes = tag_rows(&plan(), &rows).unwrap();
+        let v = nodes[0].children_named("vendor").next().unwrap();
+        assert_eq!(v.children_named("vid").count(), 1);
+        assert_eq!(v.children_named("price").count(), 0);
+    }
+
+    #[test]
+    fn three_level_nesting() {
+        let plan = TaggerPlan {
+            tag_col: 0,
+            levels: vec![
+                TagLevel {
+                    tag: 0,
+                    element: "a".into(),
+                    parent: None,
+                    attrs: vec![],
+                    scalar_children: vec![],
+                },
+                TagLevel {
+                    tag: 1,
+                    element: "b".into(),
+                    parent: Some(0),
+                    attrs: vec![],
+                    scalar_children: vec![],
+                },
+                TagLevel {
+                    tag: 2,
+                    element: "c".into(),
+                    parent: Some(1),
+                    attrs: vec![],
+                    scalar_children: vec![],
+                },
+            ],
+        };
+        let rows = vec![
+            row([Value::Int(0)]),
+            row([Value::Int(1)]),
+            row([Value::Int(2)]),
+            row([Value::Int(2)]),
+            row([Value::Int(1)]),
+            row([Value::Int(0)]),
+        ];
+        let nodes = tag_rows(&plan, &rows).unwrap();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].to_xml(), "<a><b><c/><c/></b><b/></a>");
+        assert_eq!(nodes[1].to_xml(), "<a/>");
+    }
+}

@@ -1,0 +1,639 @@
+//! The database: named tables, data-change statements, and statement-level
+//! AFTER triggers with transition tables — the exact interface the paper
+//! assumes of the underlying RDBMS (§2.3, §3.2).
+//!
+//! Triggers fire once per *statement* (not per row, not per transaction),
+//! matching the paper's stated granularity. A firing trigger sees the Δ
+//! (`INSERTED`) and ∇ (`DELETED`) transition tables of its statement and the
+//! post-statement database state, and may itself execute statements (e.g.
+//! the benchmark action inserts into a temporary table); cascades are capped
+//! at a DB2-like nesting depth of 16.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::exec::{execute, ExecContext};
+use crate::plan::PlanRef;
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::value::{Row, Value};
+use crate::{Error, Result};
+
+/// Relational statement kinds, which double as trigger event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Event {
+    /// `INSERT` statements / triggers.
+    Insert,
+    /// `UPDATE` statements / triggers.
+    Update,
+    /// `DELETE` statements / triggers.
+    Delete,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Insert => f.write_str("INSERT"),
+            Event::Update => f.write_str("UPDATE"),
+            Event::Delete => f.write_str("DELETE"),
+        }
+    }
+}
+
+/// Transition tables of one statement: Δ = `inserted`, ∇ = `deleted`
+/// (paper notation; DB2's `NEW_TABLE`/`OLD_TABLE`).
+#[derive(Debug, Clone)]
+pub struct TransitionTables {
+    /// Table the statement changed.
+    pub table: String,
+    /// Statement kind.
+    pub event: Event,
+    /// Post-change versions of affected rows (empty for DELETE).
+    pub inserted: Vec<Row>,
+    /// Pre-change versions of affected rows (empty for INSERT).
+    pub deleted: Vec<Row>,
+}
+
+/// Callback receiving the rows produced by a query-bodied trigger.
+pub type RowsHandler = dyn Fn(&mut Database, Vec<Row>) -> Result<()>;
+
+/// Callback for a native-bodied trigger.
+pub type NativeTriggerFn = dyn Fn(&mut Database, &TransitionTables) -> Result<()>;
+
+/// Body of a registered statement trigger.
+#[derive(Clone)]
+pub enum TriggerBody {
+    /// Evaluate `plan` with the statement's transition tables bound, then
+    /// pass the result rows to `handler`. This is the form every translated
+    /// XML trigger takes (the plan is the paper's generated SQL query).
+    Query {
+        /// The trigger body query.
+        plan: PlanRef,
+        /// Consumer of the query result.
+        handler: Arc<RowsHandler>,
+    },
+    /// Arbitrary native logic over the transition tables (used by the
+    /// materialized-view oracle baseline).
+    Native(Arc<NativeTriggerFn>),
+}
+
+impl fmt::Debug for TriggerBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TriggerBody::Query { plan, .. } => write!(f, "Query({})", plan.explain().trim()),
+            TriggerBody::Native(_) => f.write_str("Native(..)"),
+        }
+    }
+}
+
+/// A statement-level AFTER trigger.
+#[derive(Debug, Clone)]
+pub struct SqlTrigger {
+    /// Unique trigger name.
+    pub name: String,
+    /// Monitored table.
+    pub table: String,
+    /// Monitored statement kind.
+    pub event: Event,
+    /// What to run when fired.
+    pub body: TriggerBody,
+}
+
+/// Simple execution counters, used by benches and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Data-change statements executed.
+    pub statements: u64,
+    /// Trigger bodies evaluated.
+    pub triggers_fired: u64,
+}
+
+/// An in-memory relational database with statement triggers.
+///
+/// `Clone` copies tables and trigger registrations (triggers share their
+/// bodies); the oracle baseline uses clones as shadow states.
+#[derive(Default, Clone)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    triggers: Vec<Arc<SqlTrigger>>,
+    trigger_names: std::collections::HashSet<String>,
+    fire_depth: usize,
+    /// Execution counters.
+    pub stats: Stats,
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables.keys().collect::<Vec<_>>())
+            .field("triggers", &self.triggers.len())
+            .finish()
+    }
+}
+
+const MAX_TRIGGER_DEPTH: usize = 16;
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    /// Create a table. Fails if the name is taken.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(Error::TableExists(schema.name));
+        }
+        self.tables.insert(schema.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Add a secondary hash index on `table.column`.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<()> {
+        let t = self.table_mut(table)?;
+        let col = t.schema().col(column)?;
+        t.create_index(col);
+        Ok(())
+    }
+
+    /// Drop a table and any triggers attached to it.
+    pub fn drop_table(&mut self, table: &str) -> Result<()> {
+        self.tables
+            .remove(table)
+            .ok_or_else(|| Error::UnknownTable(table.to_string()))?;
+        for t in self.triggers.iter().filter(|t| t.table == table) {
+            self.trigger_names.remove(&t.name);
+        }
+        self.triggers.retain(|t| t.table != table);
+        Ok(())
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables.get(name).ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables.get_mut(name).ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// `true` if `name` exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all tables (unordered).
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    // ------------------------------------------------------------------
+    // Triggers
+    // ------------------------------------------------------------------
+
+    /// Register a statement-level AFTER trigger.
+    pub fn create_trigger(&mut self, trigger: SqlTrigger) -> Result<()> {
+        if !self.trigger_names.insert(trigger.name.clone()) {
+            return Err(Error::TriggerExists(trigger.name));
+        }
+        self.table(&trigger.table)?;
+        self.triggers.push(Arc::new(trigger));
+        Ok(())
+    }
+
+    /// Remove a trigger by name.
+    pub fn drop_trigger(&mut self, name: &str) -> Result<()> {
+        if !self.trigger_names.remove(name) {
+            return Err(Error::UnknownTrigger(name.to_string()));
+        }
+        self.triggers.retain(|t| t.name != name);
+        Ok(())
+    }
+
+    /// Number of registered SQL triggers (the paper's scalability axis).
+    pub fn trigger_count(&self) -> usize {
+        self.triggers.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Statements (each fires AFTER triggers once)
+    // ------------------------------------------------------------------
+
+    /// `INSERT INTO table VALUES rows…` as one statement.
+    pub fn insert(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let n = rows.len();
+        let mut inserted = Vec::with_capacity(n);
+        {
+            let t = self.table_mut(table)?;
+            for r in rows {
+                inserted.push(t.insert(r)?);
+            }
+        }
+        self.stats.statements += 1;
+        if !inserted.is_empty() {
+            self.after_statement(TransitionTables {
+                table: table.to_string(),
+                event: Event::Insert,
+                inserted,
+                deleted: vec![],
+            })?;
+        }
+        Ok(n)
+    }
+
+    /// Single-row insert convenience.
+    pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+        self.insert(table, vec![row]).map(|_| ())
+    }
+
+    /// `UPDATE table SET … WHERE pk = key` as one statement. `assignments`
+    /// are `(column index, new value)` pairs. Returns `false` when no row
+    /// has that key.
+    pub fn update_by_key(
+        &mut self,
+        table: &str,
+        key: &[Value],
+        assignments: &[(usize, Value)],
+    ) -> Result<bool> {
+        let (old, new) = {
+            let t = self.table_mut(table)?;
+            let Some(existing) = t.get(key) else { return Ok(false) };
+            let mut next: Vec<Value> = existing.to_vec();
+            for (col, v) in assignments {
+                if *col >= next.len() {
+                    return Err(Error::UnknownColumn(table.to_string(), col.to_string()));
+                }
+                next[*col] = v.clone();
+            }
+            t.update(key, next)?
+        };
+        self.stats.statements += 1;
+        self.after_statement(TransitionTables {
+            table: table.to_string(),
+            event: Event::Update,
+            inserted: vec![new],
+            deleted: vec![old],
+        })?;
+        Ok(true)
+    }
+
+    /// `UPDATE table SET row = f(row) WHERE pred(row)` as one statement.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        pred: impl Fn(&Row) -> bool,
+        f: impl Fn(&Row) -> Vec<Value>,
+    ) -> Result<usize> {
+        let (deleted, inserted) = {
+            let t = self.table_mut(table)?;
+            let keys: Vec<_> = t
+                .iter()
+                .filter(|r| pred(r))
+                .map(|r| t.schema().key_of(r))
+                .collect();
+            let mut deleted = Vec::with_capacity(keys.len());
+            let mut inserted = Vec::with_capacity(keys.len());
+            for k in keys {
+                let existing = t.get(&k).expect("key collected from scan").clone();
+                let next = f(&existing);
+                let (old, new) = t.update(&k, next)?;
+                deleted.push(old);
+                inserted.push(new);
+            }
+            (deleted, inserted)
+        };
+        self.stats.statements += 1;
+        let n = inserted.len();
+        if n > 0 {
+            self.after_statement(TransitionTables {
+                table: table.to_string(),
+                event: Event::Update,
+                inserted,
+                deleted,
+            })?;
+        }
+        Ok(n)
+    }
+
+    /// `DELETE FROM table WHERE pk = key` as one statement.
+    pub fn delete_by_key(&mut self, table: &str, key: &[Value]) -> Result<bool> {
+        let old = self.table_mut(table)?.delete(key);
+        self.stats.statements += 1;
+        match old {
+            None => Ok(false),
+            Some(row) => {
+                self.after_statement(TransitionTables {
+                    table: table.to_string(),
+                    event: Event::Delete,
+                    inserted: vec![],
+                    deleted: vec![row],
+                })?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// `DELETE FROM table WHERE pred(row)` as one statement.
+    pub fn delete_where(&mut self, table: &str, pred: impl Fn(&Row) -> bool) -> Result<usize> {
+        let deleted = {
+            let t = self.table_mut(table)?;
+            let keys: Vec<_> = t
+                .iter()
+                .filter(|r| pred(r))
+                .map(|r| t.schema().key_of(r))
+                .collect();
+            let mut deleted = Vec::with_capacity(keys.len());
+            for k in keys {
+                if let Some(row) = t.delete(&k) {
+                    deleted.push(row);
+                }
+            }
+            deleted
+        };
+        self.stats.statements += 1;
+        let n = deleted.len();
+        if n > 0 {
+            self.after_statement(TransitionTables {
+                table: table.to_string(),
+                event: Event::Delete,
+                inserted: vec![],
+                deleted,
+            })?;
+        }
+        Ok(n)
+    }
+
+    /// Bulk load without firing triggers (initial data population, like
+    /// loading a warehouse before enabling triggers).
+    pub fn load(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let t = self.table_mut(table)?;
+        let n = rows.len();
+        for r in rows {
+            t.insert(r)?;
+        }
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Trigger dispatch
+    // ------------------------------------------------------------------
+
+    fn after_statement(&mut self, trans: TransitionTables) -> Result<()> {
+        let matching: Vec<Arc<SqlTrigger>> = self
+            .triggers
+            .iter()
+            .filter(|t| t.table == trans.table && t.event == trans.event)
+            .cloned()
+            .collect();
+        if matching.is_empty() {
+            return Ok(());
+        }
+        if self.fire_depth >= MAX_TRIGGER_DEPTH {
+            return Err(Error::TriggerDepthExceeded);
+        }
+        self.fire_depth += 1;
+        let result = self.fire_all(&matching, &trans);
+        self.fire_depth -= 1;
+        result
+    }
+
+    fn fire_all(&mut self, triggers: &[Arc<SqlTrigger>], trans: &TransitionTables) -> Result<()> {
+        for t in triggers {
+            self.stats.triggers_fired += 1;
+            match &t.body {
+                TriggerBody::Query { plan, handler } => {
+                    let rows: Vec<Row> = {
+                        let ctx = ExecContext::new(self, Some(trans));
+                        execute(plan, &ctx)?.iter().cloned().collect()
+                    };
+                    handler(self, rows)?;
+                }
+                TriggerBody::Native(f) => f(self, trans)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PhysicalPlan, TransitionSide};
+    use crate::schema::ColumnDef;
+    use crate::value::ColumnType;
+    use std::sync::Mutex;
+
+    fn db_with_vendor() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "vendor",
+                vec![
+                    ColumnDef::new("vid", ColumnType::Str),
+                    ColumnDef::new("pid", ColumnType::Str),
+                    ColumnDef::new("price", ColumnType::Double),
+                ],
+                &["vid", "pid"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn vrow(vid: &str, pid: &str, price: f64) -> Vec<Value> {
+        vec![Value::str(vid), Value::str(pid), Value::Double(price)]
+    }
+
+    #[test]
+    fn insert_statement_fires_insert_trigger_with_delta() {
+        let mut db = db_with_vendor();
+        let seen = Arc::new(Mutex::new(Vec::<usize>::new()));
+        let seen2 = Arc::clone(&seen);
+        db.create_trigger(SqlTrigger {
+            name: "t1".into(),
+            table: "vendor".into(),
+            event: Event::Insert,
+            body: TriggerBody::Native(Arc::new(move |_db, trans| {
+                seen2.lock().unwrap().push(trans.inserted.len());
+                assert!(trans.deleted.is_empty());
+                Ok(())
+            })),
+        })
+        .unwrap();
+        // One statement inserting two rows -> one firing with |Δ| = 2.
+        db.insert("vendor", vec![vrow("a", "P1", 1.0), vrow("b", "P1", 2.0)]).unwrap();
+        assert_eq!(*seen.lock().unwrap(), vec![2]);
+        // Wrong-event triggers don't fire.
+        db.update_by_key("vendor", &[Value::str("a"), Value::str("P1")], &[(2, Value::Double(9.0))])
+            .unwrap();
+        assert_eq!(*seen.lock().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn update_statement_provides_old_and_new_rows() {
+        let mut db = db_with_vendor();
+        db.load("vendor", vec![vrow("a", "P1", 1.0)]).unwrap();
+        let seen = Arc::new(Mutex::new(Vec::<(Value, Value)>::new()));
+        let seen2 = Arc::clone(&seen);
+        db.create_trigger(SqlTrigger {
+            name: "t".into(),
+            table: "vendor".into(),
+            event: Event::Update,
+            body: TriggerBody::Native(Arc::new(move |_db, trans| {
+                seen2
+                    .lock()
+                    .unwrap()
+                    .push((trans.deleted[0][2].clone(), trans.inserted[0][2].clone()));
+                Ok(())
+            })),
+        })
+        .unwrap();
+        db.update_by_key("vendor", &[Value::str("a"), Value::str("P1")], &[(2, Value::Double(7.5))])
+            .unwrap();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![(Value::Double(1.0), Value::Double(7.5))]
+        );
+    }
+
+    #[test]
+    fn query_trigger_reads_transition_scan() {
+        let mut db = db_with_vendor();
+        db.create_table(
+            TableSchema::new(
+                "log",
+                vec![ColumnDef::new("vid", ColumnType::Str)],
+                &["vid"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let plan = PhysicalPlan::Project {
+            input: PhysicalPlan::TransitionScan {
+                table: "vendor".into(),
+                side: TransitionSide::Delta,
+                pruned: false,
+            }
+            .into_ref(),
+            exprs: vec![crate::expr::Expr::col(0)],
+        }
+        .into_ref();
+        db.create_trigger(SqlTrigger {
+            name: "log_inserts".into(),
+            table: "vendor".into(),
+            event: Event::Insert,
+            body: TriggerBody::Query {
+                plan,
+                handler: Arc::new(|db, rows| {
+                    for r in rows {
+                        db.insert_row("log", r.to_vec())?;
+                    }
+                    Ok(())
+                }),
+            },
+        })
+        .unwrap();
+        db.insert("vendor", vec![vrow("a", "P1", 1.0), vrow("b", "P2", 2.0)]).unwrap();
+        assert_eq!(db.table("log").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn load_does_not_fire_triggers() {
+        let mut db = db_with_vendor();
+        let fired = Arc::new(Mutex::new(0u32));
+        let fired2 = Arc::clone(&fired);
+        db.create_trigger(SqlTrigger {
+            name: "t".into(),
+            table: "vendor".into(),
+            event: Event::Insert,
+            body: TriggerBody::Native(Arc::new(move |_, _| {
+                *fired2.lock().unwrap() += 1;
+                Ok(())
+            })),
+        })
+        .unwrap();
+        db.load("vendor", vec![vrow("a", "P1", 1.0)]).unwrap();
+        assert_eq!(*fired.lock().unwrap(), 0);
+    }
+
+    #[test]
+    fn cascades_are_depth_limited() {
+        let mut db = db_with_vendor();
+        db.create_table(
+            TableSchema::new("ping", vec![ColumnDef::new("n", ColumnType::Int)], &["n"]).unwrap(),
+        )
+        .unwrap();
+        // Trigger re-inserts into the same table with n+1: unbounded cascade.
+        db.create_trigger(SqlTrigger {
+            name: "loop".into(),
+            table: "ping".into(),
+            event: Event::Insert,
+            body: TriggerBody::Native(Arc::new(|db, trans| {
+                let Value::Int(n) = trans.inserted[0][0] else { unreachable!() };
+                db.insert_row("ping", vec![Value::Int(n + 1)])
+            })),
+        })
+        .unwrap();
+        let err = db.insert_row("ping", vec![Value::Int(0)]).unwrap_err();
+        assert_eq!(err, Error::TriggerDepthExceeded);
+    }
+
+    #[test]
+    fn duplicate_trigger_names_rejected_and_droppable() {
+        let mut db = db_with_vendor();
+        let body = TriggerBody::Native(Arc::new(|_, _| Ok(())));
+        let t = SqlTrigger {
+            name: "t".into(),
+            table: "vendor".into(),
+            event: Event::Insert,
+            body: body.clone(),
+        };
+        db.create_trigger(t.clone()).unwrap();
+        assert!(matches!(db.create_trigger(t), Err(Error::TriggerExists(_))));
+        assert_eq!(db.trigger_count(), 1);
+        db.drop_trigger("t").unwrap();
+        assert_eq!(db.trigger_count(), 0);
+        assert!(matches!(db.drop_trigger("t"), Err(Error::UnknownTrigger(_))));
+    }
+
+    #[test]
+    fn update_where_batches_into_one_statement() {
+        let mut db = db_with_vendor();
+        db.load(
+            "vendor",
+            vec![vrow("a", "P1", 1.0), vrow("b", "P1", 2.0), vrow("c", "P2", 3.0)],
+        )
+        .unwrap();
+        let firings = Arc::new(Mutex::new(Vec::<usize>::new()));
+        let f2 = Arc::clone(&firings);
+        db.create_trigger(SqlTrigger {
+            name: "t".into(),
+            table: "vendor".into(),
+            event: Event::Update,
+            body: TriggerBody::Native(Arc::new(move |_, trans| {
+                f2.lock().unwrap().push(trans.inserted.len());
+                Ok(())
+            })),
+        })
+        .unwrap();
+        let n = db
+            .update_where(
+                "vendor",
+                |r| r[1] == Value::str("P1"),
+                |r| {
+                    let mut v = r.to_vec();
+                    v[2] = Value::Double(99.0);
+                    v
+                },
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(*firings.lock().unwrap(), vec![2]);
+    }
+}

@@ -1,0 +1,467 @@
+//! Plan execution.
+//!
+//! [`execute`] evaluates a [`PhysicalPlan`] DAG against a database state
+//! plus (optionally) the transition tables of the statement being
+//! processed. Results of shared subplans are memoized by node identity, so
+//! a plan that reuses `AffectedKeys` in four places (like Fig. 16 of the
+//! paper) computes it once.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::expr::{eval_all, AggState, Expr};
+use crate::plan::{JoinKind, PhysicalPlan, PlanRef, SortKey, TableEpoch, TransitionSide};
+use crate::table::Table;
+use crate::value::{Row, Value};
+use crate::{Database, Error, Event, Result, TransitionTables};
+
+/// Shared, memoized result of one plan node.
+pub type RowsRef = Arc<Vec<Row>>;
+
+/// Execution context: database state + optional transition tables.
+pub struct ExecContext<'a> {
+    /// The database (post-statement state).
+    pub db: &'a Database,
+    /// Transition tables of the firing statement, if any.
+    pub trans: Option<&'a TransitionTables>,
+    memo: RefCell<HashMap<usize, RowsRef>>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Create a context. `trans` must be `Some` when the plan contains
+    /// `TransitionScan` or old-epoch accesses.
+    pub fn new(db: &'a Database, trans: Option<&'a TransitionTables>) -> Self {
+        ExecContext { db, trans, memo: RefCell::new(HashMap::new()) }
+    }
+
+    fn transition(&self, table: &str) -> Result<&'a TransitionTables> {
+        match self.trans {
+            Some(t) if t.table == table => Ok(t),
+            _ => Err(Error::NoTransitionContext),
+        }
+    }
+
+    /// Δ rows of `table` if the firing statement targeted it, else empty.
+    fn delta_rows(&self, table: &str) -> &[Row] {
+        match self.trans {
+            Some(t) if t.table == table => &t.inserted,
+            _ => &[],
+        }
+    }
+
+    fn nabla_rows(&self, table: &str) -> &[Row] {
+        match self.trans {
+            Some(t) if t.table == table => &t.deleted,
+            _ => &[],
+        }
+    }
+}
+
+/// Execute a plan, memoizing shared nodes within this context.
+pub fn execute(plan: &PlanRef, ctx: &ExecContext<'_>) -> Result<RowsRef> {
+    let key = Arc::as_ptr(plan) as usize;
+    if let Some(hit) = ctx.memo.borrow().get(&key) {
+        return Ok(Arc::clone(hit));
+    }
+    let rows = Arc::new(run(plan, ctx)?);
+    ctx.memo.borrow_mut().insert(key, Arc::clone(&rows));
+    Ok(rows)
+}
+
+fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
+    match plan {
+        PhysicalPlan::TableScan { table, epoch } => scan_table(table, *epoch, ctx),
+        PhysicalPlan::TransitionScan { table, side, pruned } => {
+            let trans = ctx.transition(table)?;
+            let (main, other) = match side {
+                TransitionSide::Delta => (&trans.inserted, &trans.deleted),
+                TransitionSide::Nabla => (&trans.deleted, &trans.inserted),
+            };
+            if *pruned && !other.is_empty() {
+                // Appendix F (Def. 8): drop rows unchanged in value —
+                // present in both Δ and ∇.
+                let other_set: HashSet<&Row> = other.iter().collect();
+                Ok(main.iter().filter(|r| !other_set.contains(r)).cloned().collect())
+            } else {
+                Ok(main.clone())
+            }
+        }
+        PhysicalPlan::Values { rows, .. } => Ok(rows.clone()),
+        PhysicalPlan::Filter { input, predicate } => {
+            let rows = execute(input, ctx)?;
+            let mut out = Vec::new();
+            for r in rows.iter() {
+                if predicate.eval(r)?.is_true() {
+                    out.push(Arc::clone(r));
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::Project { input, exprs } => {
+            let rows = execute(input, ctx)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for r in rows.iter() {
+                out.push(eval_all(exprs, r)?);
+            }
+            Ok(out)
+        }
+        PhysicalPlan::HashJoin { left, right, left_keys, right_keys, kind, filter } => {
+            hash_join(left, right, left_keys, right_keys, *kind, filter.as_ref(), ctx)
+        }
+        PhysicalPlan::IndexJoin { outer, table, epoch, probe, kind, filter } => {
+            index_join(outer, table, *epoch, probe, *kind, filter.as_ref(), ctx)
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, predicate, kind } => {
+            nl_join(left, right, predicate.as_ref(), *kind, ctx)
+        }
+        PhysicalPlan::HashAggregate { input, group_exprs, aggs } => {
+            let rows = execute(input, ctx)?;
+            aggregate(&rows, group_exprs, aggs)
+        }
+        PhysicalPlan::UnionAll { inputs } => {
+            let mut out = Vec::new();
+            for i in inputs {
+                out.extend(execute(i, ctx)?.iter().cloned());
+            }
+            Ok(out)
+        }
+        PhysicalPlan::Distinct { input } => {
+            let rows = execute(input, ctx)?;
+            let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
+            let mut out = Vec::new();
+            for r in rows.iter() {
+                if seen.insert(Arc::clone(r)) {
+                    out.push(Arc::clone(r));
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let rows = execute(input, ctx)?;
+            sort_rows(&rows, keys)
+        }
+        PhysicalPlan::Unnest { input, expr } => {
+            let rows = execute(input, ctx)?;
+            let mut out = Vec::new();
+            for r in rows.iter() {
+                match expr.eval(r)? {
+                    Value::Null => {}
+                    Value::Xml(x) if crate::expr::is_fragment(&x) => {
+                        for child in x.children() {
+                            out.push(append(r, Value::Xml(Arc::clone(child))));
+                        }
+                    }
+                    item => out.push(append(r, item)),
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn append(row: &Row, value: Value) -> Row {
+    row.iter().cloned().chain(std::iter::once(value)).collect()
+}
+
+/// Scan the current table, or reconstruct the pre-statement state:
+/// `B_old = (B ∖ pk(ΔB)) ∪ ∇B` (§4.2 of the paper).
+fn scan_table(table: &str, epoch: TableEpoch, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
+    let t = ctx.db.table(table)?;
+    let schema = t.schema();
+    let mut out: Vec<Row> = match epoch {
+        TableEpoch::Current => t.iter().cloned().collect(),
+        TableEpoch::Old => {
+            let delta = ctx.delta_rows(table);
+            let nabla = ctx.nabla_rows(table);
+            if delta.is_empty() && nabla.is_empty() {
+                t.iter().cloned().collect()
+            } else {
+                let delta_keys: HashSet<Box<[Value]>> =
+                    delta.iter().map(|r| schema.key_of(r)).collect();
+                let mut rows: Vec<Row> = t
+                    .iter()
+                    .filter(|r| !delta_keys.contains(&schema.key_of(r)))
+                    .cloned()
+                    .collect();
+                rows.extend(nabla.iter().cloned());
+                rows
+            }
+        }
+    };
+    // Scans return rows in primary-key order so that view materialization
+    // (and thus aggXMLFrag output) is deterministic.
+    out.sort_by_cached_key(|r| schema.key_of(r));
+    Ok(out)
+}
+
+fn key_values(exprs: &[Expr], row: &[Value]) -> Result<Box<[Value]>> {
+    let mut out = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        out.push(e.eval(row)?);
+    }
+    Ok(out.into())
+}
+
+fn concat(left: &[Value], right: &[Value]) -> Row {
+    left.iter().cloned().chain(right.iter().cloned()).collect()
+}
+
+fn nulls(n: usize) -> Vec<Value> {
+    vec![Value::Null; n]
+}
+
+fn hash_join(
+    left: &PlanRef,
+    right: &PlanRef,
+    left_keys: &[Expr],
+    right_keys: &[Expr],
+    kind: JoinKind,
+    filter: Option<&Expr>,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Row>> {
+    let lrows = execute(left, ctx)?;
+    let rrows = execute(right, ctx)?;
+    let right_arity = right.arity(ctx.db)?;
+
+    // Build on the right, probe from the left (generated plans put the
+    // small transition-derived side on the left).
+    let mut build: HashMap<Box<[Value]>, Vec<&Row>> = HashMap::with_capacity(rrows.len());
+    for r in rrows.iter() {
+        build.entry(key_values(right_keys, r)?).or_default().push(r);
+    }
+
+    let mut out = Vec::new();
+    for l in lrows.iter() {
+        let key = key_values(left_keys, l)?;
+        let matches = build.get(&key);
+        emit_joined(l, matches.map(|v| v.as_slice()), right_arity, kind, filter, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Shared row-emission logic for all join implementations.
+fn emit_joined(
+    left: &Row,
+    matches: Option<&[&Row]>,
+    right_arity: usize,
+    kind: JoinKind,
+    filter: Option<&Expr>,
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    let mut any = false;
+    if let Some(ms) = matches {
+        for m in ms {
+            let joined = concat(left, m);
+            if let Some(f) = filter {
+                if !f.eval(&joined)?.is_true() {
+                    continue;
+                }
+            }
+            any = true;
+            match kind {
+                JoinKind::Inner | JoinKind::LeftOuter => out.push(joined),
+                JoinKind::LeftSemi => {
+                    out.push(Arc::clone(left));
+                    return Ok(());
+                }
+                JoinKind::LeftAnti => return Ok(()),
+            }
+        }
+    }
+    if !any {
+        match kind {
+            JoinKind::LeftOuter => out.push(concat(left, &nulls(right_arity))),
+            JoinKind::LeftAnti => out.push(Arc::clone(left)),
+            JoinKind::Inner | JoinKind::LeftSemi => {}
+        }
+    }
+    Ok(())
+}
+
+fn index_join(
+    outer: &PlanRef,
+    table: &str,
+    epoch: TableEpoch,
+    probe: &[(usize, Expr)],
+    kind: JoinKind,
+    filter: Option<&Expr>,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Row>> {
+    let orows = execute(outer, ctx)?;
+    let t = ctx.db.table(table)?;
+    let schema = t.schema();
+    let inner_arity = schema.arity();
+    let probe_cols: Vec<usize> = probe.iter().map(|(c, _)| *c).collect();
+    let is_pk_probe = probe_cols == schema.primary_key;
+    if !is_pk_probe && !(probe_cols.len() == 1 && t.has_index(probe_cols[0])) {
+        return Err(Error::Plan(format!(
+            "IndexJoin on {table} cols {probe_cols:?}: not the primary key and no secondary index"
+        )));
+    }
+
+    // For the Old epoch, the probe must see the pre-statement state:
+    // current matches minus Δ-keyed rows, plus matching ∇ rows.
+    let (delta_keys, nabla_by_probe): (HashSet<Box<[Value]>>, HashMap<Box<[Value]>, Vec<Row>>) =
+        if epoch == TableEpoch::Old {
+            let delta_keys =
+                ctx.delta_rows(table).iter().map(|r| schema.key_of(r)).collect();
+            let mut by_probe: HashMap<Box<[Value]>, Vec<Row>> = HashMap::new();
+            for r in ctx.nabla_rows(table) {
+                let k: Box<[Value]> = probe_cols.iter().map(|&c| r[c].clone()).collect();
+                by_probe.entry(k).or_default().push(Arc::clone(r));
+            }
+            (delta_keys, by_probe)
+        } else {
+            (HashSet::new(), HashMap::new())
+        };
+
+    let mut out = Vec::new();
+    for l in orows.iter() {
+        let mut probe_vals = Vec::with_capacity(probe.len());
+        for (_, e) in probe {
+            probe_vals.push(e.eval(l)?);
+        }
+        // Collect matching inner rows for this probe.
+        let mut matched: Vec<&Row> = Vec::new();
+        let current: Vec<&Row> = if is_pk_probe {
+            t.get(&probe_vals).into_iter().collect()
+        } else {
+            t.index_lookup(probe_cols[0], &probe_vals[0])?
+        };
+        let nabla_extra;
+        match epoch {
+            TableEpoch::Current => matched.extend(current),
+            TableEpoch::Old => {
+                matched.extend(
+                    current.into_iter().filter(|r| !delta_keys.contains(&schema.key_of(r))),
+                );
+                let pk: Box<[Value]> = probe_vals.clone().into_boxed_slice();
+                nabla_extra = nabla_by_probe.get(&pk);
+                if let Some(extra) = nabla_extra {
+                    matched.extend(extra.iter());
+                }
+            }
+        }
+        // Deterministic match order (hash-index buckets are unordered).
+        matched.sort_by_cached_key(|r| schema.key_of(r));
+        emit_joined(l, Some(&matched), inner_arity, kind, filter, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn nl_join(
+    left: &PlanRef,
+    right: &PlanRef,
+    predicate: Option<&Expr>,
+    kind: JoinKind,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Row>> {
+    let lrows = execute(left, ctx)?;
+    let rrows = execute(right, ctx)?;
+    let right_arity = right.arity(ctx.db)?;
+    let all: Vec<&Row> = rrows.iter().collect();
+    let mut out = Vec::new();
+    for l in lrows.iter() {
+        emit_joined(l, Some(&all), right_arity, kind, predicate, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn aggregate(rows: &[Row], group_exprs: &[Expr], aggs: &[crate::expr::AggExpr]) -> Result<Vec<Row>> {
+    // Preserve first-seen group order so aggXMLFrag output is deterministic.
+    let mut order: Vec<Box<[Value]>> = Vec::new();
+    let mut groups: HashMap<Box<[Value]>, Vec<AggState>> = HashMap::new();
+    for r in rows {
+        let key = key_values(group_exprs, r)?;
+        let states = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                order.push(key.clone());
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| aggs.iter().map(|a| AggState::new(&a.func)).collect())
+            }
+        };
+        for (state, agg) in states.iter_mut().zip(aggs) {
+            match &agg.arg {
+                None => state.update(None)?,
+                Some(e) => {
+                    let v = e.eval(r)?;
+                    state.update(Some(&v))?;
+                }
+            }
+        }
+    }
+    // Scalar aggregation (no GROUP BY) over empty input: one row of
+    // identity values.
+    if group_exprs.is_empty() && groups.is_empty() {
+        let row: Row = aggs.iter().map(|a| AggState::new(&a.func).finish()).collect();
+        return Ok(vec![row]);
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let states = groups.remove(&key).expect("group recorded in order list");
+        let row: Row = key
+            .iter()
+            .cloned()
+            .chain(states.into_iter().map(AggState::finish))
+            .collect();
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn sort_rows(rows: &[Row], keys: &[SortKey]) -> Result<Vec<Row>> {
+    // Precompute key tuples to keep comparator infallible.
+    let mut decorated: Vec<(Vec<Value>, &Row)> = Vec::with_capacity(rows.len());
+    for r in rows {
+        let mut k = Vec::with_capacity(keys.len());
+        for sk in keys {
+            k.push(sk.expr.eval(r)?);
+        }
+        decorated.push((k, r));
+    }
+    decorated.sort_by(|(a, _), (b, _)| {
+        for (i, sk) in keys.iter().enumerate() {
+            let ord = a[i].cmp(&b[i]);
+            let ord = if sk.desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(decorated.into_iter().map(|(_, r)| Arc::clone(r)).collect())
+}
+
+/// Convenience: execute a plan that does not reference transition tables.
+pub fn execute_query(db: &Database, plan: &PlanRef) -> Result<Vec<Row>> {
+    let ctx = ExecContext::new(db, None);
+    let rows = execute(plan, &ctx)?;
+    Ok(rows.iter().cloned().collect())
+}
+
+/// Convenience: execute a plan in a trigger-firing context.
+pub fn execute_with_transitions(
+    db: &Database,
+    plan: &PlanRef,
+    trans: &TransitionTables,
+) -> Result<Vec<Row>> {
+    let ctx = ExecContext::new(db, Some(trans));
+    let rows = execute(plan, &ctx)?;
+    Ok(rows.iter().cloned().collect())
+}
+
+/// Build a synthetic transition-tables value (tests and the oracle baseline).
+pub fn transitions(
+    table: impl Into<String>,
+    event: Event,
+    inserted: Vec<Row>,
+    deleted: Vec<Row>,
+) -> TransitionTables {
+    TransitionTables { table: table.into(), event, inserted, deleted }
+}
+
+#[allow(dead_code)]
+fn _assert_table_used(_: &Table) {}

@@ -1,0 +1,492 @@
+//! Executor tests: every physical operator, both table epochs, and the
+//! DAG-memoization behaviour that generated trigger plans rely on.
+
+use std::sync::Arc;
+
+use crate::exec::{execute, execute_query, execute_with_transitions, transitions, ExecContext};
+use crate::expr::{AggExpr, AggFunc, BinOp, Expr};
+use crate::plan::{JoinKind, PhysicalPlan, SortKey, TableEpoch, TransitionSide};
+use crate::value::row;
+use crate::{ColumnDef, ColumnType, Database, Event, Row, TableSchema, Value};
+
+fn setup() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "product",
+            vec![
+                ColumnDef::new("pid", ColumnType::Str),
+                ColumnDef::new("pname", ColumnType::Str),
+                ColumnDef::new("mfr", ColumnType::Str),
+            ],
+            &["pid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "vendor",
+            vec![
+                ColumnDef::new("vid", ColumnType::Str),
+                ColumnDef::new("pid", ColumnType::Str),
+                ColumnDef::new("price", ColumnType::Double),
+            ],
+            &["vid", "pid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_index("vendor", "pid").unwrap();
+    // Figure 2 of the paper.
+    db.load(
+        "product",
+        vec![
+            vec![Value::str("P1"), Value::str("CRT 15"), Value::str("Samsung")],
+            vec![Value::str("P2"), Value::str("LCD 19"), Value::str("Samsung")],
+            vec![Value::str("P3"), Value::str("CRT 15"), Value::str("Viewsonic")],
+        ],
+    )
+    .unwrap();
+    db.load(
+        "vendor",
+        vec![
+            vec![Value::str("Amazon"), Value::str("P1"), Value::Double(100.0)],
+            vec![Value::str("Bestbuy"), Value::str("P1"), Value::Double(120.0)],
+            vec![Value::str("Circuitcity"), Value::str("P1"), Value::Double(150.0)],
+            vec![Value::str("Buy.com"), Value::str("P2"), Value::Double(200.0)],
+            vec![Value::str("Bestbuy"), Value::str("P2"), Value::Double(180.0)],
+            vec![Value::str("Bestbuy"), Value::str("P3"), Value::Double(120.0)],
+            vec![Value::str("Circuitcity"), Value::str("P3"), Value::Double(140.0)],
+        ],
+    )
+    .unwrap();
+    db
+}
+
+fn scan(table: &str) -> PhysicalPlan {
+    PhysicalPlan::TableScan { table: table.into(), epoch: TableEpoch::Current }
+}
+
+#[test]
+fn filter_and_project() {
+    let db = setup();
+    let plan = PhysicalPlan::Project {
+        input: PhysicalPlan::Filter {
+            input: scan("vendor").into_ref(),
+            predicate: Expr::bin(BinOp::Gt, Expr::col(2), Expr::lit(150.0)),
+        }
+        .into_ref(),
+        exprs: vec![Expr::col(0), Expr::col(2)],
+    }
+    .into_ref();
+    let mut rows = execute_query(&db, &plan).unwrap();
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![
+            row([Value::str("Bestbuy"), Value::Double(180.0)]),
+            row([Value::str("Buy.com"), Value::Double(200.0)]),
+        ]
+    );
+}
+
+#[test]
+fn hash_join_inner() {
+    let db = setup();
+    // vendor ⋈ product on pid.
+    let plan = PhysicalPlan::HashJoin {
+        left: scan("vendor").into_ref(),
+        right: scan("product").into_ref(),
+        left_keys: vec![Expr::col(1)],
+        right_keys: vec![Expr::col(0)],
+        kind: JoinKind::Inner,
+        filter: None,
+    }
+    .into_ref();
+    let rows = execute_query(&db, &plan).unwrap();
+    assert_eq!(rows.len(), 7);
+    // Every joined row has vendor.pid == product.pid.
+    assert!(rows.iter().all(|r| r[1] == r[3]));
+}
+
+#[test]
+fn hash_join_left_outer_pads_nulls() {
+    let mut db = setup();
+    db.load(
+        "product",
+        vec![vec![Value::str("P4"), Value::str("Plasma"), Value::str("LG")]],
+    )
+    .unwrap();
+    let plan = PhysicalPlan::HashJoin {
+        left: scan("product").into_ref(),
+        right: scan("vendor").into_ref(),
+        left_keys: vec![Expr::col(0)],
+        right_keys: vec![Expr::col(1)],
+        kind: JoinKind::LeftOuter,
+        filter: None,
+    }
+    .into_ref();
+    let rows = execute_query(&db, &plan).unwrap();
+    assert_eq!(rows.len(), 8); // 7 matches + 1 padded row for P4
+    let p4 = rows.iter().find(|r| r[0] == Value::str("P4")).unwrap();
+    assert!(p4[3].is_null() && p4[4].is_null() && p4[5].is_null());
+}
+
+#[test]
+fn semi_and_anti_joins() {
+    let mut db = setup();
+    db.load(
+        "product",
+        vec![vec![Value::str("P4"), Value::str("Plasma"), Value::str("LG")]],
+    )
+    .unwrap();
+    let semi = PhysicalPlan::HashJoin {
+        left: scan("product").into_ref(),
+        right: scan("vendor").into_ref(),
+        left_keys: vec![Expr::col(0)],
+        right_keys: vec![Expr::col(1)],
+        kind: JoinKind::LeftSemi,
+        filter: None,
+    }
+    .into_ref();
+    let rows = execute_query(&db, &semi).unwrap();
+    assert_eq!(rows.len(), 3); // P1-P3 have vendors; each product once
+
+    let anti = PhysicalPlan::HashJoin {
+        left: scan("product").into_ref(),
+        right: scan("vendor").into_ref(),
+        left_keys: vec![Expr::col(0)],
+        right_keys: vec![Expr::col(1)],
+        kind: JoinKind::LeftAnti,
+        filter: None,
+    }
+    .into_ref();
+    let rows = execute_query(&db, &anti).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::str("P4"));
+}
+
+#[test]
+fn group_by_count_per_product() {
+    let db = setup();
+    let plan = PhysicalPlan::HashAggregate {
+        input: scan("vendor").into_ref(),
+        group_exprs: vec![Expr::col(1)],
+        aggs: vec![AggExpr::count_star(), AggExpr::over(AggFunc::Min, Expr::col(2))],
+    }
+    .into_ref();
+    let mut rows = execute_query(&db, &plan).unwrap();
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![
+            row([Value::str("P1"), Value::Int(3), Value::Double(100.0)]),
+            row([Value::str("P2"), Value::Int(2), Value::Double(180.0)]),
+            row([Value::str("P3"), Value::Int(2), Value::Double(120.0)]),
+        ]
+    );
+}
+
+#[test]
+fn scalar_aggregate_over_empty_input_yields_identity_row() {
+    let db = setup();
+    let plan = PhysicalPlan::HashAggregate {
+        input: PhysicalPlan::Values { arity: 1, rows: vec![] }.into_ref(),
+        group_exprs: vec![],
+        aggs: vec![AggExpr::count_star(), AggExpr::over(AggFunc::Sum, Expr::col(0))],
+    }
+    .into_ref();
+    let rows = execute_query(&db, &plan).unwrap();
+    assert_eq!(rows, vec![row([Value::Int(0), Value::Null])]);
+}
+
+#[test]
+fn index_join_probes_secondary_index() {
+    let db = setup();
+    // Outer: a single P1 key row; inner: vendor by pid index.
+    let outer = PhysicalPlan::Values { arity: 1, rows: vec![row([Value::str("P1")])] };
+    let plan = PhysicalPlan::IndexJoin {
+        outer: outer.into_ref(),
+        table: "vendor".into(),
+        epoch: TableEpoch::Current,
+        probe: vec![(1, Expr::col(0))],
+        kind: JoinKind::Inner,
+        filter: None,
+    }
+    .into_ref();
+    let rows = execute_query(&db, &plan).unwrap();
+    assert_eq!(rows.len(), 3);
+    assert!(rows.iter().all(|r| r[2] == Value::str("P1"))); // vendor.pid
+}
+
+#[test]
+fn index_join_probes_primary_key() {
+    let db = setup();
+    let outer = PhysicalPlan::Values { arity: 1, rows: vec![row([Value::str("P2")])] };
+    let plan = PhysicalPlan::IndexJoin {
+        outer: outer.into_ref(),
+        table: "product".into(),
+        epoch: TableEpoch::Current,
+        probe: vec![(0, Expr::col(0))],
+        kind: JoinKind::Inner,
+        filter: None,
+    }
+    .into_ref();
+    let rows = execute_query(&db, &plan).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][2], Value::str("LCD 19"));
+}
+
+#[test]
+fn index_join_without_index_is_a_plan_error() {
+    let db = setup();
+    let outer = PhysicalPlan::Values { arity: 1, rows: vec![row([Value::Double(100.0)])] };
+    let plan = PhysicalPlan::IndexJoin {
+        outer: outer.into_ref(),
+        table: "vendor".into(),
+        epoch: TableEpoch::Current,
+        probe: vec![(2, Expr::col(0))], // price: not indexed
+        kind: JoinKind::Inner,
+        filter: None,
+    }
+    .into_ref();
+    assert!(execute_query(&db, &plan).is_err());
+}
+
+/// Core of the B_old reconstruction (§4.2): after an UPDATE statement,
+/// old-epoch reads must see pre-statement values, via both scans and index
+/// probes.
+#[test]
+fn old_epoch_reconstructs_pre_statement_state() {
+    let db = setup();
+    // Simulate: Amazon's P1 price 100 -> 75 (the paper's §2.3 example).
+    let old_row = row([Value::str("Amazon"), Value::str("P1"), Value::Double(100.0)]);
+    let new_row = row([Value::str("Amazon"), Value::str("P1"), Value::Double(75.0)]);
+    let mut db = db;
+    db.update_by_key(
+        "vendor",
+        &[Value::str("Amazon"), Value::str("P1")],
+        &[(2, Value::Double(75.0))],
+    )
+    .unwrap();
+    let trans = transitions("vendor", Event::Update, vec![new_row], vec![old_row]);
+
+    // Old-epoch scan sees 100.0 for Amazon.
+    let plan = PhysicalPlan::Filter {
+        input: PhysicalPlan::TableScan { table: "vendor".into(), epoch: TableEpoch::Old }
+            .into_ref(),
+        predicate: Expr::eq(Expr::col(0), Expr::lit("Amazon")),
+    }
+    .into_ref();
+    let rows = execute_with_transitions(&db, &plan, &trans).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][2], Value::Double(100.0));
+
+    // Old-epoch index probe by pid sees 3 vendors with the old price.
+    let outer = PhysicalPlan::Values { arity: 1, rows: vec![row([Value::str("P1")])] };
+    let plan = PhysicalPlan::IndexJoin {
+        outer: outer.into_ref(),
+        table: "vendor".into(),
+        epoch: TableEpoch::Old,
+        probe: vec![(1, Expr::col(0))],
+        kind: JoinKind::Inner,
+        filter: None,
+    }
+    .into_ref();
+    let rows = execute_with_transitions(&db, &plan, &trans).unwrap();
+    assert_eq!(rows.len(), 3);
+    let amazon = rows.iter().find(|r| r[1] == Value::str("Amazon")).unwrap();
+    assert_eq!(amazon[3], Value::Double(100.0));
+
+    // Current-epoch probe sees the new price.
+    let outer = PhysicalPlan::Values { arity: 1, rows: vec![row([Value::str("P1")])] };
+    let plan = PhysicalPlan::IndexJoin {
+        outer: outer.into_ref(),
+        table: "vendor".into(),
+        epoch: TableEpoch::Current,
+        probe: vec![(1, Expr::col(0))],
+        kind: JoinKind::Inner,
+        filter: None,
+    }
+    .into_ref();
+    let rows = execute_with_transitions(&db, &plan, &trans).unwrap();
+    let amazon = rows.iter().find(|r| r[1] == Value::str("Amazon")).unwrap();
+    assert_eq!(amazon[3], Value::Double(75.0));
+}
+
+#[test]
+fn old_epoch_after_insert_excludes_new_rows() {
+    let mut db = setup();
+    db.load(
+        "vendor",
+        vec![vec![Value::str("Amazon"), Value::str("P2"), Value::Double(500.0)]],
+    )
+    .unwrap();
+    let new_row = row([Value::str("Amazon"), Value::str("P2"), Value::Double(500.0)]);
+    let trans = transitions("vendor", Event::Insert, vec![new_row], vec![]);
+    let plan = PhysicalPlan::TableScan { table: "vendor".into(), epoch: TableEpoch::Old }
+        .into_ref();
+    let rows = execute_with_transitions(&db, &plan, &trans).unwrap();
+    assert_eq!(rows.len(), 7); // the original 7, not 8
+}
+
+#[test]
+fn old_epoch_after_delete_restores_rows() {
+    let mut db = setup();
+    let key = [Value::str("Amazon"), Value::str("P1")];
+    let old = db.table("vendor").unwrap().get(&key).unwrap().clone();
+    db.delete_by_key("vendor", &key).unwrap();
+    let trans = transitions("vendor", Event::Delete, vec![], vec![old]);
+    let plan = PhysicalPlan::TableScan { table: "vendor".into(), epoch: TableEpoch::Old }
+        .into_ref();
+    let rows = execute_with_transitions(&db, &plan, &trans).unwrap();
+    assert_eq!(rows.len(), 7);
+}
+
+#[test]
+fn pruned_transition_scan_drops_noop_updates() {
+    let db = setup();
+    let same = row([Value::str("x"), Value::str("P1"), Value::Double(1.0)]);
+    let changed_old = row([Value::str("y"), Value::str("P1"), Value::Double(1.0)]);
+    let changed_new = row([Value::str("y"), Value::str("P1"), Value::Double(2.0)]);
+    let trans = transitions(
+        "vendor",
+        Event::Update,
+        vec![Arc::clone(&same), changed_new.clone()],
+        vec![Arc::clone(&same), changed_old.clone()],
+    );
+    let raw = PhysicalPlan::TransitionScan {
+        table: "vendor".into(),
+        side: TransitionSide::Delta,
+        pruned: false,
+    }
+    .into_ref();
+    assert_eq!(execute_with_transitions(&db, &raw, &trans).unwrap().len(), 2);
+    let pruned = PhysicalPlan::TransitionScan {
+        table: "vendor".into(),
+        side: TransitionSide::Delta,
+        pruned: true,
+    }
+    .into_ref();
+    let rows = execute_with_transitions(&db, &pruned, &trans).unwrap();
+    assert_eq!(rows, vec![changed_new]);
+}
+
+#[test]
+fn transition_scan_outside_trigger_context_errors() {
+    let db = setup();
+    let plan = PhysicalPlan::TransitionScan {
+        table: "vendor".into(),
+        side: TransitionSide::Delta,
+        pruned: false,
+    }
+    .into_ref();
+    assert!(execute_query(&db, &plan).is_err());
+}
+
+#[test]
+fn union_all_distinct_sort() {
+    let db = setup();
+    let a = PhysicalPlan::Values {
+        arity: 1,
+        rows: vec![row([Value::Int(2)]), row([Value::Int(1)])],
+    }
+    .into_ref();
+    let b = PhysicalPlan::Values { arity: 1, rows: vec![row([Value::Int(2)])] }.into_ref();
+    let plan = PhysicalPlan::Sort {
+        input: PhysicalPlan::Distinct {
+            input: PhysicalPlan::UnionAll { inputs: vec![a, b] }.into_ref(),
+        }
+        .into_ref(),
+        keys: vec![SortKey::asc(0)],
+    }
+    .into_ref();
+    let rows = execute_query(&db, &plan).unwrap();
+    assert_eq!(rows, vec![row([Value::Int(1)]), row([Value::Int(2)])]);
+}
+
+#[test]
+fn sort_desc_and_stability() {
+    let db = setup();
+    let input = PhysicalPlan::Values {
+        arity: 2,
+        rows: vec![
+            row([Value::Int(1), Value::str("a")]),
+            row([Value::Int(2), Value::str("b")]),
+            row([Value::Int(1), Value::str("c")]),
+        ],
+    }
+    .into_ref();
+    let plan = PhysicalPlan::Sort {
+        input,
+        keys: vec![SortKey { expr: Expr::col(0), desc: true }],
+    }
+    .into_ref();
+    let rows = execute_query(&db, &plan).unwrap();
+    assert_eq!(rows[0][0], Value::Int(2));
+    // Stable: 'a' before 'c' among the two key-1 rows.
+    assert_eq!(rows[1][1], Value::str("a"));
+    assert_eq!(rows[2][1], Value::str("c"));
+}
+
+#[test]
+fn shared_subplans_execute_once() {
+    let db = setup();
+    // A shared Values node consumed by two branches of a union: memoization
+    // must return the identical Arc for both executions.
+    let shared = PhysicalPlan::HashAggregate {
+        input: scan("vendor").into_ref(),
+        group_exprs: vec![Expr::col(1)],
+        aggs: vec![AggExpr::count_star()],
+    }
+    .into_ref();
+    let plan = PhysicalPlan::UnionAll {
+        inputs: vec![Arc::clone(&shared), Arc::clone(&shared)],
+    }
+    .into_ref();
+    let ctx = ExecContext::new(&db, None);
+    let rows = execute(&plan, &ctx).unwrap();
+    assert_eq!(rows.len(), 6); // 3 groups twice
+    let first = execute(&shared, &ctx).unwrap();
+    let second = execute(&shared, &ctx).unwrap();
+    assert!(Arc::ptr_eq(&first, &second));
+}
+
+#[test]
+fn nested_loop_cross_product() {
+    let db = setup();
+    let a = PhysicalPlan::Values {
+        arity: 1,
+        rows: vec![row([Value::Int(1)]), row([Value::Int(2)])],
+    }
+    .into_ref();
+    let b = PhysicalPlan::Values {
+        arity: 1,
+        rows: vec![row([Value::str("x")]), row([Value::str("y")])],
+    }
+    .into_ref();
+    let plan =
+        PhysicalPlan::NestedLoopJoin { left: a, right: b, predicate: None, kind: JoinKind::Inner }
+            .into_ref();
+    let rows = execute_query(&db, &plan).unwrap();
+    assert_eq!(rows.len(), 4);
+}
+
+#[test]
+fn explain_renders_tree() {
+    let plan = PhysicalPlan::Filter {
+        input: scan("vendor").into_ref(),
+        predicate: Expr::eq(Expr::col(1), Expr::lit("P1")),
+    };
+    let text = plan.explain();
+    assert!(text.contains("Filter"));
+    assert!(text.contains("TableScan vendor"));
+}
+
+/// One row of Row type checking to keep `Row` alias public-API stable.
+#[test]
+fn row_alias_is_arc_slice() {
+    let r: Row = row([Value::Int(1)]);
+    assert_eq!(r.len(), 1);
+}

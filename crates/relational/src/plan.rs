@@ -1,0 +1,337 @@
+//! Physical query plans.
+//!
+//! A generated "SQL trigger" body in this system is a [`PhysicalPlan`]
+//! evaluated against the database plus the firing statement's transition
+//! tables. Plans are DAGs: the affected-key subplan is shared between the
+//! OLD and NEW branches exactly like the `WITH AffectedKeys (…)` common
+//! table expression in the paper's Figure 16, and the executor memoizes
+//! shared nodes so they run once.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::expr::{AggExpr, Expr};
+use crate::value::Row;
+use crate::{Database, Error, Result};
+
+/// Shared plan handle; sharing a node means its result is computed once per
+/// execution.
+pub type PlanRef = Arc<PhysicalPlan>;
+
+/// Which transition table a [`PhysicalPlan::TransitionScan`] reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionSide {
+    /// Δtable — rows *after* the update (a.k.a. `INSERTED` / `NEW_TABLE`).
+    Delta,
+    /// ∇table — rows *before* the update (a.k.a. `DELETED` / `OLD_TABLE`).
+    Nabla,
+}
+
+/// Whether a table access sees the current (post-statement) state or the
+/// reconstructed pre-statement state `B_old = (B ∖ ΔB) ∪ ∇B` (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableEpoch {
+    /// Post-statement state.
+    Current,
+    /// Pre-statement state, reconstructed from transition tables.
+    Old,
+}
+
+/// Join variants. `RightAnti` is expressed by swapping inputs of `LeftAnti`
+/// at plan-construction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Emit matched (left ++ right) rows.
+    Inner,
+    /// Emit every left row; unmatched rows padded with NULLs.
+    LeftOuter,
+    /// Emit left rows with at least one match (left columns only).
+    LeftSemi,
+    /// Emit left rows with no match (left columns only).
+    LeftAnti,
+}
+
+impl JoinKind {
+    /// Does the join output include right-side columns?
+    pub fn keeps_right(self) -> bool {
+        matches!(self, JoinKind::Inner | JoinKind::LeftOuter)
+    }
+}
+
+/// One sort key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// Expression over the input row.
+    pub expr: Expr,
+    /// Descending order if `true`.
+    pub desc: bool,
+}
+
+impl SortKey {
+    /// Ascending sort on a column.
+    pub fn asc(col: usize) -> Self {
+        SortKey { expr: Expr::col(col), desc: false }
+    }
+}
+
+/// A physical operator. All operators are fully materializing (the engine
+/// targets correctness and index-driven asymptotics, not pipelining).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Scan a stored table (current or reconstructed-old epoch).
+    TableScan {
+        /// Table name.
+        table: String,
+        /// Which state of the table to read.
+        epoch: TableEpoch,
+    },
+    /// Scan the firing statement's Δ or ∇ transition table. With `pruned`,
+    /// rows present in *both* Δ and ∇ (no-op updates) are removed first —
+    /// the pruned transition tables of Appendix F (Definition 8).
+    TransitionScan {
+        /// Table the statement targeted (must match the firing context).
+        table: String,
+        /// Δ or ∇.
+        side: TransitionSide,
+        /// Apply Appendix-F pruning.
+        pruned: bool,
+    },
+    /// Literal rows (constants tables in tests; empty relations).
+    Values {
+        /// Column count (needed when `rows` is empty).
+        arity: usize,
+        /// The rows.
+        rows: Vec<Row>,
+    },
+    /// σ — keep rows where `predicate` is true.
+    Filter {
+        /// Input plan.
+        input: PlanRef,
+        /// Boolean predicate.
+        predicate: Expr,
+    },
+    /// π — compute one output column per expression.
+    Project {
+        /// Input plan.
+        input: PlanRef,
+        /// Output column expressions.
+        exprs: Vec<Expr>,
+    },
+    /// Hash join on equi-key expressions, with an optional residual filter
+    /// applied to the concatenated row.
+    HashJoin {
+        /// Build/probe sides.
+        left: PlanRef,
+        /// Right input.
+        right: PlanRef,
+        /// Key expressions over the left row.
+        left_keys: Vec<Expr>,
+        /// Key expressions over the right row (same length).
+        right_keys: Vec<Expr>,
+        /// Join variant.
+        kind: JoinKind,
+        /// Residual predicate over (left ++ right).
+        filter: Option<Expr>,
+    },
+    /// Index nested-loop join: for each outer row, probe `table` by
+    /// equality on `probe` columns (primary key or a secondary index).
+    /// This is what keeps generated triggers O(affected) instead of
+    /// O(database) — see Fig. 23.
+    IndexJoin {
+        /// Outer (driving) input — typically transition-derived, small.
+        outer: PlanRef,
+        /// Inner stored table.
+        table: String,
+        /// Probe the current or old epoch of the inner table.
+        epoch: TableEpoch,
+        /// `(inner column, outer expression)` equality pairs. Either the
+        /// full primary key or a single secondary-indexed column.
+        probe: Vec<(usize, Expr)>,
+        /// Join variant (left = outer).
+        kind: JoinKind,
+        /// Residual predicate over (outer ++ inner).
+        filter: Option<Expr>,
+    },
+    /// Cross/theta join evaluated by nested loops (used only where the
+    /// paper's CreateAKGraph requires a genuine cross product, Fig. 8
+    /// lines 36-39).
+    NestedLoopJoin {
+        /// Left input.
+        left: PlanRef,
+        /// Right input.
+        right: PlanRef,
+        /// Optional theta predicate over (left ++ right).
+        predicate: Option<Expr>,
+        /// Join variant.
+        kind: JoinKind,
+    },
+    /// γ — hash aggregation. Output columns: group expressions then
+    /// aggregates. With no group expressions, emits exactly one row.
+    HashAggregate {
+        /// Input plan.
+        input: PlanRef,
+        /// Grouping expressions.
+        group_exprs: Vec<Expr>,
+        /// Aggregate columns.
+        aggs: Vec<AggExpr>,
+    },
+    /// UNION ALL of same-arity inputs.
+    UnionAll {
+        /// Inputs.
+        inputs: Vec<PlanRef>,
+    },
+    /// Duplicate elimination over whole rows.
+    Distinct {
+        /// Input plan.
+        input: PlanRef,
+    },
+    /// Stable sort by the given keys.
+    Sort {
+        /// Input plan.
+        input: PlanRef,
+        /// Sort keys, major first.
+        keys: Vec<SortKey>,
+    },
+    /// XQGM's Unnest: evaluate `expr` per input row (an XML fragment,
+    /// element or NULL) and emit `row ++ [item]` once per contained node.
+    Unnest {
+        /// Input plan.
+        input: PlanRef,
+        /// Expression yielding the sequence to unnest.
+        expr: Expr,
+    },
+}
+
+impl PhysicalPlan {
+    /// Wrap into a shared handle.
+    pub fn into_ref(self) -> PlanRef {
+        Arc::new(self)
+    }
+
+    /// Number of output columns, resolved against `db` for table scans.
+    pub fn arity(&self, db: &Database) -> Result<usize> {
+        Ok(match self {
+            PhysicalPlan::TableScan { table, .. }
+            | PhysicalPlan::TransitionScan { table, .. } => db.table(table)?.schema().arity(),
+            PhysicalPlan::Values { arity, .. } => *arity,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Sort { input, .. } => input.arity(db)?,
+            PhysicalPlan::Project { exprs, .. } => exprs.len(),
+            PhysicalPlan::HashJoin { left, right, kind, .. } => {
+                if kind.keeps_right() {
+                    left.arity(db)? + right.arity(db)?
+                } else {
+                    left.arity(db)?
+                }
+            }
+            PhysicalPlan::IndexJoin { outer, table, kind, .. } => {
+                if kind.keeps_right() {
+                    outer.arity(db)? + db.table(table)?.schema().arity()
+                } else {
+                    outer.arity(db)?
+                }
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, kind, .. } => {
+                if kind.keeps_right() {
+                    left.arity(db)? + right.arity(db)?
+                } else {
+                    left.arity(db)?
+                }
+            }
+            PhysicalPlan::HashAggregate { group_exprs, aggs, .. } => {
+                group_exprs.len() + aggs.len()
+            }
+            PhysicalPlan::UnionAll { inputs } => {
+                let first = inputs
+                    .first()
+                    .ok_or_else(|| Error::Plan("UnionAll with no inputs".into()))?;
+                first.arity(db)?
+            }
+            PhysicalPlan::Unnest { input, .. } => input.arity(db)? + 1,
+        })
+    }
+
+    /// Multi-line EXPLAIN-style rendering (shared subplans are annotated).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::TableScan { table, epoch } => {
+                let _ = writeln!(out, "{pad}TableScan {table} [{epoch:?}]");
+            }
+            PhysicalPlan::TransitionScan { table, side, pruned } => {
+                let sym = match side {
+                    TransitionSide::Delta => "Δ",
+                    TransitionSide::Nabla => "∇",
+                };
+                let p = if *pruned { " pruned" } else { "" };
+                let _ = writeln!(out, "{pad}TransitionScan {sym}{table}{p}");
+            }
+            PhysicalPlan::Values { arity, rows } => {
+                let _ = writeln!(out, "{pad}Values arity={arity} rows={}", rows.len());
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter {predicate:?}");
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Project { input, exprs } => {
+                let _ = writeln!(out, "{pad}Project [{}]", exprs.len());
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::HashJoin { left, right, left_keys, right_keys, kind, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}HashJoin {kind:?} on {left_keys:?} = {right_keys:?}"
+                );
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::IndexJoin { outer, table, epoch, probe, kind, .. } => {
+                let cols: Vec<usize> = probe.iter().map(|(c, _)| *c).collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}IndexJoin {kind:?} -> {table}[{epoch:?}] probe cols {cols:?}"
+                );
+                outer.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, kind, .. } => {
+                let _ = writeln!(out, "{pad}NestedLoopJoin {kind:?}");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::HashAggregate { input, group_exprs, aggs } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}HashAggregate groups={} aggs={}",
+                    group_exprs.len(),
+                    aggs.len()
+                );
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::UnionAll { inputs } => {
+                let _ = writeln!(out, "{pad}UnionAll [{}]", inputs.len());
+                for i in inputs {
+                    i.explain_into(out, depth + 1);
+                }
+            }
+            PhysicalPlan::Distinct { input } => {
+                let _ = writeln!(out, "{pad}Distinct");
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let _ = writeln!(out, "{pad}Sort [{} keys]", keys.len());
+                input.explain_into(out, depth + 1);
+            }
+            PhysicalPlan::Unnest { input, expr } => {
+                let _ = writeln!(out, "{pad}Unnest {expr:?}");
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}

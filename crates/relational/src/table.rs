@@ -1,0 +1,240 @@
+//! Row storage: a primary-key hash index plus optional single-column
+//! secondary indices.
+//!
+//! The paper's experiments (§6.1) "defined primary keys for all the
+//! relational tables and built appropriate indices on the key columns and
+//! other join columns"; the flat curves of Figs. 17 and 23 depend on every
+//! base-table access in a generated trigger being an index probe, never a
+//! scan. Secondary indices here are unordered hash indices — the generated
+//! plans only ever probe them with equality keys.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crate::schema::TableSchema;
+use crate::value::{Row, Value};
+use crate::{Error, Result};
+
+/// Primary-key value tuple.
+pub type Key = Box<[Value]>;
+
+/// A stored table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Arc<TableSchema>,
+    rows: HashMap<Key, Row>,
+    /// column index -> (value -> set of pks)
+    secondary: HashMap<usize, HashMap<Value, HashSet<Key>>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema: Arc::new(schema), rows: HashMap::new(), secondary: HashMap::new() }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_ref(&self) -> Arc<TableSchema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Add a hash index on one column (no-op if already present).
+    pub fn create_index(&mut self, column: usize) {
+        if self.secondary.contains_key(&column) {
+            return;
+        }
+        let mut index: HashMap<Value, HashSet<Key>> = HashMap::new();
+        for (key, row) in &self.rows {
+            index.entry(row[column].clone()).or_default().insert(key.clone());
+        }
+        self.secondary.insert(column, index);
+    }
+
+    /// `true` if a secondary index exists on `column`.
+    pub fn has_index(&self, column: usize) -> bool {
+        self.secondary.contains_key(&column)
+    }
+
+    /// Fetch a row by primary key.
+    pub fn get(&self, key: &[Value]) -> Option<&Row> {
+        self.rows.get(key)
+    }
+
+    /// Iterate over all rows (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.values()
+    }
+
+    /// Rows whose `column` equals `value`, via the secondary index.
+    pub fn index_lookup(&self, column: usize, value: &Value) -> Result<Vec<&Row>> {
+        let index = self
+            .secondary
+            .get(&column)
+            .ok_or_else(|| Error::Plan(format!("no index on {}.{}", self.schema.name, column)))?;
+        Ok(index
+            .get(value)
+            .map(|keys| keys.iter().filter_map(|k| self.rows.get(k)).collect())
+            .unwrap_or_default())
+    }
+
+    /// Insert a row; fails on duplicate primary key.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<Row> {
+        self.schema.check_row(&values)?;
+        let key = self.schema.key_of(&values);
+        if self.rows.contains_key(&key) {
+            return Err(Error::DuplicateKey {
+                table: self.schema.name.clone(),
+                key: format!("{key:?}"),
+            });
+        }
+        let row: Row = values.into();
+        for (&col, index) in &mut self.secondary {
+            index.entry(row[col].clone()).or_default().insert(key.clone());
+        }
+        self.rows.insert(key, Arc::clone(&row));
+        Ok(row)
+    }
+
+    /// Delete by primary key, returning the removed row.
+    pub fn delete(&mut self, key: &[Value]) -> Option<Row> {
+        let row = self.rows.remove(key)?;
+        for (&col, index) in &mut self.secondary {
+            if let Some(bucket) = index.get_mut(&row[col]) {
+                bucket.remove(key);
+                if bucket.is_empty() {
+                    index.remove(&row[col]);
+                }
+            }
+        }
+        Some(row)
+    }
+
+    /// Replace the row at `key` with `values` (the new row may move to a
+    /// different primary key). Returns `(old, new)`.
+    pub fn update(&mut self, key: &[Value], values: Vec<Value>) -> Result<(Row, Row)> {
+        self.schema.check_row(&values)?;
+        let new_key = self.schema.key_of(&values);
+        if new_key.as_ref() != key && self.rows.contains_key(&new_key) {
+            return Err(Error::DuplicateKey {
+                table: self.schema.name.clone(),
+                key: format!("{new_key:?}"),
+            });
+        }
+        let old = self
+            .delete(key)
+            .ok_or_else(|| Error::Plan(format!("update of missing key {key:?}")))?;
+        let new = self.insert(values)?;
+        Ok((old, new))
+    }
+
+    /// Primary keys of all rows (used by statement planning in tests).
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.rows.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ColumnType;
+
+    fn vendor_table() -> Table {
+        let schema = TableSchema::new(
+            "vendor",
+            vec![
+                ColumnDef::new("vid", ColumnType::Str),
+                ColumnDef::new("pid", ColumnType::Str),
+                ColumnDef::new("price", ColumnType::Double),
+            ],
+            &["vid", "pid"],
+        )
+        .unwrap();
+        Table::new(schema)
+    }
+
+    fn v(vid: &str, pid: &str, price: f64) -> Vec<Value> {
+        vec![Value::str(vid), Value::str(pid), Value::Double(price)]
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = vendor_table();
+        t.insert(v("Amazon", "P1", 100.0)).unwrap();
+        let key: Key = Box::new([Value::str("Amazon"), Value::str("P1")]);
+        assert_eq!(t.get(&key).unwrap()[2], Value::Double(100.0));
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = vendor_table();
+        t.insert(v("Amazon", "P1", 100.0)).unwrap();
+        assert!(matches!(
+            t.insert(v("Amazon", "P1", 50.0)),
+            Err(Error::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn secondary_index_tracks_inserts_updates_deletes() {
+        let mut t = vendor_table();
+        t.create_index(1); // pid
+        t.insert(v("Amazon", "P1", 100.0)).unwrap();
+        t.insert(v("Bestbuy", "P1", 120.0)).unwrap();
+        t.insert(v("Buy.com", "P2", 200.0)).unwrap();
+        assert_eq!(t.index_lookup(1, &Value::str("P1")).unwrap().len(), 2);
+
+        // Update moves a row from P1 to P2.
+        let key: Key = Box::new([Value::str("Amazon"), Value::str("P1")]);
+        t.update(&key, v("Amazon", "P2", 100.0)).unwrap();
+        assert_eq!(t.index_lookup(1, &Value::str("P1")).unwrap().len(), 1);
+        assert_eq!(t.index_lookup(1, &Value::str("P2")).unwrap().len(), 2);
+
+        // Delete drops index entries.
+        let key2: Key = Box::new([Value::str("Bestbuy"), Value::str("P1")]);
+        t.delete(&key2).unwrap();
+        assert!(t.index_lookup(1, &Value::str("P1")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn index_built_over_existing_rows() {
+        let mut t = vendor_table();
+        t.insert(v("Amazon", "P1", 100.0)).unwrap();
+        t.insert(v("Bestbuy", "P1", 120.0)).unwrap();
+        t.create_index(1);
+        assert_eq!(t.index_lookup(1, &Value::str("P1")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn lookup_without_index_errors() {
+        let t = vendor_table();
+        assert!(matches!(t.index_lookup(2, &Value::Double(1.0)), Err(Error::Plan(_))));
+    }
+
+    #[test]
+    fn update_to_conflicting_key_rejected() {
+        let mut t = vendor_table();
+        t.insert(v("Amazon", "P1", 100.0)).unwrap();
+        t.insert(v("Bestbuy", "P1", 120.0)).unwrap();
+        let key: Key = Box::new([Value::str("Amazon"), Value::str("P1")]);
+        let err = t.update(&key, v("Bestbuy", "P1", 99.0));
+        assert!(matches!(err, Err(Error::DuplicateKey { .. })));
+        // Original row untouched.
+        assert!(t.get(&key).is_some());
+    }
+}

@@ -1,0 +1,212 @@
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared handle to an immutable XML node.
+///
+/// Trees are built bottom-up and never mutated afterwards, so structural
+/// sharing via `Arc` is safe and keeps `(OLD_NODE, NEW_NODE)` hand-off cheap.
+pub type XmlNodeRef = Arc<XmlNode>;
+
+/// An XML node: either an element (with attributes and children) or a text
+/// node.
+///
+/// This deliberately omits namespaces, processing instructions and comments:
+/// XML views of relational data (XPERANTO-style default views plus
+/// user-defined XQuery views) only ever produce elements, attributes and
+/// text — see §2.1 of the paper.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum XmlNode {
+    /// `<name a1="v1" ...>children</name>`
+    Element {
+        /// Tag name.
+        name: String,
+        /// Attributes in document order. Attribute values are stored
+        /// unescaped; escaping happens at serialization time.
+        attrs: Vec<(String, String)>,
+        /// Child nodes in document order.
+        children: Vec<XmlNodeRef>,
+    },
+    /// Character data (stored unescaped).
+    Text(String),
+}
+
+/// Convenience constructor for an element node.
+pub fn element(
+    name: impl Into<String>,
+    attrs: Vec<(String, String)>,
+    children: Vec<XmlNodeRef>,
+) -> XmlNodeRef {
+    Arc::new(XmlNode::Element { name: name.into(), attrs, children })
+}
+
+/// Convenience constructor for a text node.
+pub fn text(content: impl Into<String>) -> XmlNodeRef {
+    Arc::new(XmlNode::Text(content.into()))
+}
+
+impl XmlNode {
+    /// Tag name for elements, `None` for text nodes.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            XmlNode::Element { name, .. } => Some(name),
+            XmlNode::Text(_) => None,
+        }
+    }
+
+    /// `true` if this is an element node.
+    pub fn is_element(&self) -> bool {
+        matches!(self, XmlNode::Element { .. })
+    }
+
+    /// Attribute value by name (elements only).
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match self {
+            XmlNode::Element { attrs, .. } => {
+                attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+            }
+            XmlNode::Text(_) => None,
+        }
+    }
+
+    /// All child nodes (empty for text nodes).
+    pub fn children(&self) -> &[XmlNodeRef] {
+        match self {
+            XmlNode::Element { children, .. } => children,
+            XmlNode::Text(_) => &[],
+        }
+    }
+
+    /// Child *elements* with the given tag name, in document order.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlNodeRef> {
+        self.children().iter().filter(move |c| c.name() == Some(name))
+    }
+
+    /// All descendant elements (self excluded) with the given tag name, in
+    /// document order — the `descendant::` axis.
+    pub fn descendants_named<'a>(&'a self, name: &'a str) -> Vec<&'a XmlNodeRef> {
+        let mut out = Vec::new();
+        fn walk<'a>(node: &'a XmlNode, name: &str, out: &mut Vec<&'a XmlNodeRef>) {
+            for child in node.children() {
+                if child.name() == Some(name) {
+                    out.push(child);
+                }
+                walk(child, name, out);
+            }
+        }
+        walk(self, name, &mut out);
+        out
+    }
+
+    /// Concatenated text content of this node and all descendants — the
+    /// XPath `string()` value, used when comparing an element against an
+    /// atomic value.
+    pub fn text_content(&self) -> String {
+        let mut buf = String::new();
+        fn walk(node: &XmlNode, buf: &mut String) {
+            match node {
+                XmlNode::Text(t) => buf.push_str(t),
+                XmlNode::Element { children, .. } => {
+                    for c in children {
+                        walk(c, buf);
+                    }
+                }
+            }
+        }
+        walk(self, &mut buf);
+        buf
+    }
+
+    /// Number of element nodes in the subtree rooted here (self included if
+    /// it is an element). Used by size-sensitive benchmarks.
+    pub fn element_count(&self) -> usize {
+        let mut n = usize::from(self.is_element());
+        for c in self.children() {
+            n += c.element_count();
+        }
+        n
+    }
+
+    /// Serialize to a compact single-line XML string.
+    pub fn to_xml(&self) -> String {
+        let mut buf = String::new();
+        crate::serialize::write_node(self, &mut buf, None, 0);
+        buf
+    }
+
+    /// Serialize with 2-space indentation, for human consumption.
+    pub fn to_pretty_xml(&self) -> String {
+        let mut buf = String::new();
+        crate::serialize::write_node(self, &mut buf, Some(2), 0);
+        buf
+    }
+}
+
+impl fmt::Debug for XmlNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+impl fmt::Display for XmlNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> XmlNodeRef {
+        element(
+            "product",
+            vec![("name".into(), "CRT 15".into())],
+            vec![
+                element("vendor", vec![], vec![element("vid", vec![], vec![text("Amazon")])]),
+                element("vendor", vec![], vec![element("vid", vec![], vec![text("Bestbuy")])]),
+            ],
+        )
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let p = sample();
+        assert_eq!(p.attr("name"), Some("CRT 15"));
+        assert_eq!(p.attr("missing"), None);
+        assert_eq!(text("x").attr("name"), None);
+    }
+
+    #[test]
+    fn children_named_filters_by_tag() {
+        let p = sample();
+        assert_eq!(p.children_named("vendor").count(), 2);
+        assert_eq!(p.children_named("vid").count(), 0);
+    }
+
+    #[test]
+    fn descendants_cross_levels() {
+        let p = sample();
+        let vids = p.descendants_named("vid");
+        assert_eq!(vids.len(), 2);
+        assert_eq!(vids[0].text_content(), "Amazon");
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let p = sample();
+        assert_eq!(p.text_content(), "AmazonBestbuy");
+    }
+
+    #[test]
+    fn structural_equality_is_deep() {
+        assert_eq!(sample(), sample());
+        let other = element("product", vec![("name".into(), "LCD 19".into())], vec![]);
+        assert_ne!(sample(), other);
+    }
+
+    #[test]
+    fn element_count_counts_elements_only() {
+        // product + 2 vendor + 2 vid = 5; text nodes excluded.
+        assert_eq!(sample().element_count(), 5);
+    }
+}

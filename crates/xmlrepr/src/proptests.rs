@@ -1,0 +1,64 @@
+//! Property-based tests: serialization round-trips through the parser for
+//! arbitrary trees, and deep equality is consistent with serialized equality.
+
+use proptest::prelude::*;
+
+use crate::{element, parse, text, XmlNodeRef};
+
+/// Text fragments restricted to printable ASCII (the parser is byte-based;
+/// the engine only ever emits ASCII-safe relational data through it).
+fn arb_text() -> impl Strategy<Value = String> {
+    // Exclude pure-whitespace strings: the parser folds whitespace-only runs
+    // between elements, which is the one intentional non-identity.
+    "[ -~]{1,12}".prop_filter("not all whitespace", |s| !s.chars().all(char::is_whitespace))
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}"
+}
+
+fn arb_node() -> impl Strategy<Value = XmlNodeRef> {
+    let leaf = prop_oneof![
+        arb_text().prop_map(text),
+        (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3))
+            .prop_map(|(n, attrs)| element(n, attrs, vec![])),
+    ];
+    let tree = leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(n, attrs, children)| {
+                // Adjacent text children merge on parse; wrap every text
+                // child in an element to keep the tree canonical.
+                let children = children
+                    .into_iter()
+                    .map(|c| if c.is_element() { c } else { element("t", vec![], vec![c]) })
+                    .collect();
+                element(n, attrs, children)
+            })
+    });
+    // Documents must be rooted at an element; wrap bare text leaves.
+    tree.prop_map(|c| if c.is_element() { c } else { element("root", vec![], vec![c]) })
+}
+
+proptest! {
+    #[test]
+    fn compact_serialization_round_trips(node in arb_node()) {
+        let reparsed = parse(&node.to_xml()).unwrap();
+        prop_assert_eq!(reparsed, node);
+    }
+
+    #[test]
+    fn pretty_serialization_round_trips(node in arb_node()) {
+        let reparsed = parse(&node.to_pretty_xml()).unwrap();
+        prop_assert_eq!(reparsed, node);
+    }
+
+    #[test]
+    fn equal_nodes_serialize_equally(node in arb_node()) {
+        let copy = parse(&node.to_xml()).unwrap();
+        prop_assert_eq!(copy.to_xml(), node.to_xml());
+    }
+}

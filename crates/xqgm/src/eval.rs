@@ -1,0 +1,27 @@
+//! Convenience evaluation of XQGM graphs.
+
+use quark_relational::exec::{execute, ExecContext};
+use quark_relational::{Database, Result, Row, TransitionTables};
+
+use crate::compile::compile;
+use crate::graph::{Graph, OpId};
+
+/// Materialize the result of the subgraph rooted at `root` against the
+/// current database state.
+pub fn evaluate(graph: &Graph, root: OpId, db: &Database) -> Result<Vec<Row>> {
+    evaluate_with(graph, root, db, None)
+}
+
+/// Materialize with optional transition tables in scope (needed when the
+/// graph reads Δ/∇ sources or old-epoch tables).
+pub fn evaluate_with(
+    graph: &Graph,
+    root: OpId,
+    db: &Database,
+    trans: Option<&TransitionTables>,
+) -> Result<Vec<Row>> {
+    let plan = compile(graph, root, db)?;
+    let ctx = ExecContext::new(db, trans);
+    let rows = execute(&plan, &ctx)?;
+    Ok(rows.iter().cloned().collect())
+}

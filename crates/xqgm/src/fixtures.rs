@@ -1,0 +1,201 @@
+//! Shared fixtures: the paper's running example (Figures 2–5).
+//!
+//! Used by unit tests across the workspace, the integration suite, and the
+//! `trigger_explain` example; kept in the library so every layer exercises
+//! exactly the same graph the paper walks through.
+
+use quark_relational::expr::{AggExpr, AggFunc, BinOp, Expr, ScalarFunc};
+use quark_relational::plan::JoinKind;
+use quark_relational::{ColumnDef, ColumnType, Database, TableSchema, Value};
+
+use crate::graph::{Graph, OpId};
+
+/// The relational database of Figure 2: `product(PID, pname, mfr)` and
+/// `vendor(VID, PID, price)`, with a secondary index on `vendor.pid` and on
+/// `product.pname` ("appropriate indices on the key columns and other join
+/// columns", §6.1).
+pub fn product_vendor_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "product",
+            vec![
+                ColumnDef::new("pid", ColumnType::Str),
+                ColumnDef::new("pname", ColumnType::Str),
+                ColumnDef::new("mfr", ColumnType::Str),
+            ],
+            &["pid"],
+        )
+        .expect("static schema"),
+    )
+    .expect("fresh database");
+    db.create_table(
+        TableSchema::new(
+            "vendor",
+            vec![
+                ColumnDef::new("vid", ColumnType::Str),
+                ColumnDef::new("pid", ColumnType::Str),
+                ColumnDef::new("price", ColumnType::Double),
+            ],
+            &["vid", "pid"],
+        )
+        .expect("static schema"),
+    )
+    .expect("fresh database");
+    db.create_index("vendor", "pid").expect("index");
+    db.create_index("product", "pname").expect("index");
+    db.load(
+        "product",
+        vec![
+            vec![Value::str("P1"), Value::str("CRT 15"), Value::str("Samsung")],
+            vec![Value::str("P2"), Value::str("LCD 19"), Value::str("Samsung")],
+            vec![Value::str("P3"), Value::str("CRT 15"), Value::str("Viewsonic")],
+        ],
+    )
+    .expect("load products");
+    db.load(
+        "vendor",
+        vec![
+            vec![Value::str("Amazon"), Value::str("P1"), Value::Double(100.0)],
+            vec![Value::str("Bestbuy"), Value::str("P1"), Value::Double(120.0)],
+            vec![Value::str("Circuitcity"), Value::str("P1"), Value::Double(150.0)],
+            vec![Value::str("Buy.com"), Value::str("P2"), Value::Double(200.0)],
+            vec![Value::str("Bestbuy"), Value::str("P2"), Value::Double(180.0)],
+            vec![Value::str("Bestbuy"), Value::str("P3"), Value::Double(120.0)],
+            vec![Value::str("Circuitcity"), Value::str("P3"), Value::Double(140.0)],
+        ],
+    )
+    .expect("load vendors");
+    db
+}
+
+/// Column layout of [`catalog_path_graph`]'s output.
+pub mod catalog_cols {
+    /// `$pname` — the canonical key of the product level.
+    pub const PNAME: usize = 0;
+    /// The constructed `<product name=…>` element.
+    pub const PRODUCT: usize = 1;
+}
+
+/// The XQGM graph of the paper's Figure 5 up to box 7 — i.e. the *Path*
+/// graph `view('catalog')/product` of Figure 5A, producing one row per
+/// product with ≥ 2 vendors: `($pname, <product name=$pname>…</product>)`.
+///
+/// Returns `(graph, root, groupby_box5)`; the group-by id is exposed for
+/// tests that inspect intermediate operators.
+pub fn catalog_path_graph(g: &mut Graph) -> (OpId, OpId) {
+    // Box 1/2: table operators.
+    let product = g.table("product"); // pid, pname, mfr
+    let vendor = g.table("vendor"); // vid, pid, price
+
+    // Box 3: join on pid. Columns: [pid, pname, mfr, vid, pid, price].
+    let join = g.equi_join(JoinKind::Inner, product, vendor, &[(0, 1)], 3);
+
+    // Box 4: construct <vendor><pid/><vid/><price/></vendor> per row, and
+    // carry $pname through. Columns: [pname, vendor_el].
+    let vendor_el = Expr::Func(
+        ScalarFunc::XmlElement { name: "vendor".into(), attrs: vec![] },
+        vec![
+            Expr::Func(ScalarFunc::XmlWrap("pid".into()), vec![Expr::col(4)]),
+            Expr::Func(ScalarFunc::XmlWrap("vid".into()), vec![Expr::col(3)]),
+            Expr::Func(ScalarFunc::XmlWrap("price".into()), vec![Expr::col(5)]),
+        ],
+    );
+    let constructed = g.project(
+        join,
+        vec![Expr::col(1), vendor_el],
+        vec!["pname".into(), "vendor".into()],
+    );
+
+    // Box 5: group by pname; aggXMLFrag(vendor), count(*).
+    // Columns: [pname, vendors_frag, cnt].
+    let grouped = g.group_by(
+        constructed,
+        vec![0],
+        vec![
+            (AggExpr::over(AggFunc::XmlAgg, Expr::col(1)), "vendors".into()),
+            (AggExpr::count_star(), "cnt".into()),
+        ],
+    );
+
+    // Box 6: count >= 2.
+    let filtered = g.select(
+        grouped,
+        Expr::bin(BinOp::Ge, Expr::col(2), Expr::lit(2i64)),
+    );
+
+    // Box 7: construct <product name=$pname>{vendors}</product>.
+    let product_el = Expr::Func(
+        ScalarFunc::XmlElement { name: "product".into(), attrs: vec!["name".into()] },
+        vec![Expr::col(0), Expr::col(1)],
+    );
+    let top = g.project(
+        filtered,
+        vec![Expr::col(0), product_el],
+        vec!["pname".into(), "product".into()],
+    );
+    (top, grouped)
+}
+
+/// The full catalog view of Figure 5 (boxes 1–9): a single
+/// `<catalog>` element wrapping all qualifying products.
+pub fn catalog_view_graph(g: &mut Graph) -> OpId {
+    let (path_top, _) = catalog_path_graph(g);
+    // Box 8: aggregate all products into one sequence.
+    let all = g.group_by(
+        path_top,
+        vec![],
+        vec![(
+            AggExpr::over(AggFunc::XmlAgg, Expr::col(catalog_cols::PRODUCT)),
+            "products".into(),
+        )],
+    );
+    // Box 9: <catalog>{products}</catalog>.
+    g.project(
+        all,
+        vec![Expr::Func(
+            ScalarFunc::XmlElement { name: "catalog".into(), attrs: vec![] },
+            vec![Expr::col(0)],
+        )],
+        vec!["catalog".into()],
+    )
+}
+
+/// The minimum-price variant of the view from Appendix E.1 (Figure 21):
+/// products expose only `<min>` of their vendor prices. Used to test
+/// spurious-update suppression. Returns the path-graph root
+/// `($pname, <product name=$pname><min>…</min></product>)`.
+pub fn minprice_path_graph(g: &mut Graph) -> OpId {
+    let product = g.table("product");
+    let vendor = g.table("vendor");
+    let join = g.equi_join(JoinKind::Inner, product, vendor, &[(0, 1)], 3);
+    let slim = g.project(
+        join,
+        vec![Expr::col(1), Expr::col(5)],
+        vec!["pname".into(), "price".into()],
+    );
+    let grouped = g.group_by(
+        slim,
+        vec![0],
+        vec![
+            (AggExpr::over(AggFunc::Min, Expr::col(1)), "minprice".into()),
+            (AggExpr::count_star(), "cnt".into()),
+        ],
+    );
+    let filtered = g.select(
+        grouped,
+        Expr::bin(BinOp::Ge, Expr::col(2), Expr::lit(2i64)),
+    );
+    let product_el = Expr::Func(
+        ScalarFunc::XmlElement { name: "product".into(), attrs: vec!["name".into()] },
+        vec![
+            Expr::col(0),
+            Expr::Func(ScalarFunc::XmlWrap("min".into()), vec![Expr::col(1)]),
+        ],
+    );
+    g.project(
+        filtered,
+        vec![Expr::col(0), product_el],
+        vec!["pname".into(), "product".into()],
+    )
+}

@@ -1,0 +1,420 @@
+//! The XML Query Graph Model (XQGM).
+//!
+//! XQGM is XPERANTO/Quark's internal representation for XQuery queries and
+//! views (§2.1, Table 1 of the paper): a graph of relational-style operators
+//! whose column values are XML nodes/values, with XML-manipulating functions
+//! (element constructors, `aggXMLFrag`) embedded in the operators.
+//!
+//! A [`Graph`] is an append-only arena of [`Operator`]s; subgraphs are
+//! shared by id, which is how `CreateAKGraph` reuses the original view
+//! operators (e.g. joining box 4 with its Δ-side counterpart in Fig. 10).
+
+use std::fmt::Write as _;
+
+use quark_relational::expr::{AggExpr, Expr};
+use quark_relational::plan::TableEpoch;
+use quark_relational::{Database, Result};
+
+/// Operator id within a [`Graph`] arena.
+pub type OpId = usize;
+
+/// Join variants (mirrors the physical kinds; XQGM graphs produced by
+/// `CreateANGraph` need anti joins for INSERT/DELETE events).
+pub type JoinKind = quark_relational::plan::JoinKind;
+
+/// Where a `Table` operator reads its rows from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableSource {
+    /// The stored table, current or reconstructed-old epoch.
+    Base(TableEpoch),
+    /// Δtable of the firing statement (`4T`), optionally pruned (App. F).
+    Delta {
+        /// Apply Appendix-F pruning.
+        pruned: bool,
+    },
+    /// ∇table of the firing statement (`5T`), optionally pruned.
+    Nabla {
+        /// Apply Appendix-F pruning.
+        pruned: bool,
+    },
+}
+
+/// Operator kinds — exactly Table 1 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// Represents a relational table.
+    Table {
+        /// Table name.
+        table: String,
+        /// Data source (base / transition).
+        source: TableSource,
+    },
+    /// Restricts its input.
+    Select {
+        /// Predicate over the input row.
+        predicate: Expr,
+    },
+    /// Computes results based on its input.
+    Project {
+        /// Output column expressions over the input row.
+        exprs: Vec<Expr>,
+        /// Output column names (same length as `exprs`).
+        names: Vec<String>,
+    },
+    /// Joins two inputs. The predicate is over the concatenated row
+    /// (left columns first).
+    Join {
+        /// Join variant.
+        kind: JoinKind,
+        /// Optional join predicate.
+        predicate: Option<Expr>,
+    },
+    /// Applies aggregate functions and grouping.
+    GroupBy {
+        /// Input columns to group on.
+        group_cols: Vec<usize>,
+        /// Aggregates (paired with output names).
+        aggs: Vec<AggExpr>,
+        /// Names for the aggregate output columns.
+        agg_names: Vec<String>,
+    },
+    /// Unions inputs and removes duplicates (Table 1).
+    Union,
+    /// Applies super-scalar functions to input: emits one row per item of
+    /// the XML sequence `expr` evaluates to, appending the item as a new
+    /// last column.
+    Unnest {
+        /// Sequence-valued expression over the input row.
+        expr: Expr,
+        /// Name of the appended column.
+        name: String,
+    },
+}
+
+/// One operator node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operator {
+    /// What the operator does.
+    pub kind: OpKind,
+    /// Input operator ids (0, 1, or 2+ depending on kind).
+    pub inputs: Vec<OpId>,
+}
+
+/// An XQGM graph: an arena of operators. Any operator id can serve as a
+/// root; trigger translation evaluates several roots over shared subgraphs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    ops: Vec<Operator>,
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of operators in the arena.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when no operators exist.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Access an operator.
+    pub fn op(&self, id: OpId) -> &Operator {
+        &self.ops[id]
+    }
+
+    /// Iterate over `(id, op)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, &Operator)> {
+        self.ops.iter().enumerate()
+    }
+
+    fn push(&mut self, op: Operator) -> OpId {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Add a `Table` operator reading the current base state.
+    pub fn table(&mut self, table: impl Into<String>) -> OpId {
+        self.table_from(table, TableSource::Base(TableEpoch::Current))
+    }
+
+    /// Add a `Table` operator with an explicit source.
+    pub fn table_from(&mut self, table: impl Into<String>, source: TableSource) -> OpId {
+        self.push(Operator {
+            kind: OpKind::Table { table: table.into(), source },
+            inputs: vec![],
+        })
+    }
+
+    /// Add a `Select`.
+    pub fn select(&mut self, input: OpId, predicate: Expr) -> OpId {
+        self.push(Operator { kind: OpKind::Select { predicate }, inputs: vec![input] })
+    }
+
+    /// Add a `Project`.
+    pub fn project(&mut self, input: OpId, exprs: Vec<Expr>, names: Vec<String>) -> OpId {
+        debug_assert_eq!(exprs.len(), names.len());
+        self.push(Operator { kind: OpKind::Project { exprs, names }, inputs: vec![input] })
+    }
+
+    /// Add a `Join` with an arbitrary predicate.
+    pub fn join(
+        &mut self,
+        kind: JoinKind,
+        left: OpId,
+        right: OpId,
+        predicate: Option<Expr>,
+    ) -> OpId {
+        self.push(Operator { kind: OpKind::Join { kind, predicate }, inputs: vec![left, right] })
+    }
+
+    /// Add an equi-`Join` on `(left column, right column)` pairs; right
+    /// columns are given in the right input's own coordinates.
+    pub fn equi_join(
+        &mut self,
+        kind: JoinKind,
+        left: OpId,
+        right: OpId,
+        pairs: &[(usize, usize)],
+        left_arity: usize,
+    ) -> OpId {
+        let preds = pairs
+            .iter()
+            .map(|(l, r)| Expr::eq(Expr::col(*l), Expr::col(left_arity + r)))
+            .collect();
+        self.join(kind, left, right, Some(Expr::and_all(preds)))
+    }
+
+    /// Add a `GroupBy`.
+    pub fn group_by(
+        &mut self,
+        input: OpId,
+        group_cols: Vec<usize>,
+        aggs: Vec<(AggExpr, String)>,
+    ) -> OpId {
+        let (aggs, agg_names): (Vec<_>, Vec<_>) = aggs.into_iter().unzip();
+        self.push(Operator {
+            kind: OpKind::GroupBy { group_cols, aggs, agg_names },
+            inputs: vec![input],
+        })
+    }
+
+    /// Add a duplicate-removing `Union`.
+    pub fn union(&mut self, inputs: Vec<OpId>) -> OpId {
+        self.push(Operator { kind: OpKind::Union, inputs })
+    }
+
+    /// Add an `Unnest`.
+    pub fn unnest(&mut self, input: OpId, expr: Expr, name: impl Into<String>) -> OpId {
+        self.push(Operator {
+            kind: OpKind::Unnest { expr, name: name.into() },
+            inputs: vec![input],
+        })
+    }
+
+    /// Number of output columns of `op`, resolving table schemas in `db`.
+    pub fn arity(&self, id: OpId, db: &Database) -> Result<usize> {
+        let op = self.op(id);
+        Ok(match &op.kind {
+            OpKind::Table { table, .. } => db.table(table)?.schema().arity(),
+            OpKind::Select { .. } => self.arity(op.inputs[0], db)?,
+            OpKind::Project { exprs, .. } => exprs.len(),
+            OpKind::Join { kind, .. } => {
+                if kind.keeps_right() {
+                    self.arity(op.inputs[0], db)? + self.arity(op.inputs[1], db)?
+                } else {
+                    self.arity(op.inputs[0], db)?
+                }
+            }
+            OpKind::GroupBy { group_cols, aggs, .. } => group_cols.len() + aggs.len(),
+            OpKind::Union => self.arity(op.inputs[0], db)?,
+            OpKind::Unnest { .. } => self.arity(op.inputs[0], db)? + 1,
+        })
+    }
+
+    /// Output column names of `op` (synthesized where unnamed).
+    pub fn column_names(&self, id: OpId, db: &Database) -> Result<Vec<String>> {
+        let op = self.op(id);
+        Ok(match &op.kind {
+            OpKind::Table { table, .. } => db
+                .table(table)?
+                .schema()
+                .columns
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+            OpKind::Select { .. } => self.column_names(op.inputs[0], db)?,
+            OpKind::Project { names, .. } => names.clone(),
+            OpKind::Join { kind, .. } => {
+                let mut names = self.column_names(op.inputs[0], db)?;
+                if kind.keeps_right() {
+                    names.extend(self.column_names(op.inputs[1], db)?);
+                }
+                names
+            }
+            OpKind::GroupBy { group_cols, agg_names, .. } => {
+                let input = self.column_names(op.inputs[0], db)?;
+                group_cols
+                    .iter()
+                    .map(|&c| input[c].clone())
+                    .chain(agg_names.iter().cloned())
+                    .collect()
+            }
+            OpKind::Union => self.column_names(op.inputs[0], db)?,
+            OpKind::Unnest { name, .. } => {
+                let mut names = self.column_names(op.inputs[0], db)?;
+                names.push(name.clone());
+                names
+            }
+        })
+    }
+
+    /// If output column `col` of `op` is a pass-through of an input column,
+    /// return `(input position, input column)`.
+    pub fn passthrough(&self, id: OpId, col: usize, db: &Database) -> Result<Option<(usize, usize)>> {
+        let op = self.op(id);
+        Ok(match &op.kind {
+            OpKind::Table { .. } => None,
+            OpKind::Select { .. } => Some((0, col)),
+            OpKind::Project { exprs, .. } => match exprs.get(col) {
+                Some(Expr::Col(i)) => Some((0, *i)),
+                _ => None,
+            },
+            OpKind::Join { .. } => {
+                let left_arity = self.arity(op.inputs[0], db)?;
+                if col < left_arity {
+                    Some((0, col))
+                } else {
+                    Some((1, col - left_arity))
+                }
+            }
+            OpKind::GroupBy { group_cols, .. } => {
+                group_cols.get(col).map(|&c| (0, c))
+            }
+            OpKind::Union => None, // positionally shared across inputs
+            OpKind::Unnest { .. } => {
+                let input_arity = self.arity(op.inputs[0], db)?;
+                if col < input_arity {
+                    Some((0, col))
+                } else {
+                    None
+                }
+            }
+        })
+    }
+
+    /// Human-readable rendering of the subgraph under `root` (box-numbered
+    /// like the paper's figures).
+    pub fn explain(&self, root: OpId, db: &Database) -> String {
+        let mut out = String::new();
+        let mut visited = vec![false; self.ops.len()];
+        self.explain_rec(root, db, &mut out, &mut visited, 0);
+        out
+    }
+
+    fn explain_rec(
+        &self,
+        id: OpId,
+        db: &Database,
+        out: &mut String,
+        visited: &mut [bool],
+        depth: usize,
+    ) {
+        let pad = "  ".repeat(depth);
+        if visited[id] {
+            let _ = writeln!(out, "{pad}[box {id}] (shared, see above)");
+            return;
+        }
+        visited[id] = true;
+        let op = self.op(id);
+        let desc = match &op.kind {
+            OpKind::Table { table, source } => format!("Table {table} {source:?}"),
+            OpKind::Select { predicate } => format!("Select {predicate:?}"),
+            OpKind::Project { names, .. } => format!("Project {names:?}"),
+            OpKind::Join { kind, predicate } => format!("Join {kind:?} {predicate:?}"),
+            OpKind::GroupBy { group_cols, agg_names, .. } => {
+                let names = self
+                    .column_names(op.inputs[0], db)
+                    .map(|n| {
+                        group_cols
+                            .iter()
+                            .map(|&c| n.get(c).cloned().unwrap_or_else(|| format!("#{c}")))
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default();
+                format!("GroupBy {names:?} aggs {agg_names:?}")
+            }
+            OpKind::Union => "Union".to_string(),
+            OpKind::Unnest { name, .. } => format!("Unnest -> {name}"),
+        };
+        let _ = writeln!(out, "{pad}[box {id}] {desc}");
+        for &i in &op.inputs {
+            self.explain_rec(i, db, out, visited, depth + 1);
+        }
+    }
+
+    /// Table names referenced under `root` with a [`TableSource::Base`]
+    /// source (the view's base relations).
+    pub fn base_tables(&self, root: OpId) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        let mut seen = vec![false; self.ops.len()];
+        while let Some(id) = stack.pop() {
+            if seen[id] {
+                continue;
+            }
+            seen[id] = true;
+            let op = self.op(id);
+            if let OpKind::Table { table, source: TableSource::Base(_) } = &op.kind {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+            stack.extend(&op.inputs);
+        }
+        out.sort();
+        out
+    }
+
+    /// Rebuild the subgraph under `root` with every [`TableSource::Base`]
+    /// table access for `table` switched to the `Old` epoch — the paper's
+    /// `G_old`, "identical to G with the sole exception that B is replaced
+    /// by B_old" (§4.2).
+    pub fn old_version(&mut self, root: OpId, table: &str) -> OpId {
+        let mut memo: std::collections::HashMap<OpId, OpId> = std::collections::HashMap::new();
+        self.old_version_rec(root, table, &mut memo)
+    }
+
+    fn old_version_rec(
+        &mut self,
+        id: OpId,
+        table: &str,
+        memo: &mut std::collections::HashMap<OpId, OpId>,
+    ) -> OpId {
+        if let Some(&m) = memo.get(&id) {
+            return m;
+        }
+        let op = self.op(id).clone();
+        let new_id = match &op.kind {
+            OpKind::Table { table: t, source: TableSource::Base(_) } if t == table => {
+                self.table_from(t.clone(), TableSource::Base(TableEpoch::Old))
+            }
+            _ => {
+                let new_inputs: Vec<OpId> =
+                    op.inputs.iter().map(|&i| self.old_version_rec(i, table, memo)).collect();
+                if new_inputs == op.inputs {
+                    id // untouched subtree: share it
+                } else {
+                    self.push(Operator { kind: op.kind, inputs: new_inputs })
+                }
+            }
+        };
+        memo.insert(id, new_id);
+        new_id
+    }
+}

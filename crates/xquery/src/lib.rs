@@ -1,0 +1,168 @@
+//! `quark-xquery`: the XQuery frontend of the `quark-xtrig` reproduction
+//! of *"Triggers over XML Views of Relational Data"* (ICDE 2005).
+//!
+//! Provides, per §2.1–2.2 and Appendix D of the paper:
+//!
+//! * a parser for the supported XQuery subset — FLWOR expressions, element
+//!   constructors, child/descendant/attribute/self axes with predicates,
+//!   comparison/logical operators, `count`/`exists`/`distinct`, quantified
+//!   expressions — plus the `CREATE TRIGGER` language ([`parser`]);
+//! * lowering into hierarchy *view trees* and trigger specifications
+//!   ([`lower`]);
+//! * view trees themselves and their XQGM generation ([`viewtree`]) —
+//!   also the programmatic API used by the benchmark workload generator.
+//!
+//! The one-stop helpers [`register_view`] and [`create_trigger`] parse,
+//! lower, build and register against a [`Quark`] system:
+//!
+//! ```
+//! use quark_core::{Mode, Quark};
+//! let db = quark_xqgm::fixtures::product_vendor_db();
+//! let mut quark = Quark::new(db, Mode::Grouped);
+//! quark_xquery::register_view(&mut quark, r#"
+//!     create view catalog as {
+//!       <catalog>{
+//!         for $prodname in distinct(view("default")/product/row/pname)
+//!         let $products := view("default")/product/row[./pname = $prodname]
+//!         let $vendors := view("default")/vendor/row[./pid = $products/pid]
+//!         where count($vendors) >= 2
+//!         return <product name={$prodname}>
+//!           { for $vendor in $vendors return <vendor>{$vendor/*}</vendor> }
+//!         </product>
+//!       }</catalog>
+//!     }"#).unwrap();
+//! quark.register_action("notifySmith", |_, _| Ok(()));
+//! quark_xquery::create_trigger(&mut quark, r#"
+//!     CREATE TRIGGER Notify AFTER Update
+//!     ON view('catalog')/product
+//!     WHERE OLD_NODE/@name = 'CRT 15'
+//!     DO notifySmith(NEW_NODE)"#).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lower;
+pub mod parser;
+pub mod viewtree;
+
+use quark_core::Quark;
+use quark_relational::{Error, Result};
+
+pub use lower::{lower_condition, lower_trigger, lower_view};
+pub use parser::{parse_expr, parse_trigger, parse_view, ParseError};
+pub use viewtree::{LevelSpec, TopBinding, ViewSpec};
+
+/// Parse, lower, build and register an XQuery view definition.
+pub fn register_view(quark: &mut Quark, text: &str) -> Result<ViewSpec> {
+    let def = parser::parse_view(text).map_err(|e| Error::Plan(e.to_string()))?;
+    let spec = lower::lower_view(&def)?;
+    let view = spec.build(&quark.db)?;
+    quark.register_view(view);
+    Ok(spec)
+}
+
+/// Parse, lower and create an XML trigger from `CREATE TRIGGER` syntax.
+pub fn create_trigger(quark: &mut Quark, text: &str) -> Result<()> {
+    let def = parser::parse_trigger(text).map_err(|e| Error::Plan(e.to_string()))?;
+    let spec = lower::lower_trigger(&def)?;
+    quark.create_trigger(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quark_core::Mode;
+
+    const CATALOG: &str = r#"
+        create view catalog as {
+          <catalog>{
+            for $prodname in distinct(view("default")/product/row/pname)
+            let $products := view("default")/product/row[./pname = $prodname]
+            let $vendors := view("default")/vendor/row[./pid = $products/pid]
+            where count($vendors) >= 2
+            return <product name={$prodname}>
+              { for $vendor in $vendors return <vendor>{$vendor/*}</vendor> }
+            </product>
+          }</catalog>
+        }"#;
+
+    #[test]
+    fn figure_3_round_trip_fires_trigger() {
+        use quark_relational::Value;
+        use std::sync::{Arc, Mutex};
+
+        let db = quark_xqgm::fixtures::product_vendor_db();
+        let mut quark = Quark::new(db, Mode::Grouped);
+        let spec = register_view(&mut quark, CATALOG).unwrap();
+        assert_eq!(spec.depth(), 2);
+        assert!(matches!(spec.binding, TopBinding::GroupBy { ref column } if column == "pname"));
+
+        let fired = Arc::new(Mutex::new(Vec::<String>::new()));
+        let f2 = Arc::clone(&fired);
+        quark.register_action("notifySmith", move |_, call| {
+            f2.lock().unwrap().push(call.params[0].to_string());
+            Ok(())
+        });
+        create_trigger(
+            &mut quark,
+            r#"CREATE TRIGGER Notify AFTER Update
+               ON view('catalog')/product
+               WHERE OLD_NODE/@name = 'CRT 15'
+               DO notifySmith(NEW_NODE)"#,
+        )
+        .unwrap();
+
+        quark
+            .db
+            .update_by_key(
+                "vendor",
+                &[Value::str("Amazon"), Value::str("P1")],
+                &[(2, Value::Double(75.0))],
+            )
+            .unwrap();
+        let log = fired.lock().unwrap();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].contains("75"), "{log:?}");
+        assert!(log[0].contains("name=\"CRT 15\""), "{log:?}");
+    }
+
+    #[test]
+    fn chain_view_parses_and_builds() {
+        let text = r#"
+            create view report as {
+              <report>{
+                for $r in view("default")/region/row
+                let $shops := view("default")/shop/row[./rid = $r/rid]
+                where count($shops) >= 2
+                return <region name={$r/name}>
+                  { for $s in $shops return <shop><name>{$s/name}</name><sales>{$s/sales}</sales></shop> }
+                </region>
+              }</report>
+            }"#;
+        let def = parse_view(text).unwrap();
+        let spec = lower_view(&def).unwrap();
+        assert_eq!(spec.depth(), 2);
+        assert!(matches!(spec.binding, TopBinding::Rows));
+        assert_eq!(spec.top.child_count, Some((quark_relational::expr::BinOp::Ge, 2)));
+        let child = spec.top.child.as_ref().unwrap();
+        assert_eq!(child.table, "shop");
+        assert_eq!(child.parent_fk.as_deref(), Some("rid"));
+        assert_eq!(child.scalars.len(), 2);
+    }
+
+    #[test]
+    fn unsupported_shapes_error_cleanly() {
+        let text = r#"create view v as { <v>{ for $x in view("default")/t/row
+            return <e>{ OLD_NODE/@x }</e> }</v> }"#;
+        let def = parse_view(text).unwrap();
+        assert!(lower_view(&def).is_err());
+    }
+
+    #[test]
+    fn condition_lowering_supports_quantifiers() {
+        let ast = parse_expr("some $v in NEW_NODE/vendor satisfies ./price < 100").unwrap();
+        let cond = lower_condition(&ast).unwrap();
+        // exists(NEW_NODE/vendor[price < 100])
+        assert!(matches!(cond, quark_core::Condition::Exists(_)));
+    }
+}

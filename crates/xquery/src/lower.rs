@@ -1,0 +1,554 @@
+//! Lowering: parsed XQuery ASTs → view trees, trigger specs and condition
+//! IR.
+//!
+//! View definitions are recognized against the XML-publishing hierarchy
+//! shapes the paper's system supports in practice (§2.1, §6.1): nested
+//! FLWORs over `view("default")/table/row`, parent/child links via
+//! equality predicates, `count(…)` predicates in WHERE clauses, and
+//! element constructors. A definition outside the recognized family is
+//! rejected with a descriptive error — arbitrary XQuery is out of scope
+//! for view *triggers* here just as Appendix D restricts it in the paper.
+
+use quark_core::{Action, ActionParam, Condition, CondValue, NodePath, NodeRef, Step, TriggerSpec};
+use quark_relational::expr::BinOp;
+use quark_relational::{Error, Result, Value};
+
+use crate::parser::{AstExpr, AstStep, Axis, Content, Flwor, PathBase, TriggerDef, ViewDef};
+use crate::viewtree::{LevelSpec, TopBinding, ViewSpec};
+
+/// Lower a parsed view definition into a [`ViewSpec`].
+pub fn lower_view(def: &ViewDef) -> Result<ViewSpec> {
+    let AstExpr::Element(root) = &def.body else {
+        return Err(unsupported("view body must be an element constructor"));
+    };
+    if !root.attrs.is_empty() {
+        return Err(unsupported("root element attributes"));
+    }
+    let [Content::Expr(AstExpr::Flwor(flwor))] = root.children.as_slice() else {
+        return Err(unsupported(
+            "root element must contain exactly one enclosed FLWOR expression",
+        ));
+    };
+    let (binding, top) = lower_top_flwor(flwor)?;
+    Ok(ViewSpec {
+        name: def.name.clone(),
+        root_element: root.name.clone(),
+        binding,
+        top,
+    })
+}
+
+/// Lower a parsed trigger definition against the known view anchors.
+pub fn lower_trigger(def: &TriggerDef) -> Result<TriggerSpec> {
+    let anchor = def.path.last().expect("parser guarantees non-empty path").clone();
+    let condition = match &def.condition {
+        None => Condition::True,
+        Some(ast) => lower_condition(ast)?,
+    };
+    let mut params = Vec::with_capacity(def.args.len());
+    for a in &def.args {
+        params.push(match a {
+            AstExpr::Path { base: PathBase::OldNode, steps } if steps.is_empty() => {
+                ActionParam::OldNode
+            }
+            AstExpr::Path { base: PathBase::NewNode, steps } if steps.is_empty() => {
+                ActionParam::NewNode
+            }
+            AstExpr::Lit(v) => ActionParam::Const(v.clone()),
+            other => {
+                return Err(unsupported(format!(
+                    "action parameters must be OLD_NODE, NEW_NODE or literals, got {other:?}"
+                )))
+            }
+        });
+    }
+    Ok(TriggerSpec {
+        name: def.name.clone(),
+        event: def.event,
+        view: def.view.clone(),
+        anchor,
+        condition,
+        action: Action { function: def.function.clone(), params },
+    })
+}
+
+/// Lower a WHERE-clause AST into the condition IR.
+pub fn lower_condition(ast: &AstExpr) -> Result<Condition> {
+    Ok(match ast {
+        AstExpr::And(a, b) => {
+            Condition::And(Box::new(lower_condition(a)?), Box::new(lower_condition(b)?))
+        }
+        AstExpr::Or(a, b) => {
+            Condition::Or(Box::new(lower_condition(a)?), Box::new(lower_condition(b)?))
+        }
+        AstExpr::Not(a) => Condition::Not(Box::new(lower_condition(a)?)),
+        AstExpr::Exists(p) => Condition::Exists(lower_node_path(p)?),
+        AstExpr::Cmp { op, left, right } => Condition::Cmp {
+            left: lower_cond_value(left)?,
+            op: *op,
+            right: lower_cond_value(right)?,
+        },
+        AstExpr::Quantified { every, var: _, source, satisfies } => {
+            // `some $v in P satisfies C` ≡ exists(P[C with $v → .]);
+            // `every` via double negation.
+            let mut path = lower_node_path(source)?;
+            let inner = lower_condition(satisfies)?;
+            let inner = if *every { Condition::Not(Box::new(inner)) } else { inner };
+            match path.steps.last_mut() {
+                Some(Step::Child(_, pred)) | Some(Step::Descendant(_, pred)) => {
+                    let combined = match pred.take() {
+                        None => inner,
+                        Some(existing) => Condition::And(existing, Box::new(inner)),
+                    };
+                    *pred = Some(Box::new(combined));
+                }
+                _ => {
+                    return Err(unsupported(
+                        "quantified source must end in a child/descendant step",
+                    ))
+                }
+            }
+            let exists = Condition::Exists(path);
+            if *every {
+                Condition::Not(Box::new(exists))
+            } else {
+                exists
+            }
+        }
+        other => return Err(unsupported(format!("condition expression {other:?}"))),
+    })
+}
+
+fn lower_cond_value(ast: &AstExpr) -> Result<CondValue> {
+    Ok(match ast {
+        AstExpr::Lit(v) => CondValue::Const(v.clone()),
+        AstExpr::Count(inner) => CondValue::Count(lower_node_path(inner)?),
+        AstExpr::Path { .. } => CondValue::Path(lower_node_path(ast)?),
+        other => return Err(unsupported(format!("comparison operand {other:?}"))),
+    })
+}
+
+fn lower_node_path(ast: &AstExpr) -> Result<NodePath> {
+    let AstExpr::Path { base, steps } = ast else {
+        return Err(unsupported(format!("expected a path, got {ast:?}")));
+    };
+    let base = match base {
+        PathBase::OldNode => NodeRef::Old,
+        PathBase::NewNode => NodeRef::New,
+        PathBase::Context | PathBase::Var(_) => NodeRef::Context,
+        PathBase::View(_) => {
+            return Err(unsupported("view() paths are not allowed in trigger conditions"))
+        }
+    };
+    let mut out = Vec::with_capacity(steps.len());
+    for s in steps {
+        out.push(lower_step(s)?);
+    }
+    Ok(NodePath { base, steps: out })
+}
+
+fn lower_step(s: &AstStep) -> Result<Step> {
+    let pred = match &s.predicate {
+        None => None,
+        Some(p) => Some(Box::new(lower_condition(p)?)),
+    };
+    Ok(match s.axis {
+        Axis::Child => Step::Child(s.name.clone(), pred),
+        Axis::Descendant => Step::Descendant(s.name.clone(), pred),
+        Axis::Attr => {
+            if pred.is_some() {
+                return Err(unsupported("predicates on attribute steps"));
+            }
+            Step::Attr(s.name.clone())
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// View recognition
+// ---------------------------------------------------------------------
+
+/// `view("default")/T/row` → `T`.
+fn default_view_table(ast: &AstExpr) -> Option<(String, Option<&AstExpr>)> {
+    let AstExpr::Path { base: PathBase::View(v), steps } = ast else { return None };
+    if v != "default" {
+        return None;
+    }
+    match steps.as_slice() {
+        [t, row] if row.name == "row" && t.predicate.is_none() && t.axis == Axis::Child => {
+            Some((t.name.clone(), row.predicate.as_deref()))
+        }
+        _ => None,
+    }
+}
+
+/// `./col = $var/col2` → (col, var, col2).
+fn link_predicate(pred: &AstExpr) -> Option<(String, String, String)> {
+    let AstExpr::Cmp { op: BinOp::Eq, left, right } = pred else { return None };
+    let ctx_col = |e: &AstExpr| -> Option<String> {
+        let AstExpr::Path { base: PathBase::Context, steps } = e else { return None };
+        match steps.as_slice() {
+            [s] if s.axis == Axis::Child && s.predicate.is_none() => Some(s.name.clone()),
+            _ => None,
+        }
+    };
+    let var_col = |e: &AstExpr| -> Option<(String, String)> {
+        let AstExpr::Path { base: PathBase::Var(v), steps } = e else { return None };
+        match steps.as_slice() {
+            [s] if s.axis == Axis::Child && s.predicate.is_none() => {
+                Some((v.clone(), s.name.clone()))
+            }
+            _ => None,
+        }
+    };
+    if let (Some(c), Some((v, vc))) = (ctx_col(left), var_col(right)) {
+        return Some((c, v, vc));
+    }
+    if let (Some(c), Some((v, vc))) = (ctx_col(right), var_col(left)) {
+        return Some((c, v, vc));
+    }
+    None
+}
+
+/// `./col = $var` → (col, var): the grouped-top link of Fig. 3.
+fn group_link_predicate(pred: &AstExpr) -> Option<(String, String)> {
+    let AstExpr::Cmp { op: BinOp::Eq, left, right } = pred else { return None };
+    let ctx_col = |e: &AstExpr| -> Option<String> {
+        let AstExpr::Path { base: PathBase::Context, steps } = e else { return None };
+        match steps.as_slice() {
+            [s] if s.axis == Axis::Child => Some(s.name.clone()),
+            _ => None,
+        }
+    };
+    let bare_var = |e: &AstExpr| -> Option<String> {
+        let AstExpr::Path { base: PathBase::Var(v), steps } = e else { return None };
+        steps.is_empty().then(|| v.clone())
+    };
+    if let (Some(c), Some(v)) = (ctx_col(left), bare_var(right)) {
+        return Some((c, v));
+    }
+    if let (Some(c), Some(v)) = (ctx_col(right), bare_var(left)) {
+        return Some((c, v));
+    }
+    None
+}
+
+/// `count($v) op N` → (v, op, N).
+fn count_predicate(ast: &AstExpr) -> Option<(String, BinOp, i64)> {
+    let AstExpr::Cmp { op, left, right } = ast else { return None };
+    let count_var = |e: &AstExpr| -> Option<String> {
+        let AstExpr::Count(inner) = e else { return None };
+        let AstExpr::Path { base: PathBase::Var(v), steps } = inner.as_ref() else {
+            return None;
+        };
+        steps.is_empty().then(|| v.clone())
+    };
+    if let (Some(v), AstExpr::Lit(Value::Int(n))) = (count_var(left), right.as_ref()) {
+        return Some((v, *op, *n));
+    }
+    if let (Some(v), AstExpr::Lit(Value::Int(n))) = (count_var(right), left.as_ref()) {
+        // Flip the comparison.
+        let flipped = match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => *other,
+        };
+        return Some((v, flipped, *n));
+    }
+    None
+}
+
+fn lower_top_flwor(flwor: &Flwor) -> Result<(TopBinding, LevelSpec)> {
+    // Shape B (Fig. 3): for $g in distinct(view("default")/T/row/col) …
+    if let Some(first) = flwor.bindings.first() {
+        if first.is_for {
+            if let AstExpr::Distinct(inner) = &first.expr {
+                return lower_grouped(flwor, &first.var, inner);
+            }
+            if let Some((table, None)) = default_view_table(&first.expr) {
+                return Ok((
+                    TopBinding::Rows,
+                    lower_chain_level(flwor, &first.var, &table, None)?,
+                ));
+            }
+        }
+    }
+    Err(unsupported(
+        "top FLWOR must iterate rows of a default-view table or distinct column values",
+    ))
+}
+
+/// Shape B: the catalog view (grouped top, depth 2).
+fn lower_grouped(
+    flwor: &Flwor,
+    group_var: &str,
+    distinct_arg: &AstExpr,
+) -> Result<(TopBinding, LevelSpec)> {
+    // distinct(view("default")/T/row/col)
+    let AstExpr::Path { base: PathBase::View(v), steps } = distinct_arg else {
+        return Err(unsupported("distinct() must wrap a default-view column path"));
+    };
+    if v != "default" || steps.len() != 3 || steps[1].name != "row" {
+        return Err(unsupported("distinct() must wrap view(\"default\")/T/row/col"));
+    }
+    let table = steps[0].name.clone();
+    let group_col = steps[2].name.clone();
+
+    // let $rows := view("default")/T/row[./col = $g]
+    // let $kids := view("default")/U/row[./fk = $rows/pk]
+    let mut rows_var: Option<String> = None;
+    let mut kids: Option<(String, String, String)> = None; // (var, table, fk)
+    for b in &flwor.bindings[1..] {
+        if b.is_for {
+            return Err(unsupported("grouped views take let-bindings after the group"));
+        }
+        if let Some((t, Some(pred))) = default_view_table(&b.expr) {
+            if let Some((col, var)) = group_link_predicate(pred) {
+                if var == group_var && col == group_col && t == table {
+                    rows_var = Some(b.var.clone());
+                    continue;
+                }
+            }
+            if let Some((fk, var, _parent_col)) = link_predicate(pred) {
+                if Some(&var) == rows_var.as_ref() {
+                    kids = Some((b.var.clone(), t, fk));
+                    continue;
+                }
+            }
+        }
+        return Err(unsupported(format!("unrecognized let-binding `${}`", b.var)));
+    }
+    let (kids_var, kid_table, fk) =
+        kids.ok_or_else(|| unsupported("grouped view needs a child collection binding"))?;
+
+    let child_count = match &flwor.where_ {
+        None => None,
+        Some(w) => match count_predicate(w) {
+            Some((v, op, n)) if v == kids_var => Some((op, n)),
+            _ => return Err(unsupported("WHERE must be count($children) op N")),
+        },
+    };
+
+    // return <el attr={$g}> { for $k in $kids return <kid>{$k/*}</kid> } </el>
+    let AstExpr::Element(el) = &flwor.return_ else {
+        return Err(unsupported("return must be an element constructor"));
+    };
+    let mut attrs = Vec::new();
+    for (a, val) in &el.attrs {
+        let AstExpr::Path { base: PathBase::Var(v), steps } = val else {
+            return Err(unsupported("grouped element attributes must reference $group"));
+        };
+        if v != group_var || !steps.is_empty() {
+            return Err(unsupported("grouped element attributes must reference $group"));
+        }
+        attrs.push((a.clone(), group_col.clone()));
+    }
+    let child_level = lower_child_elements(&el.children, &kids_var, &kid_table, &fk)?;
+    Ok((
+        TopBinding::GroupBy { column: group_col },
+        LevelSpec {
+            element: el.name.clone(),
+            table,
+            parent_fk: None,
+            attrs,
+            scalars: vec![],
+            child_count,
+            child: child_level.map(Box::new),
+        },
+    ))
+}
+
+/// Shape A: row-bound chains of arbitrary depth.
+fn lower_chain_level(
+    flwor: &Flwor,
+    row_var: &str,
+    table: &str,
+    parent_fk: Option<String>,
+) -> Result<LevelSpec> {
+    // Optional: let $c := view("default")/U/row[./fk = $row/pk]
+    let mut child_binding: Option<(String, String, String)> = None; // var, table, fk
+    for b in &flwor.bindings[1..] {
+        if b.is_for {
+            return Err(unsupported("chain levels support one for-binding per FLWOR"));
+        }
+        let Some((t, Some(pred))) = default_view_table(&b.expr) else {
+            return Err(unsupported(format!("unrecognized let-binding `${}`", b.var)));
+        };
+        let Some((fk, var, _)) = link_predicate(pred) else {
+            return Err(unsupported("child binding must link ./fk = $parent/key"));
+        };
+        if var != row_var {
+            return Err(unsupported("child binding must reference the row variable"));
+        }
+        child_binding = Some((b.var.clone(), t, fk));
+    }
+
+    let child_count = match &flwor.where_ {
+        None => None,
+        Some(w) => match (count_predicate(w), &child_binding) {
+            (Some((v, op, n)), Some((cv, _, _))) if &v == cv => Some((op, n)),
+            _ => return Err(unsupported("WHERE must be count($children) op N")),
+        },
+    };
+
+    let AstExpr::Element(el) = &flwor.return_ else {
+        return Err(unsupported("return must be an element constructor"));
+    };
+    let mut attrs = Vec::new();
+    for (a, val) in &el.attrs {
+        attrs.push((a.clone(), var_column(val, row_var)?));
+    }
+    let mut scalars = Vec::new();
+    let mut child: Option<LevelSpec> = None;
+    for c in &el.children {
+        match c {
+            Content::Element(scalar_el) => {
+                // <pid>{$row/pid}</pid>
+                let [Content::Expr(value)] = scalar_el.children.as_slice() else {
+                    return Err(unsupported("scalar children must wrap one expression"));
+                };
+                scalars.push((scalar_el.name.clone(), var_column(value, row_var)?));
+            }
+            Content::Expr(AstExpr::Flwor(nested)) => {
+                let Some(first) = nested.bindings.first() else {
+                    return Err(unsupported("empty nested FLWOR"));
+                };
+                if !first.is_for {
+                    return Err(unsupported("nested FLWOR must start with for"));
+                }
+                // Two accepted shapes: iterate a let-bound child collection
+                // (`for $v in $vendors`), or a directly correlated path
+                // (`for $o in view("default")/orders/row[./cid = $c/cid]`).
+                let (ct, cfk): (String, String) = match &first.expr {
+                    AstExpr::Path { base: PathBase::Var(src), steps }
+                        if steps.is_empty() =>
+                    {
+                        let Some((cv, ct, cfk)) = &child_binding else {
+                            return Err(unsupported("nested FLWOR without a child binding"));
+                        };
+                        if src != cv {
+                            return Err(unsupported(
+                                "nested for must iterate the child binding",
+                            ));
+                        }
+                        (ct.clone(), cfk.clone())
+                    }
+                    other => match default_view_table(other) {
+                        Some((t, Some(pred))) => match link_predicate(pred) {
+                            Some((fk, var, _)) if var == row_var => (t, fk),
+                            _ => {
+                                return Err(unsupported(
+                                    "nested for must correlate ./fk = $parent/key",
+                                ))
+                            }
+                        },
+                        _ => {
+                            return Err(unsupported(
+                                "nested for must iterate a child collection or a \
+                                 correlated default-view path",
+                            ))
+                        }
+                    },
+                };
+                child = Some(lower_chain_level(nested, &first.var, &ct, Some(cfk))?);
+            }
+            Content::Expr(other) => {
+                // `{$row/*}` expands every column — resolved at build time
+                // against the schema; represent with a marker the caller
+                // cannot express otherwise.
+                return Err(unsupported(format!(
+                    "enclosed child expression {other:?}; use scalar wrappers or a nested FLWOR"
+                )));
+            }
+        }
+    }
+    Ok(LevelSpec {
+        element: el.name.clone(),
+        table: table.to_string(),
+        parent_fk,
+        attrs,
+        scalars,
+        child_count,
+        child: child.map(Box::new),
+    })
+}
+
+/// Child elements of a grouped view: `{ for $k in $kids return
+/// <kid>{$k/*}</kid> }` or scalar wrappers.
+fn lower_child_elements(
+    children: &[Content],
+    kids_var: &str,
+    kid_table: &str,
+    fk: &str,
+) -> Result<Option<LevelSpec>> {
+    for c in children {
+        let Content::Expr(AstExpr::Flwor(nested)) = c else {
+            return Err(unsupported("grouped element children must be a nested FLWOR"));
+        };
+        let Some(first) = nested.bindings.first() else {
+            return Err(unsupported("empty nested FLWOR"));
+        };
+        let AstExpr::Path { base: PathBase::Var(src), steps } = &first.expr else {
+            return Err(unsupported("nested for must iterate the child binding"));
+        };
+        if src != kids_var || !steps.is_empty() || !first.is_for {
+            return Err(unsupported("nested for must iterate the child binding"));
+        }
+        let AstExpr::Element(el) = &nested.return_ else {
+            return Err(unsupported("nested return must construct an element"));
+        };
+        // `{$k/*}` expands all columns; scalar wrappers list them.
+        let mut scalars = Vec::new();
+        for cc in &el.children {
+            match cc {
+                Content::Expr(AstExpr::Path { base: PathBase::Var(v), steps })
+                    if v == &first.var
+                        && matches!(steps.as_slice(), [s] if s.name == "*") =>
+                {
+                    // `{$vendor/*}`: expanded at build time; mark with the
+                    // wildcard sentinel understood by the builder.
+                    scalars.push(("*".to_string(), "*".to_string()));
+                }
+                Content::Element(scalar_el) => {
+                    let [Content::Expr(value)] = scalar_el.children.as_slice() else {
+                        return Err(unsupported("scalar children must wrap one expression"));
+                    };
+                    scalars.push((scalar_el.name.clone(), var_column(value, &first.var)?));
+                }
+                other => {
+                    return Err(unsupported(format!("vendor-level child {other:?}")))
+                }
+            }
+        }
+        return Ok(Some(LevelSpec {
+            element: el.name.clone(),
+            table: kid_table.to_string(),
+            parent_fk: Some(fk.to_string()),
+            attrs: vec![],
+            scalars,
+            child_count: None,
+            child: None,
+        }));
+    }
+    Ok(None)
+}
+
+/// `$var/col` → `col`.
+fn var_column(ast: &AstExpr, var: &str) -> Result<String> {
+    let AstExpr::Path { base: PathBase::Var(v), steps } = ast else {
+        return Err(unsupported(format!("expected ${var}/column, got {ast:?}")));
+    };
+    if v != var {
+        return Err(unsupported(format!("expected ${var}/column, got ${v}")));
+    }
+    match steps.as_slice() {
+        [s] if s.axis == Axis::Child && s.predicate.is_none() => Ok(s.name.clone()),
+        _ => Err(unsupported("expected a single column step")),
+    }
+}
+
+fn unsupported(msg: impl Into<String>) -> Error {
+    Error::Plan(format!("unsupported XQuery shape: {}", msg.into()))
+}

@@ -1,0 +1,838 @@
+//! Parser for the XQuery subset of Appendix D plus the trigger definition
+//! language of §2.2.
+//!
+//! Supported surface syntax:
+//!
+//! * `CREATE VIEW name AS { <root>{ FLWOR }</root> }` — FLWOR expressions
+//!   with `for`/`let`/`where`/`return`, element constructors with
+//!   `attr={expr}` attributes, paths over `view("default")` and variables,
+//!   step predicates, `count`/`exists`/`distinct`, comparison and logical
+//!   operators, quantified expressions (`some`/`every … satisfies`);
+//! * `CREATE TRIGGER name AFTER event ON view('v')/path WHERE cond DO
+//!   fn(args)` with `OLD_NODE`/`NEW_NODE` references.
+//!
+//! Not supported (matching the paper's restrictions): parent/sibling axes,
+//! type expressions, user-defined functions.
+
+use std::fmt;
+
+use quark_relational::expr::BinOp;
+use quark_relational::Value;
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XQuery parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Axis of a path step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `child::`
+    Child,
+    /// `descendant::` (`//`)
+    Descendant,
+    /// `attribute::` (`@`)
+    Attr,
+}
+
+/// One path step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstStep {
+    /// Step axis.
+    pub axis: Axis,
+    /// Node test (`*` allowed for the child axis).
+    pub name: String,
+    /// Optional `[predicate]`.
+    pub predicate: Option<Box<AstExpr>>,
+}
+
+/// Base of a path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathBase {
+    /// `$var`
+    Var(String),
+    /// `view("name")`
+    View(String),
+    /// `OLD_NODE`
+    OldNode,
+    /// `NEW_NODE`
+    NewNode,
+    /// `.` — the context item inside a step predicate.
+    Context,
+}
+
+/// Expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Literal value.
+    Lit(Value),
+    /// Path expression.
+    Path {
+        /// Starting point.
+        base: PathBase,
+        /// Steps.
+        steps: Vec<AstStep>,
+    },
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// Conjunction.
+    And(Box<AstExpr>, Box<AstExpr>),
+    /// Disjunction.
+    Or(Box<AstExpr>, Box<AstExpr>),
+    /// Negation — `not(expr)`.
+    Not(Box<AstExpr>),
+    /// `count(expr)`.
+    Count(Box<AstExpr>),
+    /// `exists(expr)`.
+    Exists(Box<AstExpr>),
+    /// `distinct(expr)` / `distinct-values(expr)`.
+    Distinct(Box<AstExpr>),
+    /// `some|every $v in expr satisfies expr`.
+    Quantified {
+        /// `true` for `every`.
+        every: bool,
+        /// Bound variable.
+        var: String,
+        /// Sequence expression.
+        source: Box<AstExpr>,
+        /// Predicate.
+        satisfies: Box<AstExpr>,
+    },
+    /// FLWOR.
+    Flwor(Box<Flwor>),
+    /// Element constructor.
+    Element(Box<AstElement>),
+}
+
+/// A `for`/`let` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    /// `true` for `for`, `false` for `let`.
+    pub is_for: bool,
+    /// Variable name (without `$`).
+    pub var: String,
+    /// Bound expression.
+    pub expr: AstExpr,
+}
+
+/// A FLWOR expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flwor {
+    /// Bindings in order.
+    pub bindings: Vec<Binding>,
+    /// WHERE clause.
+    pub where_: Option<AstExpr>,
+    /// RETURN expression.
+    pub return_: AstExpr,
+}
+
+/// Element-constructor content item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Nested element.
+    Element(AstElement),
+    /// `{ expr }` enclosed expression.
+    Expr(AstExpr),
+}
+
+/// An element constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstElement {
+    /// Tag name.
+    pub name: String,
+    /// Attributes: name and value expression (literals become `Lit`).
+    pub attrs: Vec<(String, AstExpr)>,
+    /// Children.
+    pub children: Vec<Content>,
+}
+
+/// A parsed `CREATE VIEW`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDef {
+    /// View name.
+    pub name: String,
+    /// Body (root element constructor).
+    pub body: AstExpr,
+}
+
+/// A parsed `CREATE TRIGGER`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerDef {
+    /// Trigger name.
+    pub name: String,
+    /// Event keyword.
+    pub event: quark_core::XmlEvent,
+    /// View name from `view('…')`.
+    pub view: String,
+    /// Path steps after the view (element names).
+    pub path: Vec<String>,
+    /// WHERE condition (None = unconditional).
+    pub condition: Option<AstExpr>,
+    /// Action function name.
+    pub function: String,
+    /// Action arguments.
+    pub args: Vec<AstExpr>,
+}
+
+/// Parse a `CREATE VIEW` statement.
+pub fn parse_view(input: &str) -> Result<ViewDef, ParseError> {
+    let mut p = Cursor::new(input);
+    p.keyword("create")?;
+    p.keyword("view")?;
+    let name = p.ident()?;
+    p.keyword("as")?;
+    p.expect('{')?;
+    let body = p.parse_expr()?;
+    p.expect('}')?;
+    p.finish()?;
+    Ok(ViewDef { name, body })
+}
+
+/// Parse a `CREATE TRIGGER` statement.
+pub fn parse_trigger(input: &str) -> Result<TriggerDef, ParseError> {
+    let mut p = Cursor::new(input);
+    p.keyword("create")?;
+    p.keyword("trigger")?;
+    let name = p.ident()?;
+    p.keyword("after")?;
+    let ev = p.ident()?;
+    let event = match ev.to_ascii_lowercase().as_str() {
+        "insert" => quark_core::XmlEvent::Insert,
+        "update" => quark_core::XmlEvent::Update,
+        "delete" => quark_core::XmlEvent::Delete,
+        other => return Err(p.err(format!("unknown event `{other}`"))),
+    };
+    p.keyword("on")?;
+    p.keyword("view")?;
+    p.expect('(')?;
+    let view = p.string()?;
+    p.expect(')')?;
+    let mut path = Vec::new();
+    while p.eat('/') {
+        path.push(p.ident()?);
+    }
+    if path.is_empty() {
+        return Err(p.err("trigger path needs at least one step"));
+    }
+    let condition = if p.try_keyword("where") { Some(p.parse_or()?) } else { None };
+    p.keyword("do")?;
+    let function = p.ident()?;
+    p.expect('(')?;
+    let mut args = Vec::new();
+    if !p.peek_is(')') {
+        loop {
+            args.push(p.parse_or()?);
+            if !p.eat(',') {
+                break;
+            }
+        }
+    }
+    p.expect(')')?;
+    p.finish()?;
+    Ok(TriggerDef { name, event, view, path, condition, function, args })
+}
+
+/// Parse a standalone expression (tests, conditions).
+pub fn parse_expr(input: &str) -> Result<AstExpr, ParseError> {
+    let mut p = Cursor::new(input);
+    let e = p.parse_expr()?;
+    p.finish()?;
+    Ok(e)
+}
+
+struct Cursor<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Cursor { input: input.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.input.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.peek() == Some(c as u8)
+    }
+
+    fn peek2(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos + 1).copied()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek_is(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{c}`")))
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.pos == self.input.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing input"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.input.get(self.pos) {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    /// Try to consume a case-insensitive keyword.
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let end = self.pos + kw.len();
+        if end > self.input.len() {
+            return false;
+        }
+        let slice = &self.input[self.pos..end];
+        if !slice.eq_ignore_ascii_case(kw.as_bytes()) {
+            return false;
+        }
+        // Must not be a prefix of a longer identifier.
+        if let Some(b) = self.input.get(end) {
+            if b.is_ascii_alphanumeric() || *b == b'_' || *b == b'-' {
+                return false;
+            }
+        }
+        self.pos = end;
+        true
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.try_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let quote = match self.input.get(self.pos) {
+            Some(b'\'') => b'\'',
+            Some(b'"') => b'"',
+            _ => return Err(self.err("expected string literal")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(&b) = self.input.get(self.pos) {
+            if b == quote {
+                let s = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if matches!(self.input.get(self.pos), Some(b'-')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.input.get(self.pos) {
+            if b.is_ascii_digit() {
+                self.pos += 1;
+            } else if b == b'.' && !is_float {
+                is_float = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii digits");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Double)
+                .map_err(|_| self.err("bad float literal"))
+        } else {
+            text.parse::<i64>().map(Value::Int).map_err(|_| self.err("bad int literal"))
+        }
+    }
+
+    // ---- expression grammar -------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<AstExpr, ParseError> {
+        // FLWOR / quantified / element / boolean expression.
+        if self.try_keyword("for") || self.try_keyword_peek("let") {
+            return self.parse_flwor();
+        }
+        self.parse_or()
+    }
+
+    /// Peek-only variant of `try_keyword` (does not consume).
+    fn try_keyword_peek(&mut self, kw: &str) -> bool {
+        let save = self.pos;
+        let hit = self.try_keyword(kw);
+        self.pos = save;
+        hit
+    }
+
+    fn parse_flwor(&mut self) -> Result<AstExpr, ParseError> {
+        // Note: caller may have consumed the initial `for`.
+        let mut bindings = Vec::new();
+        // First binding: we may arrive here having already eaten `for`.
+        let first_is_let = self.try_keyword_peek("let");
+        if first_is_let {
+            self.keyword("let")?;
+            bindings.push(self.parse_binding(false)?);
+        } else {
+            bindings.push(self.parse_binding(true)?);
+        }
+        loop {
+            if self.try_keyword("for") {
+                bindings.push(self.parse_binding(true)?);
+            } else if self.try_keyword("let") {
+                bindings.push(self.parse_binding(false)?);
+            } else {
+                break;
+            }
+        }
+        let where_ = if self.try_keyword("where") { Some(self.parse_or()?) } else { None };
+        self.keyword("return")?;
+        let return_ = self.parse_expr()?;
+        Ok(AstExpr::Flwor(Box::new(Flwor { bindings, where_, return_ })))
+    }
+
+    fn parse_binding(&mut self, is_for: bool) -> Result<Binding, ParseError> {
+        self.expect('$')?;
+        let var = self.ident()?;
+        if is_for {
+            self.keyword("in")?;
+        } else {
+            self.expect(':')?;
+            self.expect('=')?;
+        }
+        let expr = self.parse_or()?;
+        Ok(Binding { is_for, var, expr })
+    }
+
+    fn parse_or(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.try_keyword("or") {
+            let right = self.parse_and()?;
+            left = AstExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.parse_cmp()?;
+        while self.try_keyword("and") {
+            let right = self.parse_cmp()?;
+            left = AstExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_cmp(&mut self) -> Result<AstExpr, ParseError> {
+        let left = self.parse_primary()?;
+        // Constructors are never comparison operands in this subset, and a
+        // following `</` is a closing tag, not a less-than.
+        if matches!(left, AstExpr::Element(_) | AstExpr::Flwor(_)) {
+            return Ok(left);
+        }
+        if self.peek() == Some(b'<') && self.input.get(self.pos + 1) == Some(&b'/') {
+            return Ok(left);
+        }
+        let op = match self.peek() {
+            Some(b'=') => {
+                self.pos += 1;
+                BinOp::Eq
+            }
+            Some(b'!') if self.peek2() == Some(b'=') => {
+                self.pos += 2;
+                BinOp::Ne
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                if self.input.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    BinOp::Le
+                } else {
+                    BinOp::Lt
+                }
+            }
+            Some(b'>') => {
+                self.pos += 1;
+                if self.input.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    BinOp::Ge
+                } else {
+                    BinOp::Gt
+                }
+            }
+            _ => return Ok(left),
+        };
+        let right = self.parse_primary()?;
+        Ok(AstExpr::Cmp { op, left: Box::new(left), right: Box::new(right) })
+    }
+
+    fn parse_primary(&mut self) -> Result<AstExpr, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => {
+                // Element constructor: `<` followed by a name character.
+                if self
+                    .input
+                    .get(self.pos + 1)
+                    .is_some_and(|b| b.is_ascii_alphabetic())
+                {
+                    return Ok(AstExpr::Element(Box::new(self.parse_element()?)));
+                }
+                Err(self.err("unexpected `<`"))
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.parse_or()?;
+                self.expect(')')?;
+                Ok(e)
+            }
+            Some(b'\'') | Some(b'"') => Ok(AstExpr::Lit(Value::str(self.string()?))),
+            Some(b) if b.is_ascii_digit() || b == b'-' => Ok(AstExpr::Lit(self.number()?)),
+            Some(b'$') | Some(b'.') => self.parse_path(),
+            Some(_) => {
+                if self.try_keyword("some") || self.try_keyword_peek("every") {
+                    let every = if self.try_keyword("every") {
+                        true
+                    } else {
+                        false // `some` already consumed above
+                    };
+                    self.expect('$')?;
+                    let var = self.ident()?;
+                    self.keyword("in")?;
+                    let source = self.parse_or()?;
+                    self.keyword("satisfies")?;
+                    let satisfies = self.parse_or()?;
+                    return Ok(AstExpr::Quantified {
+                        every,
+                        var,
+                        source: Box::new(source),
+                        satisfies: Box::new(satisfies),
+                    });
+                }
+                if self.try_keyword("not") {
+                    self.expect('(')?;
+                    let e = self.parse_or()?;
+                    self.expect(')')?;
+                    return Ok(AstExpr::Not(Box::new(e)));
+                }
+                for (kw, ctor) in [
+                    ("count", AstExpr::Count as fn(Box<AstExpr>) -> AstExpr),
+                    ("exists", AstExpr::Exists as fn(Box<AstExpr>) -> AstExpr),
+                ] {
+                    if self.try_keyword(kw) {
+                        self.expect('(')?;
+                        let e = self.parse_or()?;
+                        self.expect(')')?;
+                        return Ok(ctor(Box::new(e)));
+                    }
+                }
+                if self.try_keyword("distinct-values") || self.try_keyword("distinct") {
+                    self.expect('(')?;
+                    let e = self.parse_or()?;
+                    self.expect(')')?;
+                    return Ok(AstExpr::Distinct(Box::new(e)));
+                }
+                self.parse_path()
+            }
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_path(&mut self) -> Result<AstExpr, ParseError> {
+        self.skip_ws();
+        let base = match self.peek() {
+            Some(b'$') => {
+                self.pos += 1;
+                PathBase::Var(self.ident()?)
+            }
+            Some(b'.') => {
+                self.pos += 1;
+                PathBase::Context
+            }
+            _ => {
+                let name = self.ident()?;
+                match name.as_str() {
+                    "OLD_NODE" => PathBase::OldNode,
+                    "NEW_NODE" => PathBase::NewNode,
+                    "view" => {
+                        self.expect('(')?;
+                        let v = self.string()?;
+                        self.expect(')')?;
+                        PathBase::View(v)
+                    }
+                    other => return Err(self.err(format!("unknown path base `{other}`"))),
+                }
+            }
+        };
+        let mut steps = Vec::new();
+        while self.peek_is('/') {
+            self.pos += 1;
+            let axis = if self.peek_is('/') {
+                self.pos += 1;
+                Axis::Descendant
+            } else if self.peek_is('@') {
+                self.pos += 1;
+                Axis::Attr
+            } else {
+                Axis::Child
+            };
+            let name = if axis != Axis::Attr && self.peek_is('*') {
+                self.pos += 1;
+                "*".to_string()
+            } else {
+                self.ident()?
+            };
+            let predicate = if self.eat('[') {
+                let e = self.parse_or()?;
+                self.expect(']')?;
+                Some(Box::new(e))
+            } else {
+                None
+            };
+            steps.push(AstStep { axis, name, predicate });
+        }
+        Ok(AstExpr::Path { base, steps })
+    }
+
+    fn parse_element(&mut self) -> Result<AstElement, ParseError> {
+        self.expect('<')?;
+        let name = self.ident()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect('>')?;
+                    return Ok(AstElement { name, attrs, children: vec![] });
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr = self.ident()?;
+                    self.expect('=')?;
+                    let value = if self.eat('{') {
+                        let e = self.parse_or()?;
+                        self.expect('}')?;
+                        e
+                    } else {
+                        AstExpr::Lit(Value::str(self.string()?))
+                    };
+                    attrs.push((attr, value));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        let mut children = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'<') if self.peek2() == Some(b'/') => {
+                    self.pos += 2;
+                    let close = self.ident()?;
+                    if close != name {
+                        return Err(self.err(format!(
+                            "mismatched close tag: expected </{name}>, got </{close}>"
+                        )));
+                    }
+                    self.expect('>')?;
+                    return Ok(AstElement { name, attrs, children });
+                }
+                Some(b'<') => children.push(Content::Element(self.parse_element()?)),
+                Some(b'{') => {
+                    self.pos += 1;
+                    let e = self.parse_expr()?;
+                    self.expect('}')?;
+                    children.push(Content::Expr(e));
+                }
+                Some(other) => {
+                    return Err(self.err(format!(
+                        "element content must be nested elements or {{expr}} blocks, found `{}`",
+                        other as char
+                    )))
+                }
+                None => return Err(self.err(format!("missing </{name}>"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paths_with_predicates() {
+        let e = parse_expr("view(\"default\")/vendor/row[./pid = $p/pid]").unwrap();
+        let AstExpr::Path { base, steps } = e else { panic!("{e:?}") };
+        assert_eq!(base, PathBase::View("default".into()));
+        assert_eq!(steps.len(), 2);
+        assert!(steps[1].predicate.is_some());
+    }
+
+    #[test]
+    fn parses_attribute_and_descendant_axes() {
+        let e = parse_expr("OLD_NODE//vendor/@vid").unwrap();
+        let AstExpr::Path { base, steps } = e else { panic!() };
+        assert_eq!(base, PathBase::OldNode);
+        assert_eq!(steps[0].axis, Axis::Descendant);
+        assert_eq!(steps[1].axis, Axis::Attr);
+    }
+
+    #[test]
+    fn parses_comparisons_and_logic() {
+        let e = parse_expr("OLD_NODE/@name = 'CRT 15' and count(NEW_NODE/vendor) >= 2")
+            .unwrap();
+        let AstExpr::And(l, r) = e else { panic!("{e:?}") };
+        assert!(matches!(*l, AstExpr::Cmp { op: BinOp::Eq, .. }));
+        assert!(matches!(*r, AstExpr::Cmp { op: BinOp::Ge, .. }));
+    }
+
+    #[test]
+    fn parses_quantified_expressions() {
+        let e =
+            parse_expr("some $v in NEW_NODE/vendor satisfies $v/price < 100").unwrap();
+        assert!(matches!(e, AstExpr::Quantified { every: false, .. }));
+        let e = parse_expr("every $v in NEW_NODE/vendor satisfies $v/price < 100").unwrap();
+        assert!(matches!(e, AstExpr::Quantified { every: true, .. }));
+    }
+
+    #[test]
+    fn parses_element_constructors() {
+        let e = parse_expr(
+            "<product name={$p/pname}><pid>{$p/pid}</pid><tag/></product>",
+        )
+        .unwrap();
+        let AstExpr::Element(el) = e else { panic!() };
+        assert_eq!(el.name, "product");
+        assert_eq!(el.attrs.len(), 1);
+        assert_eq!(el.children.len(), 2);
+    }
+
+    #[test]
+    fn parses_figure_3_view_definition() {
+        let text = r#"
+            create view catalog as {
+              <catalog>{
+                for $prodname in distinct(view("default")/product/row/pname)
+                let $products := view("default")/product/row[./pname = $prodname]
+                let $vendors := view("default")/vendor/row[./pid = $products/pid]
+                where count($vendors) >= 2
+                return <product name={$prodname}>
+                  { for $vendor in $vendors return <vendor>{$vendor/*}</vendor> }
+                </product>
+              }</catalog>
+            }"#;
+        let view = parse_view(text).unwrap();
+        assert_eq!(view.name, "catalog");
+        let AstExpr::Element(root) = &view.body else { panic!() };
+        assert_eq!(root.name, "catalog");
+        let Content::Expr(AstExpr::Flwor(f)) = &root.children[0] else { panic!() };
+        assert_eq!(f.bindings.len(), 3);
+        assert!(f.bindings[0].is_for);
+        assert!(!f.bindings[1].is_for);
+        assert!(f.where_.is_some());
+    }
+
+    #[test]
+    fn parses_section_2_2_trigger() {
+        let text = r#"
+            CREATE TRIGGER Notify AFTER Update
+            ON view('catalog')/product
+            WHERE OLD_NODE/@name = 'CRT 15'
+            DO notifySmith(NEW_NODE)"#;
+        let t = parse_trigger(text).unwrap();
+        assert_eq!(t.name, "Notify");
+        assert_eq!(t.event, quark_core::XmlEvent::Update);
+        assert_eq!(t.view, "catalog");
+        assert_eq!(t.path, vec!["product".to_string()]);
+        assert!(t.condition.is_some());
+        assert_eq!(t.function, "notifySmith");
+        assert_eq!(t.args.len(), 1);
+    }
+
+    #[test]
+    fn trigger_without_where_clause() {
+        let t = parse_trigger(
+            "create trigger T after insert on view('catalog')/product do f(NEW_NODE)",
+        )
+        .unwrap();
+        assert!(t.condition.is_none());
+        assert_eq!(t.event, quark_core::XmlEvent::Insert);
+    }
+
+    #[test]
+    fn rejects_parent_axis_style_input() {
+        assert!(parse_expr("OLD_NODE/..").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_expr("OLD_NODE/@a = 1 garbage").is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! A deeper hierarchy with trigger grouping: regions → customers → orders,
+//! with many structurally similar triggers sharing one translation.
+//!
+//! ```text
+//! cargo run --example orders_monitor
+//! ```
+
+use quark_core::relational::{ColumnDef, ColumnType, Database, TableSchema, Value};
+use quark_core::{Mode, Quark};
+use quark_xquery::{create_trigger, register_view};
+
+fn build_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "region",
+            vec![
+                ColumnDef::new("rid", ColumnType::Int),
+                ColumnDef::new("name", ColumnType::Str),
+            ],
+            &["rid"],
+        )
+        .expect("schema"),
+    )
+    .expect("table");
+    db.create_table(
+        TableSchema::new(
+            "customer",
+            vec![
+                ColumnDef::new("cid", ColumnType::Int),
+                ColumnDef::new("rid", ColumnType::Int),
+                ColumnDef::new("name", ColumnType::Str),
+            ],
+            &["cid"],
+        )
+        .expect("schema"),
+    )
+    .expect("table");
+    db.create_table(
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("oid", ColumnType::Int),
+                ColumnDef::new("cid", ColumnType::Int),
+                ColumnDef::new("total", ColumnType::Double),
+            ],
+            &["oid"],
+        )
+        .expect("schema"),
+    )
+    .expect("table");
+    db.create_index("customer", "rid").expect("index");
+    db.create_index("orders", "cid").expect("index");
+
+    db.load(
+        "region",
+        vec![
+            vec![Value::Int(1), Value::str("north")],
+            vec![Value::Int(2), Value::str("south")],
+        ],
+    )
+    .expect("load");
+    db.load(
+        "customer",
+        vec![
+            vec![Value::Int(10), Value::Int(1), Value::str("ada")],
+            vec![Value::Int(11), Value::Int(1), Value::str("bob")],
+            vec![Value::Int(12), Value::Int(2), Value::str("cyd")],
+            vec![Value::Int(13), Value::Int(2), Value::str("dee")],
+        ],
+    )
+    .expect("load");
+    let mut orders = Vec::new();
+    for (i, cid) in [(0, 10), (1, 10), (2, 11), (3, 11), (4, 12), (5, 12), (6, 13), (7, 13)] {
+        orders.push(vec![
+            Value::Int(100 + i),
+            Value::Int(cid),
+            Value::Double(50.0 + 10.0 * i as f64),
+        ]);
+    }
+    db.load("orders", orders).expect("load");
+    db
+}
+
+fn main() {
+    let mut quark = Quark::new(build_db(), Mode::GroupedAgg);
+    register_view(
+        &mut quark,
+        r#"create view sales as {
+             <sales>{
+               for $r in view("default")/region/row
+               let $custs := view("default")/customer/row[./rid = $r/rid]
+               where count($custs) >= 2
+               return <region name={$r/name}>
+                 { for $c in $custs return <customer name={$c/name}>
+                     { for $o in view("default")/orders/row[./cid = $c/cid]
+                       return <order><oid>{$o/oid}</oid><total>{$o/total}</total></order> }
+                   </customer> }
+               </region>
+             }</sales>
+           }"#,
+    )
+    .expect("view");
+
+    quark.register_action("page_oncall", |_db, call| {
+        println!("[page] {} -> {}", call.trigger, call.params[0]);
+        Ok(())
+    });
+
+    // Forty structurally similar triggers (one per watched region name ×
+    // 20 subscribers): one translation, one constants table.
+    for i in 0..20 {
+        for region in ["north", "south"] {
+            create_trigger(
+                &mut quark,
+                &format!(
+                    "create trigger W_{region}_{i} after update on view('sales')/region \
+                     where OLD_NODE/@name = '{region}' do page_oncall(NEW_NODE)"
+                ),
+            )
+            .expect("trigger");
+        }
+    }
+    println!(
+        "{} XML triggers -> {} SQL triggers in {} group(s)\n",
+        quark.xml_trigger_count(),
+        quark.sql_trigger_count(),
+        quark.group_count()
+    );
+
+    println!("== one order total changes in the north region ==");
+    println!("   (all 20 'north' subscribers fire; 'south' ones stay quiet)\n");
+    quark
+        .db
+        .update_by_key("orders", &[Value::Int(100)], &[(2, Value::Double(999.0))])
+        .expect("update");
+}

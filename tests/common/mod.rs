@@ -1,0 +1,83 @@
+//! Shared helpers for the integration suite: the paper's catalog system
+//! with a recording notification action.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use quark_core::relational::{Database, Result, Value};
+use quark_core::xml::XmlNodeRef;
+use quark_core::xqgm::fixtures::{catalog_path_graph, product_vendor_db};
+use quark_core::xqgm::{Graph, KeyedGraph};
+use quark_core::{ActionCall, Mode, PathGraph, Quark, XmlView};
+
+/// One recorded firing: `(trigger name, params)`.
+pub type Firing = (String, Vec<Value>);
+
+/// A log of action invocations shared with the system.
+#[derive(Clone, Default)]
+pub struct Log(pub Arc<Mutex<Vec<Firing>>>);
+
+impl Log {
+    pub fn take(&self) -> Vec<Firing> {
+        std::mem::take(&mut self.0.lock().unwrap())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().len()
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Build the catalog Path graph (`view('catalog')/product`) over `db`.
+pub fn catalog_path(db: &Database) -> PathGraph {
+    let mut g = Graph::new();
+    let (top, _) = catalog_path_graph(&mut g);
+    let (kg, root) = KeyedGraph::normalize(&g, top, db).expect("normalize");
+    let mut attr_cols = HashMap::new();
+    attr_cols.insert("name".to_string(), 0);
+    PathGraph { kg, root, node_col: 1, attr_cols }
+}
+
+/// A Quark system over the Figure-2 database with the catalog view
+/// registered and a `notify` action that records firings.
+pub fn catalog_system(mode: Mode) -> (Quark, Log) {
+    let db = product_vendor_db();
+    let pg = catalog_path(&db);
+    let mut quark = Quark::new(db, mode);
+    quark.register_view(XmlView::new("catalog").with_anchor("product", pg));
+    let log = Log::default();
+    let sink = log.clone();
+    quark.register_action("notify", move |_db: &mut Database, call: &ActionCall| {
+        sink.0.lock().unwrap().push((call.trigger.clone(), call.params.clone()));
+        Ok(())
+    });
+    (quark, log)
+}
+
+/// First XML param of a firing.
+#[allow(dead_code)]
+pub fn node_param(firing: &Firing) -> XmlNodeRef {
+    match &firing.1[0] {
+        Value::Xml(x) => x.clone(),
+        other => panic!("expected XML param, got {other:?}"),
+    }
+}
+
+#[allow(dead_code)]
+pub fn all_modes() -> [Mode; 3] {
+    [Mode::Ungrouped, Mode::Grouped, Mode::GroupedAgg]
+}
+
+#[allow(dead_code)]
+pub fn update_price(db: &mut Database, vid: &str, pid: &str, price: f64) -> Result<()> {
+    db.update_by_key(
+        "vendor",
+        &[Value::str(vid), Value::str(pid)],
+        &[(2, Value::Double(price))],
+    )
+    .map(|_| ())
+}

@@ -1,0 +1,202 @@
+//! Differential testing: random statement sequences against the catalog
+//! view, comparing the translated triggers' firings (all three modes) with
+//! the materialize-and-diff oracle's Definitions-2/3 semantics — including
+//! the full `OLD_NODE`/`NEW_NODE` values.
+
+mod common;
+
+use std::collections::BTreeSet;
+
+use common::{catalog_path, Log};
+use proptest::prelude::*;
+use quark_core::oracle::changes_of;
+use quark_core::relational::{Database, Result as DbResult, Value};
+use quark_core::xqgm::fixtures::product_vendor_db;
+use quark_core::{
+    Action, ActionParam, Condition, Mode, Quark, TriggerSpec, XmlEvent, XmlView,
+};
+
+/// A randomized, always-applicable operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Set vendor (vid, pid) to price p — insert or update as needed.
+    SetVendor(usize, usize, u32),
+    /// Remove vendor (vid, pid) if present.
+    DropVendor(usize, usize),
+    /// Rename product pid (cycling through a name pool).
+    Rename(usize, usize),
+    /// Set product pid's mfr (never visible in the view).
+    SetMfr(usize, usize),
+}
+
+const VIDS: [&str; 4] = ["Amazon", "Bestbuy", "Circuitcity", "Buy.com"];
+const PIDS: [&str; 4] = ["P1", "P2", "P3", "P4"];
+const NAMES: [&str; 4] = ["CRT 15", "LCD 19", "OLED 42", "Plasma 50"];
+const MFRS: [&str; 3] = ["Samsung", "LG", "Viewsonic"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..4usize, 0..4usize, 1..400u32).prop_map(|(v, p, c)| Op::SetVendor(v, p, c)),
+        (0..4usize, 0..4usize).prop_map(|(v, p)| Op::DropVendor(v, p)),
+        (0..4usize, 0..4usize).prop_map(|(p, n)| Op::Rename(p, n)),
+        (0..4usize, 0..3usize).prop_map(|(p, m)| Op::SetMfr(p, m)),
+    ]
+}
+
+/// Apply one op as a single SQL statement (no-op when the target state is
+/// already in place, so every system sees identical statements).
+fn apply(db: &mut Database, op: &Op) -> DbResult<bool> {
+    match op {
+        Op::SetVendor(v, p, cents) => {
+            let key = [Value::str(VIDS[*v]), Value::str(PIDS[*p])];
+            let price = Value::Double(*cents as f64 / 2.0);
+            if db.table("vendor")?.get(&key).is_some() {
+                db.update_by_key("vendor", &key, &[(2, price)])?;
+            } else {
+                // The product may not exist (P4 initially): create it first
+                // so FK-style joins behave.
+                let pkey = [Value::str(PIDS[*p])];
+                if db.table("product")?.get(&pkey).is_none() {
+                    db.insert(
+                        "product",
+                        vec![vec![
+                            Value::str(PIDS[*p]),
+                            Value::str(NAMES[*p]),
+                            Value::str(MFRS[0]),
+                        ]],
+                    )?;
+                }
+                db.insert(
+                    "vendor",
+                    vec![vec![key[0].clone(), key[1].clone(), price]],
+                )?;
+            }
+            Ok(true)
+        }
+        Op::DropVendor(v, p) => {
+            let key = [Value::str(VIDS[*v]), Value::str(PIDS[*p])];
+            db.delete_by_key("vendor", &key)
+        }
+        Op::Rename(p, n) => {
+            let key = [Value::str(PIDS[*p])];
+            if db.table("product")?.get(&key).is_none() {
+                return Ok(false);
+            }
+            db.update_by_key("product", &key, &[(1, Value::str(NAMES[*n]))])
+        }
+        Op::SetMfr(p, m) => {
+            let key = [Value::str(PIDS[*p])];
+            if db.table("product")?.get(&key).is_none() {
+                return Ok(false);
+            }
+            db.update_by_key("product", &key, &[(2, Value::str(MFRS[*m]))])
+        }
+    }
+}
+
+/// `(event, key, old serialization, new serialization)`.
+type Observed = (String, String, String, String);
+
+fn watch_all(mode: Mode) -> (Quark, Log) {
+    let db = product_vendor_db();
+    let pg = catalog_path(&db);
+    let mut quark = Quark::new(db, mode);
+    quark.register_view(XmlView::new("catalog").with_anchor("product", pg));
+    let log = Log::default();
+    for (event, name) in [
+        (XmlEvent::Insert, "ins"),
+        (XmlEvent::Update, "upd"),
+        (XmlEvent::Delete, "del"),
+    ] {
+        let sink = log.clone();
+        quark.register_action(format!("record_{name}"), move |_db, call| {
+            sink.0.lock().unwrap().push((call.trigger.clone(), call.params.clone()));
+            Ok(())
+        });
+        quark
+            .create_trigger(TriggerSpec {
+                name: format!("watch_{name}"),
+                event,
+                view: "catalog".into(),
+                anchor: "product".into(),
+                condition: Condition::True,
+                action: Action {
+                    function: format!("record_{name}"),
+                    params: vec![ActionParam::OldNode, ActionParam::NewNode],
+                },
+            })
+            .expect("trigger");
+    }
+    (quark, log)
+}
+
+fn observed_set(log: &Log) -> BTreeSet<Observed> {
+    log.take()
+        .into_iter()
+        .map(|(trigger, params)| {
+            let event = trigger.trim_start_matches("watch_").to_string();
+            let render = |v: &Value| match v {
+                Value::Xml(x) => x.to_xml(),
+                _ => String::new(),
+            };
+            let old = render(&params[0]);
+            let new = render(&params[1]);
+            // Key = the product name attribute of whichever side exists.
+            let key = match (&params[0], &params[1]) {
+                (_, Value::Xml(x)) => x.attr("name").unwrap_or_default().to_string(),
+                (Value::Xml(x), _) => x.attr("name").unwrap_or_default().to_string(),
+                _ => String::new(),
+            };
+            (event, key, old, new)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// For every statement in a random sequence, each translation mode
+    /// fires exactly the events the oracle derives from Definitions 2-3,
+    /// with byte-identical OLD/NEW node serializations.
+    #[test]
+    fn translated_triggers_match_oracle(ops in proptest::collection::vec(op_strategy(), 1..10)) {
+        let (mut ungrouped, log_u) = watch_all(Mode::Ungrouped);
+        let (mut grouped, log_g) = watch_all(Mode::Grouped);
+        let (mut agg, log_a) = watch_all(Mode::GroupedAgg);
+        let pg = catalog_path(&ungrouped.db);
+
+        for op in &ops {
+            // Oracle: expected changes for this statement, from the current
+            // state (identical across systems).
+            let expected: BTreeSet<Observed> = changes_of(&pg, &ungrouped.db, |db| {
+                apply(db, op).map(|_| ())
+            })
+            .expect("oracle")
+            .into_iter()
+            .map(|c| {
+                let event = match c.event {
+                    XmlEvent::Insert => "ins",
+                    XmlEvent::Update => "upd",
+                    XmlEvent::Delete => "del",
+                }
+                .to_string();
+                let key = c.key[0].to_string();
+                let old = c.old.map(|x| x.to_xml()).unwrap_or_default();
+                let new = c.new.map(|x| x.to_xml()).unwrap_or_default();
+                (event, key, old, new)
+            })
+            .collect();
+
+            apply(&mut ungrouped.db, op).expect("apply ungrouped");
+            apply(&mut grouped.db, op).expect("apply grouped");
+            apply(&mut agg.db, op).expect("apply agg");
+
+            let got_u = observed_set(&log_u);
+            let got_g = observed_set(&log_g);
+            let got_a = observed_set(&log_a);
+            prop_assert_eq!(&got_u, &expected, "UNGROUPED vs oracle on {:?}", op);
+            prop_assert_eq!(&got_g, &expected, "GROUPED vs oracle on {:?}", op);
+            prop_assert_eq!(&got_a, &expected, "GROUPED-AGG vs oracle on {:?}", op);
+        }
+    }
+}

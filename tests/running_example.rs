@@ -1,0 +1,288 @@
+//! End-to-end reproduction of the paper's running example (§2.2):
+//!
+//! ```text
+//! CREATE TRIGGER Notify AFTER Update
+//! ON view('catalog')/product
+//! WHERE OLD_NODE/@name = 'CRT 15'
+//! DO notifySmith(NEW_NODE)
+//! ```
+//!
+//! exercised across all three translation modes.
+
+mod common;
+
+use common::{all_modes, catalog_system, node_param, update_price};
+use quark_core::relational::expr::BinOp;
+use quark_core::relational::Value;
+use quark_core::{
+    Action, ActionParam, Condition, Mode, NodePath, NodeRef, TriggerSpec, XmlEvent,
+};
+
+fn notify_trigger(name: &str, product_name: &str) -> TriggerSpec {
+    TriggerSpec {
+        name: name.to_string(),
+        event: XmlEvent::Update,
+        view: "catalog".into(),
+        anchor: "product".into(),
+        condition: Condition::cmp(
+            NodePath::attr(NodeRef::Old, "name"),
+            BinOp::Eq,
+            product_name,
+        ),
+        action: Action { function: "notify".into(), params: vec![ActionParam::NewNode] },
+    }
+}
+
+/// §2.2: "the trigger will be fired not only for direct updates to a
+/// <product> element, but also for updates to its descendant nodes (i.e.
+/// vendors selling that product)".
+#[test]
+fn price_update_fires_notify_with_new_node() {
+    for mode in all_modes() {
+        let (mut quark, log) = catalog_system(mode);
+        quark.create_trigger(notify_trigger("Notify", "CRT 15")).unwrap();
+
+        update_price(&mut quark.db, "Amazon", "P1", 75.0).unwrap();
+
+        let firings = log.take();
+        assert_eq!(firings.len(), 1, "{mode:?}: expected one firing, got {firings:?}");
+        assert_eq!(firings[0].0, "Notify");
+        let node = node_param(&firings[0]);
+        assert_eq!(node.attr("name"), Some("CRT 15"), "{mode:?}");
+        // NEW_NODE carries the post-update price and all five vendors
+        // ("CRT 15" groups P1 and P3).
+        assert_eq!(node.children_named("vendor").count(), 5, "{mode:?}");
+        let texts: Vec<String> = node
+            .descendants_named("price")
+            .iter()
+            .map(|p| p.text_content())
+            .collect();
+        assert!(texts.contains(&"75".to_string()), "{mode:?}: {texts:?}");
+        assert!(!texts.contains(&"100".to_string()), "{mode:?}: {texts:?}");
+    }
+}
+
+/// Updates to other products do not satisfy the WHERE clause.
+#[test]
+fn non_matching_product_does_not_fire() {
+    for mode in all_modes() {
+        let (mut quark, log) = catalog_system(mode);
+        quark.create_trigger(notify_trigger("Notify", "CRT 15")).unwrap();
+        update_price(&mut quark.db, "Buy.com", "P2", 190.0).unwrap();
+        assert_eq!(log.len(), 0, "{mode:?}");
+    }
+}
+
+/// The §4.1 nested-predicate counter-example: inserting a vendor row for
+/// P2 is an *update* of the "LCD 19" product node. A naive
+/// transition-table substitution would miss it (count = 1 < 2); the
+/// affected-keys algorithm must not.
+#[test]
+fn vendor_insert_is_an_update_of_the_product_node() {
+    for mode in all_modes() {
+        let (mut quark, log) = catalog_system(mode);
+        quark.create_trigger(notify_trigger("NotifyLcd", "LCD 19")).unwrap();
+        quark
+            .db
+            .insert(
+                "vendor",
+                vec![vec![Value::str("Amazon"), Value::str("P2"), Value::Double(500.0)]],
+            )
+            .unwrap();
+        let firings = log.take();
+        assert_eq!(firings.len(), 1, "{mode:?}");
+        let node = node_param(&firings[0]);
+        assert_eq!(node.children_named("vendor").count(), 3, "{mode:?}");
+    }
+}
+
+/// Updating `product.mfr` — a column the view never exposes — must not
+/// fire the trigger (spurious-update suppression; Appendix E.1/F).
+#[test]
+fn mfr_only_update_does_not_fire() {
+    for mode in all_modes() {
+        let (mut quark, log) = catalog_system(mode);
+        quark.create_trigger(notify_trigger("Notify", "CRT 15")).unwrap();
+        quark
+            .db
+            .update_by_key("product", &[Value::str("P1")], &[(2, Value::str("LG"))])
+            .unwrap();
+        assert_eq!(log.len(), 0, "{mode:?}");
+    }
+}
+
+/// A no-op UPDATE statement (price rewritten to the same value) must not
+/// fire (pruned transition tables, Appendix F).
+#[test]
+fn noop_update_does_not_fire() {
+    for mode in all_modes() {
+        let (mut quark, log) = catalog_system(mode);
+        quark.create_trigger(notify_trigger("Notify", "CRT 15")).unwrap();
+        update_price(&mut quark.db, "Amazon", "P1", 100.0).unwrap(); // same price
+        assert_eq!(log.len(), 0, "{mode:?}");
+    }
+}
+
+/// INSERT triggers: a brand-new product group entering the view.
+#[test]
+fn insert_trigger_fires_for_new_qualifying_product() {
+    for mode in all_modes() {
+        let (mut quark, log) = catalog_system(mode);
+        quark
+            .create_trigger(TriggerSpec {
+                name: "NewProduct".into(),
+                event: XmlEvent::Insert,
+                view: "catalog".into(),
+                anchor: "product".into(),
+                condition: Condition::True,
+                action: Action {
+                    function: "notify".into(),
+                    params: vec![ActionParam::NewNode],
+                },
+            })
+            .unwrap();
+
+        quark
+            .db
+            .insert(
+                "product",
+                vec![vec![Value::str("P4"), Value::str("OLED 42"), Value::str("LG")]],
+            )
+            .unwrap();
+        // One vendor: still below the count(*) >= 2 threshold.
+        quark
+            .db
+            .insert(
+                "vendor",
+                vec![vec![Value::str("Amazon"), Value::str("P4"), Value::Double(900.0)]],
+            )
+            .unwrap();
+        assert_eq!(log.len(), 0, "{mode:?}: one vendor is not enough");
+        // Second vendor pushes it over the threshold: the node appears.
+        quark
+            .db
+            .insert(
+                "vendor",
+                vec![vec![Value::str("Bestbuy"), Value::str("P4"), Value::Double(950.0)]],
+            )
+            .unwrap();
+        let firings = log.take();
+        assert_eq!(firings.len(), 1, "{mode:?}");
+        let node = node_param(&firings[0]);
+        assert_eq!(node.attr("name"), Some("OLED 42"), "{mode:?}");
+        assert_eq!(node.children_named("vendor").count(), 2, "{mode:?}");
+    }
+}
+
+/// DELETE triggers: the node leaves the view when its vendor count drops
+/// below two, and OLD_NODE carries the pre-statement content.
+#[test]
+fn delete_trigger_fires_when_product_leaves_view() {
+    for mode in all_modes() {
+        let (mut quark, log) = catalog_system(mode);
+        quark
+            .create_trigger(TriggerSpec {
+                name: "Gone".into(),
+                event: XmlEvent::Delete,
+                view: "catalog".into(),
+                anchor: "product".into(),
+                condition: Condition::cmp(
+                    NodePath::attr(NodeRef::Old, "name"),
+                    BinOp::Eq,
+                    "LCD 19",
+                ),
+                action: Action {
+                    function: "notify".into(),
+                    params: vec![ActionParam::OldNode],
+                },
+            })
+            .unwrap();
+
+        quark
+            .db
+            .delete_by_key("vendor", &[Value::str("Buy.com"), Value::str("P2")])
+            .unwrap();
+        let firings = log.take();
+        assert_eq!(firings.len(), 1, "{mode:?}");
+        let node = node_param(&firings[0]);
+        assert_eq!(node.attr("name"), Some("LCD 19"), "{mode:?}");
+        assert_eq!(node.children_named("vendor").count(), 2, "{mode:?}");
+    }
+}
+
+/// Deleting one of three vendors keeps the product in the view: an UPDATE,
+/// not a DELETE.
+#[test]
+fn partial_vendor_delete_is_an_update_not_a_delete() {
+    for mode in all_modes() {
+        let (mut quark, log) = catalog_system(mode);
+        quark.create_trigger(notify_trigger("Upd", "CRT 15")).unwrap();
+        quark
+            .create_trigger(TriggerSpec {
+                name: "Gone".into(),
+                event: XmlEvent::Delete,
+                view: "catalog".into(),
+                anchor: "product".into(),
+                condition: Condition::True,
+                action: Action {
+                    function: "notify".into(),
+                    params: vec![ActionParam::OldNode],
+                },
+            })
+            .unwrap();
+        quark
+            .db
+            .delete_by_key("vendor", &[Value::str("Amazon"), Value::str("P1")])
+            .unwrap();
+        let firings = log.take();
+        assert_eq!(firings.len(), 1, "{mode:?}: {firings:?}");
+        assert_eq!(firings[0].0, "Upd", "{mode:?}");
+        let node = node_param(&firings[0]);
+        assert_eq!(node.children_named("vendor").count(), 4, "{mode:?}");
+    }
+}
+
+/// Grouped modes share SQL triggers across structurally similar XML
+/// triggers; ungrouped does not (§5.1 / Fig. 17's premise).
+#[test]
+fn grouping_shares_sql_triggers() {
+    let (mut grouped, _) = catalog_system(Mode::Grouped);
+    let (mut ungrouped, _) = catalog_system(Mode::Ungrouped);
+    for (i, name) in ["CRT 15", "LCD 19", "Plasma 50"].iter().enumerate() {
+        grouped.create_trigger(notify_trigger(&format!("g{i}"), name)).unwrap();
+        ungrouped.create_trigger(notify_trigger(&format!("u{i}"), name)).unwrap();
+    }
+    assert_eq!(grouped.group_count(), 1);
+    assert_eq!(ungrouped.group_count(), 3);
+    assert_eq!(grouped.sql_trigger_count() * 3, ungrouped.sql_trigger_count());
+    // All three XML triggers are registered in both systems.
+    assert_eq!(grouped.xml_trigger_count(), 3);
+    assert_eq!(ungrouped.xml_trigger_count(), 3);
+}
+
+/// Two triggers with the same constant share a constants-table row; both
+/// fire on a matching update.
+#[test]
+fn same_constant_triggers_share_set_and_both_fire() {
+    let (mut quark, log) = catalog_system(Mode::Grouped);
+    quark.create_trigger(notify_trigger("T1", "CRT 15")).unwrap();
+    quark.create_trigger(notify_trigger("T2", "CRT 15")).unwrap();
+    quark.create_trigger(notify_trigger("T3", "LCD 19")).unwrap();
+    update_price(&mut quark.db, "Amazon", "P1", 75.0).unwrap();
+    let mut fired: Vec<String> = log.take().into_iter().map(|f| f.0).collect();
+    fired.sort();
+    assert_eq!(fired, vec!["T1".to_string(), "T2".to_string()]);
+}
+
+/// Dropping the last trigger of a group removes its SQL triggers.
+#[test]
+fn drop_trigger_cleans_up_group() {
+    let (mut quark, log) = catalog_system(Mode::Grouped);
+    quark.create_trigger(notify_trigger("T1", "CRT 15")).unwrap();
+    let sql_count = quark.sql_trigger_count();
+    assert!(sql_count > 0);
+    quark.drop_trigger("T1").unwrap();
+    assert_eq!(quark.sql_trigger_count(), 0);
+    update_price(&mut quark.db, "Amazon", "P1", 75.0).unwrap();
+    assert_eq!(log.len(), 0);
+}

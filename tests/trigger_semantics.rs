@@ -1,0 +1,302 @@
+//! Trigger-semantics edge cases: spurious-update suppression for
+//! non-injective views (Appendix E.1 / F), condition evaluation paths, and
+//! event classification corners.
+
+mod common;
+
+use std::collections::HashMap;
+
+use common::{all_modes, catalog_system, node_param, update_price, Log};
+use quark_core::relational::expr::BinOp;
+use quark_core::relational::{Database, Value};
+use quark_core::xqgm::fixtures::{minprice_path_graph, product_vendor_db};
+use quark_core::xqgm::{Graph, KeyedGraph};
+use quark_core::{
+    Action, ActionParam, Condition, CondValue, Mode, NodePath, NodeRef, PathGraph, Quark, Step,
+    TriggerSpec, XmlEvent, XmlView,
+};
+
+fn minprice_system(mode: Mode) -> (Quark, Log) {
+    let db = product_vendor_db();
+    let mut g = Graph::new();
+    let top = minprice_path_graph(&mut g);
+    let (kg, root) = KeyedGraph::normalize(&g, top, &db).unwrap();
+    let mut attr_cols = HashMap::new();
+    attr_cols.insert("name".to_string(), 0);
+    let pg = PathGraph { kg, root, node_col: 1, attr_cols };
+    let mut quark = Quark::new(db, mode);
+    quark.register_view(XmlView::new("minprice").with_anchor("product", pg));
+    let log = Log::default();
+    let sink = log.clone();
+    quark.register_action("notify", move |_db: &mut Database, call| {
+        sink.0.lock().unwrap().push((call.trigger.clone(), call.params.clone()));
+        Ok(())
+    });
+    (quark, log)
+}
+
+fn minprice_trigger(name: &str) -> TriggerSpec {
+    TriggerSpec {
+        name: name.into(),
+        event: XmlEvent::Update,
+        view: "minprice".into(),
+        anchor: "product".into(),
+        condition: Condition::True,
+        action: Action { function: "notify".into(), params: vec![ActionParam::NewNode] },
+    }
+}
+
+/// Appendix E.1's spurious-update example: changing a non-minimum price
+/// leaves the min-price node unchanged; the trigger must NOT fire. The
+/// min-price view is not injective (min() is lossy), so this exercises the
+/// explicit `OLD_NODE != NEW_NODE` check.
+#[test]
+fn non_minimum_price_change_is_suppressed() {
+    for mode in all_modes() {
+        let (mut quark, log) = minprice_system(mode);
+        quark.create_trigger(minprice_trigger("MinWatch")).unwrap();
+        // CRT 15 groups P1{100,120,150} and P3{120,140}: min is 100.
+        // Raising Circuitcity P1 from 150 to 160 keeps min = 100.
+        update_price(&mut quark.db, "Circuitcity", "P1", 160.0).unwrap();
+        assert_eq!(log.len(), 0, "{mode:?}: spurious update fired");
+        // Changing the actual minimum fires.
+        update_price(&mut quark.db, "Amazon", "P1", 50.0).unwrap();
+        let firings = log.take();
+        assert_eq!(firings.len(), 1, "{mode:?}");
+        let node = node_param(&firings[0]);
+        assert_eq!(
+            node.children_named("min").next().unwrap().text_content(),
+            "50",
+            "{mode:?}"
+        );
+    }
+}
+
+/// Conditions with nested step predicates cannot be pushed relationally and
+/// fall back to value-space evaluation; results must be identical.
+#[test]
+fn residual_condition_with_step_predicate() {
+    for mode in all_modes() {
+        let (mut quark, log) = catalog_system(mode);
+        // count(NEW_NODE/vendor[./price < 110]) >= 1 -- the nested shape
+        // discussed in section 5.1.
+        let pred = Condition::cmp(
+            NodePath::child(NodeRef::Context, "price"),
+            BinOp::Lt,
+            Value::Int(110),
+        );
+        quark
+            .create_trigger(TriggerSpec {
+                name: "Cheap".into(),
+                event: XmlEvent::Update,
+                view: "catalog".into(),
+                anchor: "product".into(),
+                condition: Condition::Cmp {
+                    left: CondValue::Count(NodePath {
+                        base: NodeRef::New,
+                        steps: vec![Step::Child("vendor".into(), Some(Box::new(pred)))],
+                    }),
+                    op: BinOp::Ge,
+                    right: CondValue::Const(Value::Int(1)),
+                },
+                action: Action {
+                    function: "notify".into(),
+                    params: vec![ActionParam::NewNode],
+                },
+            })
+            .unwrap();
+
+        // 100 -> 105: still a vendor under 110 -> fires.
+        update_price(&mut quark.db, "Amazon", "P1", 105.0).unwrap();
+        assert_eq!(log.take().len(), 1, "{mode:?}");
+        // 105 -> 130: no vendor under 110 anymore -> node updates, but the
+        // condition is false.
+        update_price(&mut quark.db, "Amazon", "P1", 130.0).unwrap();
+        assert_eq!(log.len(), 0, "{mode:?}");
+    }
+}
+
+/// Conditions touching deep OLD content force the old side to construct
+/// nodes (no skeleton); verify correct OLD values flow into conditions.
+#[test]
+fn old_content_condition_forces_full_old_side() {
+    for mode in all_modes() {
+        let (mut quark, log) = catalog_system(mode);
+        // Fire only when the OLD node still had a vendor under 110.
+        quark
+            .create_trigger(TriggerSpec {
+                name: "WasCheap".into(),
+                event: XmlEvent::Update,
+                view: "catalog".into(),
+                anchor: "product".into(),
+                condition: Condition::Cmp {
+                    left: CondValue::Path(NodePath {
+                        base: NodeRef::Old,
+                        steps: vec![
+                            Step::Child("vendor".into(), None),
+                            Step::Child("price".into(), None),
+                        ],
+                    }),
+                    op: BinOp::Lt,
+                    right: CondValue::Const(Value::Int(110)),
+                },
+                action: Action {
+                    function: "notify".into(),
+                    params: vec![ActionParam::OldNode],
+                },
+            })
+            .unwrap();
+
+        // OLD has Amazon at 100 (< 110): fires.
+        update_price(&mut quark.db, "Amazon", "P1", 200.0).unwrap();
+        assert_eq!(log.take().len(), 1, "{mode:?}");
+        // Now OLD min is 120: does not fire.
+        update_price(&mut quark.db, "Amazon", "P1", 250.0).unwrap();
+        assert_eq!(log.len(), 0, "{mode:?}");
+    }
+}
+
+/// INSERT conditions referencing NEW attributes are honoured.
+#[test]
+fn insert_condition_on_new_attribute() {
+    for mode in all_modes() {
+        let (mut quark, log) = catalog_system(mode);
+        quark
+            .create_trigger(TriggerSpec {
+                name: "NewOled".into(),
+                event: XmlEvent::Insert,
+                view: "catalog".into(),
+                anchor: "product".into(),
+                condition: Condition::cmp(
+                    NodePath::attr(NodeRef::New, "name"),
+                    BinOp::Eq,
+                    "OLED 42",
+                ),
+                action: Action {
+                    function: "notify".into(),
+                    params: vec![ActionParam::NewNode],
+                },
+            })
+            .unwrap();
+        quark
+            .db
+            .insert(
+                "product",
+                vec![
+                    vec![Value::str("P4"), Value::str("OLED 42"), Value::str("LG")],
+                    vec![Value::str("P5"), Value::str("QLED 55"), Value::str("Samsung")],
+                ],
+            )
+            .unwrap();
+        quark
+            .db
+            .insert(
+                "vendor",
+                vec![
+                    vec![Value::str("Amazon"), Value::str("P4"), Value::Double(1.0)],
+                    vec![Value::str("Bestbuy"), Value::str("P4"), Value::Double(2.0)],
+                    vec![Value::str("Amazon"), Value::str("P5"), Value::Double(3.0)],
+                    vec![Value::str("Bestbuy"), Value::str("P5"), Value::Double(4.0)],
+                ],
+            )
+            .unwrap();
+        // Both products appear, only OLED 42 matches the condition.
+        let firings = log.take();
+        assert_eq!(firings.len(), 1, "{mode:?}: {firings:?}");
+        assert_eq!(node_param(&firings[0]).attr("name"), Some("OLED 42"), "{mode:?}");
+    }
+}
+
+/// One statement updating multiple rows fires per affected node, once each.
+#[test]
+fn multi_row_statement_fires_per_affected_node() {
+    for mode in all_modes() {
+        let (mut quark, log) = catalog_system(mode);
+        quark
+            .create_trigger(TriggerSpec {
+                name: "All".into(),
+                event: XmlEvent::Update,
+                view: "catalog".into(),
+                anchor: "product".into(),
+                condition: Condition::True,
+                action: Action {
+                    function: "notify".into(),
+                    params: vec![ActionParam::NewNode],
+                },
+            })
+            .unwrap();
+        // Raise every Bestbuy price: affects CRT 15 (P1+P3) and LCD 19 (P2).
+        quark
+            .db
+            .update_where(
+                "vendor",
+                |r| r[0] == Value::str("Bestbuy"),
+                |r| {
+                    let mut v = r.to_vec();
+                    let Value::Double(p) = v[2] else { unreachable!() };
+                    v[2] = Value::Double(p + 1.0);
+                    v
+                },
+            )
+            .unwrap();
+        let mut names: Vec<String> = log
+            .take()
+            .iter()
+            .map(|f| node_param(f).attr("name").unwrap().to_string())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["CRT 15".to_string(), "LCD 19".to_string()], "{mode:?}");
+    }
+}
+
+/// Unregistered action functions surface as errors at fire time.
+#[test]
+fn unregistered_action_errors_at_fire_time() {
+    let (mut quark, _log) = catalog_system(Mode::Grouped);
+    quark
+        .create_trigger(TriggerSpec {
+            name: "Bad".into(),
+            event: XmlEvent::Update,
+            view: "catalog".into(),
+            anchor: "product".into(),
+            condition: Condition::True,
+            action: Action { function: "no_such_fn".into(), params: vec![] },
+        })
+        .unwrap();
+    let err = update_price(&mut quark.db, "Amazon", "P1", 75.0).unwrap_err();
+    assert!(err.to_string().contains("no_such_fn"), "{err}");
+}
+
+/// Triggers on unknown views or anchors are rejected at creation.
+#[test]
+fn unknown_view_or_anchor_rejected() {
+    let (mut quark, _log) = catalog_system(Mode::Grouped);
+    let mut spec = TriggerSpec {
+        name: "X".into(),
+        event: XmlEvent::Update,
+        view: "nope".into(),
+        anchor: "product".into(),
+        condition: Condition::True,
+        action: Action { function: "notify".into(), params: vec![] },
+    };
+    assert!(quark.create_trigger(spec.clone()).is_err());
+    spec.view = "catalog".into();
+    spec.anchor = "vendor".into();
+    assert!(quark.create_trigger(spec).is_err());
+}
+
+/// Duplicate trigger names are rejected.
+#[test]
+fn duplicate_trigger_name_rejected() {
+    let (mut quark, _log) = catalog_system(Mode::Grouped);
+    let spec = TriggerSpec {
+        name: "Dup".into(),
+        event: XmlEvent::Update,
+        view: "catalog".into(),
+        anchor: "product".into(),
+        condition: Condition::True,
+        action: Action { function: "notify".into(), params: vec![] },
+    };
+    quark.create_trigger(spec.clone()).unwrap();
+    assert!(quark.create_trigger(spec).is_err());
+}

@@ -1,0 +1,188 @@
+//! Full-syntax pipeline: XQuery view definitions and `CREATE TRIGGER`
+//! statements parsed from text, translated, and fired.
+
+use std::sync::{Arc, Mutex};
+
+use quark_core::relational::{ColumnDef, ColumnType, Database, TableSchema, Value};
+use quark_core::{Mode, Quark};
+
+fn orders_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "customer",
+            vec![
+                ColumnDef::new("cid", ColumnType::Int),
+                ColumnDef::new("name", ColumnType::Str),
+            ],
+            &["cid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("oid", ColumnType::Int),
+                ColumnDef::new("cid", ColumnType::Int),
+                ColumnDef::new("total", ColumnType::Double),
+            ],
+            &["oid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_index("orders", "cid").unwrap();
+    db.load(
+        "customer",
+        vec![
+            vec![Value::Int(1), Value::str("ada")],
+            vec![Value::Int(2), Value::str("bob")],
+        ],
+    )
+    .unwrap();
+    db.load(
+        "orders",
+        vec![
+            vec![Value::Int(10), Value::Int(1), Value::Double(120.0)],
+            vec![Value::Int(11), Value::Int(1), Value::Double(80.0)],
+            vec![Value::Int(12), Value::Int(2), Value::Double(300.0)],
+            vec![Value::Int(13), Value::Int(2), Value::Double(20.0)],
+        ],
+    )
+    .unwrap();
+    db
+}
+
+const VIEW: &str = r#"
+    create view accounts as {
+      <accounts>{
+        for $c in view("default")/customer/row
+        let $orders := view("default")/orders/row[./cid = $c/cid]
+        where count($orders) >= 2
+        return <customer name={$c/name}>
+          { for $o in $orders return <order><oid>{$o/oid}</oid><total>{$o/total}</total></order> }
+        </customer>
+      }</accounts>
+    }"#;
+
+fn system(mode: Mode) -> (Quark, Arc<Mutex<Vec<(String, String)>>>) {
+    let mut quark = Quark::new(orders_db(), mode);
+    quark_xquery::register_view(&mut quark, VIEW).unwrap();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&log);
+    quark.register_action("alert", move |_db, call| {
+        sink.lock().unwrap().push((call.trigger.clone(), call.params[0].to_string()));
+        Ok(())
+    });
+    (quark, log)
+}
+
+#[test]
+fn parsed_trigger_with_attr_condition_fires() {
+    for mode in [Mode::Ungrouped, Mode::Grouped, Mode::GroupedAgg] {
+        let (mut quark, log) = system(mode);
+        quark_xquery::create_trigger(
+            &mut quark,
+            r#"CREATE TRIGGER AdaWatch AFTER UPDATE
+               ON view('accounts')/customer
+               WHERE OLD_NODE/@name = 'ada'
+               DO alert(NEW_NODE)"#,
+        )
+        .unwrap();
+        // Ada's order total changes: fires.
+        quark
+            .db
+            .update_by_key("orders", &[Value::Int(10)], &[(2, Value::Double(99.0))])
+            .unwrap();
+        // Bob's order changes: no fire.
+        quark
+            .db
+            .update_by_key("orders", &[Value::Int(12)], &[(2, Value::Double(1.0))])
+            .unwrap();
+        let entries = std::mem::take(&mut *log.lock().unwrap());
+        assert_eq!(entries.len(), 1, "{mode:?}: {entries:?}");
+        assert!(entries[0].1.contains("name=\"ada\""), "{mode:?}");
+        assert!(entries[0].1.contains("<total>99</total>"), "{mode:?}");
+    }
+}
+
+#[test]
+fn parsed_quantified_condition() {
+    for mode in [Mode::Grouped, Mode::GroupedAgg] {
+        let (mut quark, log) = system(mode);
+        // Fire when some NEW order exceeds 500.
+        quark_xquery::create_trigger(
+            &mut quark,
+            r#"create trigger Big after update on view('accounts')/customer
+               where some $o in NEW_NODE/order satisfies ./total > 500
+               do alert(NEW_NODE)"#,
+        )
+        .unwrap();
+        quark
+            .db
+            .update_by_key("orders", &[Value::Int(10)], &[(2, Value::Double(200.0))])
+            .unwrap();
+        assert!(log.lock().unwrap().is_empty(), "{mode:?}");
+        quark
+            .db
+            .update_by_key("orders", &[Value::Int(10)], &[(2, Value::Double(900.0))])
+            .unwrap();
+        assert_eq!(log.lock().unwrap().len(), 1, "{mode:?}");
+    }
+}
+
+#[test]
+fn parsed_insert_and_delete_triggers() {
+    let (mut quark, log) = system(Mode::GroupedAgg);
+    quark_xquery::create_trigger(
+        &mut quark,
+        "create trigger NewCust after insert on view('accounts')/customer do alert(NEW_NODE)",
+    )
+    .unwrap();
+    quark_xquery::create_trigger(
+        &mut quark,
+        "create trigger GoneCust after delete on view('accounts')/customer do alert(OLD_NODE)",
+    )
+    .unwrap();
+
+    // A new customer with two orders enters the view.
+    quark.db.insert("customer", vec![vec![Value::Int(3), Value::str("eve")]]).unwrap();
+    quark
+        .db
+        .insert(
+            "orders",
+            vec![
+                vec![Value::Int(20), Value::Int(3), Value::Double(5.0)],
+                vec![Value::Int(21), Value::Int(3), Value::Double(6.0)],
+            ],
+        )
+        .unwrap();
+    // Bob drops to one order and leaves the view.
+    quark.db.delete_by_key("orders", &[Value::Int(13)]).unwrap();
+
+    let entries = std::mem::take(&mut *log.lock().unwrap());
+    let names: Vec<&str> = entries.iter().map(|(t, _)| t.as_str()).collect();
+    assert_eq!(names, vec!["NewCust", "GoneCust"], "{entries:?}");
+    assert!(entries[0].1.contains("name=\"eve\""));
+    assert!(entries[1].1.contains("name=\"bob\""));
+}
+
+#[test]
+fn count_condition_from_text() {
+    let (mut quark, log) = system(Mode::Grouped);
+    quark_xquery::create_trigger(
+        &mut quark,
+        r#"create trigger Busy after update on view('accounts')/customer
+           where count(NEW_NODE/order) >= 3 do alert(NEW_NODE)"#,
+    )
+    .unwrap();
+    // Going from 2 to 3 orders is an UPDATE of the customer node with the
+    // count condition now satisfied.
+    quark
+        .db
+        .insert("orders", vec![vec![Value::Int(30), Value::Int(1), Value::Double(1.0)]])
+        .unwrap();
+    assert_eq!(log.lock().unwrap().len(), 1);
+}
