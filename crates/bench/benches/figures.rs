@@ -33,11 +33,9 @@ fn bench_fig17_triggers(c: &mut Criterion) {
             let mut spec = small_spec(mode);
             spec.triggers = n;
             let mut w = build(spec).expect("workload");
-            g.bench_with_input(
-                BenchmarkId::new(format!("{mode:?}"), n),
-                &n,
-                |b, _| b.iter(|| w.one_update().expect("update")),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{mode:?}"), n), &n, |b, _| {
+                b.iter(|| w.one_update().expect("update"))
+            });
         }
     }
     g.finish();
@@ -100,9 +98,11 @@ fn bench_fig24_satisfied(c: &mut Criterion) {
         let mut spec = small_spec(Mode::GroupedAgg);
         spec.satisfied = satisfied;
         let mut w = build(spec).expect("workload");
-        g.bench_with_input(BenchmarkId::new("GroupedAgg", satisfied), &satisfied, |b, _| {
-            b.iter(|| w.one_update().expect("update"))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("GroupedAgg", satisfied),
+            &satisfied,
+            |b, _| b.iter(|| w.one_update().expect("update")),
+        );
     }
     g.finish();
 }
@@ -124,8 +124,7 @@ fn bench_compile_time(c: &mut Criterion) {
                 |mut w| {
                     use quark_core::relational::expr::BinOp;
                     use quark_core::{
-                        Action, ActionParam, Condition, NodePath, NodeRef, TriggerSpec,
-                        XmlEvent,
+                        Action, ActionParam, Condition, NodePath, NodeRef, TriggerSpec, XmlEvent,
                     };
                     w.quark
                         .create_trigger(TriggerSpec {
@@ -157,8 +156,7 @@ fn bench_ablation_materialized(c: &mut Criterion) {
     let mut spec = small_spec(Mode::GroupedAgg);
     spec.triggers = 0;
     spec.satisfied = 0;
-    let mut mat =
-        quark_bench::ablation::materialized_workload(spec).expect("materialized");
+    let mut mat = quark_bench::ablation::materialized_workload(spec).expect("materialized");
     g.bench_function("materialized_strawman", |b| {
         b.iter(|| mat.one_update().expect("update"))
     });

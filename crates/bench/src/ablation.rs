@@ -45,7 +45,12 @@ pub fn materialized_workload(spec: WorkloadSpec) -> Result<MaterializedWorkload>
     inner_spec.triggers = 0;
     inner_spec.satisfied = 0;
     inner_spec.mode = Mode::Grouped;
-    let Workload { quark, leaf_table, hot_leaves, .. } = build(inner_spec)?;
+    let Workload {
+        quark,
+        leaf_table,
+        hot_leaves,
+        ..
+    } = build(inner_spec)?;
     let mut db = quark.db;
 
     let view_spec = crate::chain_view_spec(spec.depth);
@@ -55,8 +60,8 @@ pub fn materialized_workload(spec: WorkloadSpec) -> Result<MaterializedWorkload>
     let events_seen = Arc::new(Mutex::new(0usize));
     let seen = Arc::clone(&events_seen);
     // Materialized state, refreshed on every firing.
-    let state: Arc<Mutex<Option<HashMap<Vec<Value>, quark_core::xml::XmlNodeRef>>>> =
-        Arc::new(Mutex::new(Some(materialize(&pg, &db)?)));
+    type ViewState = Option<HashMap<Vec<Value>, quark_core::xml::XmlNodeRef>>;
+    let state: Arc<Mutex<ViewState>> = Arc::new(Mutex::new(Some(materialize(&pg, &db)?)));
     db.create_trigger(SqlTrigger {
         name: "materialized_maintainer".into(),
         table: leaf_table.clone(),
@@ -66,8 +71,10 @@ pub fn materialized_workload(spec: WorkloadSpec) -> Result<MaterializedWorkload>
             let mut guard = state.lock().expect("state");
             let before = guard.take().expect("state present");
             let changes = diff(&before, &after);
-            *seen.lock().expect("seen") +=
-                changes.iter().filter(|c| c.event == XmlEvent::Update).count();
+            *seen.lock().expect("seen") += changes
+                .iter()
+                .filter(|c| c.event == XmlEvent::Update)
+                .count();
             *guard = Some(after);
             Ok(())
         })),

@@ -22,8 +22,20 @@ struct Args {
     updates: usize,
 }
 
+const USAGE: &str = "\
+Regenerates the paper's measurement figures.
+
+Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|ablations|all] [--quick] [--full-ungrouped]
+
+  --quick           scale workloads down to CI-friendly sizes
+  --full-ungrouped  extend Fig. 17's UNGROUPED sweep beyond 1000 triggers (slow)";
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
     let which = argv
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -37,18 +49,25 @@ fn main() {
         updates: if quick { 20 } else { 100 },
     };
 
-    let run = |name: &str, f: &dyn Fn(&Args)| {
-        if args.which == name || args.which == "all" {
+    type Figure<'a> = (&'a str, &'a dyn Fn(&Args));
+    let figures: &[Figure] = &[
+        ("compile", &compile_time),
+        ("fig17", &fig17),
+        ("fig18", &fig18),
+        ("fig22", &fig22),
+        ("fig24", &fig24),
+        ("fig23", &fig23),
+        ("ablations", &ablations),
+    ];
+    if args.which != "all" && !figures.iter().any(|(name, _)| *name == args.which) {
+        eprintln!("error: unknown figure {:?}\n\n{USAGE}", args.which);
+        std::process::exit(2);
+    }
+    for (name, f) in figures {
+        if args.which == *name || args.which == "all" {
             f(&args);
         }
-    };
-    run("compile", &compile_time);
-    run("fig17", &fig17);
-    run("fig18", &fig18);
-    run("fig22", &fig22);
-    run("fig24", &fig24);
-    run("fig23", &fig23);
-    run("ablations", &ablations);
+    }
 }
 
 fn base_spec(args: &Args, mode: Mode) -> WorkloadSpec {
@@ -82,11 +101,17 @@ fn banner(title: &str, spec: &WorkloadSpec, args: &Args) {
 fn compile_time(args: &Args) {
     let spec = base_spec(args, Mode::GroupedAgg);
     banner("Trigger compile time (§6)", &spec, args);
-    println!("{:<8} {:>20} {:>26}", "depth", "first trigger (ms)", "9999 more, total (ms)");
+    let triggers = if args.quick { 1000 } else { 10_000 };
+    println!(
+        "{:<8} {:>20} {:>26}",
+        "depth",
+        "first trigger (ms)",
+        format!("{} more, total (ms)", triggers - 1)
+    );
     for depth in [2usize, 3, 4, 5] {
         let mut s = spec;
         s.depth = depth;
-        s.triggers = if args.quick { 1000 } else { 10_000 };
+        s.triggers = triggers;
         let w = build(s).expect("workload");
         println!(
             "{:<8} {:>20.3} {:>26.1}",
@@ -142,7 +167,10 @@ fn fig17(args: &Args) {
 fn fig18(args: &Args) {
     let spec = base_spec(args, Mode::Grouped);
     banner("Figure 18: varying the hierarchy depth", &spec, args);
-    println!("{:<8} {:>16} {:>16}", "depth", "GROUPED (ms)", "GROUPED-AGG (ms)");
+    println!(
+        "{:<8} {:>16} {:>16}",
+        "depth", "GROUPED (ms)", "GROUPED-AGG (ms)"
+    );
     for depth in [2usize, 3, 4, 5] {
         let mut row = format!("{depth:<8}");
         for mode in [Mode::Grouped, Mode::GroupedAgg] {
@@ -162,9 +190,15 @@ fn fig18(args: &Args) {
 fn fig22(args: &Args) {
     let spec = base_spec(args, Mode::Grouped);
     banner("Figure 22: varying the fanout", &spec, args);
-    let fanouts: &[usize] =
-        if args.quick { &[16, 32, 64] } else { &[16, 32, 64, 128, 256] };
-    println!("{:<8} {:>16} {:>16}", "fanout", "GROUPED (ms)", "GROUPED-AGG (ms)");
+    let fanouts: &[usize] = if args.quick {
+        &[16, 32, 64]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
+    println!(
+        "{:<8} {:>16} {:>16}",
+        "fanout", "GROUPED (ms)", "GROUPED-AGG (ms)"
+    );
     for &fanout in fanouts {
         let mut row = format!("{fanout:<8}");
         for mode in [Mode::Grouped, Mode::GroupedAgg] {
@@ -187,9 +221,19 @@ fn fig23(args: &Args) {
     let sizes: &[usize] = if args.quick {
         &[8 * 1024, 16 * 1024, 32 * 1024]
     } else {
-        &[32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024]
+        &[
+            32 * 1024,
+            64 * 1024,
+            128 * 1024,
+            256 * 1024,
+            512 * 1024,
+            1024 * 1024,
+        ]
     };
-    println!("{:<12} {:>16} {:>16}", "leaves", "GROUPED (ms)", "GROUPED-AGG (ms)");
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "leaves", "GROUPED (ms)", "GROUPED-AGG (ms)"
+    );
     for &n in sizes {
         let mut row = format!("{n:<12}");
         for mode in [Mode::Grouped, Mode::GroupedAgg] {
@@ -208,9 +252,20 @@ fn fig23(args: &Args) {
 /// Fig. 24 (App. G): varying the number of satisfied triggers.
 fn fig24(args: &Args) {
     let spec = base_spec(args, Mode::Grouped);
-    banner("Figure 24: varying the number of fired triggers", &spec, args);
-    let satisfied: &[usize] = if args.quick { &[1, 5, 20] } else { &[1, 20, 40, 60, 80, 100] };
-    println!("{:<12} {:>16} {:>16}", "#satisfied", "GROUPED (ms)", "GROUPED-AGG (ms)");
+    banner(
+        "Figure 24: varying the number of fired triggers",
+        &spec,
+        args,
+    );
+    let satisfied: &[usize] = if args.quick {
+        &[1, 5, 20]
+    } else {
+        &[1, 20, 40, 60, 80, 100]
+    };
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "#satisfied", "GROUPED (ms)", "GROUPED-AGG (ms)"
+    );
     for &k in satisfied {
         let mut row = format!("{k:<12}");
         for mode in [Mode::Grouped, Mode::GroupedAgg] {
@@ -241,7 +296,10 @@ fn ablations(args: &Args) {
     } else {
         &[8 * 1024, 32 * 1024, 128 * 1024]
     };
-    println!("{:<12} {:>20} {:>20}", "leaves", "MATERIALIZED (ms)", "GROUPED-AGG (ms)");
+    println!(
+        "{:<12} {:>20} {:>20}",
+        "leaves", "MATERIALIZED (ms)", "GROUPED-AGG (ms)"
+    );
     for &n in sizes {
         let mut s = spec;
         s.leaf_count = n;
@@ -254,9 +312,13 @@ fn ablations(args: &Args) {
 
     // Appendix-F toggles: injective elision + skeletons off.
     println!("\n{:<34} {:>16}", "variant", "avg/update (ms)");
-    let variants: Vec<(&str, Box<dyn Fn(&mut quark_core::AnOptions)>)> = vec![
+    type Variant<'a> = (&'a str, Box<dyn Fn(&mut quark_core::AnOptions)>);
+    let variants: Vec<Variant> = vec![
         ("all optimizations (GROUPED-AGG)", Box::new(|_| {})),
-        ("no agg compensation (GROUPED)", Box::new(|o| o.agg_compensation = false)),
+        (
+            "no agg compensation (GROUPED)",
+            Box::new(|o| o.agg_compensation = false),
+        ),
         (
             "no skeletons (full old/new sides)",
             Box::new(|o| {

@@ -15,7 +15,9 @@ use std::time::{Duration, Instant};
 
 use quark_core::relational::expr::BinOp;
 use quark_core::relational::{ColumnDef, ColumnType, Database, Result, TableSchema, Value};
-use quark_core::{Action, ActionParam, Condition, Mode, NodePath, NodeRef, Quark, TriggerSpec, XmlEvent};
+use quark_core::{
+    Action, ActionParam, Condition, Mode, NodePath, NodeRef, Quark, TriggerSpec, XmlEvent,
+};
 use quark_xquery::viewtree::{LevelSpec, TopBinding, ViewSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -96,7 +98,7 @@ pub fn split_fanout(fanout: usize, levels: usize) -> Vec<usize> {
     for i in 0..levels.saturating_sub(1) {
         let target = (remaining as f64).powf(1.0 / (levels - i) as f64).round() as usize;
         let mut b = target.max(1).min(remaining);
-        while b > 1 && remaining % b != 0 {
+        while b > 1 && !remaining.is_multiple_of(b) {
             b -= 1;
         }
         out.push(b);
@@ -195,7 +197,10 @@ pub fn build(spec: WorkloadSpec) -> Result<Workload> {
             hot_name.clone()
         } else {
             // Never the hot element; cycle through the others.
-            format!("name_0_{}", 1 + (i - spec.satisfied) % (top_count.max(2) - 1))
+            format!(
+                "name_0_{}",
+                1 + (i - spec.satisfied) % (top_count.max(2) - 1)
+            )
         };
         let t0 = Instant::now();
         quark.create_trigger(TriggerSpec {
@@ -224,8 +229,10 @@ pub fn build(spec: WorkloadSpec) -> Result<Workload> {
     // collapse: leaf k sits under top element `k % top_count`.
     let leaf_table = table_name(levels - 1);
     let leaf_total = *counts.last().expect("non-empty");
-    let hot_leaves: Vec<i64> =
-        (0..leaf_total).step_by(top_count).map(|k| k as i64).collect();
+    let hot_leaves: Vec<i64> = (0..leaf_total)
+        .step_by(top_count)
+        .map(|k| k as i64)
+        .collect();
     debug_assert_eq!(hot_leaves.len(), spec.fanout.min(leaf_total));
 
     Ok(Workload {
@@ -254,7 +261,11 @@ pub fn chain_view_spec(levels: usize) -> ViewSpec {
             // The leaf exposes every column (`{$vendor/*}` in Fig. 3),
             // making the view injective w.r.t. the leaf table so the
             // Appendix-F optimizations apply, as in the paper's setup.
-            scalars: if leaf { vec![("*".into(), "*".into())] } else { vec![] },
+            scalars: if leaf {
+                vec![("*".into(), "*".into())]
+            } else {
+                vec![]
+            },
             child_count: (i == levels - 2).then_some((BinOp::Ge, 2)),
             child: (!leaf).then(|| Box::new(level(i + 1, levels))),
         }

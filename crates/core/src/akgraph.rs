@@ -61,7 +61,9 @@ pub struct AkOptions {
 
 impl Default for AkOptions {
     fn default() -> Self {
-        AkOptions { pruned_transitions: true }
+        AkOptions {
+            pruned_transitions: true,
+        }
     }
 }
 
@@ -101,12 +103,15 @@ fn build(
             }
             let schema = db.table(t)?.schema();
             let pk = schema.primary_key.clone();
-            let names: Vec<String> =
-                pk.iter().map(|&c| schema.columns[c].name.clone()).collect();
+            let names: Vec<String> = pk.iter().map(|&c| schema.columns[c].name.clone()).collect();
             let trans = kg.table_from(t.clone(), side.source(options.pruned_transitions), db)?;
             let ak = kg.project(trans, pk.iter().map(|&c| Expr::col(c)).collect(), names);
             let n = pk.len();
-            Ok(Some(AkResult { op: ak, cols_in_o: pk, cols_in_ak: (0..n).collect() }))
+            Ok(Some(AkResult {
+                op: ak,
+                cols_in_o: pk,
+                cols_in_ak: (0..n).collect(),
+            }))
         }
 
         // Lines 10-18: GroupBy joins its input with the input's
@@ -153,7 +158,11 @@ fn build(
                     })?;
                 cols_in_o.push(pos);
             }
-            Ok(Some(AkResult { op: inner.op, cols_in_o, cols_in_ak: inner.cols_in_ak }))
+            Ok(Some(AkResult {
+                op: inner.op,
+                cols_in_o,
+                cols_in_ak: inner.cols_in_ak,
+            }))
         }
 
         // Lines 22-40: Join.
@@ -260,7 +269,11 @@ fn build(
                 .collect();
             let u = kg.union(projected, db)?;
             let n = cols.len();
-            Ok(Some(AkResult { op: u, cols_in_o: cols, cols_in_ak: (0..n).collect() }))
+            Ok(Some(AkResult {
+                op: u,
+                cols_in_o: cols,
+                cols_in_ak: (0..n).collect(),
+            }))
         }
 
         OpKind::Unnest { .. } => Err(Error::Plan(
@@ -283,8 +296,8 @@ impl<T> PopButKeep<T> for Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quark_relational::exec::{execute, ExecContext};
     use quark_relational::exec::transitions;
+    use quark_relational::exec::{execute, ExecContext};
     use quark_relational::{row, Event, Value};
     use quark_xqgm::fixtures::{catalog_path_graph, product_vendor_db};
     use quark_xqgm::{Compiler, Graph};
@@ -303,27 +316,44 @@ mod tests {
     #[test]
     fn nested_predicate_counterexample_yields_affected_key() {
         let (mut db, mut kg, root) = setup();
-        let ak = create_ak_graph(&mut kg, root, "vendor", AkSide::Delta, AkOptions::default(), &db)
-            .unwrap()
-            .expect("vendor affects the view");
+        let ak = create_ak_graph(
+            &mut kg,
+            root,
+            "vendor",
+            AkSide::Delta,
+            AkOptions::default(),
+            &db,
+        )
+        .unwrap()
+        .expect("vendor affects the view");
 
         // Apply the insert: Amazon starts selling P2 at 500.
         db.load(
             "vendor",
-            vec![vec![Value::str("Amazon"), Value::str("P2"), Value::Double(500.0)]],
+            vec![vec![
+                Value::str("Amazon"),
+                Value::str("P2"),
+                Value::Double(500.0),
+            ]],
         )
         .unwrap();
         let trans = transitions(
             "vendor",
             Event::Insert,
-            vec![row([Value::str("Amazon"), Value::str("P2"), Value::Double(500.0)])],
+            vec![row([
+                Value::str("Amazon"),
+                Value::str("P2"),
+                Value::Double(500.0),
+            ])],
             vec![],
         );
         let plan = Compiler::new(&kg.graph, &db).compile(ak.op).unwrap();
         let ctx = ExecContext::new(&db, Some(&trans));
         let rows = execute(&plan, &ctx).unwrap();
-        let keys: Vec<String> =
-            rows.iter().map(|r| r[ak.cols_in_ak[0]].to_string()).collect();
+        let keys: Vec<String> = rows
+            .iter()
+            .map(|r| r[ak.cols_in_ak[0]].to_string())
+            .collect();
         assert_eq!(keys, vec!["LCD 19".to_string()]);
         // The key columns correspond to the path graph's canonical key.
         assert_eq!(ak.cols_in_o, kg.key(root));
@@ -333,9 +363,16 @@ mod tests {
     #[test]
     fn vendor_update_flags_one_group() {
         let (mut db, mut kg, root) = setup();
-        let ak = create_ak_graph(&mut kg, root, "vendor", AkSide::Delta, AkOptions::default(), &db)
-            .unwrap()
-            .unwrap();
+        let ak = create_ak_graph(
+            &mut kg,
+            root,
+            "vendor",
+            AkSide::Delta,
+            AkOptions::default(),
+            &db,
+        )
+        .unwrap()
+        .unwrap();
         db.update_by_key(
             "vendor",
             &[Value::str("Amazon"), Value::str("P1")],
@@ -345,8 +382,16 @@ mod tests {
         let trans = transitions(
             "vendor",
             Event::Update,
-            vec![row([Value::str("Amazon"), Value::str("P1"), Value::Double(75.0)])],
-            vec![row([Value::str("Amazon"), Value::str("P1"), Value::Double(100.0)])],
+            vec![row([
+                Value::str("Amazon"),
+                Value::str("P1"),
+                Value::Double(75.0),
+            ])],
+            vec![row([
+                Value::str("Amazon"),
+                Value::str("P1"),
+                Value::Double(100.0),
+            ])],
         );
         let plan = Compiler::new(&kg.graph, &db).compile(ak.op).unwrap();
         let ctx = ExecContext::new(&db, Some(&trans));
@@ -360,12 +405,18 @@ mod tests {
     #[test]
     fn pruned_transitions_suppress_noop_updates() {
         let (db, mut kg, root) = setup();
-        let ak = create_ak_graph(&mut kg, root, "vendor", AkSide::Delta, AkOptions::default(), &db)
-            .unwrap()
-            .unwrap();
+        let ak = create_ak_graph(
+            &mut kg,
+            root,
+            "vendor",
+            AkSide::Delta,
+            AkOptions::default(),
+            &db,
+        )
+        .unwrap()
+        .unwrap();
         let same = row([Value::str("Amazon"), Value::str("P1"), Value::Double(100.0)]);
-        let trans =
-            transitions("vendor", Event::Update, vec![same.clone()], vec![same]);
+        let trans = transitions("vendor", Event::Update, vec![same.clone()], vec![same]);
         let plan = Compiler::new(&kg.graph, &db).compile(ak.op).unwrap();
         let ctx = ExecContext::new(&db, Some(&trans));
         let rows = execute(&plan, &ctx).unwrap();
@@ -432,12 +483,21 @@ mod tests {
         )
         .unwrap()
         .unwrap();
-        db.update_by_key("product", &[Value::str("P2")], &[(2, Value::str("LG"))]).unwrap();
+        db.update_by_key("product", &[Value::str("P2")], &[(2, Value::str("LG"))])
+            .unwrap();
         let trans = transitions(
             "product",
             Event::Update,
-            vec![row([Value::str("P2"), Value::str("LCD 19"), Value::str("LG")])],
-            vec![row([Value::str("P2"), Value::str("LCD 19"), Value::str("Samsung")])],
+            vec![row([
+                Value::str("P2"),
+                Value::str("LCD 19"),
+                Value::str("LG"),
+            ])],
+            vec![row([
+                Value::str("P2"),
+                Value::str("LCD 19"),
+                Value::str("Samsung"),
+            ])],
         );
         let plan = Compiler::new(&kg.graph, &db).compile(ak.op).unwrap();
         let ctx = ExecContext::new(&db, Some(&trans));

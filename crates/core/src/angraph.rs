@@ -119,7 +119,9 @@ pub fn build_affected(
 ) -> Result<Option<AffectedNodePlan>> {
     let root = pg.root;
     let key = pg.key().to_vec();
-    let ak_opts = AkOptions { pruned_transitions: opts.pruned_transitions };
+    let ak_opts = AkOptions {
+        pruned_transitions: opts.pruned_transitions,
+    };
 
     // ---------- Phase A: graph construction ----------
     let injective = is_injective(&pg.kg, root, table, db)?;
@@ -149,8 +151,12 @@ pub fn build_affected(
     let mut recipes: Vec<(OpId, AggCompensation)> = Vec::new();
     if opts.agg_compensation {
         if let Some(((skel_old_root, _), mirror)) = &skel_old {
-            let source_delta = TableSource::Delta { pruned: opts.pruned_transitions };
-            let source_nabla = TableSource::Nabla { pruned: opts.pruned_transitions };
+            let source_delta = TableSource::Delta {
+                pruned: opts.pruned_transitions,
+            };
+            let source_nabla = TableSource::Nabla {
+                pruned: opts.pruned_transitions,
+            };
             // Pair each mirrored (old) GroupBy with its new counterpart.
             let pairs: Vec<(OpId, OpId)> = mirror
                 .iter()
@@ -160,7 +166,9 @@ pub fn build_affected(
             let _ = skel_old_root;
             for (gb_new, gb_old) in pairs {
                 let op = pg.kg.graph.op(gb_new).clone();
-                let OpKind::GroupBy { aggs, .. } = &op.kind else { continue };
+                let OpKind::GroupBy { aggs, .. } = &op.kind else {
+                    continue;
+                };
                 let distributive = aggs.iter().all(|a| {
                     matches!(a.func, AggFunc::CountStar)
                         || (a.func == AggFunc::Sum && a.arg.is_some())
@@ -168,14 +176,20 @@ pub fn build_affected(
                 if !distributive {
                     continue;
                 }
-                let existence_agg =
-                    aggs.iter().position(|a| matches!(a.func, AggFunc::CountStar));
+                let existence_agg = aggs
+                    .iter()
+                    .position(|a| matches!(a.func, AggFunc::CountStar));
                 let input = op.inputs[0];
                 let delta_input = pg.kg.variant_with_source(input, table, source_delta);
                 let nabla_input = pg.kg.variant_with_source(input, table, source_nabla);
                 recipes.push((
                     gb_old,
-                    AggCompensation { new_op: gb_new, delta_input, nabla_input, existence_agg },
+                    AggCompensation {
+                        new_op: gb_new,
+                        delta_input,
+                        nabla_input,
+                        existence_agg,
+                    },
                 ));
             }
         }
@@ -201,16 +215,26 @@ pub fn build_affected(
         key_branches.push(full_key_plan(&mut compiler, ak, old_root, &key, db)?);
     }
     let ou = PhysicalPlan::Distinct {
-        input: PhysicalPlan::UnionAll { inputs: key_branches }.into_ref(),
+        input: PhysicalPlan::UnionAll {
+            inputs: key_branches,
+        }
+        .into_ref(),
     }
     .into_ref();
-    let driver = Driver { plan: ou, cols: (0..key.len()).collect() };
+    let driver = Driver {
+        plan: ou,
+        cols: (0..key.len()).collect(),
+    };
 
     let new_side = build_side(
         &mut compiler,
         pg,
         root,
-        if may_skel_new { skel_new.as_ref() } else { None },
+        if may_skel_new {
+            skel_new.as_ref()
+        } else {
+            None
+        },
         &key,
         &driver,
         db,
@@ -221,14 +245,25 @@ pub fn build_affected(
         &mut compiler,
         pg,
         old_root,
-        if may_skel_old { old_skel_pair.as_ref() } else { None },
+        if may_skel_old {
+            old_skel_pair.as_ref()
+        } else {
+            None
+        },
         &key,
         &driver,
         db,
     )?;
 
-    assemble(event, new_side, old_side, &key, injective && opts.injective_opt, db)
-        .map(Some)
+    assemble(
+        event,
+        new_side,
+        old_side,
+        &key,
+        injective && opts.injective_opt,
+        db,
+    )
+    .map(Some)
 }
 
 /// Normalize an affected-keys result to a plan producing distinct full
@@ -254,7 +289,10 @@ fn full_key_plan(
     }
     // Partial key: join back with the path graph (restricted by the partial
     // keys) and project the full key.
-    let driver = Driver { plan: projected, cols: (0..ak.cols_in_ak.len()).collect() };
+    let driver = Driver {
+        plan: projected,
+        cols: (0..ak.cols_in_ak.len()).collect(),
+    };
     let restricted = compiler.compile_restricted(root, &ak.cols_in_o, &driver)?;
     let _ = db;
     Ok(PhysicalPlan::Distinct {
@@ -332,12 +370,14 @@ fn assemble(
     db: &Database,
 ) -> Result<AffectedNodePlan> {
     let key_len = key.len();
-    let keyed = |side: &SidePlan| -> Vec<Expr> {
-        side.key_cols.iter().map(|&c| Expr::col(c)).collect()
-    };
+    let keyed =
+        |side: &SidePlan| -> Vec<Expr> { side.key_cols.iter().map(|&c| Expr::col(c)).collect() };
 
     // Final layout: [key…, old_node, new_node, old attrs…, new attrs…].
-    let mut layout = AffectedLayout { key_len, ..Default::default() };
+    let mut layout = AffectedLayout {
+        key_len,
+        ..Default::default()
+    };
     let mut attr_names: Vec<String> = old_side.attr_cols.keys().cloned().collect();
     attr_names.sort();
     let mut new_attr_names: Vec<String> = new_side.attr_cols.keys().cloned().collect();
@@ -401,10 +441,16 @@ fn assemble(
     let mut exprs: Vec<Expr> = Vec::new();
     // Keys come from whichever side exists (prefer new).
     let key_src: Vec<usize> = match (new_base, old_base) {
-        (Some(_), _) => new_side.key_cols.iter().map(|&c| new_col(c).expect("new")).collect(),
-        (None, Some(_)) => {
-            old_side.key_cols.iter().map(|&c| old_col(c).expect("old")).collect()
-        }
+        (Some(_), _) => new_side
+            .key_cols
+            .iter()
+            .map(|&c| new_col(c).expect("new"))
+            .collect(),
+        (None, Some(_)) => old_side
+            .key_cols
+            .iter()
+            .map(|&c| old_col(c).expect("old"))
+            .collect(),
         (None, None) => unreachable!("one side always present"),
     };
     exprs.extend(key_src.into_iter().map(Expr::col));
@@ -444,5 +490,8 @@ fn assemble(
 
     let projected = PhysicalPlan::Project { input: plan, exprs }.into_ref();
     let _ = db;
-    Ok(AffectedNodePlan { plan: projected, layout })
+    Ok(AffectedNodePlan {
+        plan: projected,
+        layout,
+    })
 }

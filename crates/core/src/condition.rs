@@ -55,12 +55,18 @@ pub struct NodePath {
 impl NodePath {
     /// `BASE/@attr` shorthand.
     pub fn attr(base: NodeRef, name: impl Into<String>) -> Self {
-        NodePath { base, steps: vec![Step::Attr(name.into())] }
+        NodePath {
+            base,
+            steps: vec![Step::Attr(name.into())],
+        }
     }
 
     /// `BASE/child` shorthand.
     pub fn child(base: NodeRef, name: impl Into<String>) -> Self {
-        NodePath { base, steps: vec![Step::Child(name.into(), None)] }
+        NodePath {
+            base,
+            steps: vec![Step::Child(name.into(), None)],
+        }
     }
 
     fn uses(&self, base: NodeRef) -> bool {
@@ -142,9 +148,7 @@ impl Condition {
                 v(left) || v(right)
             }
             Condition::Exists(p) => p.uses(base),
-            Condition::And(a, b) | Condition::Or(a, b) => {
-                a.uses_node(base) || b.uses_node(base)
-            }
+            Condition::And(a, b) | Condition::Or(a, b) => a.uses_node(base) || b.uses_node(base),
             Condition::Not(a) => a.uses_node(base),
         }
     }
@@ -206,18 +210,18 @@ impl Condition {
         };
         match self {
             Condition::True => Condition::True,
-            Condition::Cmp { left, op, right } => {
-                Condition::Cmp { left: pv(left, out), op: *op, right: pv(right, out) }
-            }
+            Condition::Cmp { left, op, right } => Condition::Cmp {
+                left: pv(left, out),
+                op: *op,
+                right: pv(right, out),
+            },
             Condition::Exists(p) => Condition::Exists(parameterize_path(p, out)),
-            Condition::And(a, b) => Condition::And(
-                Box::new(a.parameterize(out)),
-                Box::new(b.parameterize(out)),
-            ),
-            Condition::Or(a, b) => Condition::Or(
-                Box::new(a.parameterize(out)),
-                Box::new(b.parameterize(out)),
-            ),
+            Condition::And(a, b) => {
+                Condition::And(Box::new(a.parameterize(out)), Box::new(b.parameterize(out)))
+            }
+            Condition::Or(a, b) => {
+                Condition::Or(Box::new(a.parameterize(out)), Box::new(b.parameterize(out)))
+            }
             Condition::Not(a) => Condition::Not(Box::new(a.parameterize(out))),
         }
     }
@@ -234,7 +238,12 @@ impl Condition {
         new: Option<&XmlNodeRef>,
         params: &[Value],
     ) -> Result<bool> {
-        self.eval_ctx(&EvalCtx { old, new, context: None, params })
+        self.eval_ctx(&EvalCtx {
+            old,
+            new,
+            context: None,
+            params,
+        })
     }
 
     fn eval_ctx(&self, ctx: &EvalCtx<'_>) -> Result<bool> {
@@ -286,12 +295,12 @@ impl Condition {
     pub fn compile(&self, layout: &CondLayout) -> Result<Expr> {
         match self {
             Condition::True => Ok(Expr::lit(true)),
-            Condition::And(a, b) => {
-                Ok(Expr::bin(BinOp::And, a.compile(layout)?, b.compile(layout)?))
-            }
-            Condition::Or(a, b) => {
-                Ok(Expr::bin(BinOp::Or, a.compile(layout)?, b.compile(layout)?))
-            }
+            Condition::And(a, b) => Ok(Expr::bin(
+                BinOp::And,
+                a.compile(layout)?,
+                b.compile(layout)?,
+            )),
+            Condition::Or(a, b) => Ok(Expr::bin(BinOp::Or, a.compile(layout)?, b.compile(layout)?)),
             Condition::Not(a) => Ok(Expr::Not(Box::new(a.compile(layout)?))),
             Condition::Exists(p) => {
                 let nodes = compile_path(p, layout)?;
@@ -373,7 +382,9 @@ fn eval_path(p: &NodePath, ctx: &EvalCtx<'_>) -> Result<Vec<PathItem>> {
         NodeRef::New => ctx.new,
         NodeRef::Context => ctx.context,
     };
-    let Some(start) = start else { return Ok(vec![]) };
+    let Some(start) = start else {
+        return Ok(vec![]);
+    };
     let mut current: Vec<XmlNodeRef> = vec![start.clone()];
     let mut result_atoms: Vec<PathItem> = Vec::new();
     for (i, step) in p.steps.iter().enumerate() {
@@ -445,9 +456,7 @@ fn compile_value(cv: &CondValue, layout: &CondLayout) -> Result<Expr> {
                 .get(*i)
                 .ok_or_else(|| Error::Plan(format!("no column for condition param {i}")))?,
         ),
-        CondValue::Count(p) => {
-            Expr::Func(ScalarFunc::NodeCount, vec![compile_path(p, layout)?])
-        }
+        CondValue::Count(p) => Expr::Func(ScalarFunc::NodeCount, vec![compile_path(p, layout)?]),
         CondValue::Path(p) => {
             // Comparisons use XPath *existential* semantics over node
             // sequences; a relational expression compares one value. Only
@@ -498,9 +507,7 @@ fn compile_path(p: &NodePath, layout: &CondLayout) -> Result<Expr> {
     for step in &p.steps {
         expr = match step {
             Step::Attr(a) => Expr::Func(ScalarFunc::XmlAttr(a.clone()), vec![expr]),
-            Step::Child(n, None) => {
-                Expr::Func(ScalarFunc::XmlChildren(n.clone()), vec![expr])
-            }
+            Step::Child(n, None) => Expr::Func(ScalarFunc::XmlChildren(n.clone()), vec![expr]),
             Step::Descendant(n, None) => {
                 Expr::Func(ScalarFunc::XmlDescendants(n.clone()), vec![expr])
             }
@@ -652,12 +659,7 @@ mod tests {
         let mut layout = CondLayout::default();
         layout.old_attrs.insert("name".into(), 3);
         let expr = cond.compile(&layout).unwrap();
-        let row = vec![
-            Value::Null,
-            Value::Null,
-            Value::Null,
-            Value::str("CRT 15"),
-        ];
+        let row = vec![Value::Null, Value::Null, Value::Null, Value::str("CRT 15")];
         assert!(expr.eval(&row).unwrap().is_true());
     }
 
@@ -668,7 +670,10 @@ mod tests {
             BinOp::Ge,
             Value::Int(2),
         );
-        let layout = CondLayout { new_node: Some(0), ..Default::default() };
+        let layout = CondLayout {
+            new_node: Some(0),
+            ..Default::default()
+        };
         let expr = cond.compile(&layout).unwrap();
         let row = vec![Value::Xml(product())];
         assert!(expr.eval(&row).unwrap().is_true());
@@ -689,14 +694,16 @@ mod tests {
             BinOp::Ge,
             Value::Int(1),
         );
-        let layout = CondLayout { new_node: Some(0), ..Default::default() };
+        let layout = CondLayout {
+            new_node: Some(0),
+            ..Default::default()
+        };
         assert!(cond.compile(&layout).is_err());
     }
 
     #[test]
     fn needs_node_content_detects_deep_paths() {
-        let shallow =
-            Condition::cmp(NodePath::attr(NodeRef::Old, "name"), BinOp::Eq, "x");
+        let shallow = Condition::cmp(NodePath::attr(NodeRef::Old, "name"), BinOp::Eq, "x");
         assert!(!shallow.needs_node_content(NodeRef::Old, &["name"]));
         assert!(shallow.needs_node_content(NodeRef::Old, &[]));
         let deep = Condition::count_cmp(

@@ -43,7 +43,9 @@ impl SourceEvent {
     /// differs on a relevant column (always true for INSERT/DELETE and when
     /// no column set was derived).
     pub fn statement_relevant(&self, inserted: &[Row], deleted: &[Row]) -> bool {
-        let Some(cols) = &self.relevant_cols else { return true };
+        let Some(cols) = &self.relevant_cols else {
+            return true;
+        };
         if self.event != Event::Update {
             return true;
         }
@@ -78,7 +80,11 @@ pub fn source_events(
     walk(graph, root, top_event, db, &mut acc)?;
     Ok(acc
         .into_iter()
-        .map(|((table, event), relevant_cols)| SourceEvent { table, event, relevant_cols })
+        .map(|((table, event), relevant_cols)| SourceEvent {
+            table,
+            event,
+            relevant_cols,
+        })
         .collect())
 }
 
@@ -88,7 +94,9 @@ fn record(
     event: Event,
     cols: Option<BTreeSet<usize>>,
 ) {
-    let entry = acc.entry((table.to_string(), event)).or_insert_with(|| Some(BTreeSet::new()));
+    let entry = acc
+        .entry((table.to_string(), event))
+        .or_insert_with(|| Some(BTreeSet::new()));
     match cols {
         Some(new) => {
             if let Some(set) = entry.as_mut() {
@@ -130,11 +138,23 @@ fn walk(
                 // via updates touching the predicate columns (Table 4).
                 OpEvent::Insert => {
                     walk(graph, input, OpEvent::Insert, db, acc)?;
-                    walk(graph, input, OpEvent::Update(Some(expr_cols(predicate))), db, acc)?;
+                    walk(
+                        graph,
+                        input,
+                        OpEvent::Update(Some(expr_cols(predicate))),
+                        db,
+                        acc,
+                    )?;
                 }
                 OpEvent::Delete => {
                     walk(graph, input, OpEvent::Delete, db, acc)?;
-                    walk(graph, input, OpEvent::Update(Some(expr_cols(predicate))), db, acc)?;
+                    walk(
+                        graph,
+                        input,
+                        OpEvent::Update(Some(expr_cols(predicate))),
+                        db,
+                        acc,
+                    )?;
                 }
                 OpEvent::Update(c) => walk(graph, input, OpEvent::Update(c), db, acc)?,
             }
@@ -148,9 +168,7 @@ fn walk(
                     // Map output columns through the projection expressions.
                     let mapped: Option<BTreeSet<usize>> = c.map(|cols| {
                         cols.iter()
-                            .flat_map(|&c| {
-                                exprs.get(c).map(|e| expr_cols(e)).unwrap_or_default()
-                            })
+                            .flat_map(|&c| exprs.get(c).map(expr_cols).unwrap_or_default())
                             .collect()
                     });
                     walk(graph, input, OpEvent::Update(mapped), db, acc)?;
@@ -170,7 +188,7 @@ fn walk(
                     .collect();
                 (lc, rc)
             };
-            let pred_cols = predicate.as_ref().map(|p| expr_cols(p)).unwrap_or_default();
+            let pred_cols = predicate.as_ref().map(expr_cols).unwrap_or_default();
             let (pl, pr) = split(&pred_cols);
             match event {
                 OpEvent::Insert | OpEvent::Delete => {
@@ -207,7 +225,9 @@ fn walk(
                 },
             }
         }
-        OpKind::GroupBy { group_cols, aggs, .. } => {
+        OpKind::GroupBy {
+            group_cols, aggs, ..
+        } => {
             let input = op.inputs[0];
             let glen = group_cols.len();
             let gset: BTreeSet<usize> = group_cols.iter().copied().collect();
@@ -226,23 +246,20 @@ fn walk(
                 OpEvent::Update(c) => {
                     // Map output cols: group outputs to grouping columns,
                     // aggregate outputs to their argument columns.
-                    let mapped: Option<BTreeSet<usize>> = match &c {
-                        None => None,
-                        Some(cols) => Some(
-                            cols.iter()
-                                .flat_map(|&c| {
-                                    if c < glen {
-                                        BTreeSet::from([group_cols[c]])
-                                    } else {
-                                        aggs.get(c - glen)
-                                            .and_then(|a| a.arg.as_ref())
-                                            .map(|e| expr_cols(e))
-                                            .unwrap_or_default()
-                                    }
-                                })
-                                .collect(),
-                        ),
-                    };
+                    let mapped: Option<BTreeSet<usize>> = c.as_ref().map(|cols| {
+                        cols.iter()
+                            .flat_map(|&c| {
+                                if c < glen {
+                                    BTreeSet::from([group_cols[c]])
+                                } else {
+                                    aggs.get(c - glen)
+                                        .and_then(|a| a.arg.as_ref())
+                                        .map(expr_cols)
+                                        .unwrap_or_default()
+                                }
+                            })
+                            .collect()
+                    });
                     walk(graph, input, OpEvent::Update(mapped), db, acc)?;
                     // Unless the updated columns are confined to the
                     // grouping columns, membership changes alter aggregates
@@ -336,10 +353,18 @@ mod tests {
             .iter()
             .find(|s| s.table == "product" && s.event == Event::Update)
             .unwrap();
-        let old = row([Value::str("P1"), Value::str("CRT 15"), Value::str("Samsung")]);
+        let old = row([
+            Value::str("P1"),
+            Value::str("CRT 15"),
+            Value::str("Samsung"),
+        ]);
         let new_mfr = row([Value::str("P1"), Value::str("CRT 15"), Value::str("LG")]);
-        let new_name = row([Value::str("P1"), Value::str("CRT 17"), Value::str("Samsung")]);
-        assert!(!prod.statement_relevant(&[new_mfr], &[old.clone()]));
+        let new_name = row([
+            Value::str("P1"),
+            Value::str("CRT 17"),
+            Value::str("Samsung"),
+        ]);
+        assert!(!prod.statement_relevant(&[new_mfr], std::slice::from_ref(&old)));
         assert!(prod.statement_relevant(&[new_name], &[old]));
     }
 

@@ -37,19 +37,17 @@ enum Image {
 /// Is the path graph under `root` transitively injective w.r.t. `table`
 /// (§F.2's sufficient conditions)? `false` means UPDATE triggers for
 /// `table` events must keep the explicit `OLD_NODE ≠ NEW_NODE` check.
-pub fn is_injective(
-    kg: &KeyedGraph,
-    root: OpId,
-    table: &str,
-    db: &Database,
-) -> Result<bool> {
+pub fn is_injective(kg: &KeyedGraph, root: OpId, table: &str, db: &Database) -> Result<bool> {
     Ok(matches!(image(kg, root, table, db)?, Image::Cols(_)))
 }
 
 fn image(kg: &KeyedGraph, id: OpId, table: &str, db: &Database) -> Result<Image> {
     let op = kg.graph.op(id);
     Ok(match &op.kind {
-        OpKind::Table { table: t, source: TableSource::Base(_) } if t == table => {
+        OpKind::Table {
+            table: t,
+            source: TableSource::Base(_),
+        } if t == table => {
             let arity = db.table(t)?.schema().arity();
             Image::Cols((0..arity).collect())
         }
@@ -90,11 +88,15 @@ fn image(kg: &KeyedGraph, id: OpId, table: &str, db: &Database) -> Result<Image>
                     Image::Cols(r.into_iter().map(|c| c + left_arity).collect())
                 }
                 (Image::Cols(l), Image::Cols(r)) => Image::Cols(
-                    l.into_iter().chain(r.into_iter().map(|c| c + left_arity)).collect(),
+                    l.into_iter()
+                        .chain(r.into_iter().map(|c| c + left_arity))
+                        .collect(),
                 ),
             }
         }
-        OpKind::GroupBy { group_cols, aggs, .. } => {
+        OpKind::GroupBy {
+            group_cols, aggs, ..
+        } => {
             match image(kg, op.inputs[0], table, db)? {
                 Image::Absent => Image::Absent,
                 Image::Broken => Image::Broken,
@@ -152,10 +154,9 @@ fn image(kg: &KeyedGraph, id: OpId, table: &str, db: &Database) -> Result<Image>
 fn carries_injectively(expr: &Expr, col: usize) -> bool {
     match expr {
         Expr::Col(c) => *c == col,
-        Expr::Func(
-            ScalarFunc::XmlElement { .. } | ScalarFunc::XmlWrap(_),
-            args,
-        ) => args.iter().any(|a| carries_injectively(a, col)),
+        Expr::Func(ScalarFunc::XmlElement { .. } | ScalarFunc::XmlWrap(_), args) => {
+            args.iter().any(|a| carries_injectively(a, col))
+        }
         _ => false,
     }
 }
@@ -194,15 +195,10 @@ fn build(
             let arity = db.table(table)?.schema().arity();
             Some((id, (0..arity).map(Some).collect()))
         }
-        OpKind::Select { predicate } => {
-            match build(kg, op.inputs[0], db, memo)? {
-                None => None,
-                Some((input, map)) => match remap(predicate, &map) {
-                    None => None, // predicate needs a dropped column
-                    Some(pred) => Some((kg.select(input, pred), map)),
-                },
-            }
-        }
+        OpKind::Select { predicate } => match build(kg, op.inputs[0], db, memo)? {
+            None => None,
+            Some((input, map)) => remap(predicate, &map).map(|pred| (kg.select(input, pred), map)),
+        },
         OpKind::Project { exprs, names } => match build(kg, op.inputs[0], db, memo)? {
             None => None,
             Some((input, map)) => {
@@ -260,7 +256,11 @@ fn build(
             let out_map = if kind.keeps_right() { joint_map } else { lm };
             Some((kg.join(*kind, l, r, pred, db)?, out_map))
         }
-        OpKind::GroupBy { group_cols, aggs, agg_names } => {
+        OpKind::GroupBy {
+            group_cols,
+            aggs,
+            agg_names,
+        } => {
             match build(kg, op.inputs[0], db, memo)? {
                 None => None,
                 Some((input, map)) => {
@@ -272,8 +272,7 @@ fn build(
                         }
                     }
                     let glen = group_cols.len();
-                    let mut out_map: SkeletonMap =
-                        (0..glen).map(Some).collect();
+                    let mut out_map: SkeletonMap = (0..glen).map(Some).collect();
                     let mut new_aggs = Vec::new();
                     for (a, n) in aggs.iter().zip(agg_names) {
                         if a.func == AggFunc::XmlAgg {
@@ -289,7 +288,10 @@ fn build(
                         };
                         out_map.push(Some(glen + new_aggs.len()));
                         new_aggs.push((
-                            quark_relational::expr::AggExpr { func: a.func.clone(), arg },
+                            quark_relational::expr::AggExpr {
+                                func: a.func.clone(),
+                                arg,
+                            },
                             n.clone(),
                         ));
                     }
@@ -301,7 +303,9 @@ fn build(
             let mut inputs = Vec::new();
             let mut common: Option<SkeletonMap> = None;
             for &i in &op.inputs {
-                let Some((ni, m)) = build(kg, i, db, memo)? else { return Ok(None) };
+                let Some((ni, m)) = build(kg, i, db, memo)? else {
+                    return Ok(None);
+                };
                 match &common {
                     None => common = Some(m),
                     Some(prev) if *prev == m => {}
@@ -342,9 +346,7 @@ fn remap(e: &Expr, map: &SkeletonMap) -> Option<Expr> {
     let mut cols = Vec::new();
     e.columns(&mut cols);
     for c in &cols {
-        if map.get(*c).cloned().flatten().is_none() {
-            return None;
-        }
+        map.get(*c).cloned().flatten()?;
     }
     Some(e.remap_columns(&|c| map[c].expect("checked above")))
 }
@@ -352,9 +354,7 @@ fn remap(e: &Expr, map: &SkeletonMap) -> Option<Expr> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quark_xqgm::fixtures::{
-        catalog_path_graph, minprice_path_graph, product_vendor_db,
-    };
+    use quark_xqgm::fixtures::{catalog_path_graph, minprice_path_graph, product_vendor_db};
     use quark_xqgm::Graph;
 
     fn normalized(
@@ -412,9 +412,9 @@ mod tests {
         skel_names.sort();
         assert_eq!(full_names, skel_names);
         // No XML values anywhere in the skeleton output.
-        assert!(skel
+        assert!(skel.iter().all(|r| r
             .iter()
-            .all(|r| r.iter().all(|v| !matches!(v, quark_relational::Value::Xml(_)))));
+            .all(|v| !matches!(v, quark_relational::Value::Xml(_)))));
     }
 
     /// The min-price skeleton keeps the min aggregate (it feeds no XML) —

@@ -109,7 +109,15 @@ mod tests {
         let (kg, root) = KeyedGraph::normalize(&g, top, &db).unwrap();
         let mut attr_cols = HashMap::new();
         attr_cols.insert("name".to_string(), 0);
-        (db, PathGraph { kg, root, node_col: 1, attr_cols })
+        (
+            db,
+            PathGraph {
+                kg,
+                root,
+                node_col: 1,
+                attr_cols,
+            },
+        )
     }
 
     #[test]
@@ -149,13 +157,21 @@ mod tests {
         let changes = changes_of(&pg, &db, |db| {
             db.insert(
                 "product",
-                vec![vec![Value::str("P4"), Value::str("OLED 42"), Value::str("LG")]],
+                vec![vec![
+                    Value::str("P4"),
+                    Value::str("OLED 42"),
+                    Value::str("LG"),
+                ]],
             )?;
             db.insert(
                 "vendor",
                 vec![
                     vec![Value::str("Amazon"), Value::str("P4"), Value::Double(900.0)],
-                    vec![Value::str("Bestbuy"), Value::str("P4"), Value::Double(950.0)],
+                    vec![
+                        Value::str("Bestbuy"),
+                        Value::str("P4"),
+                        Value::Double(950.0),
+                    ],
                 ],
             )
             .map(|_| ())

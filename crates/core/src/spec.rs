@@ -133,7 +133,10 @@ pub struct XmlView {
 impl XmlView {
     /// Create a view with no anchors.
     pub fn new(name: impl Into<String>) -> Self {
-        XmlView { name: name.into(), anchors: HashMap::new() }
+        XmlView {
+            name: name.into(),
+            anchors: HashMap::new(),
+        }
     }
 
     /// Register an anchor.

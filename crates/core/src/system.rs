@@ -51,7 +51,7 @@ pub struct ActionCall {
 }
 
 /// A registered action function.
-pub type ActionFn = Arc<dyn Fn(&mut Database, &ActionCall) -> Result<()>>;
+pub type ActionFn = Arc<dyn Fn(&mut Database, &ActionCall) -> Result<()> + Send + Sync>;
 
 type ActionRegistry = Arc<Mutex<HashMap<String, ActionFn>>>;
 
@@ -97,8 +97,10 @@ pub struct Quark {
 impl Quark {
     /// Create a system over a database, with the given translation mode.
     pub fn new(db: Database, mode: Mode) -> Self {
-        let mut options = AnOptions::default();
-        options.agg_compensation = mode == Mode::GroupedAgg;
+        let options = AnOptions {
+            agg_compensation: mode == Mode::GroupedAgg,
+            ..AnOptions::default()
+        };
         Quark {
             db,
             views: HashMap::new(),
@@ -140,9 +142,12 @@ impl Quark {
     pub fn register_action(
         &mut self,
         name: impl Into<String>,
-        f: impl Fn(&mut Database, &ActionCall) -> Result<()> + 'static,
+        f: impl Fn(&mut Database, &ActionCall) -> Result<()> + Send + Sync + 'static,
     ) {
-        self.actions.lock().expect("action registry").insert(name.into(), Arc::new(f));
+        self.actions
+            .lock()
+            .expect("action registry")
+            .insert(name.into(), Arc::new(f));
     }
 
     /// Number of XML triggers registered.
@@ -174,7 +179,10 @@ impl Quark {
             .anchors
             .get(&spec.anchor)
             .ok_or_else(|| {
-                Error::Plan(format!("view `{}` has no element `{}`", spec.view, spec.anchor))
+                Error::Plan(format!(
+                    "view `{}` has no element `{}`",
+                    spec.view, spec.anchor
+                ))
             })?
             .clone();
 
@@ -214,14 +222,25 @@ impl Quark {
                     id
                 }
             };
-            group.members.lock().expect("members").entry(set_id).or_default().push(Member {
-                trigger: spec.name.clone(),
-                function: spec.action.function.clone(),
-                params: spec.action.params.clone(),
-            });
+            group
+                .members
+                .lock()
+                .expect("members")
+                .entry(set_id)
+                .or_default()
+                .push(Member {
+                    trigger: spec.name.clone(),
+                    function: spec.action.function.clone(),
+                    params: spec.action.params.clone(),
+                });
             group.trigger_count += 1;
-            self.triggers
-                .insert(spec.name, TriggerRecord { group_signature: signature, set_id });
+            self.triggers.insert(
+                spec.name,
+                TriggerRecord {
+                    group_signature: signature,
+                    set_id,
+                },
+            );
             return Ok(());
         }
 
@@ -246,8 +265,16 @@ impl Quark {
         let uses = |p: &ActionParam, which: &ActionParam| {
             std::mem::discriminant(p) == std::mem::discriminant(which)
         };
-        let action_old = spec.action.params.iter().any(|p| uses(p, &ActionParam::OldNode));
-        let action_new = spec.action.params.iter().any(|p| uses(p, &ActionParam::NewNode));
+        let action_old = spec
+            .action
+            .params
+            .iter()
+            .any(|p| uses(p, &ActionParam::OldNode));
+        let action_new = spec
+            .action
+            .params
+            .iter()
+            .any(|p| uses(p, &ActionParam::NewNode));
         let needs = Needs {
             old: SideNeeds {
                 node: action_old || cond.needs_node_content(NodeRef::Old, &attr_names),
@@ -270,7 +297,8 @@ impl Quark {
                 };
                 columns.push(ColumnDef::new(format!("c{i}"), ty));
             }
-            self.db.create_table(TableSchema::new(name.clone(), columns, &["set_id"])?)?;
+            self.db
+                .create_table(TableSchema::new(name.clone(), columns, &["set_id"])?)?;
             // Every constant column gets an index so the generated trigger
             // probes instead of scanning (or hashing) all constants rows.
             for i in 0..consts.len() {
@@ -298,13 +326,18 @@ impl Quark {
         }
 
         // Event pushdown on the composed path graph.
-        let events =
-            source_events(&template.kg.graph, template.root, spec.event, &self.db)?;
+        let events = source_events(&template.kg.graph, template.root, spec.event, &self.db)?;
         let mut sql_triggers = Vec::new();
         for src in events {
             let mut pg = template.clone();
-            let Some(affected) =
-                build_affected(&mut pg, &src.table, spec.event, needs, self.options, &self.db)?
+            let Some(affected) = build_affected(
+                &mut pg,
+                &src.table,
+                spec.event,
+                needs,
+                self.options,
+                &self.db,
+            )?
             else {
                 continue;
             };
@@ -352,8 +385,13 @@ impl Quark {
                 trigger_count: 1,
             },
         );
-        self.triggers
-            .insert(spec.name, TriggerRecord { group_signature: signature, set_id });
+        self.triggers.insert(
+            spec.name,
+            TriggerRecord {
+                group_signature: signature,
+                set_id,
+            },
+        );
         Ok(())
     }
 
@@ -371,8 +409,14 @@ impl Quark {
         db: &Database,
     ) -> Result<(PlanRef, Option<Condition>)> {
         let affected_arity = affected.arity(db)?;
-        let old_expr = layout.old_node.map(Expr::col).unwrap_or_else(|| Expr::lit(Value::Null));
-        let new_expr = layout.new_node.map(Expr::col).unwrap_or_else(|| Expr::lit(Value::Null));
+        let old_expr = layout
+            .old_node
+            .map(Expr::col)
+            .unwrap_or_else(|| Expr::lit(Value::Null));
+        let new_expr = layout
+            .new_node
+            .map(Expr::col)
+            .unwrap_or_else(|| Expr::lit(Value::Null));
 
         let (joined, base_layout, param_cols, set_expr): (PlanRef, CondLayout, Vec<usize>, Expr) =
             match constants_table {
@@ -437,7 +481,11 @@ impl Quark {
         // Apply the full condition relationally when possible.
         let (filtered, residual) = match cond.compile(&base_layout) {
             Ok(pred) => (
-                PhysicalPlan::Filter { input: joined, predicate: pred }.into_ref(),
+                PhysicalPlan::Filter {
+                    input: joined,
+                    predicate: pred,
+                }
+                .into_ref(),
                 None,
             ),
             Err(_) => (joined, Some(cond.clone())),
@@ -446,7 +494,11 @@ impl Quark {
         // Final projection [set_id, old, new, params…], sorted by set id.
         let mut exprs = vec![set_expr, old_expr, new_expr];
         exprs.extend(param_cols.into_iter().map(Expr::col));
-        let projected = PhysicalPlan::Project { input: filtered, exprs }.into_ref();
+        let projected = PhysicalPlan::Project {
+            input: filtered,
+            exprs,
+        }
+        .into_ref();
         let sorted = PhysicalPlan::Sort {
             input: projected,
             keys: vec![SortKey::asc(0)],
@@ -549,7 +601,10 @@ impl Quark {
             group.trigger_count == 0
         };
         if remove_group {
-            let group = self.groups.remove(&record.group_signature).expect("checked");
+            let group = self
+                .groups
+                .remove(&record.group_signature)
+                .expect("checked");
             for t in &group.sql_triggers {
                 self.db.drop_trigger(t)?;
             }
@@ -610,9 +665,7 @@ fn compile_cond_value_for_join(
         params: vec![],
     };
     match &path_value {
-        crate::condition::CondValue::Path(p) => {
-            crate::condition::compile_path_public(p, &cl)
-        }
+        crate::condition::CondValue::Path(p) => crate::condition::compile_path_public(p, &cl),
         _ => Err(Error::Plan("pushable equality must be a path".into())),
     }
 }

@@ -116,10 +116,19 @@ pub fn tag_rows(plan: &TaggerPlan, rows: &[Row]) -> Result<Vec<XmlNodeRef>> {
         let mut children = Vec::new();
         for (name, col) in &level.scalar_children {
             if !row[*col].is_null() {
-                children.push(element(name.clone(), vec![], vec![text(row[*col].to_string())]));
+                children.push(element(
+                    name.clone(),
+                    vec![],
+                    vec![text(row[*col].to_string())],
+                ));
             }
         }
-        stack.push(Open { level: level_idx, name: level.element.clone(), attrs, children });
+        stack.push(Open {
+            level: level_idx,
+            name: level.element.clone(),
+            attrs,
+            children,
+        });
     }
     close_to_depth(&mut stack, &mut out, 0);
     Ok(out)
@@ -159,7 +168,12 @@ mod tests {
     }
 
     fn vendor_row(vid: &str, price: f64) -> Row {
-        row([Value::Int(2), Value::Null, Value::str(vid), Value::Double(price)])
+        row([
+            Value::Int(2),
+            Value::Null,
+            Value::str(vid),
+            Value::Double(price),
+        ])
     }
 
     #[test]
@@ -177,8 +191,14 @@ mod tests {
         assert_eq!(nodes[0].children_named("vendor").count(), 2);
         assert_eq!(nodes[1].children_named("vendor").count(), 1);
         let v = nodes[1].children_named("vendor").next().unwrap();
-        assert_eq!(v.children_named("vid").next().unwrap().text_content(), "Buy.com");
-        assert_eq!(v.children_named("price").next().unwrap().text_content(), "200");
+        assert_eq!(
+            v.children_named("vid").next().unwrap().text_content(),
+            "Buy.com"
+        );
+        assert_eq!(
+            v.children_named("price").next().unwrap().text_content(),
+            "200"
+        );
     }
 
     #[test]
@@ -197,7 +217,12 @@ mod tests {
     fn null_scalar_children_are_skipped() {
         let rows = vec![
             product_row("CRT 15"),
-            row([Value::Int(2), Value::Null, Value::str("Amazon"), Value::Null]),
+            row([
+                Value::Int(2),
+                Value::Null,
+                Value::str("Amazon"),
+                Value::Null,
+            ]),
         ];
         let nodes = tag_rows(&plan(), &rows).unwrap();
         let v = nodes[0].children_named("vendor").next().unwrap();

@@ -56,10 +56,10 @@ pub struct TransitionTables {
 }
 
 /// Callback receiving the rows produced by a query-bodied trigger.
-pub type RowsHandler = dyn Fn(&mut Database, Vec<Row>) -> Result<()>;
+pub type RowsHandler = dyn Fn(&mut Database, Vec<Row>) -> Result<()> + Send + Sync;
 
 /// Callback for a native-bodied trigger.
-pub type NativeTriggerFn = dyn Fn(&mut Database, &TransitionTables) -> Result<()>;
+pub type NativeTriggerFn = dyn Fn(&mut Database, &TransitionTables) -> Result<()> + Send + Sync;
 
 /// Body of a registered statement trigger.
 #[derive(Clone)]
@@ -175,11 +175,15 @@ impl Database {
 
     /// Look up a table.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables.get(name).ok_or_else(|| Error::UnknownTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
     }
 
     fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
-        self.tables.get_mut(name).ok_or_else(|| Error::UnknownTable(name.to_string()))
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
     }
 
     /// `true` if `name` exists.
@@ -262,7 +266,9 @@ impl Database {
     ) -> Result<bool> {
         let (old, new) = {
             let t = self.table_mut(table)?;
-            let Some(existing) = t.get(key) else { return Ok(false) };
+            let Some(existing) = t.get(key) else {
+                return Ok(false);
+            };
             let mut next: Vec<Value> = existing.to_vec();
             for (col, v) in assignments {
                 if *col >= next.len() {
@@ -467,11 +473,16 @@ mod tests {
         })
         .unwrap();
         // One statement inserting two rows -> one firing with |Δ| = 2.
-        db.insert("vendor", vec![vrow("a", "P1", 1.0), vrow("b", "P1", 2.0)]).unwrap();
+        db.insert("vendor", vec![vrow("a", "P1", 1.0), vrow("b", "P1", 2.0)])
+            .unwrap();
         assert_eq!(*seen.lock().unwrap(), vec![2]);
         // Wrong-event triggers don't fire.
-        db.update_by_key("vendor", &[Value::str("a"), Value::str("P1")], &[(2, Value::Double(9.0))])
-            .unwrap();
+        db.update_by_key(
+            "vendor",
+            &[Value::str("a"), Value::str("P1")],
+            &[(2, Value::Double(9.0))],
+        )
+        .unwrap();
         assert_eq!(*seen.lock().unwrap(), vec![2]);
     }
 
@@ -494,8 +505,12 @@ mod tests {
             })),
         })
         .unwrap();
-        db.update_by_key("vendor", &[Value::str("a"), Value::str("P1")], &[(2, Value::Double(7.5))])
-            .unwrap();
+        db.update_by_key(
+            "vendor",
+            &[Value::str("a"), Value::str("P1")],
+            &[(2, Value::Double(7.5))],
+        )
+        .unwrap();
         assert_eq!(
             *seen.lock().unwrap(),
             vec![(Value::Double(1.0), Value::Double(7.5))]
@@ -539,7 +554,8 @@ mod tests {
             },
         })
         .unwrap();
-        db.insert("vendor", vec![vrow("a", "P1", 1.0), vrow("b", "P2", 2.0)]).unwrap();
+        db.insert("vendor", vec![vrow("a", "P1", 1.0), vrow("b", "P2", 2.0)])
+            .unwrap();
         assert_eq!(db.table("log").unwrap().len(), 2);
     }
 
@@ -575,7 +591,9 @@ mod tests {
             table: "ping".into(),
             event: Event::Insert,
             body: TriggerBody::Native(Arc::new(|db, trans| {
-                let Value::Int(n) = trans.inserted[0][0] else { unreachable!() };
+                let Value::Int(n) = trans.inserted[0][0] else {
+                    unreachable!()
+                };
                 db.insert_row("ping", vec![Value::Int(n + 1)])
             })),
         })
@@ -599,7 +617,10 @@ mod tests {
         assert_eq!(db.trigger_count(), 1);
         db.drop_trigger("t").unwrap();
         assert_eq!(db.trigger_count(), 0);
-        assert!(matches!(db.drop_trigger("t"), Err(Error::UnknownTrigger(_))));
+        assert!(matches!(
+            db.drop_trigger("t"),
+            Err(Error::UnknownTrigger(_))
+        ));
     }
 
     #[test]
@@ -607,7 +628,11 @@ mod tests {
         let mut db = db_with_vendor();
         db.load(
             "vendor",
-            vec![vrow("a", "P1", 1.0), vrow("b", "P1", 2.0), vrow("c", "P2", 3.0)],
+            vec![
+                vrow("a", "P1", 1.0),
+                vrow("b", "P1", 2.0),
+                vrow("c", "P2", 3.0),
+            ],
         )
         .unwrap();
         let firings = Arc::new(Mutex::new(Vec::<usize>::new()));

@@ -62,15 +62,26 @@ impl fmt::Display for Error {
             Error::UnknownColumn(t, c) => write!(f, "unknown column `{c}` in table `{t}`"),
             Error::DuplicateColumn(t, c) => write!(f, "duplicate column `{c}` in table `{t}`"),
             Error::MissingPrimaryKey(t) => {
-                write!(f, "table `{t}` must declare a primary key (trigger-specifiability)")
+                write!(
+                    f,
+                    "table `{t}` must declare a primary key (trigger-specifiability)"
+                )
             }
             Error::DuplicateKey { table, key } => {
                 write!(f, "duplicate primary key {key} in table `{table}`")
             }
-            Error::ArityMismatch { table, expected, got } => {
+            Error::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
                 write!(f, "table `{table}` expects {expected} columns, got {got}")
             }
-            Error::TypeMismatch { table, column, value } => {
+            Error::TypeMismatch {
+                table,
+                column,
+                value,
+            } => {
                 write!(f, "value {value} does not fit column `{table}.{column}`")
             }
             Error::TriggerExists(n) => write!(f, "trigger `{n}` already exists"),

@@ -32,7 +32,11 @@ impl<'a> ExecContext<'a> {
     /// Create a context. `trans` must be `Some` when the plan contains
     /// `TransitionScan` or old-epoch accesses.
     pub fn new(db: &'a Database, trans: Option<&'a TransitionTables>) -> Self {
-        ExecContext { db, trans, memo: RefCell::new(HashMap::new()) }
+        ExecContext {
+            db,
+            trans,
+            memo: RefCell::new(HashMap::new()),
+        }
     }
 
     fn transition(&self, table: &str) -> Result<&'a TransitionTables> {
@@ -72,7 +76,11 @@ pub fn execute(plan: &PlanRef, ctx: &ExecContext<'_>) -> Result<RowsRef> {
 fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
     match plan {
         PhysicalPlan::TableScan { table, epoch } => scan_table(table, *epoch, ctx),
-        PhysicalPlan::TransitionScan { table, side, pruned } => {
+        PhysicalPlan::TransitionScan {
+            table,
+            side,
+            pruned,
+        } => {
             let trans = ctx.transition(table)?;
             let (main, other) = match side {
                 TransitionSide::Delta => (&trans.inserted, &trans.deleted),
@@ -82,7 +90,11 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
                 // Appendix F (Def. 8): drop rows unchanged in value —
                 // present in both Δ and ∇.
                 let other_set: HashSet<&Row> = other.iter().collect();
-                Ok(main.iter().filter(|r| !other_set.contains(r)).cloned().collect())
+                Ok(main
+                    .iter()
+                    .filter(|r| !other_set.contains(r))
+                    .cloned()
+                    .collect())
             } else {
                 Ok(main.clone())
             }
@@ -106,16 +118,41 @@ fn run(plan: &PhysicalPlan, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
             }
             Ok(out)
         }
-        PhysicalPlan::HashJoin { left, right, left_keys, right_keys, kind, filter } => {
-            hash_join(left, right, left_keys, right_keys, *kind, filter.as_ref(), ctx)
-        }
-        PhysicalPlan::IndexJoin { outer, table, epoch, probe, kind, filter } => {
-            index_join(outer, table, *epoch, probe, *kind, filter.as_ref(), ctx)
-        }
-        PhysicalPlan::NestedLoopJoin { left, right, predicate, kind } => {
-            nl_join(left, right, predicate.as_ref(), *kind, ctx)
-        }
-        PhysicalPlan::HashAggregate { input, group_exprs, aggs } => {
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+            filter,
+        } => hash_join(
+            left,
+            right,
+            left_keys,
+            right_keys,
+            *kind,
+            filter.as_ref(),
+            ctx,
+        ),
+        PhysicalPlan::IndexJoin {
+            outer,
+            table,
+            epoch,
+            probe,
+            kind,
+            filter,
+        } => index_join(outer, table, *epoch, probe, *kind, filter.as_ref(), ctx),
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+            kind,
+        } => nl_join(left, right, predicate.as_ref(), *kind, ctx),
+        PhysicalPlan::HashAggregate {
+            input,
+            group_exprs,
+            aggs,
+        } => {
             let rows = execute(input, ctx)?;
             aggregate(&rows, group_exprs, aggs)
         }
@@ -235,7 +272,14 @@ fn hash_join(
     for l in lrows.iter() {
         let key = key_values(left_keys, l)?;
         let matches = build.get(&key);
-        emit_joined(l, matches.map(|v| v.as_slice()), right_arity, kind, filter, &mut out)?;
+        emit_joined(
+            l,
+            matches.map(|v| v.as_slice()),
+            right_arity,
+            kind,
+            filter,
+            &mut out,
+        )?;
     }
     Ok(out)
 }
@@ -294,7 +338,7 @@ fn index_join(
     let inner_arity = schema.arity();
     let probe_cols: Vec<usize> = probe.iter().map(|(c, _)| *c).collect();
     let is_pk_probe = probe_cols == schema.primary_key;
-    if !is_pk_probe && !(probe_cols.len() == 1 && t.has_index(probe_cols[0])) {
+    if !(is_pk_probe || (probe_cols.len() == 1 && t.has_index(probe_cols[0]))) {
         return Err(Error::Plan(format!(
             "IndexJoin on {table} cols {probe_cols:?}: not the primary key and no secondary index"
         )));
@@ -302,19 +346,23 @@ fn index_join(
 
     // For the Old epoch, the probe must see the pre-statement state:
     // current matches minus Δ-keyed rows, plus matching ∇ rows.
-    let (delta_keys, nabla_by_probe): (HashSet<Box<[Value]>>, HashMap<Box<[Value]>, Vec<Row>>) =
-        if epoch == TableEpoch::Old {
-            let delta_keys =
-                ctx.delta_rows(table).iter().map(|r| schema.key_of(r)).collect();
-            let mut by_probe: HashMap<Box<[Value]>, Vec<Row>> = HashMap::new();
-            for r in ctx.nabla_rows(table) {
-                let k: Box<[Value]> = probe_cols.iter().map(|&c| r[c].clone()).collect();
-                by_probe.entry(k).or_default().push(Arc::clone(r));
-            }
-            (delta_keys, by_probe)
-        } else {
-            (HashSet::new(), HashMap::new())
-        };
+    type KeySet = HashSet<Box<[Value]>>;
+    type RowsByKey = HashMap<Box<[Value]>, Vec<Row>>;
+    let (delta_keys, nabla_by_probe): (KeySet, RowsByKey) = if epoch == TableEpoch::Old {
+        let delta_keys = ctx
+            .delta_rows(table)
+            .iter()
+            .map(|r| schema.key_of(r))
+            .collect();
+        let mut by_probe: HashMap<Box<[Value]>, Vec<Row>> = HashMap::new();
+        for r in ctx.nabla_rows(table) {
+            let k: Box<[Value]> = probe_cols.iter().map(|&c| r[c].clone()).collect();
+            by_probe.entry(k).or_default().push(Arc::clone(r));
+        }
+        (delta_keys, by_probe)
+    } else {
+        (HashSet::new(), HashMap::new())
+    };
 
     let mut out = Vec::new();
     for l in orows.iter() {
@@ -334,7 +382,9 @@ fn index_join(
             TableEpoch::Current => matched.extend(current),
             TableEpoch::Old => {
                 matched.extend(
-                    current.into_iter().filter(|r| !delta_keys.contains(&schema.key_of(r))),
+                    current
+                        .into_iter()
+                        .filter(|r| !delta_keys.contains(&schema.key_of(r))),
                 );
                 let pk: Box<[Value]> = probe_vals.clone().into_boxed_slice();
                 nabla_extra = nabla_by_probe.get(&pk);
@@ -368,7 +418,11 @@ fn nl_join(
     Ok(out)
 }
 
-fn aggregate(rows: &[Row], group_exprs: &[Expr], aggs: &[crate::expr::AggExpr]) -> Result<Vec<Row>> {
+fn aggregate(
+    rows: &[Row],
+    group_exprs: &[Expr],
+    aggs: &[crate::expr::AggExpr],
+) -> Result<Vec<Row>> {
     // Preserve first-seen group order so aggXMLFrag output is deterministic.
     let mut order: Vec<Box<[Value]>> = Vec::new();
     let mut groups: HashMap<Box<[Value]>, Vec<AggState>> = HashMap::new();
@@ -396,7 +450,10 @@ fn aggregate(rows: &[Row], group_exprs: &[Expr], aggs: &[crate::expr::AggExpr]) 
     // Scalar aggregation (no GROUP BY) over empty input: one row of
     // identity values.
     if group_exprs.is_empty() && groups.is_empty() {
-        let row: Row = aggs.iter().map(|a| AggState::new(&a.func).finish()).collect();
+        let row: Row = aggs
+            .iter()
+            .map(|a| AggState::new(&a.func).finish())
+            .collect();
         return Ok(vec![row]);
     }
     let mut out = Vec::with_capacity(order.len());
@@ -460,7 +517,12 @@ pub fn transitions(
     inserted: Vec<Row>,
     deleted: Vec<Row>,
 ) -> TransitionTables {
-    TransitionTables { table: table.into(), event, inserted, deleted }
+    TransitionTables {
+        table: table.into(),
+        event,
+        inserted,
+        deleted,
+    }
 }
 
 #[allow(dead_code)]

@@ -42,9 +42,21 @@ fn setup() -> Database {
     db.load(
         "product",
         vec![
-            vec![Value::str("P1"), Value::str("CRT 15"), Value::str("Samsung")],
-            vec![Value::str("P2"), Value::str("LCD 19"), Value::str("Samsung")],
-            vec![Value::str("P3"), Value::str("CRT 15"), Value::str("Viewsonic")],
+            vec![
+                Value::str("P1"),
+                Value::str("CRT 15"),
+                Value::str("Samsung"),
+            ],
+            vec![
+                Value::str("P2"),
+                Value::str("LCD 19"),
+                Value::str("Samsung"),
+            ],
+            vec![
+                Value::str("P3"),
+                Value::str("CRT 15"),
+                Value::str("Viewsonic"),
+            ],
         ],
     )
     .unwrap();
@@ -52,12 +64,36 @@ fn setup() -> Database {
         "vendor",
         vec![
             vec![Value::str("Amazon"), Value::str("P1"), Value::Double(100.0)],
-            vec![Value::str("Bestbuy"), Value::str("P1"), Value::Double(120.0)],
-            vec![Value::str("Circuitcity"), Value::str("P1"), Value::Double(150.0)],
-            vec![Value::str("Buy.com"), Value::str("P2"), Value::Double(200.0)],
-            vec![Value::str("Bestbuy"), Value::str("P2"), Value::Double(180.0)],
-            vec![Value::str("Bestbuy"), Value::str("P3"), Value::Double(120.0)],
-            vec![Value::str("Circuitcity"), Value::str("P3"), Value::Double(140.0)],
+            vec![
+                Value::str("Bestbuy"),
+                Value::str("P1"),
+                Value::Double(120.0),
+            ],
+            vec![
+                Value::str("Circuitcity"),
+                Value::str("P1"),
+                Value::Double(150.0),
+            ],
+            vec![
+                Value::str("Buy.com"),
+                Value::str("P2"),
+                Value::Double(200.0),
+            ],
+            vec![
+                Value::str("Bestbuy"),
+                Value::str("P2"),
+                Value::Double(180.0),
+            ],
+            vec![
+                Value::str("Bestbuy"),
+                Value::str("P3"),
+                Value::Double(120.0),
+            ],
+            vec![
+                Value::str("Circuitcity"),
+                Value::str("P3"),
+                Value::Double(140.0),
+            ],
         ],
     )
     .unwrap();
@@ -65,7 +101,10 @@ fn setup() -> Database {
 }
 
 fn scan(table: &str) -> PhysicalPlan {
-    PhysicalPlan::TableScan { table: table.into(), epoch: TableEpoch::Current }
+    PhysicalPlan::TableScan {
+        table: table.into(),
+        epoch: TableEpoch::Current,
+    }
 }
 
 #[test]
@@ -115,7 +154,11 @@ fn hash_join_left_outer_pads_nulls() {
     let mut db = setup();
     db.load(
         "product",
-        vec![vec![Value::str("P4"), Value::str("Plasma"), Value::str("LG")]],
+        vec![vec![
+            Value::str("P4"),
+            Value::str("Plasma"),
+            Value::str("LG"),
+        ]],
     )
     .unwrap();
     let plan = PhysicalPlan::HashJoin {
@@ -138,7 +181,11 @@ fn semi_and_anti_joins() {
     let mut db = setup();
     db.load(
         "product",
-        vec![vec![Value::str("P4"), Value::str("Plasma"), Value::str("LG")]],
+        vec![vec![
+            Value::str("P4"),
+            Value::str("Plasma"),
+            Value::str("LG"),
+        ]],
     )
     .unwrap();
     let semi = PhysicalPlan::HashJoin {
@@ -173,7 +220,10 @@ fn group_by_count_per_product() {
     let plan = PhysicalPlan::HashAggregate {
         input: scan("vendor").into_ref(),
         group_exprs: vec![Expr::col(1)],
-        aggs: vec![AggExpr::count_star(), AggExpr::over(AggFunc::Min, Expr::col(2))],
+        aggs: vec![
+            AggExpr::count_star(),
+            AggExpr::over(AggFunc::Min, Expr::col(2)),
+        ],
     }
     .into_ref();
     let mut rows = execute_query(&db, &plan).unwrap();
@@ -192,9 +242,16 @@ fn group_by_count_per_product() {
 fn scalar_aggregate_over_empty_input_yields_identity_row() {
     let db = setup();
     let plan = PhysicalPlan::HashAggregate {
-        input: PhysicalPlan::Values { arity: 1, rows: vec![] }.into_ref(),
+        input: PhysicalPlan::Values {
+            arity: 1,
+            rows: vec![],
+        }
+        .into_ref(),
         group_exprs: vec![],
-        aggs: vec![AggExpr::count_star(), AggExpr::over(AggFunc::Sum, Expr::col(0))],
+        aggs: vec![
+            AggExpr::count_star(),
+            AggExpr::over(AggFunc::Sum, Expr::col(0)),
+        ],
     }
     .into_ref();
     let rows = execute_query(&db, &plan).unwrap();
@@ -205,7 +262,10 @@ fn scalar_aggregate_over_empty_input_yields_identity_row() {
 fn index_join_probes_secondary_index() {
     let db = setup();
     // Outer: a single P1 key row; inner: vendor by pid index.
-    let outer = PhysicalPlan::Values { arity: 1, rows: vec![row([Value::str("P1")])] };
+    let outer = PhysicalPlan::Values {
+        arity: 1,
+        rows: vec![row([Value::str("P1")])],
+    };
     let plan = PhysicalPlan::IndexJoin {
         outer: outer.into_ref(),
         table: "vendor".into(),
@@ -223,7 +283,10 @@ fn index_join_probes_secondary_index() {
 #[test]
 fn index_join_probes_primary_key() {
     let db = setup();
-    let outer = PhysicalPlan::Values { arity: 1, rows: vec![row([Value::str("P2")])] };
+    let outer = PhysicalPlan::Values {
+        arity: 1,
+        rows: vec![row([Value::str("P2")])],
+    };
     let plan = PhysicalPlan::IndexJoin {
         outer: outer.into_ref(),
         table: "product".into(),
@@ -241,7 +304,10 @@ fn index_join_probes_primary_key() {
 #[test]
 fn index_join_without_index_is_a_plan_error() {
     let db = setup();
-    let outer = PhysicalPlan::Values { arity: 1, rows: vec![row([Value::Double(100.0)])] };
+    let outer = PhysicalPlan::Values {
+        arity: 1,
+        rows: vec![row([Value::Double(100.0)])],
+    };
     let plan = PhysicalPlan::IndexJoin {
         outer: outer.into_ref(),
         table: "vendor".into(),
@@ -274,8 +340,11 @@ fn old_epoch_reconstructs_pre_statement_state() {
 
     // Old-epoch scan sees 100.0 for Amazon.
     let plan = PhysicalPlan::Filter {
-        input: PhysicalPlan::TableScan { table: "vendor".into(), epoch: TableEpoch::Old }
-            .into_ref(),
+        input: PhysicalPlan::TableScan {
+            table: "vendor".into(),
+            epoch: TableEpoch::Old,
+        }
+        .into_ref(),
         predicate: Expr::eq(Expr::col(0), Expr::lit("Amazon")),
     }
     .into_ref();
@@ -284,7 +353,10 @@ fn old_epoch_reconstructs_pre_statement_state() {
     assert_eq!(rows[0][2], Value::Double(100.0));
 
     // Old-epoch index probe by pid sees 3 vendors with the old price.
-    let outer = PhysicalPlan::Values { arity: 1, rows: vec![row([Value::str("P1")])] };
+    let outer = PhysicalPlan::Values {
+        arity: 1,
+        rows: vec![row([Value::str("P1")])],
+    };
     let plan = PhysicalPlan::IndexJoin {
         outer: outer.into_ref(),
         table: "vendor".into(),
@@ -300,7 +372,10 @@ fn old_epoch_reconstructs_pre_statement_state() {
     assert_eq!(amazon[3], Value::Double(100.0));
 
     // Current-epoch probe sees the new price.
-    let outer = PhysicalPlan::Values { arity: 1, rows: vec![row([Value::str("P1")])] };
+    let outer = PhysicalPlan::Values {
+        arity: 1,
+        rows: vec![row([Value::str("P1")])],
+    };
     let plan = PhysicalPlan::IndexJoin {
         outer: outer.into_ref(),
         table: "vendor".into(),
@@ -320,13 +395,20 @@ fn old_epoch_after_insert_excludes_new_rows() {
     let mut db = setup();
     db.load(
         "vendor",
-        vec![vec![Value::str("Amazon"), Value::str("P2"), Value::Double(500.0)]],
+        vec![vec![
+            Value::str("Amazon"),
+            Value::str("P2"),
+            Value::Double(500.0),
+        ]],
     )
     .unwrap();
     let new_row = row([Value::str("Amazon"), Value::str("P2"), Value::Double(500.0)]);
     let trans = transitions("vendor", Event::Insert, vec![new_row], vec![]);
-    let plan = PhysicalPlan::TableScan { table: "vendor".into(), epoch: TableEpoch::Old }
-        .into_ref();
+    let plan = PhysicalPlan::TableScan {
+        table: "vendor".into(),
+        epoch: TableEpoch::Old,
+    }
+    .into_ref();
     let rows = execute_with_transitions(&db, &plan, &trans).unwrap();
     assert_eq!(rows.len(), 7); // the original 7, not 8
 }
@@ -338,8 +420,11 @@ fn old_epoch_after_delete_restores_rows() {
     let old = db.table("vendor").unwrap().get(&key).unwrap().clone();
     db.delete_by_key("vendor", &key).unwrap();
     let trans = transitions("vendor", Event::Delete, vec![], vec![old]);
-    let plan = PhysicalPlan::TableScan { table: "vendor".into(), epoch: TableEpoch::Old }
-        .into_ref();
+    let plan = PhysicalPlan::TableScan {
+        table: "vendor".into(),
+        epoch: TableEpoch::Old,
+    }
+    .into_ref();
     let rows = execute_with_transitions(&db, &plan, &trans).unwrap();
     assert_eq!(rows.len(), 7);
 }
@@ -362,7 +447,10 @@ fn pruned_transition_scan_drops_noop_updates() {
         pruned: false,
     }
     .into_ref();
-    assert_eq!(execute_with_transitions(&db, &raw, &trans).unwrap().len(), 2);
+    assert_eq!(
+        execute_with_transitions(&db, &raw, &trans).unwrap().len(),
+        2
+    );
     let pruned = PhysicalPlan::TransitionScan {
         table: "vendor".into(),
         side: TransitionSide::Delta,
@@ -393,7 +481,11 @@ fn union_all_distinct_sort() {
         rows: vec![row([Value::Int(2)]), row([Value::Int(1)])],
     }
     .into_ref();
-    let b = PhysicalPlan::Values { arity: 1, rows: vec![row([Value::Int(2)])] }.into_ref();
+    let b = PhysicalPlan::Values {
+        arity: 1,
+        rows: vec![row([Value::Int(2)])],
+    }
+    .into_ref();
     let plan = PhysicalPlan::Sort {
         input: PhysicalPlan::Distinct {
             input: PhysicalPlan::UnionAll { inputs: vec![a, b] }.into_ref(),
@@ -420,7 +512,10 @@ fn sort_desc_and_stability() {
     .into_ref();
     let plan = PhysicalPlan::Sort {
         input,
-        keys: vec![SortKey { expr: Expr::col(0), desc: true }],
+        keys: vec![SortKey {
+            expr: Expr::col(0),
+            desc: true,
+        }],
     }
     .into_ref();
     let rows = execute_query(&db, &plan).unwrap();
@@ -466,9 +561,13 @@ fn nested_loop_cross_product() {
         rows: vec![row([Value::str("x")]), row([Value::str("y")])],
     }
     .into_ref();
-    let plan =
-        PhysicalPlan::NestedLoopJoin { left: a, right: b, predicate: None, kind: JoinKind::Inner }
-            .into_ref();
+    let plan = PhysicalPlan::NestedLoopJoin {
+        left: a,
+        right: b,
+        predicate: None,
+        kind: JoinKind::Inner,
+    }
+    .into_ref();
     let rows = execute_query(&db, &plan).unwrap();
     assert_eq!(rows.len(), 4);
 }

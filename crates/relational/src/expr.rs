@@ -122,7 +122,11 @@ impl Expr {
 
     /// Binary op helper.
     pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Equality comparison helper.
@@ -210,9 +214,10 @@ impl Expr {
             },
             Expr::Not(e) => Expr::Not(Box::new(e.remap_columns(map))),
             Expr::IsNull(e) => Expr::IsNull(Box::new(e.remap_columns(map))),
-            Expr::Func(f, args) => {
-                Expr::Func(f.clone(), args.iter().map(|a| a.remap_columns(map)).collect())
-            }
+            Expr::Func(f, args) => Expr::Func(
+                f.clone(),
+                args.iter().map(|a| a.remap_columns(map)).collect(),
+            ),
         }
     }
 }
@@ -357,9 +362,7 @@ fn eval_func(f: &ScalarFunc, args: Vec<Value>) -> Result<Value> {
             Ok(Value::Xml(element(name.clone(), vec![], children)))
         }
         ScalarFunc::XmlAttr(name) => match args.first() {
-            Some(Value::Xml(x)) => {
-                Ok(x.attr(name).map_or(Value::Null, Value::str))
-            }
+            Some(Value::Xml(x)) => Ok(x.attr(name).map_or(Value::Null, Value::str)),
             Some(Value::Null) | None => Ok(Value::Null),
             Some(other) => Err(Error::Eval(format!("@{name} on non-XML {other:?}"))),
         },
@@ -406,9 +409,10 @@ fn eval_func(f: &ScalarFunc, args: Vec<Value>) -> Result<Value> {
             }
             Ok(Value::str(s))
         }
-        ScalarFunc::Coalesce => {
-            Ok(args.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null))
-        }
+        ScalarFunc::Coalesce => Ok(args
+            .into_iter()
+            .find(|v| !v.is_null())
+            .unwrap_or(Value::Null)),
     }
 }
 
@@ -443,12 +447,18 @@ pub struct AggExpr {
 impl AggExpr {
     /// `COUNT(*)`.
     pub fn count_star() -> Self {
-        AggExpr { func: AggFunc::CountStar, arg: None }
+        AggExpr {
+            func: AggFunc::CountStar,
+            arg: None,
+        }
     }
 
     /// Aggregate over an expression.
     pub fn over(func: AggFunc, arg: Expr) -> Self {
-        AggExpr { func, arg: Some(arg) }
+        AggExpr {
+            func,
+            arg: Some(arg),
+        }
     }
 }
 
@@ -457,8 +467,15 @@ impl AggExpr {
 #[allow(missing_docs)] // internal accumulator states mirror AggFunc variants
 pub enum AggState {
     Count(i64),
-    Sum { acc: f64, int_only: bool, seen: bool },
-    MinMax { best: Option<Value>, is_min: bool },
+    Sum {
+        acc: f64,
+        int_only: bool,
+        seen: bool,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
     XmlAgg(Vec<XmlNodeRef>),
 }
 
@@ -467,9 +484,19 @@ impl AggState {
     pub fn new(func: &AggFunc) -> AggState {
         match func {
             AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
-            AggFunc::Sum => AggState::Sum { acc: 0.0, int_only: true, seen: false },
-            AggFunc::Min => AggState::MinMax { best: None, is_min: true },
-            AggFunc::Max => AggState::MinMax { best: None, is_min: false },
+            AggFunc::Sum => AggState::Sum {
+                acc: 0.0,
+                int_only: true,
+                seen: false,
+            },
+            AggFunc::Min => AggState::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggFunc::Max => AggState::MinMax {
+                best: None,
+                is_min: false,
+            },
             AggFunc::XmlAgg => AggState::XmlAgg(Vec::new()),
         }
     }
@@ -478,11 +505,15 @@ impl AggState {
     pub fn update(&mut self, value: Option<&Value>) -> Result<()> {
         match self {
             AggState::Count(n) => match value {
-                None => *n += 1,                      // COUNT(*)
-                Some(v) if !v.is_null() => *n += 1,   // COUNT(expr)
+                None => *n += 1,                    // COUNT(*)
+                Some(v) if !v.is_null() => *n += 1, // COUNT(expr)
                 Some(_) => {}
             },
-            AggState::Sum { acc, int_only, seen } => {
+            AggState::Sum {
+                acc,
+                int_only,
+                seen,
+            } => {
                 if let Some(v) = value {
                     match v {
                         Value::Null => {}
@@ -495,9 +526,7 @@ impl AggState {
                             *int_only = false;
                             *seen = true;
                         }
-                        other => {
-                            return Err(Error::Eval(format!("SUM of non-number {other:?}")))
-                        }
+                        other => return Err(Error::Eval(format!("SUM of non-number {other:?}"))),
                     }
                 }
             }
@@ -542,7 +571,11 @@ impl AggState {
     pub fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),
-            AggState::Sum { acc, int_only, seen } => {
+            AggState::Sum {
+                acc,
+                int_only,
+                seen,
+            } => {
                 if !seen {
                     Value::Null
                 } else if int_only {
@@ -594,18 +627,25 @@ mod tests {
         let t = Expr::lit(true);
         let f = Expr::lit(false);
         assert_eq!(
-            Expr::bin(BinOp::And, f.clone(), null.clone()).eval(&[]).unwrap(),
+            Expr::bin(BinOp::And, f.clone(), null.clone())
+                .eval(&[])
+                .unwrap(),
             Value::Bool(false)
         );
         assert_eq!(
-            Expr::bin(BinOp::Or, t.clone(), null.clone()).eval(&[]).unwrap(),
+            Expr::bin(BinOp::Or, t.clone(), null.clone())
+                .eval(&[])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
             Expr::bin(BinOp::And, t, null.clone()).eval(&[]).unwrap(),
             Value::Null
         );
-        assert_eq!(Expr::bin(BinOp::Or, f, null).eval(&[]).unwrap(), Value::Null);
+        assert_eq!(
+            Expr::bin(BinOp::Or, f, null).eval(&[]).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -619,11 +659,16 @@ mod tests {
     fn xml_element_constructor_with_attrs_and_splice() {
         let frag = xml_fragment(vec![element("vendor", vec![], vec![])]);
         let e = Expr::Func(
-            ScalarFunc::XmlElement { name: "product".into(), attrs: vec!["name".into()] },
+            ScalarFunc::XmlElement {
+                name: "product".into(),
+                attrs: vec!["name".into()],
+            },
             vec![Expr::lit("CRT 15"), Expr::lit(Value::Xml(frag))],
         );
         let v = e.eval(&[]).unwrap();
-        let Value::Xml(x) = v else { panic!("expected XML") };
+        let Value::Xml(x) = v else {
+            panic!("expected XML")
+        };
         assert_eq!(x.to_xml(), "<product name=\"CRT 15\"><vendor/></product>");
     }
 
@@ -636,7 +681,10 @@ mod tests {
         let prod = element(
             "product",
             vec![("name".into(), "CRT 15".into())],
-            vec![element("vendor", vec![], vec![]), element("vendor", vec![], vec![])],
+            vec![
+                element("vendor", vec![], vec![]),
+                element("vendor", vec![], vec![]),
+            ],
         );
         let attr = Expr::Func(ScalarFunc::XmlAttr("name".into()), vec![Expr::col(0)]);
         assert_eq!(
@@ -680,11 +728,18 @@ mod tests {
     #[test]
     fn xml_agg_collects_in_order_and_splices() {
         let mut agg = AggState::new(&AggFunc::XmlAgg);
-        agg.update(Some(&Value::Xml(element("a", vec![], vec![])))).unwrap();
-        agg.update(Some(&Value::Xml(xml_fragment(vec![element("b", vec![], vec![])]))))
+        agg.update(Some(&Value::Xml(element("a", vec![], vec![]))))
             .unwrap();
+        agg.update(Some(&Value::Xml(xml_fragment(vec![element(
+            "b",
+            vec![],
+            vec![],
+        )]))))
+        .unwrap();
         agg.update(Some(&Value::Null)).unwrap();
-        let Value::Xml(frag) = agg.finish() else { panic!() };
+        let Value::Xml(frag) = agg.finish() else {
+            panic!()
+        };
         assert!(is_fragment(&frag));
         assert_eq!(frag.children().len(), 2);
         assert_eq!(frag.children()[0].name(), Some("a"));

@@ -32,8 +32,7 @@ mod table;
 mod value;
 
 pub use database::{
-    Database, Event, NativeTriggerFn, RowsHandler, SqlTrigger, Stats, TransitionTables,
-    TriggerBody,
+    Database, Event, NativeTriggerFn, RowsHandler, SqlTrigger, Stats, TransitionTables, TriggerBody,
 };
 pub use error::{Error, Result};
 pub use schema::{ColumnDef, RowSet, TableSchema};

@@ -70,7 +70,10 @@ pub struct SortKey {
 impl SortKey {
     /// Ascending sort on a column.
     pub fn asc(col: usize) -> Self {
-        SortKey { expr: Expr::col(col), desc: false }
+        SortKey {
+            expr: Expr::col(col),
+            desc: false,
+        }
     }
 }
 
@@ -211,37 +214,44 @@ impl PhysicalPlan {
     /// Number of output columns, resolved against `db` for table scans.
     pub fn arity(&self, db: &Database) -> Result<usize> {
         Ok(match self {
-            PhysicalPlan::TableScan { table, .. }
-            | PhysicalPlan::TransitionScan { table, .. } => db.table(table)?.schema().arity(),
+            PhysicalPlan::TableScan { table, .. } | PhysicalPlan::TransitionScan { table, .. } => {
+                db.table(table)?.schema().arity()
+            }
             PhysicalPlan::Values { arity, .. } => *arity,
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Distinct { input }
             | PhysicalPlan::Sort { input, .. } => input.arity(db)?,
             PhysicalPlan::Project { exprs, .. } => exprs.len(),
-            PhysicalPlan::HashJoin { left, right, kind, .. } => {
+            PhysicalPlan::HashJoin {
+                left, right, kind, ..
+            } => {
                 if kind.keeps_right() {
                     left.arity(db)? + right.arity(db)?
                 } else {
                     left.arity(db)?
                 }
             }
-            PhysicalPlan::IndexJoin { outer, table, kind, .. } => {
+            PhysicalPlan::IndexJoin {
+                outer, table, kind, ..
+            } => {
                 if kind.keeps_right() {
                     outer.arity(db)? + db.table(table)?.schema().arity()
                 } else {
                     outer.arity(db)?
                 }
             }
-            PhysicalPlan::NestedLoopJoin { left, right, kind, .. } => {
+            PhysicalPlan::NestedLoopJoin {
+                left, right, kind, ..
+            } => {
                 if kind.keeps_right() {
                     left.arity(db)? + right.arity(db)?
                 } else {
                     left.arity(db)?
                 }
             }
-            PhysicalPlan::HashAggregate { group_exprs, aggs, .. } => {
-                group_exprs.len() + aggs.len()
-            }
+            PhysicalPlan::HashAggregate {
+                group_exprs, aggs, ..
+            } => group_exprs.len() + aggs.len(),
             PhysicalPlan::UnionAll { inputs } => {
                 let first = inputs
                     .first()
@@ -265,7 +275,11 @@ impl PhysicalPlan {
             PhysicalPlan::TableScan { table, epoch } => {
                 let _ = writeln!(out, "{pad}TableScan {table} [{epoch:?}]");
             }
-            PhysicalPlan::TransitionScan { table, side, pruned } => {
+            PhysicalPlan::TransitionScan {
+                table,
+                side,
+                pruned,
+            } => {
                 let sym = match side {
                     TransitionSide::Delta => "Δ",
                     TransitionSide::Nabla => "∇",
@@ -284,7 +298,14 @@ impl PhysicalPlan {
                 let _ = writeln!(out, "{pad}Project [{}]", exprs.len());
                 input.explain_into(out, depth + 1);
             }
-            PhysicalPlan::HashJoin { left, right, left_keys, right_keys, kind, .. } => {
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+                ..
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}HashJoin {kind:?} on {left_keys:?} = {right_keys:?}"
@@ -292,7 +313,14 @@ impl PhysicalPlan {
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            PhysicalPlan::IndexJoin { outer, table, epoch, probe, kind, .. } => {
+            PhysicalPlan::IndexJoin {
+                outer,
+                table,
+                epoch,
+                probe,
+                kind,
+                ..
+            } => {
                 let cols: Vec<usize> = probe.iter().map(|(c, _)| *c).collect();
                 let _ = writeln!(
                     out,
@@ -300,12 +328,18 @@ impl PhysicalPlan {
                 );
                 outer.explain_into(out, depth + 1);
             }
-            PhysicalPlan::NestedLoopJoin { left, right, kind, .. } => {
+            PhysicalPlan::NestedLoopJoin {
+                left, right, kind, ..
+            } => {
                 let _ = writeln!(out, "{pad}NestedLoopJoin {kind:?}");
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            PhysicalPlan::HashAggregate { input, group_exprs, aggs } => {
+            PhysicalPlan::HashAggregate {
+                input,
+                group_exprs,
+                aggs,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}HashAggregate groups={} aggs={}",

@@ -21,7 +21,10 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Shorthand constructor.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        ColumnDef { name: name.into(), ty }
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -60,7 +63,11 @@ impl TableSchema {
                 return Err(Error::DuplicateColumn(name, c.name.clone()));
             }
         }
-        Ok(TableSchema { name, columns, primary_key: pk })
+        Ok(TableSchema {
+            name,
+            columns,
+            primary_key: pk,
+        })
     }
 
     /// Number of columns.
@@ -163,7 +170,10 @@ mod tests {
     fn rejects_duplicate_columns() {
         let err = TableSchema::new(
             "t",
-            vec![ColumnDef::new("a", ColumnType::Int), ColumnDef::new("a", ColumnType::Str)],
+            vec![
+                ColumnDef::new("a", ColumnType::Int),
+                ColumnDef::new("a", ColumnType::Str),
+            ],
             &["a"],
         );
         assert!(matches!(err, Err(Error::DuplicateColumn(_, _))));
@@ -172,8 +182,10 @@ mod tests {
     #[test]
     fn type_checking_allows_int_widening_and_null() {
         let s = schema();
-        s.check_row(&[Value::str("v"), Value::str("p"), Value::Int(3)]).unwrap();
-        s.check_row(&[Value::Null, Value::str("p"), Value::Null]).unwrap();
+        s.check_row(&[Value::str("v"), Value::str("p"), Value::Int(3)])
+            .unwrap();
+        s.check_row(&[Value::Null, Value::str("p"), Value::Null])
+            .unwrap();
         let err = s.check_row(&[Value::Int(1), Value::str("p"), Value::Double(1.0)]);
         assert!(matches!(err, Err(Error::TypeMismatch { .. })));
         let err = s.check_row(&[Value::str("v"), Value::str("p")]);

@@ -30,7 +30,11 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema: Arc::new(schema), rows: HashMap::new(), secondary: HashMap::new() }
+        Table {
+            schema: Arc::new(schema),
+            rows: HashMap::new(),
+            secondary: HashMap::new(),
+        }
     }
 
     /// The table schema.
@@ -60,7 +64,10 @@ impl Table {
         }
         let mut index: HashMap<Value, HashSet<Key>> = HashMap::new();
         for (key, row) in &self.rows {
-            index.entry(row[column].clone()).or_default().insert(key.clone());
+            index
+                .entry(row[column].clone())
+                .or_default()
+                .insert(key.clone());
         }
         self.secondary.insert(column, index);
     }
@@ -104,7 +111,10 @@ impl Table {
         }
         let row: Row = values.into();
         for (&col, index) in &mut self.secondary {
-            index.entry(row[col].clone()).or_default().insert(key.clone());
+            index
+                .entry(row[col].clone())
+                .or_default()
+                .insert(key.clone());
         }
         self.rows.insert(key, Arc::clone(&row));
         Ok(row)
@@ -223,7 +233,10 @@ mod tests {
     #[test]
     fn lookup_without_index_errors() {
         let t = vendor_table();
-        assert!(matches!(t.index_lookup(2, &Value::Double(1.0)), Err(Error::Plan(_))));
+        assert!(matches!(
+            t.index_lookup(2, &Value::Double(1.0)),
+            Err(Error::Plan(_))
+        ));
     }
 
     #[test]

@@ -299,8 +299,14 @@ mod tests {
 
     #[test]
     fn numeric_coercion_in_sql_cmp() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(3).sql_cmp(&Value::Double(2.5)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Double(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Double(2.5)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -341,14 +347,23 @@ mod tests {
 
     #[test]
     fn xml_atomizes_numerically_against_numbers() {
-        let x = Value::Xml(quark_xml::element("price", vec![], vec![quark_xml::text("99.5")]));
+        let x = Value::Xml(quark_xml::element(
+            "price",
+            vec![],
+            vec![quark_xml::text("99.5")],
+        ));
         assert_eq!(x.sql_cmp(&Value::Double(99.5)), Some(Ordering::Equal));
         assert_eq!(x.sql_cmp(&Value::Int(100)), Some(Ordering::Less));
     }
 
     #[test]
     fn total_order_sorts_across_kinds() {
-        let mut vals = vec![Value::str("a"), Value::Int(1), Value::Null, Value::Bool(true)];
+        let mut vals = [
+            Value::str("a"),
+            Value::Int(1),
+            Value::Null,
+            Value::Bool(true),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));

@@ -22,7 +22,7 @@ mod node;
 mod parse;
 mod serialize;
 
-pub use node::{XmlNode, XmlNodeRef, element, text};
+pub use node::{element, text, XmlNode, XmlNodeRef};
 pub use parse::{parse, ParseError};
 
 #[cfg(test)]

@@ -36,7 +36,11 @@ pub fn element(
     attrs: Vec<(String, String)>,
     children: Vec<XmlNodeRef>,
 ) -> XmlNodeRef {
-    Arc::new(XmlNode::Element { name: name.into(), attrs, children })
+    Arc::new(XmlNode::Element {
+        name: name.into(),
+        attrs,
+        children,
+    })
 }
 
 /// Convenience constructor for a text node.
@@ -61,9 +65,10 @@ impl XmlNode {
     /// Attribute value by name (elements only).
     pub fn attr(&self, name: &str) -> Option<&str> {
         match self {
-            XmlNode::Element { attrs, .. } => {
-                attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
-            }
+            XmlNode::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str()),
             XmlNode::Text(_) => None,
         }
     }
@@ -78,7 +83,9 @@ impl XmlNode {
 
     /// Child *elements* with the given tag name, in document order.
     pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlNodeRef> {
-        self.children().iter().filter(move |c| c.name() == Some(name))
+        self.children()
+            .iter()
+            .filter(move |c| c.name() == Some(name))
     }
 
     /// All descendant elements (self excluded) with the given tag name, in
@@ -162,8 +169,16 @@ mod tests {
             "product",
             vec![("name".into(), "CRT 15".into())],
             vec![
-                element("vendor", vec![], vec![element("vid", vec![], vec![text("Amazon")])]),
-                element("vendor", vec![], vec![element("vid", vec![], vec![text("Bestbuy")])]),
+                element(
+                    "vendor",
+                    vec![],
+                    vec![element("vid", vec![], vec![text("Amazon")])],
+                ),
+                element(
+                    "vendor",
+                    vec![],
+                    vec![element("vid", vec![], vec![text("Bestbuy")])],
+                ),
             ],
         )
     }

@@ -30,7 +30,10 @@ impl std::error::Error for ParseError {}
 
 /// Parse a single XML element (leading/trailing whitespace allowed).
 pub fn parse(input: &str) -> Result<XmlNodeRef, ParseError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let node = p.parse_element()?;
     p.skip_ws();
@@ -47,7 +50,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { at: self.pos, message: message.into() }
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -137,7 +143,11 @@ impl<'a> Parser<'a> {
                 Some(b'/') => {
                     self.pos += 1;
                     self.eat(b'>')?;
-                    return Ok(Arc::new(XmlNode::Element { name, attrs, children: vec![] }));
+                    return Ok(Arc::new(XmlNode::Element {
+                        name,
+                        attrs,
+                        children: vec![],
+                    }));
                 }
                 Some(b'>') => {
                     self.pos += 1;
@@ -153,7 +163,11 @@ impl<'a> Parser<'a> {
             }
         }
         let children = self.parse_content(&name)?;
-        Ok(Arc::new(XmlNode::Element { name, attrs, children }))
+        Ok(Arc::new(XmlNode::Element {
+            name,
+            attrs,
+            children,
+        }))
     }
 
     /// Parse children until the matching close tag of `open_name` (consumed).
@@ -228,7 +242,11 @@ mod tests {
         let n = element(
             "catalog",
             vec![],
-            vec![element("product", vec![("name".into(), "x".into())], vec![text("17")])],
+            vec![element(
+                "product",
+                vec![("name".into(), "x".into())],
+                vec![text("17")],
+            )],
         );
         assert_eq!(parse(&n.to_pretty_xml()).unwrap(), n);
     }

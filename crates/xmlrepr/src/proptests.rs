@@ -10,7 +10,9 @@ use crate::{element, parse, text, XmlNodeRef};
 fn arb_text() -> impl Strategy<Value = String> {
     // Exclude pure-whitespace strings: the parser folds whitespace-only runs
     // between elements, which is the one intentional non-identity.
-    "[ -~]{1,12}".prop_filter("not all whitespace", |s| !s.chars().all(char::is_whitespace))
+    "[ -~]{1,12}".prop_filter("not all whitespace", |s| {
+        !s.chars().all(char::is_whitespace)
+    })
 }
 
 fn arb_name() -> impl Strategy<Value = String> {
@@ -20,7 +22,10 @@ fn arb_name() -> impl Strategy<Value = String> {
 fn arb_node() -> impl Strategy<Value = XmlNodeRef> {
     let leaf = prop_oneof![
         arb_text().prop_map(text),
-        (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3))
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3)
+        )
             .prop_map(|(n, attrs)| element(n, attrs, vec![])),
     ];
     let tree = leaf.prop_recursive(4, 24, 4, |inner| {
@@ -34,16 +39,36 @@ fn arb_node() -> impl Strategy<Value = XmlNodeRef> {
                 // child in an element to keep the tree canonical.
                 let children = children
                     .into_iter()
-                    .map(|c| if c.is_element() { c } else { element("t", vec![], vec![c]) })
+                    .map(|c| {
+                        if c.is_element() {
+                            c
+                        } else {
+                            element("t", vec![], vec![c])
+                        }
+                    })
                     .collect();
                 element(n, attrs, children)
             })
     });
     // Documents must be rooted at an element; wrap bare text leaves.
-    tree.prop_map(|c| if c.is_element() { c } else { element("root", vec![], vec![c]) })
+    tree.prop_map(|c| {
+        if c.is_element() {
+            c
+        } else {
+            element("root", vec![], vec![c])
+        }
+    })
 }
 
 proptest! {
+    // Pinned seed + case count: CI runs (no env overrides set) are
+    // deterministic; PROPTEST_SEED still overrides for manual fuzz sweeps.
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        rng_seed: Some(0x1cde_2005_0001),
+        ..ProptestConfig::default()
+    })]
+
     #[test]
     fn compact_serialization_round_trips(node in arb_node()) {
         let reparsed = parse(&node.to_xml()).unwrap();

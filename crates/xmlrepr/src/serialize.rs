@@ -41,7 +41,11 @@ pub(crate) fn write_node(node: &XmlNode, buf: &mut String, indent: Option<usize>
             escape_text(t, buf);
             newline(buf, indent);
         }
-        XmlNode::Element { name, attrs, children } => {
+        XmlNode::Element {
+            name,
+            attrs,
+            children,
+        } => {
             pad(buf, indent, depth);
             buf.push('<');
             buf.push_str(name);

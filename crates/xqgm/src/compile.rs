@@ -134,7 +134,9 @@ impl<'a> Compiler<'a> {
                 let left_arity = self.graph.arity(op.inputs[0], self.db)?;
                 join_plan(left, right, left_arity, *kind, predicate.as_ref())
             }
-            OpKind::GroupBy { group_cols, aggs, .. } => PhysicalPlan::HashAggregate {
+            OpKind::GroupBy {
+                group_cols, aggs, ..
+            } => PhysicalPlan::HashAggregate {
                 input: self.compile(op.inputs[0])?,
                 group_exprs: group_cols.iter().map(|&c| Expr::col(c)).collect(),
                 aggs: aggs.clone(),
@@ -176,7 +178,9 @@ impl<'a> Compiler<'a> {
             return Ok(None); // both small or both large: no driver side
         }
         let left_arity = self.graph.arity(left, self.db)?;
-        let Some(pred) = predicate else { return Ok(None) };
+        let Some(pred) = predicate else {
+            return Ok(None);
+        };
         let (equi, _residual) = split_equi(pred, left_arity);
         if equi.is_empty() {
             return Ok(None);
@@ -198,7 +202,9 @@ impl<'a> Compiler<'a> {
                 cols: (0..lcols.len()).collect(),
             };
             let restricted = self.compile_restricted(right, &rcols, &driver)?;
-            return Ok(Some(join_plan(small, restricted, left_arity, kind, predicate)));
+            return Ok(Some(join_plan(
+                small, restricted, left_arity, kind, predicate,
+            )));
         }
         // Small side on the right: only an inner join lets us restrict the
         // left input without changing semantics.
@@ -220,7 +226,9 @@ impl<'a> Compiler<'a> {
             cols: (0..rcols.len()).collect(),
         };
         let restricted = self.compile_restricted(left, &lcols, &driver)?;
-        Ok(Some(join_plan(restricted, small, left_arity, kind, predicate)))
+        Ok(Some(join_plan(
+            restricted, small, left_arity, kind, predicate,
+        )))
     }
 
     /// Does the subtree under `op` read a transition table?
@@ -231,8 +239,15 @@ impl<'a> Compiler<'a> {
         let node = self.graph.op(op);
         let found = matches!(
             node.kind,
-            OpKind::Table { source: TableSource::Delta { .. } | TableSource::Nabla { .. }, .. }
-        ) || node.inputs.clone().iter().any(|&i| self.contains_transition(i));
+            OpKind::Table {
+                source: TableSource::Delta { .. } | TableSource::Nabla { .. },
+                ..
+            }
+        ) || node
+            .inputs
+            .clone()
+            .iter()
+            .any(|&i| self.contains_transition(i));
         self.transition_cache.insert(op, found);
         found
     }
@@ -291,9 +306,14 @@ impl<'a> Compiler<'a> {
                             // Keep only the table's columns. Driver keys are
                             // distinct and probe columns functionally depend
                             // on the key, so no duplicates arise.
-                            let exprs =
-                                (0..table_arity).map(|c| Expr::col(driver_arity + c)).collect();
-                            return Ok(PhysicalPlan::Project { input: joined, exprs }.into_ref());
+                            let exprs = (0..table_arity)
+                                .map(|c| Expr::col(driver_arity + c))
+                                .collect();
+                            return Ok(PhysicalPlan::Project {
+                                input: joined,
+                                exprs,
+                            }
+                            .into_ref());
                         }
                         self.fallback_semi(id, cols, driver)
                     }
@@ -306,7 +326,11 @@ impl<'a> Compiler<'a> {
             }
             OpKind::Select { predicate } => {
                 let input = self.compile_restricted(op.inputs[0], cols, driver)?;
-                Ok(PhysicalPlan::Filter { input, predicate: predicate.clone() }.into_ref())
+                Ok(PhysicalPlan::Filter {
+                    input,
+                    predicate: predicate.clone(),
+                }
+                .into_ref())
             }
             OpKind::Project { exprs, .. } => {
                 let mut mapped = Vec::with_capacity(cols.len());
@@ -317,9 +341,15 @@ impl<'a> Compiler<'a> {
                     }
                 }
                 let input = self.compile_restricted(op.inputs[0], &mapped, driver)?;
-                Ok(PhysicalPlan::Project { input, exprs: exprs.clone() }.into_ref())
+                Ok(PhysicalPlan::Project {
+                    input,
+                    exprs: exprs.clone(),
+                }
+                .into_ref())
             }
-            OpKind::GroupBy { group_cols, aggs, .. } => {
+            OpKind::GroupBy {
+                group_cols, aggs, ..
+            } => {
                 // Restriction on grouping columns selects whole groups, so
                 // aggregates over the restricted input stay exact — this is
                 // the step that makes Fig. 16's ProductCount correct.
@@ -355,7 +385,11 @@ impl<'a> Compiler<'a> {
                 let input_arity = self.graph.arity(op.inputs[0], self.db)?;
                 if cols.iter().all(|&c| c < input_arity) {
                     let input = self.compile_restricted(op.inputs[0], cols, driver)?;
-                    Ok(PhysicalPlan::Unnest { input, expr: expr.clone() }.into_ref())
+                    Ok(PhysicalPlan::Unnest {
+                        input,
+                        expr: expr.clone(),
+                    }
+                    .into_ref())
                 } else {
                     self.fallback_semi(id, cols, driver)
                 }
@@ -372,7 +406,9 @@ impl<'a> Compiler<'a> {
         driver: &Driver,
         recipe: &AggCompensation,
     ) -> Result<PlanRef> {
-        let OpKind::GroupBy { group_cols, aggs, .. } = &self.graph.op(recipe.new_op).kind
+        let OpKind::GroupBy {
+            group_cols, aggs, ..
+        } = &self.graph.op(recipe.new_op).kind
         else {
             return Err(Error::Plan("compensation target is not a GroupBy".into()));
         };
@@ -414,8 +450,10 @@ impl<'a> Compiler<'a> {
         let delta_rows = branch(self.compile(recipe.delta_input)?, true);
         let nabla_rows = branch(self.compile(recipe.nabla_input)?, false);
 
-        let union =
-            PhysicalPlan::UnionAll { inputs: vec![new_rows, delta_rows, nabla_rows] }.into_ref();
+        let union = PhysicalPlan::UnionAll {
+            inputs: vec![new_rows, delta_rows, nabla_rows],
+        }
+        .into_ref();
         let summed = PhysicalPlan::HashAggregate {
             input: union,
             group_exprs: (0..glen).map(Expr::col).collect(),
@@ -506,14 +544,23 @@ impl<'a> Compiler<'a> {
                 }
                 _ => self.compile(inputs[0])?,
             };
-            let joined =
-                join_plan(right, left_plan, right_arity, JoinKind::Inner, swapped_pred.as_ref());
+            let joined = join_plan(
+                right,
+                left_plan,
+                right_arity,
+                JoinKind::Inner,
+                swapped_pred.as_ref(),
+            );
             // Reorder to (left ++ right).
             let exprs = (0..left_arity)
                 .map(|c| Expr::col(right_arity + c))
                 .chain((0..right_arity).map(Expr::col))
                 .collect();
-            return Ok(PhysicalPlan::Project { input: joined, exprs }.into_ref());
+            return Ok(PhysicalPlan::Project {
+                input: joined,
+                exprs,
+            }
+            .into_ref());
         }
 
         if kind == JoinKind::Inner {
@@ -521,8 +568,10 @@ impl<'a> Compiler<'a> {
             // the driver projected onto that side's columns, join, then
             // apply the exact semi-join against the full driver.
             let project_driver = |positions: &[(usize, usize)], plan: &Driver| -> Driver {
-                let exprs: Vec<Expr> =
-                    positions.iter().map(|&(i, _)| Expr::col(plan.cols[i])).collect();
+                let exprs: Vec<Expr> = positions
+                    .iter()
+                    .map(|&(i, _)| Expr::col(plan.cols[i]))
+                    .collect();
                 let n = exprs.len();
                 Driver {
                     plan: PhysicalPlan::Distinct {
@@ -570,49 +619,53 @@ impl<'a> Compiler<'a> {
         predicate: Option<&Expr>,
     ) -> Result<PlanRef> {
         let right_op = self.graph.op(right_id);
-        if let OpKind::Table { table, source: TableSource::Base(epoch) } = &right_op.kind {
+        if let OpKind::Table {
+            table,
+            source: TableSource::Base(epoch),
+        } = &right_op.kind
+        {
             if let Some(pred) = predicate {
                 let (equi, residual) = split_equi(pred, left_arity);
                 if !equi.is_empty() {
                     let schema = self.db.table(table)?.schema();
                     let rcols: Vec<usize> = equi.iter().map(|&(_, r)| r).collect();
-                    let probe: Option<Vec<(usize, Expr)>> =
-                        if set_eq(&rcols, &schema.primary_key) {
-                            // Order the probes to match the pk sequence.
-                            Some(
-                                schema
-                                    .primary_key
-                                    .iter()
-                                    .map(|pk| {
-                                        let (l, r) = equi
-                                            .iter()
-                                            .find(|&&(_, r)| r == *pk)
-                                            .expect("set_eq checked");
-                                        (*r, Expr::col(*l))
-                                    })
-                                    .collect(),
-                            )
-                        } else {
-                            equi.iter()
-                                .find(|&&(_, r)| self.db.table(table).is_ok_and(|t| t.has_index(r)))
-                                .map(|&(l, r)| vec![(r, Expr::col(l))])
-                        };
+                    let probe: Option<Vec<(usize, Expr)>> = if set_eq(&rcols, &schema.primary_key) {
+                        // Order the probes to match the pk sequence.
+                        Some(
+                            schema
+                                .primary_key
+                                .iter()
+                                .map(|pk| {
+                                    let (l, r) = equi
+                                        .iter()
+                                        .find(|&&(_, r)| r == *pk)
+                                        .expect("set_eq checked");
+                                    (*r, Expr::col(*l))
+                                })
+                                .collect(),
+                        )
+                    } else {
+                        equi.iter()
+                            .find(|&&(_, r)| self.db.table(table).is_ok_and(|t| t.has_index(r)))
+                            .map(|&(l, r)| vec![(r, Expr::col(l))])
+                    };
                     if let Some(probe) = probe {
                         // Conjuncts not used for probing stay as a filter
                         // over (outer ++ inner) — same coordinates.
                         let mut residual = residual;
                         for &(l, r) in &equi {
-                            if !probe.iter().any(|(pc, pe)| {
-                                *pc == r && matches!(pe, Expr::Col(c) if *c == l)
-                            }) {
-                                residual.push(Expr::eq(
-                                    Expr::col(l),
-                                    Expr::col(left_arity + r),
-                                ));
+                            if !probe
+                                .iter()
+                                .any(|(pc, pe)| *pc == r && matches!(pe, Expr::Col(c) if *c == l))
+                            {
+                                residual.push(Expr::eq(Expr::col(l), Expr::col(left_arity + r)));
                             }
                         }
-                        let filter =
-                            if residual.is_empty() { None } else { Some(Expr::and_all(residual)) };
+                        let filter = if residual.is_empty() {
+                            None
+                        } else {
+                            Some(Expr::and_all(residual))
+                        };
                         return Ok(PhysicalPlan::IndexJoin {
                             outer: left,
                             table: table.clone(),
@@ -699,9 +752,11 @@ impl<'a> Compiler<'a> {
 
 fn table_plan(table: &str, source: TableSource) -> PlanRef {
     match source {
-        TableSource::Base(epoch) => {
-            PhysicalPlan::TableScan { table: table.to_string(), epoch }.into_ref()
+        TableSource::Base(epoch) => PhysicalPlan::TableScan {
+            table: table.to_string(),
+            epoch,
         }
+        .into_ref(),
         TableSource::Delta { pruned } => PhysicalPlan::TransitionScan {
             table: table.to_string(),
             side: TransitionSide::Delta,
@@ -745,7 +800,13 @@ fn join_plan(
             .into_ref();
         }
     }
-    PhysicalPlan::NestedLoopJoin { left, right, predicate: predicate.cloned(), kind }.into_ref()
+    PhysicalPlan::NestedLoopJoin {
+        left,
+        right,
+        predicate: predicate.cloned(),
+        kind,
+    }
+    .into_ref()
 }
 
 /// Split a conjunction into `(left col, right col)` equi-pairs (right cols
@@ -757,7 +818,12 @@ fn split_equi(pred: &Expr, left_arity: usize) -> (Vec<(usize, usize)>, Vec<Expr>
     let mut equi = Vec::new();
     let mut residual = Vec::new();
     for c in conjuncts {
-        if let Expr::Binary { op: BinOp::Eq, left, right } = &c {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = &c
+        {
             if let (Expr::Col(a), Expr::Col(b)) = (left.as_ref(), right.as_ref()) {
                 if *a < left_arity && *b >= left_arity {
                     equi.push((*a, *b - left_arity));
@@ -776,7 +842,11 @@ fn split_equi(pred: &Expr, left_arity: usize) -> (Vec<(usize, usize)>, Vec<Expr>
 
 fn collect_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
     match e {
-        Expr::Binary { op: BinOp::And, left, right } => {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
             collect_conjuncts(left, out);
             collect_conjuncts(right, out);
         }

@@ -47,9 +47,21 @@ pub fn product_vendor_db() -> Database {
     db.load(
         "product",
         vec![
-            vec![Value::str("P1"), Value::str("CRT 15"), Value::str("Samsung")],
-            vec![Value::str("P2"), Value::str("LCD 19"), Value::str("Samsung")],
-            vec![Value::str("P3"), Value::str("CRT 15"), Value::str("Viewsonic")],
+            vec![
+                Value::str("P1"),
+                Value::str("CRT 15"),
+                Value::str("Samsung"),
+            ],
+            vec![
+                Value::str("P2"),
+                Value::str("LCD 19"),
+                Value::str("Samsung"),
+            ],
+            vec![
+                Value::str("P3"),
+                Value::str("CRT 15"),
+                Value::str("Viewsonic"),
+            ],
         ],
     )
     .expect("load products");
@@ -57,12 +69,36 @@ pub fn product_vendor_db() -> Database {
         "vendor",
         vec![
             vec![Value::str("Amazon"), Value::str("P1"), Value::Double(100.0)],
-            vec![Value::str("Bestbuy"), Value::str("P1"), Value::Double(120.0)],
-            vec![Value::str("Circuitcity"), Value::str("P1"), Value::Double(150.0)],
-            vec![Value::str("Buy.com"), Value::str("P2"), Value::Double(200.0)],
-            vec![Value::str("Bestbuy"), Value::str("P2"), Value::Double(180.0)],
-            vec![Value::str("Bestbuy"), Value::str("P3"), Value::Double(120.0)],
-            vec![Value::str("Circuitcity"), Value::str("P3"), Value::Double(140.0)],
+            vec![
+                Value::str("Bestbuy"),
+                Value::str("P1"),
+                Value::Double(120.0),
+            ],
+            vec![
+                Value::str("Circuitcity"),
+                Value::str("P1"),
+                Value::Double(150.0),
+            ],
+            vec![
+                Value::str("Buy.com"),
+                Value::str("P2"),
+                Value::Double(200.0),
+            ],
+            vec![
+                Value::str("Bestbuy"),
+                Value::str("P2"),
+                Value::Double(180.0),
+            ],
+            vec![
+                Value::str("Bestbuy"),
+                Value::str("P3"),
+                Value::Double(120.0),
+            ],
+            vec![
+                Value::str("Circuitcity"),
+                Value::str("P3"),
+                Value::Double(140.0),
+            ],
         ],
     )
     .expect("load vendors");
@@ -94,7 +130,10 @@ pub fn catalog_path_graph(g: &mut Graph) -> (OpId, OpId) {
     // Box 4: construct <vendor><pid/><vid/><price/></vendor> per row, and
     // carry $pname through. Columns: [pname, vendor_el].
     let vendor_el = Expr::Func(
-        ScalarFunc::XmlElement { name: "vendor".into(), attrs: vec![] },
+        ScalarFunc::XmlElement {
+            name: "vendor".into(),
+            attrs: vec![],
+        },
         vec![
             Expr::Func(ScalarFunc::XmlWrap("pid".into()), vec![Expr::col(4)]),
             Expr::Func(ScalarFunc::XmlWrap("vid".into()), vec![Expr::col(3)]),
@@ -113,20 +152,23 @@ pub fn catalog_path_graph(g: &mut Graph) -> (OpId, OpId) {
         constructed,
         vec![0],
         vec![
-            (AggExpr::over(AggFunc::XmlAgg, Expr::col(1)), "vendors".into()),
+            (
+                AggExpr::over(AggFunc::XmlAgg, Expr::col(1)),
+                "vendors".into(),
+            ),
             (AggExpr::count_star(), "cnt".into()),
         ],
     );
 
     // Box 6: count >= 2.
-    let filtered = g.select(
-        grouped,
-        Expr::bin(BinOp::Ge, Expr::col(2), Expr::lit(2i64)),
-    );
+    let filtered = g.select(grouped, Expr::bin(BinOp::Ge, Expr::col(2), Expr::lit(2i64)));
 
     // Box 7: construct <product name=$pname>{vendors}</product>.
     let product_el = Expr::Func(
-        ScalarFunc::XmlElement { name: "product".into(), attrs: vec!["name".into()] },
+        ScalarFunc::XmlElement {
+            name: "product".into(),
+            attrs: vec!["name".into()],
+        },
         vec![Expr::col(0), Expr::col(1)],
     );
     let top = g.project(
@@ -154,7 +196,10 @@ pub fn catalog_view_graph(g: &mut Graph) -> OpId {
     g.project(
         all,
         vec![Expr::Func(
-            ScalarFunc::XmlElement { name: "catalog".into(), attrs: vec![] },
+            ScalarFunc::XmlElement {
+                name: "catalog".into(),
+                attrs: vec![],
+            },
             vec![Expr::col(0)],
         )],
         vec!["catalog".into()],
@@ -182,12 +227,12 @@ pub fn minprice_path_graph(g: &mut Graph) -> OpId {
             (AggExpr::count_star(), "cnt".into()),
         ],
     );
-    let filtered = g.select(
-        grouped,
-        Expr::bin(BinOp::Ge, Expr::col(2), Expr::lit(2i64)),
-    );
+    let filtered = g.select(grouped, Expr::bin(BinOp::Ge, Expr::col(2), Expr::lit(2i64)));
     let product_el = Expr::Func(
-        ScalarFunc::XmlElement { name: "product".into(), attrs: vec!["name".into()] },
+        ScalarFunc::XmlElement {
+            name: "product".into(),
+            attrs: vec!["name".into()],
+        },
         vec![
             Expr::col(0),
             Expr::Func(ScalarFunc::XmlWrap("min".into()), vec![Expr::col(1)]),

@@ -146,20 +146,29 @@ impl Graph {
     /// Add a `Table` operator with an explicit source.
     pub fn table_from(&mut self, table: impl Into<String>, source: TableSource) -> OpId {
         self.push(Operator {
-            kind: OpKind::Table { table: table.into(), source },
+            kind: OpKind::Table {
+                table: table.into(),
+                source,
+            },
             inputs: vec![],
         })
     }
 
     /// Add a `Select`.
     pub fn select(&mut self, input: OpId, predicate: Expr) -> OpId {
-        self.push(Operator { kind: OpKind::Select { predicate }, inputs: vec![input] })
+        self.push(Operator {
+            kind: OpKind::Select { predicate },
+            inputs: vec![input],
+        })
     }
 
     /// Add a `Project`.
     pub fn project(&mut self, input: OpId, exprs: Vec<Expr>, names: Vec<String>) -> OpId {
         debug_assert_eq!(exprs.len(), names.len());
-        self.push(Operator { kind: OpKind::Project { exprs, names }, inputs: vec![input] })
+        self.push(Operator {
+            kind: OpKind::Project { exprs, names },
+            inputs: vec![input],
+        })
     }
 
     /// Add a `Join` with an arbitrary predicate.
@@ -170,7 +179,10 @@ impl Graph {
         right: OpId,
         predicate: Option<Expr>,
     ) -> OpId {
-        self.push(Operator { kind: OpKind::Join { kind, predicate }, inputs: vec![left, right] })
+        self.push(Operator {
+            kind: OpKind::Join { kind, predicate },
+            inputs: vec![left, right],
+        })
     }
 
     /// Add an equi-`Join` on `(left column, right column)` pairs; right
@@ -199,20 +211,30 @@ impl Graph {
     ) -> OpId {
         let (aggs, agg_names): (Vec<_>, Vec<_>) = aggs.into_iter().unzip();
         self.push(Operator {
-            kind: OpKind::GroupBy { group_cols, aggs, agg_names },
+            kind: OpKind::GroupBy {
+                group_cols,
+                aggs,
+                agg_names,
+            },
             inputs: vec![input],
         })
     }
 
     /// Add a duplicate-removing `Union`.
     pub fn union(&mut self, inputs: Vec<OpId>) -> OpId {
-        self.push(Operator { kind: OpKind::Union, inputs })
+        self.push(Operator {
+            kind: OpKind::Union,
+            inputs,
+        })
     }
 
     /// Add an `Unnest`.
     pub fn unnest(&mut self, input: OpId, expr: Expr, name: impl Into<String>) -> OpId {
         self.push(Operator {
-            kind: OpKind::Unnest { expr, name: name.into() },
+            kind: OpKind::Unnest {
+                expr,
+                name: name.into(),
+            },
             inputs: vec![input],
         })
     }
@@ -231,7 +253,9 @@ impl Graph {
                     self.arity(op.inputs[0], db)?
                 }
             }
-            OpKind::GroupBy { group_cols, aggs, .. } => group_cols.len() + aggs.len(),
+            OpKind::GroupBy {
+                group_cols, aggs, ..
+            } => group_cols.len() + aggs.len(),
             OpKind::Union => self.arity(op.inputs[0], db)?,
             OpKind::Unnest { .. } => self.arity(op.inputs[0], db)? + 1,
         })
@@ -257,7 +281,11 @@ impl Graph {
                 }
                 names
             }
-            OpKind::GroupBy { group_cols, agg_names, .. } => {
+            OpKind::GroupBy {
+                group_cols,
+                agg_names,
+                ..
+            } => {
                 let input = self.column_names(op.inputs[0], db)?;
                 group_cols
                     .iter()
@@ -276,7 +304,12 @@ impl Graph {
 
     /// If output column `col` of `op` is a pass-through of an input column,
     /// return `(input position, input column)`.
-    pub fn passthrough(&self, id: OpId, col: usize, db: &Database) -> Result<Option<(usize, usize)>> {
+    pub fn passthrough(
+        &self,
+        id: OpId,
+        col: usize,
+        db: &Database,
+    ) -> Result<Option<(usize, usize)>> {
         let op = self.op(id);
         Ok(match &op.kind {
             OpKind::Table { .. } => None,
@@ -293,9 +326,7 @@ impl Graph {
                     Some((1, col - left_arity))
                 }
             }
-            OpKind::GroupBy { group_cols, .. } => {
-                group_cols.get(col).map(|&c| (0, c))
-            }
+            OpKind::GroupBy { group_cols, .. } => group_cols.get(col).map(|&c| (0, c)),
             OpKind::Union => None, // positionally shared across inputs
             OpKind::Unnest { .. } => {
                 let input_arity = self.arity(op.inputs[0], db)?;
@@ -337,7 +368,11 @@ impl Graph {
             OpKind::Select { predicate } => format!("Select {predicate:?}"),
             OpKind::Project { names, .. } => format!("Project {names:?}"),
             OpKind::Join { kind, predicate } => format!("Join {kind:?} {predicate:?}"),
-            OpKind::GroupBy { group_cols, agg_names, .. } => {
+            OpKind::GroupBy {
+                group_cols,
+                agg_names,
+                ..
+            } => {
                 let names = self
                     .column_names(op.inputs[0], db)
                     .map(|n| {
@@ -370,7 +405,11 @@ impl Graph {
             }
             seen[id] = true;
             let op = self.op(id);
-            if let OpKind::Table { table, source: TableSource::Base(_) } = &op.kind {
+            if let OpKind::Table {
+                table,
+                source: TableSource::Base(_),
+            } = &op.kind
+            {
                 if !out.contains(table) {
                     out.push(table.clone());
                 }
@@ -401,16 +440,23 @@ impl Graph {
         }
         let op = self.op(id).clone();
         let new_id = match &op.kind {
-            OpKind::Table { table: t, source: TableSource::Base(_) } if t == table => {
-                self.table_from(t.clone(), TableSource::Base(TableEpoch::Old))
-            }
+            OpKind::Table {
+                table: t,
+                source: TableSource::Base(_),
+            } if t == table => self.table_from(t.clone(), TableSource::Base(TableEpoch::Old)),
             _ => {
-                let new_inputs: Vec<OpId> =
-                    op.inputs.iter().map(|&i| self.old_version_rec(i, table, memo)).collect();
+                let new_inputs: Vec<OpId> = op
+                    .inputs
+                    .iter()
+                    .map(|&i| self.old_version_rec(i, table, memo))
+                    .collect();
                 if new_inputs == op.inputs {
                     id // untouched subtree: share it
                 } else {
-                    self.push(Operator { kind: op.kind, inputs: new_inputs })
+                    self.push(Operator {
+                        kind: op.kind,
+                        inputs: new_inputs,
+                    })
                 }
             }
         };

@@ -47,7 +47,10 @@ impl KeyedGraph {
     /// operator has no canonical key — per Theorem 1's proof it must first
     /// be removed by view composition.
     pub fn normalize(graph: &Graph, root: OpId, db: &Database) -> Result<(Self, OpId)> {
-        let mut out = KeyedGraph { graph: Graph::new(), keys: HashMap::new() };
+        let mut out = KeyedGraph {
+            graph: Graph::new(),
+            keys: HashMap::new(),
+        };
         let mut memo: HashMap<OpId, (OpId, Vec<usize>)> = HashMap::new();
         let new_root = out.rebuild(graph, root, db, &mut memo)?;
         Ok((out, new_root))
@@ -109,7 +112,10 @@ impl KeyedGraph {
                     if !exprs.iter().any(|e| matches!(e, Expr::Col(c) if *c == kc)) {
                         exprs.push(Expr::col(kc));
                         names.push(
-                            input_names.get(kc).cloned().unwrap_or_else(|| format!("key_{kc}")),
+                            input_names
+                                .get(kc)
+                                .cloned()
+                                .unwrap_or_else(|| format!("key_{kc}")),
                         );
                     }
                 }
@@ -139,7 +145,11 @@ impl KeyedGraph {
                 };
                 (new_id, colmap)
             }
-            OpKind::GroupBy { group_cols, aggs, agg_names } => {
+            OpKind::GroupBy {
+                group_cols,
+                aggs,
+                agg_names,
+            } => {
                 let (input, m) = self.rebuild_mapped(src, op.inputs[0], db, memo)?;
                 let group_cols: Vec<usize> = group_cols.iter().map(|&c| m[c]).collect();
                 let aggs: Vec<AggExpr> = aggs
@@ -222,7 +232,9 @@ impl KeyedGraph {
             .key(input)
             .iter()
             .filter_map(|&kc| {
-                exprs.iter().position(|e| matches!(e, Expr::Col(c) if *c == kc))
+                exprs
+                    .iter()
+                    .position(|e| matches!(e, Expr::Col(c) if *c == kc))
             })
             .collect();
         let expected = self.key(input).len();
@@ -343,7 +355,10 @@ impl KeyedGraph {
         }
         let op = self.graph.op(id).clone();
         let new_id = match &op.kind {
-            OpKind::Table { table: t, source: TableSource::Base(_) } if t == table => {
+            OpKind::Table {
+                table: t,
+                source: TableSource::Base(_),
+            } if t == table => {
                 let nid = self.graph.table_from(t.clone(), source);
                 self.keys.insert(nid, self.key(id).to_vec());
                 nid
@@ -357,7 +372,10 @@ impl KeyedGraph {
                 if new_inputs == op.inputs {
                     id
                 } else {
-                    let nid = self.push_mirror(Operator { kind: op.kind, inputs: new_inputs });
+                    let nid = self.push_mirror(Operator {
+                        kind: op.kind,
+                        inputs: new_inputs,
+                    });
                     self.keys.insert(nid, self.key(id).to_vec());
                     nid
                 }
@@ -376,7 +394,11 @@ impl KeyedGraph {
             OpKind::Join { kind, predicate } => {
                 self.graph.join(kind, op.inputs[0], op.inputs[1], predicate)
             }
-            OpKind::GroupBy { group_cols, aggs, agg_names } => self.graph.group_by(
+            OpKind::GroupBy {
+                group_cols,
+                aggs,
+                agg_names,
+            } => self.graph.group_by(
                 op.inputs[0],
                 group_cols,
                 aggs.into_iter().zip(agg_names).collect(),
@@ -400,13 +422,12 @@ pub fn check_trigger_specifiable(graph: &Graph, root: OpId, db: &Database) -> Re
         seen[id] = true;
         let op = graph.op(id);
         match &op.kind {
-            OpKind::Table { table, .. } => {
+            OpKind::Table { table, .. }
                 // The engine requires primary keys at creation; re-check to
                 // surface a trigger-specific diagnostic.
-                if db.table(table)?.schema().primary_key.is_empty() {
+                if db.table(table)?.schema().primary_key.is_empty() => {
                     return Err(Error::MissingPrimaryKey(table.clone()));
                 }
-            }
             OpKind::Unnest { .. } => {
                 return Err(Error::Plan(
                     "view contains Unnest: not trigger-specifiable without composition".into(),

@@ -59,7 +59,13 @@ fn db_with(rows: &[(String, String, f64)]) -> Database {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    // Pinned seed + case count: CI runs (no env overrides set) are
+    // deterministic; PROPTEST_SEED still overrides for manual fuzz sweeps.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        rng_seed: Some(0x1cde_2005_0002),
+        ..ProptestConfig::default()
+    })]
 
     /// compile_restricted(G, key, driver) ≡ filter(evaluate(G), key ∈ driver),
     /// for arbitrary vendor contents and driver key sets.

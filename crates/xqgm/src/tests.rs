@@ -8,9 +8,7 @@ use quark_xml::XmlNode;
 
 use crate::compile::{compile_restricted, Driver};
 use crate::eval::{evaluate, evaluate_with};
-use crate::fixtures::{
-    catalog_cols, catalog_path_graph, catalog_view_graph, product_vendor_db,
-};
+use crate::fixtures::{catalog_cols, catalog_path_graph, catalog_view_graph, product_vendor_db};
 use crate::graph::{Graph, JoinKind, TableSource};
 use crate::keys::{check_trigger_specifiable, KeyedGraph};
 
@@ -41,8 +39,14 @@ fn catalog_view_materializes_figure_4() {
     assert_eq!(products[1].children_named("vendor").count(), 2);
     // Vendor rows keep the <pid><vid><price> layout of Figure 4.
     let first = products[0].children_named("vendor").next().unwrap();
-    assert_eq!(first.children_named("pid").next().unwrap().text_content(), "P1");
-    assert_eq!(first.children_named("vid").next().unwrap().text_content(), "Amazon");
+    assert_eq!(
+        first.children_named("pid").next().unwrap().text_content(),
+        "P1"
+    );
+    assert_eq!(
+        first.children_named("vid").next().unwrap().text_content(),
+        "Amazon"
+    );
 }
 
 /// Products with fewer than two vendors are filtered out (box 6).
@@ -51,19 +55,29 @@ fn nested_predicate_filters_single_vendor_products() {
     let mut db = product_vendor_db();
     db.load(
         "product",
-        vec![vec![Value::str("P9"), Value::str("OLED 42"), Value::str("LG")]],
+        vec![vec![
+            Value::str("P9"),
+            Value::str("OLED 42"),
+            Value::str("LG"),
+        ]],
     )
     .unwrap();
     db.load(
         "vendor",
-        vec![vec![Value::str("Amazon"), Value::str("P9"), Value::Double(999.0)]],
+        vec![vec![
+            Value::str("Amazon"),
+            Value::str("P9"),
+            Value::Double(999.0),
+        ]],
     )
     .unwrap();
     let mut g = Graph::new();
     let (top, _) = catalog_path_graph(&mut g);
     let rows = evaluate(&g, top, &db).unwrap();
-    let names: Vec<String> =
-        rows.iter().map(|r| r[catalog_cols::PNAME].to_string()).collect();
+    let names: Vec<String> = rows
+        .iter()
+        .map(|r| r[catalog_cols::PNAME].to_string())
+        .collect();
     assert!(!names.contains(&"OLED 42".to_string()), "{names:?}");
     assert_eq!(rows.len(), 2);
 }
@@ -174,8 +188,11 @@ fn restricted_compile_matches_filtered_full_eval() {
     let (kg, new_top) = KeyedGraph::normalize(&g, top, &db).unwrap();
 
     let driver = Driver {
-        plan: PhysicalPlan::Values { arity: 1, rows: vec![row([Value::str("CRT 15")])] }
-            .into_ref(),
+        plan: PhysicalPlan::Values {
+            arity: 1,
+            rows: vec![row([Value::str("CRT 15")])],
+        }
+        .into_ref(),
         cols: vec![0],
     };
     let key = kg.key(new_top).to_vec();
@@ -205,7 +222,11 @@ fn restricted_compile_with_empty_driver_is_empty() {
     let (top, _) = catalog_path_graph(&mut g);
     let (kg, new_top) = KeyedGraph::normalize(&g, top, &db).unwrap();
     let driver = Driver {
-        plan: PhysicalPlan::Values { arity: 1, rows: vec![] }.into_ref(),
+        plan: PhysicalPlan::Values {
+            arity: 1,
+            rows: vec![],
+        }
+        .into_ref(),
         cols: vec![0],
     };
     let key = kg.key(new_top).to_vec();
@@ -278,7 +299,10 @@ fn explain_lists_boxes() {
 fn base_tables_enumerates_sources() {
     let mut g = Graph::new();
     let root = catalog_view_graph(&mut g);
-    assert_eq!(g.base_tables(root), vec!["product".to_string(), "vendor".to_string()]);
+    assert_eq!(
+        g.base_tables(root),
+        vec!["product".to_string(), "vendor".to_string()]
+    );
 }
 
 /// Transition-source table operators compile to transition scans.

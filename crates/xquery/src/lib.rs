@@ -143,7 +143,10 @@ mod tests {
         let spec = lower_view(&def).unwrap();
         assert_eq!(spec.depth(), 2);
         assert!(matches!(spec.binding, TopBinding::Rows));
-        assert_eq!(spec.top.child_count, Some((quark_relational::expr::BinOp::Ge, 2)));
+        assert_eq!(
+            spec.top.child_count,
+            Some((quark_relational::expr::BinOp::Ge, 2))
+        );
         let child = spec.top.child.as_ref().unwrap();
         assert_eq!(child.table, "shop");
         assert_eq!(child.parent_fk.as_deref(), Some("rid"));

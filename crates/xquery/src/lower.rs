@@ -9,7 +9,7 @@
 //! rejected with a descriptive error — arbitrary XQuery is out of scope
 //! for view *triggers* here just as Appendix D restricts it in the paper.
 
-use quark_core::{Action, ActionParam, Condition, CondValue, NodePath, NodeRef, Step, TriggerSpec};
+use quark_core::{Action, ActionParam, CondValue, Condition, NodePath, NodeRef, Step, TriggerSpec};
 use quark_relational::expr::BinOp;
 use quark_relational::{Error, Result, Value};
 
@@ -40,7 +40,11 @@ pub fn lower_view(def: &ViewDef) -> Result<ViewSpec> {
 
 /// Lower a parsed trigger definition against the known view anchors.
 pub fn lower_trigger(def: &TriggerDef) -> Result<TriggerSpec> {
-    let anchor = def.path.last().expect("parser guarantees non-empty path").clone();
+    let anchor = def
+        .path
+        .last()
+        .expect("parser guarantees non-empty path")
+        .clone();
     let condition = match &def.condition {
         None => Condition::True,
         Some(ast) => lower_condition(ast)?,
@@ -48,12 +52,14 @@ pub fn lower_trigger(def: &TriggerDef) -> Result<TriggerSpec> {
     let mut params = Vec::with_capacity(def.args.len());
     for a in &def.args {
         params.push(match a {
-            AstExpr::Path { base: PathBase::OldNode, steps } if steps.is_empty() => {
-                ActionParam::OldNode
-            }
-            AstExpr::Path { base: PathBase::NewNode, steps } if steps.is_empty() => {
-                ActionParam::NewNode
-            }
+            AstExpr::Path {
+                base: PathBase::OldNode,
+                steps,
+            } if steps.is_empty() => ActionParam::OldNode,
+            AstExpr::Path {
+                base: PathBase::NewNode,
+                steps,
+            } if steps.is_empty() => ActionParam::NewNode,
             AstExpr::Lit(v) => ActionParam::Const(v.clone()),
             other => {
                 return Err(unsupported(format!(
@@ -68,7 +74,10 @@ pub fn lower_trigger(def: &TriggerDef) -> Result<TriggerSpec> {
         view: def.view.clone(),
         anchor,
         condition,
-        action: Action { function: def.function.clone(), params },
+        action: Action {
+            function: def.function.clone(),
+            params,
+        },
     })
 }
 
@@ -88,12 +97,21 @@ pub fn lower_condition(ast: &AstExpr) -> Result<Condition> {
             op: *op,
             right: lower_cond_value(right)?,
         },
-        AstExpr::Quantified { every, var: _, source, satisfies } => {
+        AstExpr::Quantified {
+            every,
+            var: _,
+            source,
+            satisfies,
+        } => {
             // `some $v in P satisfies C` ≡ exists(P[C with $v → .]);
             // `every` via double negation.
             let mut path = lower_node_path(source)?;
             let inner = lower_condition(satisfies)?;
-            let inner = if *every { Condition::Not(Box::new(inner)) } else { inner };
+            let inner = if *every {
+                Condition::Not(Box::new(inner))
+            } else {
+                inner
+            };
             match path.steps.last_mut() {
                 Some(Step::Child(_, pred)) | Some(Step::Descendant(_, pred)) => {
                     let combined = match pred.take() {
@@ -137,7 +155,9 @@ fn lower_node_path(ast: &AstExpr) -> Result<NodePath> {
         PathBase::NewNode => NodeRef::New,
         PathBase::Context | PathBase::Var(_) => NodeRef::Context,
         PathBase::View(_) => {
-            return Err(unsupported("view() paths are not allowed in trigger conditions"))
+            return Err(unsupported(
+                "view() paths are not allowed in trigger conditions",
+            ))
         }
     };
     let mut out = Vec::with_capacity(steps.len());
@@ -170,7 +190,13 @@ fn lower_step(s: &AstStep) -> Result<Step> {
 
 /// `view("default")/T/row` → `T`.
 fn default_view_table(ast: &AstExpr) -> Option<(String, Option<&AstExpr>)> {
-    let AstExpr::Path { base: PathBase::View(v), steps } = ast else { return None };
+    let AstExpr::Path {
+        base: PathBase::View(v),
+        steps,
+    } = ast
+    else {
+        return None;
+    };
     if v != "default" {
         return None;
     }
@@ -184,16 +210,35 @@ fn default_view_table(ast: &AstExpr) -> Option<(String, Option<&AstExpr>)> {
 
 /// `./col = $var/col2` → (col, var, col2).
 fn link_predicate(pred: &AstExpr) -> Option<(String, String, String)> {
-    let AstExpr::Cmp { op: BinOp::Eq, left, right } = pred else { return None };
+    let AstExpr::Cmp {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = pred
+    else {
+        return None;
+    };
     let ctx_col = |e: &AstExpr| -> Option<String> {
-        let AstExpr::Path { base: PathBase::Context, steps } = e else { return None };
+        let AstExpr::Path {
+            base: PathBase::Context,
+            steps,
+        } = e
+        else {
+            return None;
+        };
         match steps.as_slice() {
             [s] if s.axis == Axis::Child && s.predicate.is_none() => Some(s.name.clone()),
             _ => None,
         }
     };
     let var_col = |e: &AstExpr| -> Option<(String, String)> {
-        let AstExpr::Path { base: PathBase::Var(v), steps } = e else { return None };
+        let AstExpr::Path {
+            base: PathBase::Var(v),
+            steps,
+        } = e
+        else {
+            return None;
+        };
         match steps.as_slice() {
             [s] if s.axis == Axis::Child && s.predicate.is_none() => {
                 Some((v.clone(), s.name.clone()))
@@ -212,16 +257,35 @@ fn link_predicate(pred: &AstExpr) -> Option<(String, String, String)> {
 
 /// `./col = $var` → (col, var): the grouped-top link of Fig. 3.
 fn group_link_predicate(pred: &AstExpr) -> Option<(String, String)> {
-    let AstExpr::Cmp { op: BinOp::Eq, left, right } = pred else { return None };
+    let AstExpr::Cmp {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = pred
+    else {
+        return None;
+    };
     let ctx_col = |e: &AstExpr| -> Option<String> {
-        let AstExpr::Path { base: PathBase::Context, steps } = e else { return None };
+        let AstExpr::Path {
+            base: PathBase::Context,
+            steps,
+        } = e
+        else {
+            return None;
+        };
         match steps.as_slice() {
             [s] if s.axis == Axis::Child => Some(s.name.clone()),
             _ => None,
         }
     };
     let bare_var = |e: &AstExpr| -> Option<String> {
-        let AstExpr::Path { base: PathBase::Var(v), steps } = e else { return None };
+        let AstExpr::Path {
+            base: PathBase::Var(v),
+            steps,
+        } = e
+        else {
+            return None;
+        };
         steps.is_empty().then(|| v.clone())
     };
     if let (Some(c), Some(v)) = (ctx_col(left), bare_var(right)) {
@@ -235,10 +299,18 @@ fn group_link_predicate(pred: &AstExpr) -> Option<(String, String)> {
 
 /// `count($v) op N` → (v, op, N).
 fn count_predicate(ast: &AstExpr) -> Option<(String, BinOp, i64)> {
-    let AstExpr::Cmp { op, left, right } = ast else { return None };
+    let AstExpr::Cmp { op, left, right } = ast else {
+        return None;
+    };
     let count_var = |e: &AstExpr| -> Option<String> {
-        let AstExpr::Count(inner) = e else { return None };
-        let AstExpr::Path { base: PathBase::Var(v), steps } = inner.as_ref() else {
+        let AstExpr::Count(inner) = e else {
+            return None;
+        };
+        let AstExpr::Path {
+            base: PathBase::Var(v),
+            steps,
+        } = inner.as_ref()
+        else {
             return None;
         };
         steps.is_empty().then(|| v.clone())
@@ -287,11 +359,19 @@ fn lower_grouped(
     distinct_arg: &AstExpr,
 ) -> Result<(TopBinding, LevelSpec)> {
     // distinct(view("default")/T/row/col)
-    let AstExpr::Path { base: PathBase::View(v), steps } = distinct_arg else {
-        return Err(unsupported("distinct() must wrap a default-view column path"));
+    let AstExpr::Path {
+        base: PathBase::View(v),
+        steps,
+    } = distinct_arg
+    else {
+        return Err(unsupported(
+            "distinct() must wrap a default-view column path",
+        ));
     };
     if v != "default" || steps.len() != 3 || steps[1].name != "row" {
-        return Err(unsupported("distinct() must wrap view(\"default\")/T/row/col"));
+        return Err(unsupported(
+            "distinct() must wrap view(\"default\")/T/row/col",
+        ));
     }
     let table = steps[0].name.clone();
     let group_col = steps[2].name.clone();
@@ -302,7 +382,9 @@ fn lower_grouped(
     let mut kids: Option<(String, String, String)> = None; // (var, table, fk)
     for b in &flwor.bindings[1..] {
         if b.is_for {
-            return Err(unsupported("grouped views take let-bindings after the group"));
+            return Err(unsupported(
+                "grouped views take let-bindings after the group",
+            ));
         }
         if let Some((t, Some(pred))) = default_view_table(&b.expr) {
             if let Some((col, var)) = group_link_predicate(pred) {
@@ -318,7 +400,10 @@ fn lower_grouped(
                 }
             }
         }
-        return Err(unsupported(format!("unrecognized let-binding `${}`", b.var)));
+        return Err(unsupported(format!(
+            "unrecognized let-binding `${}`",
+            b.var
+        )));
     }
     let (kids_var, kid_table, fk) =
         kids.ok_or_else(|| unsupported("grouped view needs a child collection binding"))?;
@@ -337,11 +422,19 @@ fn lower_grouped(
     };
     let mut attrs = Vec::new();
     for (a, val) in &el.attrs {
-        let AstExpr::Path { base: PathBase::Var(v), steps } = val else {
-            return Err(unsupported("grouped element attributes must reference $group"));
+        let AstExpr::Path {
+            base: PathBase::Var(v),
+            steps,
+        } = val
+        else {
+            return Err(unsupported(
+                "grouped element attributes must reference $group",
+            ));
         };
         if v != group_var || !steps.is_empty() {
-            return Err(unsupported("grouped element attributes must reference $group"));
+            return Err(unsupported(
+                "grouped element attributes must reference $group",
+            ));
         }
         attrs.push((a.clone(), group_col.clone()));
     }
@@ -371,10 +464,15 @@ fn lower_chain_level(
     let mut child_binding: Option<(String, String, String)> = None; // var, table, fk
     for b in &flwor.bindings[1..] {
         if b.is_for {
-            return Err(unsupported("chain levels support one for-binding per FLWOR"));
+            return Err(unsupported(
+                "chain levels support one for-binding per FLWOR",
+            ));
         }
         let Some((t, Some(pred))) = default_view_table(&b.expr) else {
-            return Err(unsupported(format!("unrecognized let-binding `${}`", b.var)));
+            return Err(unsupported(format!(
+                "unrecognized let-binding `${}`",
+                b.var
+            )));
         };
         let Some((fk, var, _)) = link_predicate(pred) else {
             return Err(unsupported("child binding must link ./fk = $parent/key"));
@@ -422,16 +520,15 @@ fn lower_chain_level(
                 // (`for $v in $vendors`), or a directly correlated path
                 // (`for $o in view("default")/orders/row[./cid = $c/cid]`).
                 let (ct, cfk): (String, String) = match &first.expr {
-                    AstExpr::Path { base: PathBase::Var(src), steps }
-                        if steps.is_empty() =>
-                    {
+                    AstExpr::Path {
+                        base: PathBase::Var(src),
+                        steps,
+                    } if steps.is_empty() => {
                         let Some((cv, ct, cfk)) = &child_binding else {
                             return Err(unsupported("nested FLWOR without a child binding"));
                         };
                         if src != cv {
-                            return Err(unsupported(
-                                "nested for must iterate the child binding",
-                            ));
+                            return Err(unsupported("nested for must iterate the child binding"));
                         }
                         (ct.clone(), cfk.clone())
                     }
@@ -475,69 +572,85 @@ fn lower_chain_level(
     })
 }
 
-/// Child elements of a grouped view: `{ for $k in $kids return
-/// <kid>{$k/*}</kid> }` or scalar wrappers.
+/// The single child element of a grouped view: `{ for $k in $kids return
+/// <kid>{$k/*}</kid> }`, whose `<kid>` body may use the `{$k/*}` wildcard
+/// or scalar wrappers.
 fn lower_child_elements(
     children: &[Content],
     kids_var: &str,
     kid_table: &str,
     fk: &str,
 ) -> Result<Option<LevelSpec>> {
-    for c in children {
-        let Content::Expr(AstExpr::Flwor(nested)) = c else {
-            return Err(unsupported("grouped element children must be a nested FLWOR"));
-        };
-        let Some(first) = nested.bindings.first() else {
-            return Err(unsupported("empty nested FLWOR"));
-        };
-        let AstExpr::Path { base: PathBase::Var(src), steps } = &first.expr else {
-            return Err(unsupported("nested for must iterate the child binding"));
-        };
-        if src != kids_var || !steps.is_empty() || !first.is_for {
-            return Err(unsupported("nested for must iterate the child binding"));
+    let c = match children {
+        [] => return Ok(None),
+        [c] => c,
+        more => {
+            return Err(unsupported(format!(
+                "grouped elements support one nested FLWOR child, got {}",
+                more.len()
+            )))
         }
-        let AstExpr::Element(el) = &nested.return_ else {
-            return Err(unsupported("nested return must construct an element"));
-        };
-        // `{$k/*}` expands all columns; scalar wrappers list them.
-        let mut scalars = Vec::new();
-        for cc in &el.children {
-            match cc {
-                Content::Expr(AstExpr::Path { base: PathBase::Var(v), steps })
-                    if v == &first.var
-                        && matches!(steps.as_slice(), [s] if s.name == "*") =>
-                {
-                    // `{$vendor/*}`: expanded at build time; mark with the
-                    // wildcard sentinel understood by the builder.
-                    scalars.push(("*".to_string(), "*".to_string()));
-                }
-                Content::Element(scalar_el) => {
-                    let [Content::Expr(value)] = scalar_el.children.as_slice() else {
-                        return Err(unsupported("scalar children must wrap one expression"));
-                    };
-                    scalars.push((scalar_el.name.clone(), var_column(value, &first.var)?));
-                }
-                other => {
-                    return Err(unsupported(format!("vendor-level child {other:?}")))
-                }
-            }
-        }
-        return Ok(Some(LevelSpec {
-            element: el.name.clone(),
-            table: kid_table.to_string(),
-            parent_fk: Some(fk.to_string()),
-            attrs: vec![],
-            scalars,
-            child_count: None,
-            child: None,
-        }));
+    };
+    let Content::Expr(AstExpr::Flwor(nested)) = c else {
+        return Err(unsupported(
+            "grouped element children must be a nested FLWOR",
+        ));
+    };
+    let Some(first) = nested.bindings.first() else {
+        return Err(unsupported("empty nested FLWOR"));
+    };
+    let AstExpr::Path {
+        base: PathBase::Var(src),
+        steps,
+    } = &first.expr
+    else {
+        return Err(unsupported("nested for must iterate the child binding"));
+    };
+    if src != kids_var || !steps.is_empty() || !first.is_for {
+        return Err(unsupported("nested for must iterate the child binding"));
     }
-    Ok(None)
+    let AstExpr::Element(el) = &nested.return_ else {
+        return Err(unsupported("nested return must construct an element"));
+    };
+    // `{$k/*}` expands all columns; scalar wrappers list them.
+    let mut scalars = Vec::new();
+    for cc in &el.children {
+        match cc {
+            Content::Expr(AstExpr::Path {
+                base: PathBase::Var(v),
+                steps,
+            }) if v == &first.var && matches!(steps.as_slice(), [s] if s.name == "*") => {
+                // `{$vendor/*}`: expanded at build time; mark with the
+                // wildcard sentinel understood by the builder.
+                scalars.push(("*".to_string(), "*".to_string()));
+            }
+            Content::Element(scalar_el) => {
+                let [Content::Expr(value)] = scalar_el.children.as_slice() else {
+                    return Err(unsupported("scalar children must wrap one expression"));
+                };
+                scalars.push((scalar_el.name.clone(), var_column(value, &first.var)?));
+            }
+            other => return Err(unsupported(format!("vendor-level child {other:?}"))),
+        }
+    }
+    Ok(Some(LevelSpec {
+        element: el.name.clone(),
+        table: kid_table.to_string(),
+        parent_fk: Some(fk.to_string()),
+        attrs: vec![],
+        scalars,
+        child_count: None,
+        child: None,
+    }))
 }
 
 /// `$var/col` → `col`.
 fn var_column(ast: &AstExpr, var: &str) -> Result<String> {
-    let AstExpr::Path { base: PathBase::Var(v), steps } = ast else {
+    let AstExpr::Path {
+        base: PathBase::Var(v),
+        steps,
+    } = ast
+    else {
         return Err(unsupported(format!("expected ${var}/column, got {ast:?}")));
     };
     if v != var {

@@ -30,7 +30,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XQuery parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "XQuery parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -233,7 +237,11 @@ pub fn parse_trigger(input: &str) -> Result<TriggerDef, ParseError> {
     if path.is_empty() {
         return Err(p.err("trigger path needs at least one step"));
     }
-    let condition = if p.try_keyword("where") { Some(p.parse_or()?) } else { None };
+    let condition = if p.try_keyword("where") {
+        Some(p.parse_or()?)
+    } else {
+        None
+    };
     p.keyword("do")?;
     let function = p.ident()?;
     p.expect('(')?;
@@ -248,7 +256,15 @@ pub fn parse_trigger(input: &str) -> Result<TriggerDef, ParseError> {
     }
     p.expect(')')?;
     p.finish()?;
-    Ok(TriggerDef { name, event, view, path, condition, function, args })
+    Ok(TriggerDef {
+        name,
+        event,
+        view,
+        path,
+        condition,
+        function,
+        args,
+    })
 }
 
 /// Parse a standalone expression (tests, conditions).
@@ -266,11 +282,17 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(input: &'a str) -> Self {
-        Cursor { input: input.as_bytes(), pos: 0 }
+        Cursor {
+            input: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { at: self.pos, message: message.into() }
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -407,7 +429,9 @@ impl<'a> Cursor<'a> {
                 .map(Value::Double)
                 .map_err(|_| self.err("bad float literal"))
         } else {
-            text.parse::<i64>().map(Value::Int).map_err(|_| self.err("bad int literal"))
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.err("bad int literal"))
         }
     }
 
@@ -449,10 +473,18 @@ impl<'a> Cursor<'a> {
                 break;
             }
         }
-        let where_ = if self.try_keyword("where") { Some(self.parse_or()?) } else { None };
+        let where_ = if self.try_keyword("where") {
+            Some(self.parse_or()?)
+        } else {
+            None
+        };
         self.keyword("return")?;
         let return_ = self.parse_expr()?;
-        Ok(AstExpr::Flwor(Box::new(Flwor { bindings, where_, return_ })))
+        Ok(AstExpr::Flwor(Box::new(Flwor {
+            bindings,
+            where_,
+            return_,
+        })))
     }
 
     fn parse_binding(&mut self, is_for: bool) -> Result<Binding, ParseError> {
@@ -526,7 +558,11 @@ impl<'a> Cursor<'a> {
             _ => return Ok(left),
         };
         let right = self.parse_primary()?;
-        Ok(AstExpr::Cmp { op, left: Box::new(left), right: Box::new(right) })
+        Ok(AstExpr::Cmp {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
     }
 
     fn parse_primary(&mut self) -> Result<AstExpr, ParseError> {
@@ -652,7 +688,11 @@ impl<'a> Cursor<'a> {
             } else {
                 None
             };
-            steps.push(AstStep { axis, name, predicate });
+            steps.push(AstStep {
+                axis,
+                name,
+                predicate,
+            });
         }
         Ok(AstExpr::Path { base, steps })
     }
@@ -667,7 +707,11 @@ impl<'a> Cursor<'a> {
                 Some(b'/') => {
                     self.pos += 1;
                     self.expect('>')?;
-                    return Ok(AstElement { name, attrs, children: vec![] });
+                    return Ok(AstElement {
+                        name,
+                        attrs,
+                        children: vec![],
+                    });
                 }
                 Some(b'>') => {
                     self.pos += 1;
@@ -701,7 +745,11 @@ impl<'a> Cursor<'a> {
                         )));
                     }
                     self.expect('>')?;
-                    return Ok(AstElement { name, attrs, children });
+                    return Ok(AstElement {
+                        name,
+                        attrs,
+                        children,
+                    });
                 }
                 Some(b'<') => children.push(Content::Element(self.parse_element()?)),
                 Some(b'{') => {
@@ -729,7 +777,9 @@ mod tests {
     #[test]
     fn parses_paths_with_predicates() {
         let e = parse_expr("view(\"default\")/vendor/row[./pid = $p/pid]").unwrap();
-        let AstExpr::Path { base, steps } = e else { panic!("{e:?}") };
+        let AstExpr::Path { base, steps } = e else {
+            panic!("{e:?}")
+        };
         assert_eq!(base, PathBase::View("default".into()));
         assert_eq!(steps.len(), 2);
         assert!(steps[1].predicate.is_some());
@@ -738,7 +788,9 @@ mod tests {
     #[test]
     fn parses_attribute_and_descendant_axes() {
         let e = parse_expr("OLD_NODE//vendor/@vid").unwrap();
-        let AstExpr::Path { base, steps } = e else { panic!() };
+        let AstExpr::Path { base, steps } = e else {
+            panic!()
+        };
         assert_eq!(base, PathBase::OldNode);
         assert_eq!(steps[0].axis, Axis::Descendant);
         assert_eq!(steps[1].axis, Axis::Attr);
@@ -746,17 +798,17 @@ mod tests {
 
     #[test]
     fn parses_comparisons_and_logic() {
-        let e = parse_expr("OLD_NODE/@name = 'CRT 15' and count(NEW_NODE/vendor) >= 2")
-            .unwrap();
-        let AstExpr::And(l, r) = e else { panic!("{e:?}") };
+        let e = parse_expr("OLD_NODE/@name = 'CRT 15' and count(NEW_NODE/vendor) >= 2").unwrap();
+        let AstExpr::And(l, r) = e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(*l, AstExpr::Cmp { op: BinOp::Eq, .. }));
         assert!(matches!(*r, AstExpr::Cmp { op: BinOp::Ge, .. }));
     }
 
     #[test]
     fn parses_quantified_expressions() {
-        let e =
-            parse_expr("some $v in NEW_NODE/vendor satisfies $v/price < 100").unwrap();
+        let e = parse_expr("some $v in NEW_NODE/vendor satisfies $v/price < 100").unwrap();
         assert!(matches!(e, AstExpr::Quantified { every: false, .. }));
         let e = parse_expr("every $v in NEW_NODE/vendor satisfies $v/price < 100").unwrap();
         assert!(matches!(e, AstExpr::Quantified { every: true, .. }));
@@ -764,10 +816,7 @@ mod tests {
 
     #[test]
     fn parses_element_constructors() {
-        let e = parse_expr(
-            "<product name={$p/pname}><pid>{$p/pid}</pid><tag/></product>",
-        )
-        .unwrap();
+        let e = parse_expr("<product name={$p/pname}><pid>{$p/pid}</pid><tag/></product>").unwrap();
         let AstExpr::Element(el) = e else { panic!() };
         assert_eq!(el.name, "product");
         assert_eq!(el.attrs.len(), 1);
@@ -790,9 +839,13 @@ mod tests {
             }"#;
         let view = parse_view(text).unwrap();
         assert_eq!(view.name, "catalog");
-        let AstExpr::Element(root) = &view.body else { panic!() };
+        let AstExpr::Element(root) = &view.body else {
+            panic!()
+        };
         assert_eq!(root.name, "catalog");
-        let Content::Expr(AstExpr::Flwor(f)) = &root.children[0] else { panic!() };
+        let Content::Expr(AstExpr::Flwor(f)) = &root.children[0] else {
+            panic!()
+        };
         assert_eq!(f.bindings.len(), 3);
         assert!(f.bindings[0].is_for);
         assert!(!f.bindings[1].is_for);

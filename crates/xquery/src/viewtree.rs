@@ -97,7 +97,12 @@ impl ViewSpec {
         };
         let (kg, root) = KeyedGraph::normalize(&g, top_op, db)?;
         // Normalization preserves output column positions (it only appends).
-        let pg = PathGraph { kg, root, node_col, attr_cols };
+        let pg = PathGraph {
+            kg,
+            root,
+            node_col,
+            attr_cols,
+        };
         debug_assert!(!pg.key().is_empty());
         let _ = key_col;
         Ok(XmlView::new(self.name.clone()).with_anchor(self.top.element.clone(), pg))
@@ -126,9 +131,11 @@ impl ViewSpec {
         db: &Database,
         group_col: &str,
     ) -> Result<(OpId, usize, usize, HashMap<String, usize>)> {
-        let child = self.top.child.as_deref().ok_or_else(|| {
-            Error::Plan("grouped views need a nested level".into())
-        })?;
+        let child = self
+            .top
+            .child
+            .as_deref()
+            .ok_or_else(|| Error::Plan("grouped views need a nested level".into()))?;
         if child.child.is_some() {
             return Err(Error::Plan(
                 "grouped top binding supports depth-2 views (Fig. 3 shape)".into(),
@@ -140,15 +147,23 @@ impl ViewSpec {
         let group_idx = parent_schema.col(group_col)?;
         let child_schema = db.table(&child.table)?.schema();
         let fk_name = child.parent_fk.as_ref().ok_or_else(|| {
-            Error::Plan(format!("level `{}` lacks a parent foreign key", child.element))
+            Error::Plan(format!(
+                "level `{}` lacks a parent foreign key",
+                child.element
+            ))
         })?;
         let fk_idx = child_schema.col(fk_name)?;
 
         let parent = g.table(self.top.table.clone());
         let childt = g.table(child.table.clone());
         let parent_arity = parent_schema.arity();
-        let join =
-            g.equi_join(JoinKind::Inner, parent, childt, &[(pk_idx, fk_idx)], parent_arity);
+        let join = g.equi_join(
+            JoinKind::Inner,
+            parent,
+            childt,
+            &[(pk_idx, fk_idx)],
+            parent_arity,
+        );
 
         // Child element per joined row.
         let child_el = element_expr(child, child_schema, parent_arity)?;
@@ -161,7 +176,10 @@ impl ViewSpec {
             projected,
             vec![0],
             vec![
-                (AggExpr::over(AggFunc::XmlAgg, Expr::col(1)), "children".into()),
+                (
+                    AggExpr::over(AggFunc::XmlAgg, Expr::col(1)),
+                    "children".into(),
+                ),
                 (AggExpr::count_star(), "cnt".into()),
             ],
         );
@@ -182,7 +200,10 @@ impl ViewSpec {
         let mut args: Vec<Expr> = self.top.attrs.iter().map(|_| Expr::col(0)).collect();
         args.push(Expr::col(1));
         let node = Expr::Func(
-            ScalarFunc::XmlElement { name: self.top.element.clone(), attrs },
+            ScalarFunc::XmlElement {
+                name: self.top.element.clone(),
+                attrs,
+            },
             args,
         );
         let mut attr_cols = HashMap::new();
@@ -208,12 +229,18 @@ impl ViewSpec {
         let agg = g.group_by(
             top_op,
             vec![],
-            vec![(AggExpr::over(AggFunc::XmlAgg, Expr::col(node_col)), "all".into())],
+            vec![(
+                AggExpr::over(AggFunc::XmlAgg, Expr::col(node_col)),
+                "all".into(),
+            )],
         );
         let root = g.project(
             agg,
             vec![Expr::Func(
-                ScalarFunc::XmlElement { name: self.root_element.clone(), attrs: vec![] },
+                ScalarFunc::XmlElement {
+                    name: self.root_element.clone(),
+                    attrs: vec![],
+                },
                 vec![Expr::col(0)],
             )],
             vec![self.root_element.clone()],
@@ -237,7 +264,10 @@ fn build_level(g: &mut Graph, level: &LevelSpec, db: &Database) -> Result<LevelO
         Some(child) => {
             let child_out = build_level(g, child, db)?;
             let fk_col = child_out.fk_col.ok_or_else(|| {
-                Error::Plan(format!("level `{}` lacks a parent foreign key", child.element))
+                Error::Plan(format!(
+                    "level `{}` lacks a parent foreign key",
+                    child.element
+                ))
             })?;
             // Aggregate children per fk: [fk, frag, cnt].
             let agg = g.group_by(
@@ -289,7 +319,12 @@ fn build_level(g: &mut Graph, level: &LevelSpec, db: &Database) -> Result<LevelO
         names.push(format!("attr_{a}"));
     }
     let op = g.project(filtered, exprs, names);
-    Ok(LevelOut { op, key_col: 0, fk_col: fk_col_out, node_col })
+    Ok(LevelOut {
+        op,
+        key_col: 0,
+        fk_col: fk_col_out,
+        node_col,
+    })
 }
 
 /// Element constructor for a leaf level at a given column offset.
@@ -341,7 +376,13 @@ fn element_expr_inner(
     if let Some(f) = frag_col {
         args.push(Expr::col(f));
     }
-    Ok(Expr::Func(ScalarFunc::XmlElement { name: level.element.clone(), attrs }, args))
+    Ok(Expr::Func(
+        ScalarFunc::XmlElement {
+            name: level.element.clone(),
+            attrs,
+        },
+        args,
+    ))
 }
 
 fn single_pk(db: &Database, table: &str) -> Result<String> {
@@ -402,9 +443,24 @@ mod tests {
         db.load(
             "shop",
             vec![
-                vec![Value::Int(10), Value::Int(1), Value::str("a"), Value::Int(5)],
-                vec![Value::Int(11), Value::Int(1), Value::str("b"), Value::Int(7)],
-                vec![Value::Int(12), Value::Int(2), Value::str("c"), Value::Int(9)],
+                vec![
+                    Value::Int(10),
+                    Value::Int(1),
+                    Value::str("a"),
+                    Value::Int(5),
+                ],
+                vec![
+                    Value::Int(11),
+                    Value::Int(1),
+                    Value::str("b"),
+                    Value::Int(7),
+                ],
+                vec![
+                    Value::Int(12),
+                    Value::Int(2),
+                    Value::str("c"),
+                    Value::Int(9),
+                ],
             ],
         )
         .unwrap();
@@ -447,11 +503,16 @@ mod tests {
         let rows = evaluate(&pg.kg.graph, pg.root, &db).unwrap();
         // Only region 1 has ≥ 2 shops.
         assert_eq!(rows.len(), 1);
-        let Value::Xml(node) = &rows[0][pg.node_col] else { panic!() };
+        let Value::Xml(node) = &rows[0][pg.node_col] else {
+            panic!()
+        };
         assert_eq!(node.attr("name"), Some("north"));
         assert_eq!(node.children_named("shop").count(), 2);
         let shop = node.children_named("shop").next().unwrap();
-        assert_eq!(shop.children_named("sales").next().unwrap().text_content(), "5");
+        assert_eq!(
+            shop.children_named("sales").next().unwrap().text_content(),
+            "5"
+        );
     }
 
     #[test]
@@ -460,7 +521,9 @@ mod tests {
         let (g, root) = chain_spec().build_document_graph(&db).unwrap();
         let rows = evaluate(&g, root, &db).unwrap();
         assert_eq!(rows.len(), 1);
-        let Value::Xml(doc) = &rows[0][0] else { panic!() };
+        let Value::Xml(doc) = &rows[0][0] else {
+            panic!()
+        };
         assert_eq!(doc.name(), Some("report"));
         assert_eq!(doc.children_named("region").count(), 1);
     }
@@ -471,7 +534,9 @@ mod tests {
         let spec = ViewSpec {
             name: "catalog".into(),
             root_element: "catalog".into(),
-            binding: TopBinding::GroupBy { column: "pname".into() },
+            binding: TopBinding::GroupBy {
+                column: "pname".into(),
+            },
             top: LevelSpec {
                 element: "product".into(),
                 table: "product".into(),
@@ -498,7 +563,9 @@ mod tests {
         let pg = &view.anchors["product"];
         let rows = evaluate(&pg.kg.graph, pg.root, &db).unwrap();
         assert_eq!(rows.len(), 2); // CRT 15 (5 vendors) and LCD 19 (2)
-        let Value::Xml(node) = &rows[0][pg.node_col] else { panic!() };
+        let Value::Xml(node) = &rows[0][pg.node_col] else {
+            panic!()
+        };
         assert_eq!(node.children_named("vendor").count(), 5);
     }
 
@@ -508,7 +575,9 @@ mod tests {
         let mut spec = ViewSpec {
             name: "x".into(),
             root_element: "x".into(),
-            binding: TopBinding::GroupBy { column: "pname".into() },
+            binding: TopBinding::GroupBy {
+                column: "pname".into(),
+            },
             top: chain_spec().top,
         };
         spec.top.child.as_mut().unwrap().child = Some(Box::new(LevelSpec {

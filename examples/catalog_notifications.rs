@@ -39,7 +39,10 @@ fn main() {
         Ok(())
     });
     quark.register_action("restock", |_db, call| {
-        println!("[restock]   product no longer broadly available: {}", call.params[0]);
+        println!(
+            "[restock]   product no longer broadly available: {}",
+            call.params[0]
+        );
         Ok(())
     });
     quark.register_action("deal", |_db, call| {
@@ -72,7 +75,11 @@ fn main() {
         .db
         .insert(
             "product",
-            vec![vec![Value::str("P9"), Value::str("OLED 42"), Value::str("LG")]],
+            vec![vec![
+                Value::str("P9"),
+                Value::str("OLED 42"),
+                Value::str("LG"),
+            ]],
         )
         .expect("insert");
     quark
@@ -81,7 +88,11 @@ fn main() {
             "vendor",
             vec![
                 vec![Value::str("Amazon"), Value::str("P9"), Value::Double(899.0)],
-                vec![Value::str("Bestbuy"), Value::str("P9"), Value::Double(920.0)],
+                vec![
+                    Value::str("Bestbuy"),
+                    Value::str("P9"),
+                    Value::Double(920.0),
+                ],
             ],
         )
         .expect("insert");

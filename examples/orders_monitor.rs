@@ -71,7 +71,16 @@ fn build_db() -> Database {
     )
     .expect("load");
     let mut orders = Vec::new();
-    for (i, cid) in [(0, 10), (1, 10), (2, 11), (3, 11), (4, 12), (5, 12), (6, 13), (7, 13)] {
+    for (i, cid) in [
+        (0, 10),
+        (1, 10),
+        (2, 11),
+        (3, 11),
+        (4, 12),
+        (5, 12),
+        (6, 13),
+        (7, 13),
+    ] {
         orders.push(vec![
             Value::Int(100 + i),
             Value::Int(cid),

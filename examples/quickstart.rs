@@ -75,7 +75,11 @@ fn main() {
     println!("* Samsung renames its manufacturer entry (invisible in the view): nothing fires.");
     quark
         .db
-        .update_by_key("product", &[Value::str("P1")], &[(2, Value::str("Samsung Display"))])
+        .update_by_key(
+            "product",
+            &[Value::str("P1")],
+            &[(2, Value::str("Samsung Display"))],
+        )
         .expect("update");
 
     println!(

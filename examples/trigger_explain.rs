@@ -25,12 +25,22 @@ fn main() {
     println!("{}", g.explain(top, &db));
 
     let (mut kg, root) = KeyedGraph::normalize(&g, top, &db).expect("normalize");
-    println!("canonical key of the product level: columns {:?}\n", kg.key(root));
+    println!(
+        "canonical key of the product level: columns {:?}\n",
+        kg.key(root)
+    );
 
     // --- Figures 9-11: the affected-keys graph for ΔVENDOR ----------
-    let ak = create_ak_graph(&mut kg, root, "vendor", AkSide::Delta, AkOptions::default(), &db)
-        .expect("akgraph")
-        .expect("vendor affects the view");
+    let ak = create_ak_graph(
+        &mut kg,
+        root,
+        "vendor",
+        AkSide::Delta,
+        AkOptions::default(),
+        &db,
+    )
+    .expect("akgraph")
+    .expect("vendor affects the view");
     println!("== G_Δkey for UPDATE on vendor (Figure 11) ==");
     println!("{}", kg.graph.explain(ak.op, &db));
     println!(
@@ -49,7 +59,10 @@ fn main() {
         &mut pg,
         "vendor",
         XmlEvent::Update,
-        Needs { old: SideNeeds { node: false }, new: SideNeeds { node: true } },
+        Needs {
+            old: SideNeeds { node: false },
+            new: SideNeeds { node: true },
+        },
         AnOptions::default(),
         &db,
     )
@@ -81,11 +94,36 @@ fn main() {
         ],
     };
     let rows = vec![
-        row([Value::Int(1), Value::str("CRT 15"), Value::Null, Value::Null]),
-        row([Value::Int(2), Value::Null, Value::str("Amazon"), Value::Double(100.0)]),
-        row([Value::Int(2), Value::Null, Value::str("Bestbuy"), Value::Double(120.0)]),
-        row([Value::Int(1), Value::str("LCD 19"), Value::Null, Value::Null]),
-        row([Value::Int(2), Value::Null, Value::str("Buy.com"), Value::Double(200.0)]),
+        row([
+            Value::Int(1),
+            Value::str("CRT 15"),
+            Value::Null,
+            Value::Null,
+        ]),
+        row([
+            Value::Int(2),
+            Value::Null,
+            Value::str("Amazon"),
+            Value::Double(100.0),
+        ]),
+        row([
+            Value::Int(2),
+            Value::Null,
+            Value::str("Bestbuy"),
+            Value::Double(120.0),
+        ]),
+        row([
+            Value::Int(1),
+            Value::str("LCD 19"),
+            Value::Null,
+            Value::Null,
+        ]),
+        row([
+            Value::Int(2),
+            Value::Null,
+            Value::str("Buy.com"),
+            Value::Double(200.0),
+        ]),
     ];
     for node in tag_rows(&plan, &rows).expect("tagger") {
         println!("{}", node.to_pretty_xml());

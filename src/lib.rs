@@ -1,0 +1,16 @@
+//! `quark-xtrig`: integration package for the reproduction of
+//! *"Triggers over XML Views of Relational Data"* (ICDE 2005).
+//!
+//! This crate re-exports the layered workspace members and owns the
+//! end-to-end integration tests (`tests/`) and runnable `examples/`.
+//! See the individual crates for the actual implementation:
+//!
+//! * [`quark_core`] — trigger translation (AK/AN graphs, grouping, pushdown)
+//! * [`quark_xquery`] — XQuery / `CREATE TRIGGER` frontend
+//! * [`quark_bench`] — workload generation and measurement harness
+
+#![warn(missing_docs)]
+
+pub use quark_bench as bench;
+pub use quark_core as core;
+pub use quark_xquery as xquery;

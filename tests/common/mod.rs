@@ -39,11 +39,17 @@ pub fn catalog_path(db: &Database) -> PathGraph {
     let (kg, root) = KeyedGraph::normalize(&g, top, db).expect("normalize");
     let mut attr_cols = HashMap::new();
     attr_cols.insert("name".to_string(), 0);
-    PathGraph { kg, root, node_col: 1, attr_cols }
+    PathGraph {
+        kg,
+        root,
+        node_col: 1,
+        attr_cols,
+    }
 }
 
 /// A Quark system over the Figure-2 database with the catalog view
 /// registered and a `notify` action that records firings.
+#[allow(dead_code)] // each test binary compiles this module; not all use it
 pub fn catalog_system(mode: Mode) -> (Quark, Log) {
     let db = product_vendor_db();
     let pg = catalog_path(&db);
@@ -52,7 +58,10 @@ pub fn catalog_system(mode: Mode) -> (Quark, Log) {
     let log = Log::default();
     let sink = log.clone();
     quark.register_action("notify", move |_db: &mut Database, call: &ActionCall| {
-        sink.0.lock().unwrap().push((call.trigger.clone(), call.params.clone()));
+        sink.0
+            .lock()
+            .unwrap()
+            .push((call.trigger.clone(), call.params.clone()));
         Ok(())
     });
     (quark, log)

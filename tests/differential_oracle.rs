@@ -12,9 +12,7 @@ use proptest::prelude::*;
 use quark_core::oracle::changes_of;
 use quark_core::relational::{Database, Result as DbResult, Value};
 use quark_core::xqgm::fixtures::product_vendor_db;
-use quark_core::{
-    Action, ActionParam, Condition, Mode, Quark, TriggerSpec, XmlEvent, XmlView,
-};
+use quark_core::{Action, ActionParam, Condition, Mode, Quark, TriggerSpec, XmlEvent, XmlView};
 
 /// A randomized, always-applicable operation.
 #[derive(Debug, Clone)]
@@ -66,10 +64,7 @@ fn apply(db: &mut Database, op: &Op) -> DbResult<bool> {
                         ]],
                     )?;
                 }
-                db.insert(
-                    "vendor",
-                    vec![vec![key[0].clone(), key[1].clone(), price]],
-                )?;
+                db.insert("vendor", vec![vec![key[0].clone(), key[1].clone(), price]])?;
             }
             Ok(true)
         }
@@ -110,7 +105,10 @@ fn watch_all(mode: Mode) -> (Quark, Log) {
     ] {
         let sink = log.clone();
         quark.register_action(format!("record_{name}"), move |_db, call| {
-            sink.0.lock().unwrap().push((call.trigger.clone(), call.params.clone()));
+            sink.0
+                .lock()
+                .unwrap()
+                .push((call.trigger.clone(), call.params.clone()));
             Ok(())
         });
         quark
@@ -153,7 +151,12 @@ fn observed_set(log: &Log) -> BTreeSet<Observed> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    // Deterministic in CI; sweep PROPTEST_SEED manually for wider hunts.
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        rng_seed: Some(0x1cde_2005_0003),
+        ..ProptestConfig::default()
+    })]
 
     /// For every statement in a random sequence, each translation mode
     /// fires exactly the events the oracle derives from Definitions 2-3,

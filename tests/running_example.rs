@@ -14,9 +14,7 @@ mod common;
 use common::{all_modes, catalog_system, node_param, update_price};
 use quark_core::relational::expr::BinOp;
 use quark_core::relational::Value;
-use quark_core::{
-    Action, ActionParam, Condition, Mode, NodePath, NodeRef, TriggerSpec, XmlEvent,
-};
+use quark_core::{Action, ActionParam, Condition, Mode, NodePath, NodeRef, TriggerSpec, XmlEvent};
 
 fn notify_trigger(name: &str, product_name: &str) -> TriggerSpec {
     TriggerSpec {
@@ -29,7 +27,10 @@ fn notify_trigger(name: &str, product_name: &str) -> TriggerSpec {
             BinOp::Eq,
             product_name,
         ),
-        action: Action { function: "notify".into(), params: vec![ActionParam::NewNode] },
+        action: Action {
+            function: "notify".into(),
+            params: vec![ActionParam::NewNode],
+        },
     }
 }
 
@@ -40,12 +41,18 @@ fn notify_trigger(name: &str, product_name: &str) -> TriggerSpec {
 fn price_update_fires_notify_with_new_node() {
     for mode in all_modes() {
         let (mut quark, log) = catalog_system(mode);
-        quark.create_trigger(notify_trigger("Notify", "CRT 15")).unwrap();
+        quark
+            .create_trigger(notify_trigger("Notify", "CRT 15"))
+            .unwrap();
 
         update_price(&mut quark.db, "Amazon", "P1", 75.0).unwrap();
 
         let firings = log.take();
-        assert_eq!(firings.len(), 1, "{mode:?}: expected one firing, got {firings:?}");
+        assert_eq!(
+            firings.len(),
+            1,
+            "{mode:?}: expected one firing, got {firings:?}"
+        );
         assert_eq!(firings[0].0, "Notify");
         let node = node_param(&firings[0]);
         assert_eq!(node.attr("name"), Some("CRT 15"), "{mode:?}");
@@ -67,7 +74,9 @@ fn price_update_fires_notify_with_new_node() {
 fn non_matching_product_does_not_fire() {
     for mode in all_modes() {
         let (mut quark, log) = catalog_system(mode);
-        quark.create_trigger(notify_trigger("Notify", "CRT 15")).unwrap();
+        quark
+            .create_trigger(notify_trigger("Notify", "CRT 15"))
+            .unwrap();
         update_price(&mut quark.db, "Buy.com", "P2", 190.0).unwrap();
         assert_eq!(log.len(), 0, "{mode:?}");
     }
@@ -81,12 +90,18 @@ fn non_matching_product_does_not_fire() {
 fn vendor_insert_is_an_update_of_the_product_node() {
     for mode in all_modes() {
         let (mut quark, log) = catalog_system(mode);
-        quark.create_trigger(notify_trigger("NotifyLcd", "LCD 19")).unwrap();
+        quark
+            .create_trigger(notify_trigger("NotifyLcd", "LCD 19"))
+            .unwrap();
         quark
             .db
             .insert(
                 "vendor",
-                vec![vec![Value::str("Amazon"), Value::str("P2"), Value::Double(500.0)]],
+                vec![vec![
+                    Value::str("Amazon"),
+                    Value::str("P2"),
+                    Value::Double(500.0),
+                ]],
             )
             .unwrap();
         let firings = log.take();
@@ -102,7 +117,9 @@ fn vendor_insert_is_an_update_of_the_product_node() {
 fn mfr_only_update_does_not_fire() {
     for mode in all_modes() {
         let (mut quark, log) = catalog_system(mode);
-        quark.create_trigger(notify_trigger("Notify", "CRT 15")).unwrap();
+        quark
+            .create_trigger(notify_trigger("Notify", "CRT 15"))
+            .unwrap();
         quark
             .db
             .update_by_key("product", &[Value::str("P1")], &[(2, Value::str("LG"))])
@@ -117,7 +134,9 @@ fn mfr_only_update_does_not_fire() {
 fn noop_update_does_not_fire() {
     for mode in all_modes() {
         let (mut quark, log) = catalog_system(mode);
-        quark.create_trigger(notify_trigger("Notify", "CRT 15")).unwrap();
+        quark
+            .create_trigger(notify_trigger("Notify", "CRT 15"))
+            .unwrap();
         update_price(&mut quark.db, "Amazon", "P1", 100.0).unwrap(); // same price
         assert_eq!(log.len(), 0, "{mode:?}");
     }
@@ -146,7 +165,11 @@ fn insert_trigger_fires_for_new_qualifying_product() {
             .db
             .insert(
                 "product",
-                vec![vec![Value::str("P4"), Value::str("OLED 42"), Value::str("LG")]],
+                vec![vec![
+                    Value::str("P4"),
+                    Value::str("OLED 42"),
+                    Value::str("LG"),
+                ]],
             )
             .unwrap();
         // One vendor: still below the count(*) >= 2 threshold.
@@ -154,7 +177,11 @@ fn insert_trigger_fires_for_new_qualifying_product() {
             .db
             .insert(
                 "vendor",
-                vec![vec![Value::str("Amazon"), Value::str("P4"), Value::Double(900.0)]],
+                vec![vec![
+                    Value::str("Amazon"),
+                    Value::str("P4"),
+                    Value::Double(900.0),
+                ]],
             )
             .unwrap();
         assert_eq!(log.len(), 0, "{mode:?}: one vendor is not enough");
@@ -163,7 +190,11 @@ fn insert_trigger_fires_for_new_qualifying_product() {
             .db
             .insert(
                 "vendor",
-                vec![vec![Value::str("Bestbuy"), Value::str("P4"), Value::Double(950.0)]],
+                vec![vec![
+                    Value::str("Bestbuy"),
+                    Value::str("P4"),
+                    Value::Double(950.0),
+                ]],
             )
             .unwrap();
         let firings = log.take();
@@ -216,7 +247,9 @@ fn delete_trigger_fires_when_product_leaves_view() {
 fn partial_vendor_delete_is_an_update_not_a_delete() {
     for mode in all_modes() {
         let (mut quark, log) = catalog_system(mode);
-        quark.create_trigger(notify_trigger("Upd", "CRT 15")).unwrap();
+        quark
+            .create_trigger(notify_trigger("Upd", "CRT 15"))
+            .unwrap();
         quark
             .create_trigger(TriggerSpec {
                 name: "Gone".into(),
@@ -249,12 +282,19 @@ fn grouping_shares_sql_triggers() {
     let (mut grouped, _) = catalog_system(Mode::Grouped);
     let (mut ungrouped, _) = catalog_system(Mode::Ungrouped);
     for (i, name) in ["CRT 15", "LCD 19", "Plasma 50"].iter().enumerate() {
-        grouped.create_trigger(notify_trigger(&format!("g{i}"), name)).unwrap();
-        ungrouped.create_trigger(notify_trigger(&format!("u{i}"), name)).unwrap();
+        grouped
+            .create_trigger(notify_trigger(&format!("g{i}"), name))
+            .unwrap();
+        ungrouped
+            .create_trigger(notify_trigger(&format!("u{i}"), name))
+            .unwrap();
     }
     assert_eq!(grouped.group_count(), 1);
     assert_eq!(ungrouped.group_count(), 3);
-    assert_eq!(grouped.sql_trigger_count() * 3, ungrouped.sql_trigger_count());
+    assert_eq!(
+        grouped.sql_trigger_count() * 3,
+        ungrouped.sql_trigger_count()
+    );
     // All three XML triggers are registered in both systems.
     assert_eq!(grouped.xml_trigger_count(), 3);
     assert_eq!(ungrouped.xml_trigger_count(), 3);
@@ -265,9 +305,15 @@ fn grouping_shares_sql_triggers() {
 #[test]
 fn same_constant_triggers_share_set_and_both_fire() {
     let (mut quark, log) = catalog_system(Mode::Grouped);
-    quark.create_trigger(notify_trigger("T1", "CRT 15")).unwrap();
-    quark.create_trigger(notify_trigger("T2", "CRT 15")).unwrap();
-    quark.create_trigger(notify_trigger("T3", "LCD 19")).unwrap();
+    quark
+        .create_trigger(notify_trigger("T1", "CRT 15"))
+        .unwrap();
+    quark
+        .create_trigger(notify_trigger("T2", "CRT 15"))
+        .unwrap();
+    quark
+        .create_trigger(notify_trigger("T3", "LCD 19"))
+        .unwrap();
     update_price(&mut quark.db, "Amazon", "P1", 75.0).unwrap();
     let mut fired: Vec<String> = log.take().into_iter().map(|f| f.0).collect();
     fired.sort();
@@ -278,7 +324,9 @@ fn same_constant_triggers_share_set_and_both_fire() {
 #[test]
 fn drop_trigger_cleans_up_group() {
     let (mut quark, log) = catalog_system(Mode::Grouped);
-    quark.create_trigger(notify_trigger("T1", "CRT 15")).unwrap();
+    quark
+        .create_trigger(notify_trigger("T1", "CRT 15"))
+        .unwrap();
     let sql_count = quark.sql_trigger_count();
     assert!(sql_count > 0);
     quark.drop_trigger("T1").unwrap();

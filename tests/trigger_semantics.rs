@@ -12,7 +12,7 @@ use quark_core::relational::{Database, Value};
 use quark_core::xqgm::fixtures::{minprice_path_graph, product_vendor_db};
 use quark_core::xqgm::{Graph, KeyedGraph};
 use quark_core::{
-    Action, ActionParam, Condition, CondValue, Mode, NodePath, NodeRef, PathGraph, Quark, Step,
+    Action, ActionParam, CondValue, Condition, Mode, NodePath, NodeRef, PathGraph, Quark, Step,
     TriggerSpec, XmlEvent, XmlView,
 };
 
@@ -23,13 +23,21 @@ fn minprice_system(mode: Mode) -> (Quark, Log) {
     let (kg, root) = KeyedGraph::normalize(&g, top, &db).unwrap();
     let mut attr_cols = HashMap::new();
     attr_cols.insert("name".to_string(), 0);
-    let pg = PathGraph { kg, root, node_col: 1, attr_cols };
+    let pg = PathGraph {
+        kg,
+        root,
+        node_col: 1,
+        attr_cols,
+    };
     let mut quark = Quark::new(db, mode);
     quark.register_view(XmlView::new("minprice").with_anchor("product", pg));
     let log = Log::default();
     let sink = log.clone();
     quark.register_action("notify", move |_db: &mut Database, call| {
-        sink.0.lock().unwrap().push((call.trigger.clone(), call.params.clone()));
+        sink.0
+            .lock()
+            .unwrap()
+            .push((call.trigger.clone(), call.params.clone()));
         Ok(())
     });
     (quark, log)
@@ -42,7 +50,10 @@ fn minprice_trigger(name: &str) -> TriggerSpec {
         view: "minprice".into(),
         anchor: "product".into(),
         condition: Condition::True,
-        action: Action { function: "notify".into(), params: vec![ActionParam::NewNode] },
+        action: Action {
+            function: "notify".into(),
+            params: vec![ActionParam::NewNode],
+        },
     }
 }
 
@@ -184,7 +195,11 @@ fn insert_condition_on_new_attribute() {
                 "product",
                 vec![
                     vec![Value::str("P4"), Value::str("OLED 42"), Value::str("LG")],
-                    vec![Value::str("P5"), Value::str("QLED 55"), Value::str("Samsung")],
+                    vec![
+                        Value::str("P5"),
+                        Value::str("QLED 55"),
+                        Value::str("Samsung"),
+                    ],
                 ],
             )
             .unwrap();
@@ -203,7 +218,11 @@ fn insert_condition_on_new_attribute() {
         // Both products appear, only OLED 42 matches the condition.
         let firings = log.take();
         assert_eq!(firings.len(), 1, "{mode:?}: {firings:?}");
-        assert_eq!(node_param(&firings[0]).attr("name"), Some("OLED 42"), "{mode:?}");
+        assert_eq!(
+            node_param(&firings[0]).attr("name"),
+            Some("OLED 42"),
+            "{mode:?}"
+        );
     }
 }
 
@@ -233,7 +252,9 @@ fn multi_row_statement_fires_per_affected_node() {
                 |r| r[0] == Value::str("Bestbuy"),
                 |r| {
                     let mut v = r.to_vec();
-                    let Value::Double(p) = v[2] else { unreachable!() };
+                    let Value::Double(p) = v[2] else {
+                        unreachable!()
+                    };
                     v[2] = Value::Double(p + 1.0);
                     v
                 },
@@ -245,7 +266,11 @@ fn multi_row_statement_fires_per_affected_node() {
             .map(|f| node_param(f).attr("name").unwrap().to_string())
             .collect();
         names.sort();
-        assert_eq!(names, vec!["CRT 15".to_string(), "LCD 19".to_string()], "{mode:?}");
+        assert_eq!(
+            names,
+            vec!["CRT 15".to_string(), "LCD 19".to_string()],
+            "{mode:?}"
+        );
     }
 }
 
@@ -260,7 +285,10 @@ fn unregistered_action_errors_at_fire_time() {
             view: "catalog".into(),
             anchor: "product".into(),
             condition: Condition::True,
-            action: Action { function: "no_such_fn".into(), params: vec![] },
+            action: Action {
+                function: "no_such_fn".into(),
+                params: vec![],
+            },
         })
         .unwrap();
     let err = update_price(&mut quark.db, "Amazon", "P1", 75.0).unwrap_err();
@@ -277,7 +305,10 @@ fn unknown_view_or_anchor_rejected() {
         view: "nope".into(),
         anchor: "product".into(),
         condition: Condition::True,
-        action: Action { function: "notify".into(), params: vec![] },
+        action: Action {
+            function: "notify".into(),
+            params: vec![],
+        },
     };
     assert!(quark.create_trigger(spec.clone()).is_err());
     spec.view = "catalog".into();
@@ -295,7 +326,10 @@ fn duplicate_trigger_name_rejected() {
         view: "catalog".into(),
         anchor: "product".into(),
         condition: Condition::True,
-        action: Action { function: "notify".into(), params: vec![] },
+        action: Action {
+            function: "notify".into(),
+            params: vec![],
+        },
     };
     quark.create_trigger(spec.clone()).unwrap();
     assert!(quark.create_trigger(spec).is_err());

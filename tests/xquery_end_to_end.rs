@@ -67,13 +67,17 @@ const VIEW: &str = r#"
       }</accounts>
     }"#;
 
-fn system(mode: Mode) -> (Quark, Arc<Mutex<Vec<(String, String)>>>) {
+type FiringLog = Arc<Mutex<Vec<(String, String)>>>;
+
+fn system(mode: Mode) -> (Quark, FiringLog) {
     let mut quark = Quark::new(orders_db(), mode);
     quark_xquery::register_view(&mut quark, VIEW).unwrap();
     let log = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&log);
     quark.register_action("alert", move |_db, call| {
-        sink.lock().unwrap().push((call.trigger.clone(), call.params[0].to_string()));
+        sink.lock()
+            .unwrap()
+            .push((call.trigger.clone(), call.params[0].to_string()));
         Ok(())
     });
     (quark, log)
@@ -148,7 +152,10 @@ fn parsed_insert_and_delete_triggers() {
     .unwrap();
 
     // A new customer with two orders enters the view.
-    quark.db.insert("customer", vec![vec![Value::Int(3), Value::str("eve")]]).unwrap();
+    quark
+        .db
+        .insert("customer", vec![vec![Value::Int(3), Value::str("eve")]])
+        .unwrap();
     quark
         .db
         .insert(
@@ -182,7 +189,10 @@ fn count_condition_from_text() {
     // count condition now satisfied.
     quark
         .db
-        .insert("orders", vec![vec![Value::Int(30), Value::Int(1), Value::Double(1.0)]])
+        .insert(
+            "orders",
+            vec![vec![Value::Int(30), Value::Int(1), Value::Double(1.0)]],
+        )
         .unwrap();
     assert_eq!(log.lock().unwrap().len(), 1);
 }

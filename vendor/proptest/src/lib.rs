@@ -1,0 +1,220 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of `proptest` its property tests use:
+//! the [`proptest!`] macro, the [`strategy::Strategy`] combinators
+//! (`prop_map`, `prop_filter`, `prop_recursive`, `boxed`), regex-literal
+//! string strategies over a character-class subset, tuple/range/vec
+//! strategies, [`sample::select`], [`arbitrary::any`], and
+//! [`test_runner::Config`].
+//!
+//! Semantic differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   `Debug`-printed; it is not minimized first.
+//! * **Deterministic by default.** The RNG seed is fixed (overridable via
+//!   `PROPTEST_SEED`), and the case count honors `PROPTEST_CASES`, so CI
+//!   runs are reproducible without a `proptest-regressions/` directory.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream form with an optional leading
+/// `#![proptest_config(expr)]` item.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_case! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_case! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::with_seed(config.effective_seed());
+            let strategies = ($($strat,)*);
+            for case in 0..config.cases {
+                let ($($arg,)*) = {
+                    let ($(ref $arg,)*) = strategies;
+                    ($($arg.new_value(&mut rng),)*)
+                };
+                let debugged = format!(
+                    concat!("case ", "{}", $(concat!("\n  ", stringify!($arg), " = {:?}"),)*),
+                    case, $(&$arg),*
+                );
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || $body,
+                ));
+                if let Err(payload) = result {
+                    eprintln!("proptest failure in {}: {}", stringify!($name), debugged);
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniformly picks one of several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod shim_tests {
+    use std::cell::Cell;
+
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    thread_local! {
+        static RUNS: Cell<u32> = const { Cell::new(0) };
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 17, ..ProptestConfig::default() })]
+
+        #[test]
+        fn runs_exactly_cases_times(_x in 0..100i32) {
+            RUNS.with(|r| r.set(r.get() + 1));
+        }
+    }
+
+    #[test]
+    fn macro_executes_the_configured_case_count() {
+        RUNS.with(|r| r.set(0));
+        runs_exactly_cases_times();
+        assert_eq!(RUNS.with(Cell::get), 17);
+    }
+
+    #[test]
+    fn regex_literals_generate_matching_strings() {
+        let mut rng = TestRng::with_seed(7);
+        for _ in 0..200 {
+            let name = "[a-z][a-z0-9_]{0,8}".new_value(&mut rng);
+            assert!((1..=9).contains(&name.len()), "bad length: {name:?}");
+            let mut chars = name.chars();
+            assert!(chars.next().expect("nonempty").is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let printable = "[ -~]{1,12}".new_value(&mut rng);
+            assert!((1..=12).contains(&printable.len()));
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_and_vec_stay_in_bounds() {
+        let mut rng = TestRng::with_seed(11);
+        let strat = crate::collection::vec(1.0..500.0f64, 0..12);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let v = strat.new_value(&mut rng);
+            assert!(v.len() < 12);
+            lens.insert(v.len());
+            assert!(v.iter().all(|x| (1.0..500.0).contains(x)));
+        }
+        assert!(
+            lens.len() > 4,
+            "length distribution is degenerate: {lens:?}"
+        );
+    }
+
+    #[test]
+    fn filter_recursion_and_union_cover_all_branches() {
+        let mut rng = TestRng::with_seed(13);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let seen: std::collections::HashSet<u8> =
+            (0..100).map(|_| strat.new_value(&mut rng)).collect();
+        assert_eq!(seen.len(), 3, "union never picked some branch");
+
+        let even = (0..1000i32).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(even.new_value(&mut rng) % 2, 0);
+        }
+
+        // Depth-bounded recursion: nested vec depth never exceeds the bound.
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i32),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let tree = (0..10i32)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        for _ in 0..200 {
+            assert!(depth(&tree.new_value(&mut rng)) <= 3 + 1);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_values() {
+        let gen_some = |seed: u64| {
+            let mut rng = TestRng::with_seed(seed);
+            (0..50)
+                .map(|_| "[a-z]{0,6}".new_value(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen_some(42), gen_some(42));
+        assert_ne!(gen_some(42), gen_some(43));
+    }
+}

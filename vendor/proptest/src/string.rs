@@ -1,0 +1,144 @@
+//! String generation from a regex subset: literal characters, character
+//! classes (`[a-z0-9_]`, including the space-to-tilde range `[ -~]`), `.`,
+//! and the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (with `*`/`+` capped
+//! at 8 repetitions).
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = if piece.min == piece.max {
+            piece.min
+        } else {
+            piece.min + rng.below(piece.max - piece.min + 1)
+        };
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(chars) => out.push(chars[rng.below(chars.len())]),
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in regex literal {pattern:?}"))
+                    + i;
+                let class = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                Atom::Class(class)
+            }
+            '.' => {
+                i += 1;
+                Atom::Class((' '..='~').collect())
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in regex literal {pattern:?}"));
+                i += 1;
+                match c {
+                    'd' => Atom::Class(('0'..='9').collect()),
+                    'w' => {
+                        let mut class: Vec<char> = ('a'..='z').collect();
+                        class.extend('A'..='Z');
+                        class.extend('0'..='9');
+                        class.push('_');
+                        Atom::Class(class)
+                    }
+                    other => Atom::Literal(other),
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in regex literal {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad lower repeat bound"),
+                        hi.trim().parse().expect("bad upper repeat bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        body.first() != Some(&'^'),
+        "negated classes are not supported (regex literal {pattern:?})"
+    );
+    let mut class = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range in regex literal {pattern:?}");
+            class.extend(lo..=hi);
+            i += 3;
+        } else {
+            class.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(
+        !class.is_empty(),
+        "empty class in regex literal {pattern:?}"
+    );
+    class
+}

@@ -1,0 +1,90 @@
+//! Test configuration and the deterministic RNG driving generation.
+
+/// Mirror of `proptest::test_runner::Config`, reduced to the fields the
+//  workspace uses. Construct with struct-update syntax:
+/// `Config { cases: 64, ..Config::default() }`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to run per property (default 256, overridable via
+    /// the `PROPTEST_CASES` environment variable).
+    pub cases: u32,
+    /// RNG seed. `None` (the default) uses a fixed built-in seed, or
+    /// `PROPTEST_SEED` when set — runs are deterministic either way.
+    pub rng_seed: Option<u64>,
+    /// Accepted for upstream compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        Config {
+            cases,
+            rng_seed: None,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+impl Config {
+    /// The seed actually used: `PROPTEST_SEED` from the environment (the
+    /// manual bug-hunting escape hatch), else the pinned field, else a
+    /// fixed constant — deterministic unless the caller opts out.
+    pub fn effective_seed(&self) -> u64 {
+        std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .or(self.rng_seed)
+            .unwrap_or(0x7161_726b_7874_7267) // "qarkxtrg"
+    }
+}
+
+/// Deterministic generation RNG (SplitMix64-seeded xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn with_seed(mut state: u64) -> Self {
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample from an empty range");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
