@@ -122,26 +122,8 @@ fn bench_compile_time(c: &mut Criterion) {
                     build(spec).expect("workload")
                 },
                 |mut w| {
-                    use quark_core::relational::expr::BinOp;
-                    use quark_core::{
-                        Action, ActionParam, Condition, NodePath, NodeRef, TriggerSpec, XmlEvent,
-                    };
-                    w.quark
-                        .create_trigger(TriggerSpec {
-                            name: "bench_compile".into(),
-                            event: XmlEvent::Update,
-                            view: "bench".into(),
-                            anchor: "e0".into(),
-                            condition: Condition::cmp(
-                                NodePath::attr(NodeRef::Old, "name"),
-                                BinOp::Eq,
-                                "name_0_0",
-                            ),
-                            action: Action {
-                                function: "insertTemp".into(),
-                                params: vec![ActionParam::NewNode],
-                            },
-                        })
+                    w.session
+                        .execute(&quark_bench::trigger_statement("bench_compile", "name_0_0"))
                         .expect("trigger");
                 },
             )

@@ -46,12 +46,12 @@ pub fn materialized_workload(spec: WorkloadSpec) -> Result<MaterializedWorkload>
     inner_spec.satisfied = 0;
     inner_spec.mode = Mode::Grouped;
     let Workload {
-        quark,
+        session,
         leaf_table,
         hot_leaves,
         ..
     } = build(inner_spec)?;
-    let mut db = quark.db;
+    let mut db = session.into_quark().into_database();
 
     let view_spec = crate::chain_view_spec(spec.depth);
     let xml_view = view_spec.build(&db)?;

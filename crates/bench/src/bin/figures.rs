@@ -9,10 +9,15 @@
 //! `--quick` scales the workload down (CI-friendly); `--full-ungrouped`
 //! extends the UNGROUPED sweep of Fig. 17 beyond 1 000 triggers (slow, as
 //! the paper's own Fig. 17 demonstrates).
+//!
+//! Besides the human-readable tables, every run writes the measurements as
+//! machine-readable JSON to `BENCH_figures.json` in the working directory
+//! (override with `--out PATH`), so perf trajectories can be tracked
+//! across commits.
 
 use std::time::Duration;
 
-use quark_bench::{build, WorkloadSpec};
+use quark_bench::{build, trigger_statement, watched_name, WorkloadSpec};
 use quark_core::Mode;
 
 struct Args {
@@ -20,15 +25,85 @@ struct Args {
     quick: bool,
     full_ungrouped: bool,
     updates: usize,
+    out: String,
+}
+
+/// One measurement: `figure` / `series` identify the curve, `x` the point
+/// on it (with `x_label` naming the axis), `ms` the measured value.
+struct Entry {
+    figure: &'static str,
+    series: String,
+    x_label: &'static str,
+    x: f64,
+    ms: f64,
+}
+
+#[derive(Default)]
+struct Report {
+    entries: Vec<Entry>,
+}
+
+impl Report {
+    fn push(
+        &mut self,
+        figure: &'static str,
+        series: impl Into<String>,
+        x_label: &'static str,
+        x: f64,
+        ms: f64,
+    ) {
+        self.entries.push(Entry {
+            figure,
+            series: series.into(),
+            x_label,
+            x,
+            ms,
+        });
+    }
+
+    /// Render as JSON (no external deps; all strings here are plain ASCII
+    /// identifiers, escaped defensively anyway).
+    fn to_json(&self, args: &Args) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"figures\",\n");
+        out.push_str(&format!("  \"which\": \"{}\",\n", esc(&args.which)));
+        out.push_str(&format!("  \"quick\": {},\n", args.quick));
+        out.push_str(&format!("  \"updates\": {},\n", args.updates));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let sep = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"figure\": \"{}\", \"series\": \"{}\", \"{}\": {}, \"ms\": {:.6}}}{sep}\n",
+                esc(e.figure),
+                esc(&e.series),
+                e.x_label,
+                e.x,
+                e.ms
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
 }
 
 const USAGE: &str = "\
 Regenerates the paper's measurement figures.
 
-Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|ablations|all] [--quick] [--full-ungrouped]
+Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|ablations|all] [--quick] [--full-ungrouped] [--out PATH]
 
   --quick           scale workloads down to CI-friendly sizes
-  --full-ungrouped  extend Fig. 17's UNGROUPED sweep beyond 1000 triggers (slow)";
+  --full-ungrouped  extend Fig. 17's UNGROUPED sweep beyond 1000 triggers (slow)
+  --out PATH        where to write the JSON measurements (default BENCH_figures.json)";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -36,20 +111,42 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    let which = argv
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
-    let quick = argv.iter().any(|a| a == "--quick");
+    let mut which: Option<String> = None;
+    let mut out = "BENCH_figures.json".to_string();
+    let mut quick = false;
+    let mut full_ungrouped = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => quick = true,
+            "--full-ungrouped" => full_ungrouped = true,
+            "--out" => {
+                if let Some(path) = argv.get(i + 1) {
+                    out = path.clone();
+                    i += 1; // consume the value
+                }
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag:?}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+            positional => {
+                if which.is_none() {
+                    which = Some(positional.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
     let args = Args {
-        which,
+        which: which.unwrap_or_else(|| "all".to_string()),
         quick,
-        full_ungrouped: argv.iter().any(|a| a == "--full-ungrouped"),
+        full_ungrouped,
         updates: if quick { 20 } else { 100 },
+        out,
     };
 
-    type Figure<'a> = (&'a str, &'a dyn Fn(&Args));
+    type Figure<'a> = (&'a str, &'a dyn Fn(&Args, &mut Report));
     let figures: &[Figure] = &[
         ("compile", &compile_time),
         ("fig17", &fig17),
@@ -63,10 +160,20 @@ fn main() {
         eprintln!("error: unknown figure {:?}\n\n{USAGE}", args.which);
         std::process::exit(2);
     }
+    let mut report = Report::default();
     for (name, f) in figures {
         if args.which == *name || args.which == "all" {
-            f(&args);
+            f(&args, &mut report);
         }
+    }
+    let json = report.to_json(&args);
+    match std::fs::write(&args.out, &json) {
+        Ok(()) => println!(
+            "\nwrote {} measurement(s) to {}",
+            report.entries.len(),
+            args.out
+        ),
+        Err(e) => eprintln!("\nerror: could not write {}: {e}", args.out),
     }
 }
 
@@ -88,6 +195,14 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+fn mode_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Ungrouped => "UNGROUPED",
+        Mode::Grouped => "GROUPED",
+        Mode::GroupedAgg => "GROUPED-AGG",
+    }
+}
+
 fn banner(title: &str, spec: &WorkloadSpec, args: &Args) {
     println!("\n== {title} ==");
     println!(
@@ -98,7 +213,7 @@ fn banner(title: &str, spec: &WorkloadSpec, args: &Args) {
 
 /// §6: "the compile time for an XML trigger … is fairly small (a hundred
 /// milliseconds, even for a complex view)".
-fn compile_time(args: &Args) {
+fn compile_time(args: &Args, report: &mut Report) {
     let spec = base_spec(args, Mode::GroupedAgg);
     banner("Trigger compile time (§6)", &spec, args);
     let triggers = if args.quick { 1000 } else { 10_000 };
@@ -119,12 +234,26 @@ fn compile_time(args: &Args) {
             ms(w.first_trigger_compile),
             ms(w.trigger_creation)
         );
+        report.push(
+            "compile",
+            "first",
+            "depth",
+            depth as f64,
+            ms(w.first_trigger_compile),
+        );
+        report.push(
+            "compile",
+            "total",
+            "depth",
+            depth as f64,
+            ms(w.trigger_creation),
+        );
     }
 }
 
 /// Fig. 17: average time per update vs number of triggers (log x),
 /// UNGROUPED / GROUPED / GROUPED-AGG.
-fn fig17(args: &Args) {
+fn fig17(args: &Args, report: &mut Report) {
     let spec = base_spec(args, Mode::Grouped);
     banner("Figure 17: varying the number of triggers", &spec, args);
     let counts: &[usize] = if args.quick {
@@ -157,6 +286,7 @@ fn fig17(args: &Args) {
             let mut w = build(s).expect("workload");
             let avg = w.measure(updates).expect("measure");
             row.push_str(&format!("{:>16.3}", ms(avg)));
+            report.push("fig17", mode_name(mode), "triggers", n as f64, ms(avg));
         }
         println!("{row}");
     }
@@ -164,7 +294,7 @@ fn fig17(args: &Args) {
 
 /// Fig. 18: average time per update vs hierarchy depth (GROUPED,
 /// GROUPED-AGG).
-fn fig18(args: &Args) {
+fn fig18(args: &Args, report: &mut Report) {
     let spec = base_spec(args, Mode::Grouped);
     banner("Figure 18: varying the hierarchy depth", &spec, args);
     println!(
@@ -180,6 +310,7 @@ fn fig18(args: &Args) {
             let mut w = build(s).expect("workload");
             let avg = w.measure(args.updates).expect("measure");
             row.push_str(&format!("{:>16.3}", ms(avg)));
+            report.push("fig18", mode_name(mode), "depth", depth as f64, ms(avg));
         }
         println!("{row}");
     }
@@ -187,7 +318,7 @@ fn fig18(args: &Args) {
 
 /// Fig. 22 (App. G): varying the fanout (leaf tuples per XML element);
 /// digest action to keep insert cost constant.
-fn fig22(args: &Args) {
+fn fig22(args: &Args, report: &mut Report) {
     let spec = base_spec(args, Mode::Grouped);
     banner("Figure 22: varying the fanout", &spec, args);
     let fanouts: &[usize] = if args.quick {
@@ -209,13 +340,14 @@ fn fig22(args: &Args) {
             let mut w = build(s).expect("workload");
             let avg = w.measure(args.updates).expect("measure");
             row.push_str(&format!("{:>16.3}", ms(avg)));
+            report.push("fig22", mode_name(mode), "fanout", fanout as f64, ms(avg));
         }
         println!("{row}");
     }
 }
 
 /// Fig. 23 (App. G): varying the number of leaf tuples (database size).
-fn fig23(args: &Args) {
+fn fig23(args: &Args, report: &mut Report) {
     let spec = base_spec(args, Mode::Grouped);
     banner("Figure 23: varying the data size", &spec, args);
     let sizes: &[usize] = if args.quick {
@@ -244,13 +376,14 @@ fn fig23(args: &Args) {
             let mut w = build(s).expect("workload");
             let avg = w.measure(args.updates).expect("measure");
             row.push_str(&format!("{:>16.3}", ms(avg)));
+            report.push("fig23", mode_name(mode), "leaves", n as f64, ms(avg));
         }
         println!("{row}");
     }
 }
 
 /// Fig. 24 (App. G): varying the number of satisfied triggers.
-fn fig24(args: &Args) {
+fn fig24(args: &Args, report: &mut Report) {
     let spec = base_spec(args, Mode::Grouped);
     banner(
         "Figure 24: varying the number of fired triggers",
@@ -277,6 +410,7 @@ fn fig24(args: &Args) {
             let mut w = build(s).expect("workload");
             let avg = w.measure(args.updates).expect("measure");
             row.push_str(&format!("{:>16.3}", ms(avg)));
+            report.push("fig24", mode_name(mode), "satisfied", k as f64, ms(avg));
         }
         println!("{row}");
     }
@@ -284,7 +418,7 @@ fn fig24(args: &Args) {
 
 /// Repository ablations: the §1 materialization strawman, and the
 /// Appendix-F optimizations toggled off.
-fn ablations(args: &Args) {
+fn ablations(args: &Args, report: &mut Report) {
     let mut spec = base_spec(args, Mode::GroupedAgg);
     spec.full_action = false;
     banner("Ablations", &spec, args);
@@ -308,6 +442,8 @@ fn ablations(args: &Args) {
         let mut w = build(s).expect("workload");
         let avg = w.measure(args.updates).expect("measure");
         println!("{n:<12} {:>20.3} {:>20.3}", ms(mat_avg), ms(avg));
+        report.push("ablations", "MATERIALIZED", "leaves", n as f64, ms(mat_avg));
+        report.push("ablations", "GROUPED-AGG", "leaves", n as f64, ms(avg));
     }
 
     // Appendix-F toggles: injective elision + skeletons off.
@@ -335,7 +471,7 @@ fn ablations(args: &Args) {
             }),
         ),
     ];
-    for (name, tweak) in variants {
+    for (i, (name, tweak)) in variants.into_iter().enumerate() {
         let mut s = spec;
         s.mode = Mode::GroupedAgg;
         // Build with default options, then adjust before installing
@@ -343,11 +479,13 @@ fn ablations(args: &Args) {
         let mut w = build_with_options(s, &tweak);
         let avg = w.measure(args.updates).expect("measure");
         println!("{name:<34} {:>16.3}", ms(avg));
+        report.push("ablations", name.to_string(), "variant", i as f64, ms(avg));
     }
 }
 
 /// Build a workload with modified translation options. Options must be in
-/// place before triggers are created, so rebuild the trigger set.
+/// place before triggers are created, so install the trigger set through
+/// the session after tweaking.
 fn build_with_options(
     spec: WorkloadSpec,
     tweak: &dyn Fn(&mut quark_core::AnOptions),
@@ -356,36 +494,13 @@ fn build_with_options(
     zero.triggers = 0;
     zero.satisfied = 0;
     let mut w = build(zero).expect("workload");
-    let mut options = w.quark.options();
+    let mut options = w.session.quark().options();
     tweak(&mut options);
-    w.quark.set_options(options);
+    w.session.quark_mut().set_options(options);
     // Install the real triggers now that options are set.
-    use quark_core::relational::expr::BinOp;
-    use quark_core::{Action, ActionParam, Condition, NodePath, NodeRef, TriggerSpec, XmlEvent};
-    let top_count = (spec.leaf_count / spec.fanout).max(2);
     for i in 0..spec.triggers {
-        let watched = if i < spec.satisfied {
-            "name_0_0".to_string()
-        } else {
-            format!("name_0_{}", 1 + (i - spec.satisfied) % (top_count - 1))
-        };
-        w.quark
-            .create_trigger(TriggerSpec {
-                name: format!("ab_{i}"),
-                event: XmlEvent::Update,
-                view: "bench".into(),
-                anchor: "e0".into(),
-                condition: Condition::cmp(
-                    NodePath::attr(NodeRef::Old, "name"),
-                    BinOp::Eq,
-                    watched.as_str(),
-                ),
-                action: Action {
-                    function: "insertTemp".into(),
-                    params: vec![ActionParam::NewNode],
-                },
-            })
-            .expect("trigger");
+        let stmt = trigger_statement(&format!("ab_{i}"), &watched_name(&spec, i));
+        w.session.execute(&stmt).expect("trigger");
     }
     w
 }

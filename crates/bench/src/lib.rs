@@ -8,19 +8,25 @@
 //! top-level element differing only in the name constant they watch; and
 //! a measurement loop of independent single-row UPDATEs to the leaf table,
 //! reporting the average wall time per update.
+//!
+//! Everything is driven through the [`Session`] statement surface: schema
+//! DDL, trigger DDL and the measured UPDATEs are all text — as in the
+//! paper, where the client speaks SQL to DB2 and the trigger language to
+//! the translation layer. Keyed UPDATE statements compile to index probes,
+//! so the measured cost stays the trigger-processing cost.
 
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};
 
 use quark_core::relational::expr::BinOp;
-use quark_core::relational::{ColumnDef, ColumnType, Database, Result, TableSchema, Value};
-use quark_core::{
-    Action, ActionParam, Condition, Mode, NodePath, NodeRef, Quark, TriggerSpec, XmlEvent,
-};
+use quark_core::relational::{Database, Result, Value};
+use quark_core::{Quark, Session};
 use quark_xquery::viewtree::{LevelSpec, TopBinding, ViewSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+pub use quark_core::Mode;
 
 /// Workload parameters (Table 2).
 #[derive(Debug, Clone, Copy)]
@@ -73,15 +79,15 @@ impl WorkloadSpec {
 
 /// A built workload ready for measurement.
 pub struct Workload {
-    /// The active system (triggers installed).
-    pub quark: Quark,
+    /// The session driving the system (triggers installed).
+    pub session: Session,
     /// Spec it was built from.
     pub spec: WorkloadSpec,
     /// Leaf table name.
     pub leaf_table: String,
     /// Leaf primary keys living under the watched top element.
     pub hot_leaves: Vec<i64>,
-    /// Time spent creating all XML triggers.
+    /// Time spent creating all XML triggers (parse + translate).
     pub trigger_creation: Duration,
     /// Time to create the first (group-defining) trigger — the paper's
     /// compile-time observation (§6, ~100 ms on their hardware).
@@ -113,30 +119,56 @@ fn table_name(i: usize) -> String {
     format!("t{i}")
 }
 
-/// Build the hierarchy schema, data, view and triggers.
+/// The `CREATE TRIGGER` statement for bench trigger `name` watching
+/// `watched` (shared with the ablation harness so both install identical
+/// triggers).
+pub fn trigger_statement(name: &str, watched: &str) -> String {
+    format!(
+        "create trigger {name} after update on view('bench')/e0 \
+         where OLD_NODE/@name = '{watched}' do insertTemp(NEW_NODE)"
+    )
+}
+
+/// Name constant watched by the `i`-th of `spec.triggers` triggers: the
+/// first `spec.satisfied` watch the hot element, the rest cycle through
+/// the other top elements.
+pub fn watched_name(spec: &WorkloadSpec, i: usize) -> String {
+    let top_count = (spec.leaf_count / spec.fanout).max(1);
+    if i < spec.satisfied {
+        "name_0_0".to_string()
+    } else {
+        format!(
+            "name_0_{}",
+            1 + (i - spec.satisfied) % (top_count.max(2) - 1)
+        )
+    }
+}
+
+/// Build the hierarchy schema, data, view and triggers — all through one
+/// [`Session`].
 pub fn build(spec: WorkloadSpec) -> Result<Workload> {
     assert!(spec.depth >= 2, "hierarchy depth must be ≥ 2");
     assert!(spec.satisfied <= spec.triggers.max(1));
-    let mut db = Database::new();
+    let mut session = quark_xquery::session(Database::new(), spec.mode);
     let levels = spec.depth;
     let branching = split_fanout(spec.fanout, levels - 1);
     let top_count = (spec.leaf_count / spec.fanout).max(1);
 
-    // Schema: t0(id, name); ti(id, parent, name, price).
+    // Schema: t0(id, name, price); ti(id, parent, name, price).
     for i in 0..levels {
-        let mut cols = vec![ColumnDef::new("id", ColumnType::Int)];
+        let parent_col = if i > 0 { "parent INT, " } else { "" };
+        session.execute(&format!(
+            "CREATE TABLE {} (id INT PRIMARY KEY, {parent_col}name TEXT, price DOUBLE)",
+            table_name(i)
+        ))?;
         if i > 0 {
-            cols.push(ColumnDef::new("parent", ColumnType::Int));
-        }
-        cols.push(ColumnDef::new("name", ColumnType::Str));
-        cols.push(ColumnDef::new("price", ColumnType::Double));
-        db.create_table(TableSchema::new(table_name(i), cols, &["id"])?)?;
-        if i > 0 {
-            db.create_index(&table_name(i), "parent")?;
+            session.execute(&format!("CREATE INDEX ON {} (parent)", table_name(i)))?;
         }
     }
 
-    // Data: level row counts are top_count * prod(branching[..i]).
+    // Data: level row counts are top_count * prod(branching[..i]). Bulk
+    // populated via the trigger-free load path (a warehouse load, not a
+    // statement workload).
     let mut counts = vec![top_count];
     for b in &branching {
         counts.push(counts.last().expect("non-empty") * b);
@@ -154,29 +186,22 @@ pub fn build(spec: WorkloadSpec) -> Result<Workload> {
                 row
             })
             .collect();
-        db.load(&table_name(i), rows)?;
+        session.database_mut().load(&table_name(i), rows)?;
     }
 
     // View: a chain with count(leaf children) ≥ 2 on the leaf's parent.
+    // Bench views are generated programmatically (depths beyond what the
+    // textual recognizer accepts), so they register through the system.
     let view = chain_view_spec(levels);
-    let xml_view = view.build(&db)?;
-
-    let mut quark = Quark::new(db, spec.mode);
-    quark.register_view(xml_view);
+    let xml_view = view.build(session.database())?;
+    session.quark_mut().register_view(xml_view);
 
     // Temp-table action (§6.1: "insert the entire NEW_NODE into a
     // temporary table").
-    quark.db.create_table(TableSchema::new(
-        "__temp",
-        vec![
-            ColumnDef::new("seq", ColumnType::Int),
-            ColumnDef::new("content", ColumnType::Str),
-        ],
-        &["seq"],
-    )?)?;
+    session.execute("CREATE TABLE __temp (seq INT PRIMARY KEY, content TEXT)")?;
     let full = spec.full_action;
     let counter = std::sync::Arc::new(std::sync::Mutex::new(0i64));
-    quark.register_action("insertTemp", move |db, call| {
+    session.register_action("insertTemp", move |db, call| {
         let mut c = counter.lock().expect("temp counter");
         *c += 1;
         let content = match (&call.params[0], full) {
@@ -185,39 +210,16 @@ pub fn build(spec: WorkloadSpec) -> Result<Workload> {
             (other, _) => other.to_string(),
         };
         db.insert_row("__temp", vec![Value::Int(*c), Value::str(content)])
-    });
+    })?;
 
     // Triggers: `satisfied` watch the hot element (t0 row 0); the rest are
     // spread over the other top elements.
-    let hot_name = "name_0_0".to_string();
     let mut first_trigger_compile = Duration::ZERO;
     let start = Instant::now();
     for i in 0..spec.triggers {
-        let watched = if i < spec.satisfied {
-            hot_name.clone()
-        } else {
-            // Never the hot element; cycle through the others.
-            format!(
-                "name_0_{}",
-                1 + (i - spec.satisfied) % (top_count.max(2) - 1)
-            )
-        };
+        let stmt = trigger_statement(&format!("xt_{i}"), &watched_name(&spec, i));
         let t0 = Instant::now();
-        quark.create_trigger(TriggerSpec {
-            name: format!("xt_{i}"),
-            event: XmlEvent::Update,
-            view: "bench".into(),
-            anchor: "e0".into(),
-            condition: Condition::cmp(
-                NodePath::attr(NodeRef::Old, "name"),
-                BinOp::Eq,
-                watched.as_str(),
-            ),
-            action: Action {
-                function: "insertTemp".into(),
-                params: vec![ActionParam::NewNode],
-            },
-        })?;
+        session.execute(&stmt)?;
         if i == 0 {
             first_trigger_compile = t0.elapsed();
         }
@@ -236,7 +238,7 @@ pub fn build(spec: WorkloadSpec) -> Result<Workload> {
     debug_assert_eq!(hot_leaves.len(), spec.fanout.min(leaf_total));
 
     Ok(Workload {
-        quark,
+        session,
         spec,
         leaf_table,
         hot_leaves,
@@ -279,19 +281,25 @@ pub fn chain_view_spec(levels: usize) -> ViewSpec {
 }
 
 impl Workload {
-    /// Perform one independent single-row UPDATE on a hot leaf; returns the
-    /// elapsed statement time (statement + all trigger processing).
+    /// The underlying system (trigger/group counts).
+    pub fn quark(&self) -> &Quark {
+        self.session.quark()
+    }
+
+    /// Perform one independent single-row UPDATE on a hot leaf through the
+    /// statement surface; returns the elapsed statement time (parse +
+    /// statement + all trigger processing). The keyed WHERE clause
+    /// compiles to a primary-key probe.
     pub fn one_update(&mut self) -> Result<Duration> {
         let leaf = self.hot_leaves[self.rng.gen_range(0..self.hot_leaves.len())];
         self.update_seq += 1;
-        let price_col = 3; // id, parent, name, price
         let new_price = 50.0 + (self.update_seq % 1000) as f64 / 7.0;
+        let stmt = format!(
+            "UPDATE {} SET price = {new_price:?} WHERE id = {leaf}",
+            self.leaf_table
+        );
         let start = Instant::now();
-        self.quark.db.update_by_key(
-            &self.leaf_table,
-            &[Value::Int(leaf)],
-            &[(price_col, Value::Double(new_price))],
-        )?;
+        self.session.execute(&stmt)?;
         Ok(start.elapsed())
     }
 
@@ -306,7 +314,11 @@ impl Workload {
 
     /// Rows accumulated in the temp table (sanity checks).
     pub fn temp_rows(&self) -> usize {
-        self.quark.db.table("__temp").map(|t| t.len()).unwrap_or(0)
+        self.session
+            .database()
+            .table("__temp")
+            .map(|t| t.len())
+            .unwrap_or(0)
     }
 }
 
@@ -380,17 +392,17 @@ mod tests {
         spec.leaf_count = 256;
         spec.triggers = 50;
         let w = build(spec).unwrap();
-        let grouped_sql = w.quark.sql_trigger_count();
+        let grouped_sql = w.quark().sql_trigger_count();
 
         let mut spec2 = spec;
         spec2.triggers = 200;
         let w2 = build(spec2).unwrap();
-        assert_eq!(grouped_sql, w2.quark.sql_trigger_count());
+        assert_eq!(grouped_sql, w2.quark().sql_trigger_count());
 
         let mut spec3 = spec;
         spec3.mode = Mode::Ungrouped;
         spec3.triggers = 50;
         let w3 = build(spec3).unwrap();
-        assert!(w3.quark.sql_trigger_count() >= 50 * grouped_sql / 2);
+        assert!(w3.quark().sql_trigger_count() >= 50 * grouped_sql / 2);
     }
 }

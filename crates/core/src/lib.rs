@@ -19,6 +19,7 @@
 //! | [`angraph`] | §4.2.2 `CreateANGraph` (Fig. 12) + Appendix F |
 //! | [`inject`] | Appendix F injectivity & skeleton pruning |
 //! | [`system`] | §3.2 architecture, §5 grouping & pushdown |
+//! | [`session`] | the statement front door (`Session::execute`) |
 //! | [`tagger`] | constant-space sorted-outer-union tagger |
 //! | [`oracle`] | §1's materialization strawman (reference semantics) |
 
@@ -30,12 +31,14 @@ pub mod condition;
 pub mod events;
 pub mod inject;
 pub mod oracle;
+pub mod session;
 pub mod spec;
 pub mod system;
 pub mod tagger;
 
 pub use angraph::{AnOptions, Needs, SideNeeds};
 pub use condition::{CondValue, Condition, NodePath, NodeRef, Step};
+pub use session::{ObjectKind, Session, Span, StatementError, StatementFrontend, StatementResult};
 pub use spec::{Action, ActionParam, PathGraph, TriggerSpec, XmlEvent, XmlView};
 pub use system::{ActionCall, ActionFn, Mode, Quark};
 

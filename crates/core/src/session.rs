@@ -1,0 +1,391 @@
+//! The session front door: one statement surface for tables, views and
+//! view triggers alike.
+//!
+//! The paper's whole interface is a single declarative language — users
+//! write `CREATE TRIGGER … ON view('v')/path` and ordinary SQL, and the
+//! system privately rewrites the former onto the latter. [`Session`] makes
+//! that the *programming* interface too: every data change, DDL statement
+//! and inspection query goes through [`Session::execute`], which returns a
+//! typed [`StatementResult`] and reports failures as a unified
+//! [`StatementError`] with byte spans into the statement text.
+//!
+//! Supported statement surface:
+//!
+//! | statement | result |
+//! |---|---|
+//! | `INSERT` / `UPDATE` / `DELETE` | [`StatementResult::RowsAffected`] |
+//! | `SELECT cols FROM t [WHERE …]` | [`StatementResult::Rows`] |
+//! | `CREATE TABLE` / `CREATE INDEX` | [`StatementResult::Created`] |
+//! | `CREATE VIEW … { XQuery }` (frontend) | [`StatementResult::Created`] |
+//! | `CREATE TRIGGER … ON view('v')/path` (frontend) | [`StatementResult::Created`] |
+//! | `DROP TRIGGER` / `DROP TABLE` | [`StatementResult::Dropped`] |
+//! | `EXPLAIN TRIGGER name` | [`StatementResult::Explain`] |
+//! | `MATERIALIZE view('v')/anchor` | [`StatementResult::Xml`] |
+//!
+//! The XQuery-bodied statements (`CREATE VIEW`, `CREATE TRIGGER`) are
+//! parsed by a pluggable [`StatementFrontend`] so this crate stays below
+//! the XQuery frontend in the layering; `quark-xquery` provides the
+//! standard implementation and a one-line constructor.
+//!
+//! ```
+//! use quark_core::{Mode, Quark};
+//! use quark_core::session::{Session, StatementResult};
+//! use quark_relational::Database;
+//!
+//! let mut session = Session::new(Quark::new(Database::new(), Mode::Grouped));
+//! session.execute("CREATE TABLE vendor (vid TEXT, pid TEXT, price DOUBLE, \
+//!                  PRIMARY KEY (vid, pid))").unwrap();
+//! session.execute("INSERT INTO vendor VALUES ('Amazon', 'P1', 100.0)").unwrap();
+//! let n = session.execute("UPDATE vendor SET price = 75.0 \
+//!                          WHERE vid = 'Amazon' AND pid = 'P1'").unwrap();
+//! assert_eq!(n, StatementResult::RowsAffected(1));
+//! let StatementResult::Rows { rows, .. } =
+//!     session.execute("SELECT price FROM vendor").unwrap() else { panic!() };
+//! assert_eq!(rows[0][0], 75.0.into());
+//! ```
+
+use std::fmt;
+
+use quark_relational::sql::{self, SqlOutcome, Statement};
+use quark_relational::{Database, Error, Result, Row, Value};
+use quark_xml::XmlNodeRef;
+
+use crate::oracle;
+use crate::system::{ActionCall, Quark};
+
+pub use quark_relational::sql::{Span, StatementError};
+
+/// Kind of schema object a DDL statement touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// A relational table.
+    Table,
+    /// A secondary index.
+    Index,
+    /// An XML view.
+    View,
+    /// An XML trigger.
+    Trigger,
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ObjectKind::Table => "table",
+            ObjectKind::Index => "index",
+            ObjectKind::View => "view",
+            ObjectKind::Trigger => "trigger",
+        })
+    }
+}
+
+/// Typed result of one executed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    /// Rows changed by a data-change statement.
+    RowsAffected(usize),
+    /// `SELECT` output, ordered by the table's primary key.
+    Rows {
+        /// Projected column names.
+        columns: Vec<String>,
+        /// Result rows.
+        rows: Vec<Row>,
+    },
+    /// A schema object was created.
+    Created {
+        /// What was created.
+        kind: ObjectKind,
+        /// Its name.
+        name: String,
+    },
+    /// A schema object was dropped.
+    Dropped {
+        /// What was dropped.
+        kind: ObjectKind,
+        /// Its name.
+        name: String,
+    },
+    /// `EXPLAIN TRIGGER` rendering: the trigger's group, constants, and
+    /// generated SQL triggers with their compiled plans.
+    Explain(String),
+    /// `MATERIALIZE view('v')/anchor`: the monitored nodes, in canonical
+    /// key order.
+    Xml(Vec<XmlNodeRef>),
+}
+
+impl StatementResult {
+    /// Rows affected, if this is a data-change result.
+    pub fn rows_affected(&self) -> Option<usize> {
+        match self {
+            StatementResult::RowsAffected(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Pluggable parser for the XQuery-bodied DDL statements (`CREATE VIEW`,
+/// `CREATE TRIGGER`). Implementations parse the text, lower it, register
+/// the result against the system, and return the created object's name.
+///
+/// `quark-xquery` provides the standard implementation (`XQueryFrontend`)
+/// plus a `session(db, mode)` constructor that wires it in.
+pub trait StatementFrontend: Send {
+    /// Handle a `CREATE VIEW` statement; returns the view name.
+    fn create_view(&self, quark: &mut Quark, text: &str) -> Result<String, StatementError>;
+    /// Handle a `CREATE TRIGGER` statement; returns the trigger name.
+    fn create_trigger(&self, quark: &mut Quark, text: &str) -> Result<String, StatementError>;
+}
+
+/// A session over a [`Quark`] system: the single entry point for the
+/// unified textual statement surface (see the [module docs](self)).
+pub struct Session {
+    quark: Quark,
+    frontend: Option<Box<dyn StatementFrontend>>,
+}
+
+impl Session {
+    /// Open a session without a view/trigger frontend: the relational
+    /// statement surface plus `DROP TRIGGER` / `EXPLAIN TRIGGER` /
+    /// `MATERIALIZE` over programmatically registered views.
+    pub fn new(quark: Quark) -> Self {
+        Session {
+            quark,
+            frontend: None,
+        }
+    }
+
+    /// Open a session with a frontend handling the XQuery-bodied DDL.
+    pub fn with_frontend(quark: Quark, frontend: Box<dyn StatementFrontend>) -> Self {
+        Session {
+            quark,
+            frontend: Some(frontend),
+        }
+    }
+
+    /// The underlying system (trigger/group/translation inspection).
+    pub fn quark(&self) -> &Quark {
+        &self.quark
+    }
+
+    /// Mutable access to the underlying system — the programmatic escape
+    /// hatch for fixture views ([`Quark::register_view`]) and translation
+    /// options; statements should go through [`Session::execute`].
+    pub fn quark_mut(&mut self) -> &mut Quark {
+        &mut self.quark
+    }
+
+    /// Shared view of the underlying database (inspection).
+    pub fn database(&self) -> &Database {
+        self.quark.database()
+    }
+
+    /// Mutable database access (bulk [`Database::load`] of fixture data).
+    pub fn database_mut(&mut self) -> &mut Database {
+        self.quark.database_mut()
+    }
+
+    /// Tear down the session, returning the system.
+    pub fn into_quark(self) -> Quark {
+        self.quark
+    }
+
+    /// Register an action function callable from trigger DO clauses
+    /// (delegates to [`Quark::register_action`]).
+    pub fn register_action(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&mut Database, &ActionCall) -> Result<()> + Send + Sync + 'static,
+    ) -> Result<()> {
+        self.quark.register_action(name, f)
+    }
+
+    /// Parse and execute one statement.
+    ///
+    /// `CREATE VIEW` / `CREATE TRIGGER` route to the frontend; everything
+    /// else goes through the [`sql`] grammar, with the view-level
+    /// statements (`DROP TRIGGER`, `EXPLAIN TRIGGER`, `MATERIALIZE`)
+    /// interpreted against this session's trigger and view registries.
+    pub fn execute(&mut self, text: &str) -> Result<StatementResult, StatementError> {
+        // Route on the first two keywords, past any leading whitespace and
+        // `--` line comments (the whole surface accepts them, including the
+        // frontend statements — the frontend parser sees the trimmed text,
+        // and its error spans are shifted back into the original).
+        let stripped = strip_leading_trivia(text);
+        let offset = text.len() - stripped.len();
+        let mut words = stripped.split_whitespace().map(|w| w.to_ascii_lowercase());
+        let first = words.next().unwrap_or_default();
+        let second = words.next().unwrap_or_default();
+        if first == "create" && (second == "view" || second == "trigger") {
+            let frontend = self.frontend.take().ok_or_else(|| {
+                StatementError::Db(Error::Plan(format!(
+                    "CREATE {} requires a session frontend \
+                     (open the session via quark_xquery::session)",
+                    second.to_ascii_uppercase()
+                )))
+            })?;
+            let result = if second == "view" {
+                frontend.create_view(&mut self.quark, stripped).map(|name| {
+                    StatementResult::Created {
+                        kind: ObjectKind::View,
+                        name,
+                    }
+                })
+            } else {
+                frontend
+                    .create_trigger(&mut self.quark, stripped)
+                    .map(|name| StatementResult::Created {
+                        kind: ObjectKind::Trigger,
+                        name,
+                    })
+            };
+            self.frontend = Some(frontend);
+            return result.map_err(|e| shift_span(e, offset));
+        }
+
+        let stmt = sql::parse(text)?;
+        match stmt {
+            Statement::DropTrigger(name) => {
+                self.quark.drop_trigger(&name)?;
+                Ok(StatementResult::Dropped {
+                    kind: ObjectKind::Trigger,
+                    name,
+                })
+            }
+            Statement::ExplainTrigger(name) => {
+                Ok(StatementResult::Explain(self.quark.explain_trigger(&name)?))
+            }
+            Statement::Materialize { view, anchor } => {
+                let pg = self
+                    .quark
+                    .view(&view)
+                    .ok_or_else(|| Error::Plan(format!("unknown view `{view}`")))?
+                    .anchors
+                    .get(&anchor)
+                    .ok_or_else(|| Error::Plan(format!("view `{view}` has no element `{anchor}`")))?
+                    .clone();
+                let nodes = oracle::materialize(&pg, self.quark.database())?;
+                let mut keyed: Vec<(Vec<Value>, XmlNodeRef)> = nodes.into_iter().collect();
+                keyed.sort_by(|a, b| a.0.cmp(&b.0));
+                Ok(StatementResult::Xml(
+                    keyed.into_iter().map(|(_, n)| n).collect(),
+                ))
+            }
+            other => {
+                let outcome = sql::execute(self.quark.database_mut(), &other)?;
+                Ok(match outcome {
+                    SqlOutcome::RowsAffected(n) => StatementResult::RowsAffected(n),
+                    SqlOutcome::Rows { columns, rows } => StatementResult::Rows { columns, rows },
+                    SqlOutcome::CreatedTable(name) => StatementResult::Created {
+                        kind: ObjectKind::Table,
+                        name,
+                    },
+                    SqlOutcome::CreatedIndex { table, column } => StatementResult::Created {
+                        kind: ObjectKind::Index,
+                        name: format!("{table}.{column}"),
+                    },
+                    SqlOutcome::DroppedTable(name) => StatementResult::Dropped {
+                        kind: ObjectKind::Table,
+                        name,
+                    },
+                    SqlOutcome::DroppedTrigger(name) => StatementResult::Dropped {
+                        kind: ObjectKind::Trigger,
+                        name,
+                    },
+                })
+            }
+        }
+    }
+}
+
+/// Skip leading whitespace and `--` line comments.
+fn strip_leading_trivia(text: &str) -> &str {
+    let mut s = text;
+    loop {
+        let trimmed = s.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("--") {
+            s = rest.split_once('\n').map(|(_, r)| r).unwrap_or("");
+        } else {
+            return trimmed;
+        }
+    }
+}
+
+/// Shift a parse-error span rightward by `offset` bytes (used after
+/// parsing a trimmed suffix of the original statement text).
+fn shift_span(e: StatementError, offset: usize) -> StatementError {
+    match e {
+        StatementError::Parse { message, span } => StatementError::Parse {
+            message,
+            span: Span::new(span.start + offset, span.end + offset),
+        },
+        db => db,
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("mode", &self.quark.mode())
+            .field("frontend", &self.frontend.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+
+    fn session() -> Session {
+        let db = quark_xqgm::fixtures::product_vendor_db();
+        Session::new(Quark::new(db, Mode::Grouped))
+    }
+
+    #[test]
+    fn relational_statements_work_without_a_frontend() {
+        let mut s = session();
+        let r = s
+            .execute("INSERT INTO vendor VALUES ('Newegg', 'P1', 99.0)")
+            .unwrap();
+        assert_eq!(r, StatementResult::RowsAffected(1));
+        let r = s
+            .execute("SELECT vid FROM vendor WHERE pid = 'P1'")
+            .unwrap();
+        let StatementResult::Rows { rows, .. } = r else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn frontend_statements_require_a_frontend() {
+        let mut s = session();
+        let err = s.execute("CREATE VIEW v AS { <v/> }").unwrap_err();
+        assert!(err.to_string().contains("frontend"), "{err}");
+        let err = s
+            .execute("create trigger T after update on view('v')/x do f()")
+            .unwrap_err();
+        assert!(err.to_string().contains("frontend"), "{err}");
+    }
+
+    #[test]
+    fn materialize_requires_a_known_view() {
+        let mut s = session();
+        let err = s.execute("MATERIALIZE view('nope')/product").unwrap_err();
+        assert!(err.to_string().contains("unknown view"), "{err}");
+    }
+
+    #[test]
+    fn drop_unknown_trigger_reports_db_error() {
+        let mut s = session();
+        let err = s.execute("DROP TRIGGER nope").unwrap_err();
+        assert!(matches!(err, StatementError::Db(Error::UnknownTrigger(_))));
+    }
+
+    #[test]
+    fn parse_errors_surface_with_spans() {
+        let mut s = session();
+        let err = s.execute("SELEC * FROM vendor").unwrap_err();
+        assert!(err.span().is_some());
+    }
+}

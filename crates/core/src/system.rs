@@ -72,7 +72,7 @@ struct Group {
     /// constants vector → set id
     sets: HashMap<Vec<Value>, i64>,
     next_set: i64,
-    sql_triggers: Vec<String>,
+    sql_triggers: Vec<SqlTriggerMeta>,
     trigger_count: usize,
 }
 
@@ -81,10 +81,23 @@ struct TriggerRecord {
     set_id: i64,
 }
 
+/// One SQL trigger generated for a group, with its compiled plan rendered
+/// for `EXPLAIN TRIGGER`.
+struct SqlTriggerMeta {
+    name: String,
+    table: String,
+    event: quark_relational::Event,
+    plan: String,
+}
+
 /// The active XML-view system.
+///
+/// The relational database is private: statement execution goes through
+/// [`Session::execute`](crate::session::Session::execute) by default, with
+/// [`Quark::database`] / [`Quark::database_mut`] as the escape hatches for
+/// inspection and programmatic access.
 pub struct Quark {
-    /// The underlying relational database.
-    pub db: Database,
+    db: Database,
     views: HashMap<String, XmlView>,
     actions: ActionRegistry,
     groups: HashMap<String, Group>,
@@ -113,6 +126,26 @@ impl Quark {
         }
     }
 
+    /// Shared view of the underlying relational database (inspection,
+    /// oracle baselines). Data changes should go through the statement
+    /// surface — [`Session::execute`](crate::session::Session::execute).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database: the programmatic escape
+    /// hatch for bulk loading and fixture setup. Statements executed
+    /// through it still fire the translated triggers.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Tear down the system, keeping the database (baselines that strip
+    /// the translated triggers and install their own).
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
     /// Override translation options (ablations).
     pub fn set_options(&mut self, options: AnOptions) {
         self.options = options;
@@ -139,15 +172,21 @@ impl Quark {
     }
 
     /// Register an action function callable from trigger DO clauses.
+    /// Duplicate registrations are rejected with [`Error::ActionExists`]
+    /// (silently replacing a closure that installed triggers still
+    /// reference would change their behavior behind their back).
     pub fn register_action(
         &mut self,
         name: impl Into<String>,
         f: impl Fn(&mut Database, &ActionCall) -> Result<()> + Send + Sync + 'static,
-    ) {
-        self.actions
-            .lock()
-            .expect("action registry")
-            .insert(name.into(), Arc::new(f));
+    ) -> Result<()> {
+        let name = name.into();
+        let mut registry = self.actions.lock().expect("action registry");
+        if registry.contains_key(&name) {
+            return Err(Error::ActionExists(name));
+        }
+        registry.insert(name, Arc::new(f));
+        Ok(())
     }
 
     /// Number of XML triggers registered.
@@ -352,6 +391,7 @@ impl Quark {
             )?;
 
             let trigger_name = format!("__quark_g{group_id}_{}_{}", src.table, src.event);
+            let plan_explain = plan.explain();
             let body = self.make_handler(
                 plan,
                 residual,
@@ -365,7 +405,12 @@ impl Quark {
                 event: src.event,
                 body,
             })?;
-            sql_triggers.push(trigger_name);
+            sql_triggers.push(SqlTriggerMeta {
+                name: trigger_name,
+                table: src.table.clone(),
+                event: src.event,
+                plan: plan_explain,
+            });
         }
 
         // Register the group and the trigger.
@@ -582,23 +627,32 @@ impl Quark {
     }
 
     /// Drop an XML trigger. The group's SQL triggers are removed once the
-    /// last member leaves.
+    /// last member leaves; when the last member of a *set* leaves a
+    /// still-live group, the set's constants-table row is removed so it
+    /// stops joining on every subsequent firing.
     pub fn drop_trigger(&mut self, name: &str) -> Result<()> {
         let record = self
             .triggers
             .remove(name)
             .ok_or_else(|| Error::UnknownTrigger(name.to_string()))?;
-        let remove_group = {
+        let (remove_group, remove_set) = {
             let group = self
                 .groups
                 .get_mut(&record.group_signature)
                 .ok_or_else(|| Error::Plan("trigger group missing".into()))?;
             let mut members = group.members.lock().expect("members");
-            if let Some(list) = members.get_mut(&record.set_id) {
-                list.retain(|m| m.trigger != name);
+            let set_empty = match members.get_mut(&record.set_id) {
+                Some(list) => {
+                    list.retain(|m| m.trigger != name);
+                    list.is_empty()
+                }
+                None => false,
+            };
+            if set_empty {
+                members.remove(&record.set_id);
             }
             group.trigger_count -= 1;
-            group.trigger_count == 0
+            (group.trigger_count == 0, set_empty)
         };
         if remove_group {
             let group = self
@@ -606,14 +660,86 @@ impl Quark {
                 .remove(&record.group_signature)
                 .expect("checked");
             for t in &group.sql_triggers {
-                self.db.drop_trigger(t)?;
+                self.db.drop_trigger(&t.name)?;
             }
             if let Some(ct) = &group.constants_table {
                 self.db.drop_table(ct)?;
             }
             let _ = group.signature;
+        } else if remove_set {
+            let ct = {
+                let group = self
+                    .groups
+                    .get_mut(&record.group_signature)
+                    .expect("checked above");
+                group.sets.retain(|_, id| *id != record.set_id);
+                group.constants_table.clone()
+            };
+            if let Some(ct) = ct {
+                let set_id = record.set_id;
+                self.db
+                    .unload_where(&ct, move |r| r[0] == Value::Int(set_id))?;
+            }
         }
         Ok(())
+    }
+
+    /// Render the translation artifacts behind an XML trigger: its group,
+    /// constants, and every generated SQL trigger with its compiled plan —
+    /// the `EXPLAIN TRIGGER` statement of the session surface.
+    pub fn explain_trigger(&self, name: &str) -> Result<String> {
+        use std::fmt::Write;
+        let record = self
+            .triggers
+            .get(name)
+            .ok_or_else(|| Error::UnknownTrigger(name.to_string()))?;
+        let group = self
+            .groups
+            .get(&record.group_signature)
+            .ok_or_else(|| Error::Plan("trigger group missing".into()))?;
+        let mut out = String::new();
+        let _ = writeln!(out, "XML trigger `{name}` (mode {:?})", self.mode);
+        let _ = writeln!(
+            out,
+            "group: {} member trigger(s), set {} of {}",
+            group.trigger_count,
+            record.set_id,
+            group.sets.len()
+        );
+        match &group.constants_table {
+            Some(ct) => {
+                let consts = group
+                    .sets
+                    .iter()
+                    .find(|(_, id)| **id == record.set_id)
+                    .map(|(c, _)| c.clone())
+                    .unwrap_or_default();
+                let rows = self.db.table(ct).map(|t| t.len()).unwrap_or(0);
+                let _ = writeln!(out, "constants: {consts:?} in table `{ct}` ({rows} row(s))");
+            }
+            None => {
+                let _ = writeln!(out, "constants: none (condition fully compiled)");
+            }
+        }
+        let _ = writeln!(out, "SQL triggers ({}):", group.sql_triggers.len());
+        for t in &group.sql_triggers {
+            let _ = writeln!(out, "  {} AFTER {} ON {}", t.name, t.event, t.table);
+            for line in t.plan.lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total rows across all live constants tables (leak checks: dropping
+    /// the last trigger of a set must remove its row).
+    pub fn constants_row_count(&self) -> usize {
+        self.groups
+            .values()
+            .filter_map(|g| g.constants_table.as_deref())
+            .filter_map(|ct| self.db.table(ct).ok())
+            .map(|t| t.len())
+            .sum()
     }
 }
 

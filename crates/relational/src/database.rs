@@ -326,6 +326,125 @@ impl Database {
         Ok(n)
     }
 
+    /// `UPDATE table SET col = expr, … WHERE pred` as one statement, with
+    /// both the predicate and the assignment right-hand sides as
+    /// [`Expr`](crate::expr::Expr)essions over the *pre-update* row.
+    ///
+    /// Updates apply *simultaneously* (standard SQL statement semantics):
+    /// all affected rows are removed, then all replacements inserted, so a
+    /// key-reshuffling UPDATE (`SET id = id + 1`) does not depend on apply
+    /// order. Evaluation errors and key collisions abort the statement
+    /// atomically — no rows change and no triggers fire.
+    pub fn update_expr(
+        &mut self,
+        table: &str,
+        pred: Option<&crate::expr::Expr>,
+        assignments: &[(usize, crate::expr::Expr)],
+    ) -> Result<usize> {
+        let (deleted, inserted) = {
+            let t = self.table_mut(table)?;
+            let arity = t.schema().arity();
+            for (col, _) in assignments {
+                if *col >= arity {
+                    return Err(Error::UnknownColumn(table.to_string(), col.to_string()));
+                }
+            }
+            let mut targets: Vec<(Box<[Value]>, Vec<Value>)> = Vec::new();
+            for r in t.iter() {
+                let keep = match pred {
+                    Some(p) => p.eval(r)?.is_true(),
+                    None => true,
+                };
+                if !keep {
+                    continue;
+                }
+                let mut next: Vec<Value> = r.to_vec();
+                for (col, e) in assignments {
+                    next[*col] = e.eval(r)?;
+                }
+                targets.push((t.schema().key_of(r), next));
+            }
+            // Phase 1: remove every affected row.
+            let mut deleted = Vec::with_capacity(targets.len());
+            for (k, _) in &targets {
+                deleted.push(t.delete(k).expect("key collected from scan"));
+            }
+            // Phase 2: insert the replacements; on failure (duplicate key
+            // against an untouched row or another replacement, or a type
+            // mismatch) roll everything back and report the error.
+            let mut inserted = Vec::with_capacity(targets.len());
+            let mut failure = None;
+            for (_, next) in targets {
+                match t.insert(next) {
+                    Ok(new) => inserted.push(new),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                for new in &inserted {
+                    let k = t.schema().key_of(new);
+                    t.delete(&k).expect("rollback removes inserted row");
+                }
+                for old in deleted {
+                    t.insert(old.to_vec()).expect("rollback restores prior row");
+                }
+                return Err(e);
+            }
+            (deleted, inserted)
+        };
+        self.stats.statements += 1;
+        let n = inserted.len();
+        if n > 0 {
+            self.after_statement(TransitionTables {
+                table: table.to_string(),
+                event: Event::Update,
+                inserted,
+                deleted,
+            })?;
+        }
+        Ok(n)
+    }
+
+    /// `DELETE FROM table WHERE pred` as one statement, with the predicate
+    /// as an [`Expr`](crate::expr::Expr)ession. Evaluation errors abort the
+    /// statement before any row changes.
+    pub fn delete_expr(&mut self, table: &str, pred: Option<&crate::expr::Expr>) -> Result<usize> {
+        let deleted = {
+            let t = self.table_mut(table)?;
+            let mut keys = Vec::new();
+            for r in t.iter() {
+                let hit = match pred {
+                    Some(p) => p.eval(r)?.is_true(),
+                    None => true,
+                };
+                if hit {
+                    keys.push(t.schema().key_of(r));
+                }
+            }
+            let mut deleted = Vec::with_capacity(keys.len());
+            for k in keys {
+                if let Some(row) = t.delete(&k) {
+                    deleted.push(row);
+                }
+            }
+            deleted
+        };
+        self.stats.statements += 1;
+        let n = deleted.len();
+        if n > 0 {
+            self.after_statement(TransitionTables {
+                table: table.to_string(),
+                event: Event::Delete,
+                inserted: vec![],
+                deleted,
+            })?;
+        }
+        Ok(n)
+    }
+
     /// `DELETE FROM table WHERE pk = key` as one statement.
     pub fn delete_by_key(&mut self, table: &str, key: &[Value]) -> Result<bool> {
         let old = self.table_mut(table)?.delete(key);
@@ -381,6 +500,24 @@ impl Database {
         let n = rows.len();
         for r in rows {
             t.insert(r)?;
+        }
+        Ok(n)
+    }
+
+    /// Maintenance deletion without firing triggers — the mirror of
+    /// [`Database::load`], used for internal bookkeeping tables (e.g.
+    /// removing a stale constants-table row when a grouped trigger leaves
+    /// its set). Returns the number of rows removed.
+    pub fn unload_where(&mut self, table: &str, pred: impl Fn(&Row) -> bool) -> Result<usize> {
+        let t = self.table_mut(table)?;
+        let keys: Vec<_> = t
+            .iter()
+            .filter(|r| pred(r))
+            .map(|r| t.schema().key_of(r))
+            .collect();
+        let n = keys.len();
+        for k in keys {
+            t.delete(&k);
         }
         Ok(n)
     }

@@ -42,6 +42,8 @@ pub enum Error {
     },
     /// Trigger with this name already registered.
     TriggerExists(String),
+    /// Action function with this name already registered.
+    ActionExists(String),
     /// Unknown trigger name.
     UnknownTrigger(String),
     /// Statement-trigger cascade exceeded the nesting limit (16, as in DB2).
@@ -85,6 +87,7 @@ impl fmt::Display for Error {
                 write!(f, "value {value} does not fit column `{table}.{column}`")
             }
             Error::TriggerExists(n) => write!(f, "trigger `{n}` already exists"),
+            Error::ActionExists(n) => write!(f, "action function `{n}` already registered"),
             Error::UnknownTrigger(n) => write!(f, "unknown trigger `{n}`"),
             Error::TriggerDepthExceeded => write!(f, "trigger cascade exceeded nesting limit"),
             Error::NoTransitionContext => {

@@ -15,7 +15,10 @@
 //! * a physical **plan executor** with hash/index joins, anti joins for
 //!   the INSERT/DELETE event semantics, grouped aggregation (including
 //!   `aggXMLFrag`), unions, sorting, and reconstruction of the
-//!   pre-statement table state `B_old = (B ∖ ΔB) ∪ ∇B` (§4.2).
+//!   pre-statement table state `B_old = (B ∖ ΔB) ∪ ∇B` (§4.2),
+//! * a textual **statement surface** ([`sql`]) — DML/DDL/`SELECT` parsed
+//!   from text with spanned errors, the relational half of the
+//!   `Session::execute` front door one layer up.
 //!
 //! Everything XML-trigger-specific (XQGM, affected-key computation,
 //! grouping, tagging) lives in the crates layered above.
@@ -28,6 +31,7 @@ pub mod exec;
 pub mod expr;
 pub mod plan;
 mod schema;
+pub mod sql;
 mod table;
 mod value;
 

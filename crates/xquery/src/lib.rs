@@ -10,16 +10,16 @@
 //! * lowering into hierarchy *view trees* and trigger specifications
 //!   ([`lower`]);
 //! * view trees themselves and their XQGM generation ([`viewtree`]) —
-//!   also the programmatic API used by the benchmark workload generator.
-//!
-//! The one-stop helpers [`register_view`] and [`create_trigger`] parse,
-//! lower, build and register against a [`Quark`] system:
+//!   also the programmatic API used by the benchmark workload generator;
+//! * the [`XQueryFrontend`] that plugs these into the [`Session`]
+//!   statement surface, plus the [`session()`](session) constructor that
+//!   opens the one front door.
 //!
 //! ```
-//! use quark_core::{Mode, Quark};
+//! use quark_core::{Mode, StatementResult};
 //! let db = quark_xqgm::fixtures::product_vendor_db();
-//! let mut quark = Quark::new(db, Mode::Grouped);
-//! quark_xquery::register_view(&mut quark, r#"
+//! let mut session = quark_xquery::session(db, Mode::Grouped);
+//! session.execute(r#"
 //!     create view catalog as {
 //!       <catalog>{
 //!         for $prodname in distinct(view("default")/product/row/pname)
@@ -31,12 +31,16 @@
 //!         </product>
 //!       }</catalog>
 //!     }"#).unwrap();
-//! quark.register_action("notifySmith", |_, _| Ok(()));
-//! quark_xquery::create_trigger(&mut quark, r#"
+//! session.register_action("notifySmith", |_, _| Ok(())).unwrap();
+//! session.execute(r#"
 //!     CREATE TRIGGER Notify AFTER Update
 //!     ON view('catalog')/product
 //!     WHERE OLD_NODE/@name = 'CRT 15'
 //!     DO notifySmith(NEW_NODE)"#).unwrap();
+//! let fired = session
+//!     .execute("UPDATE vendor SET price = 75.0 WHERE vid = 'Amazon' AND pid = 'P1'")
+//!     .unwrap();
+//! assert_eq!(fired, StatementResult::RowsAffected(1));
 //! ```
 
 #![warn(missing_docs)]
@@ -45,23 +49,67 @@ pub mod lower;
 pub mod parser;
 pub mod viewtree;
 
-use quark_core::Quark;
-use quark_relational::{Error, Result};
+use quark_core::session::{Session, Span, StatementError, StatementFrontend};
+use quark_core::{Mode, Quark};
+use quark_relational::{Database, Error, Result};
 
 pub use lower::{lower_condition, lower_trigger, lower_view};
 pub use parser::{parse_expr, parse_trigger, parse_view, ParseError};
 pub use viewtree::{LevelSpec, TopBinding, ViewSpec};
 
-/// Parse, lower, build and register an XQuery view definition.
+/// The standard [`StatementFrontend`]: parses `CREATE VIEW` (XQuery body)
+/// and `CREATE TRIGGER` (the §2.2 language) and registers the results.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XQueryFrontend;
+
+fn spanned(e: ParseError, text: &str) -> StatementError {
+    // Clamp to the statement text: `at` sits at text.len() for
+    // end-of-input errors, and spans must stay sliceable.
+    let start = e.at.min(text.len());
+    let end = (start + 1).min(text.len()).max(start);
+    StatementError::Parse {
+        message: e.message,
+        span: Span::new(start, end),
+    }
+}
+
+impl StatementFrontend for XQueryFrontend {
+    fn create_view(&self, quark: &mut Quark, text: &str) -> Result<String, StatementError> {
+        let def = parser::parse_view(text).map_err(|e| spanned(e, text))?;
+        let spec = lower::lower_view(&def).map_err(StatementError::Db)?;
+        let name = spec.name.clone();
+        let view = spec.build(quark.database()).map_err(StatementError::Db)?;
+        quark.register_view(view);
+        Ok(name)
+    }
+
+    fn create_trigger(&self, quark: &mut Quark, text: &str) -> Result<String, StatementError> {
+        let def = parser::parse_trigger(text).map_err(|e| spanned(e, text))?;
+        let spec = lower::lower_trigger(&def).map_err(StatementError::Db)?;
+        let name = spec.name.clone();
+        quark.create_trigger(spec).map_err(StatementError::Db)?;
+        Ok(name)
+    }
+}
+
+/// Open a [`Session`] over a fresh system with the XQuery frontend wired
+/// in: the one front door (see the crate example above).
+pub fn session(db: Database, mode: Mode) -> Session {
+    Session::with_frontend(Quark::new(db, mode), Box::new(XQueryFrontend))
+}
+
+/// Parse, lower, build and register an XQuery view definition
+/// (programmatic form of the `CREATE VIEW` statement).
 pub fn register_view(quark: &mut Quark, text: &str) -> Result<ViewSpec> {
     let def = parser::parse_view(text).map_err(|e| Error::Plan(e.to_string()))?;
     let spec = lower::lower_view(&def)?;
-    let view = spec.build(&quark.db)?;
+    let view = spec.build(quark.database())?;
     quark.register_view(view);
     Ok(spec)
 }
 
-/// Parse, lower and create an XML trigger from `CREATE TRIGGER` syntax.
+/// Parse, lower and create an XML trigger from `CREATE TRIGGER` syntax
+/// (programmatic form of the statement; prefer [`Session::execute`]).
 pub fn create_trigger(quark: &mut Quark, text: &str) -> Result<()> {
     let def = parser::parse_trigger(text).map_err(|e| Error::Plan(e.to_string()))?;
     let spec = lower::lower_trigger(&def)?;
@@ -71,7 +119,7 @@ pub fn create_trigger(quark: &mut Quark, text: &str) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quark_core::Mode;
+    use quark_core::StatementResult;
 
     const CATALOG: &str = r#"
         create view catalog as {
@@ -88,37 +136,38 @@ mod tests {
 
     #[test]
     fn figure_3_round_trip_fires_trigger() {
-        use quark_relational::Value;
         use std::sync::{Arc, Mutex};
 
         let db = quark_xqgm::fixtures::product_vendor_db();
-        let mut quark = Quark::new(db, Mode::Grouped);
-        let spec = register_view(&mut quark, CATALOG).unwrap();
-        assert_eq!(spec.depth(), 2);
-        assert!(matches!(spec.binding, TopBinding::GroupBy { ref column } if column == "pname"));
+        let mut session = session(db, Mode::Grouped);
+        let created = session.execute(CATALOG).unwrap();
+        assert_eq!(
+            created,
+            StatementResult::Created {
+                kind: quark_core::ObjectKind::View,
+                name: "catalog".into()
+            }
+        );
 
         let fired = Arc::new(Mutex::new(Vec::<String>::new()));
         let f2 = Arc::clone(&fired);
-        quark.register_action("notifySmith", move |_, call| {
-            f2.lock().unwrap().push(call.params[0].to_string());
-            Ok(())
-        });
-        create_trigger(
-            &mut quark,
-            r#"CREATE TRIGGER Notify AFTER Update
-               ON view('catalog')/product
-               WHERE OLD_NODE/@name = 'CRT 15'
-               DO notifySmith(NEW_NODE)"#,
-        )
-        .unwrap();
-
-        quark
-            .db
-            .update_by_key(
-                "vendor",
-                &[Value::str("Amazon"), Value::str("P1")],
-                &[(2, Value::Double(75.0))],
+        session
+            .register_action("notifySmith", move |_, call| {
+                f2.lock().unwrap().push(call.params[0].to_string());
+                Ok(())
+            })
+            .unwrap();
+        session
+            .execute(
+                r#"CREATE TRIGGER Notify AFTER Update
+                   ON view('catalog')/product
+                   WHERE OLD_NODE/@name = 'CRT 15'
+                   DO notifySmith(NEW_NODE)"#,
             )
+            .unwrap();
+
+        session
+            .execute("UPDATE vendor SET price = 75.0 WHERE vid = 'Amazon' AND pid = 'P1'")
             .unwrap();
         let log = fired.lock().unwrap();
         assert_eq!(log.len(), 1);
@@ -167,5 +216,18 @@ mod tests {
         let cond = lower_condition(&ast).unwrap();
         // exists(NEW_NODE/vendor[price < 100])
         assert!(matches!(cond, quark_core::Condition::Exists(_)));
+    }
+
+    #[test]
+    fn view_parse_errors_carry_spans() {
+        let db = quark_xqgm::fixtures::product_vendor_db();
+        let mut s = session(db, Mode::Grouped);
+        let err = s.execute("create view broken as { <v> }").unwrap_err();
+        assert!(err.span().is_some(), "{err}");
+        let err = s
+            .execute("create trigger T after explode on view('v')/x do f()")
+            .unwrap_err();
+        assert!(err.span().is_some(), "{err}");
+        assert!(err.to_string().contains("explode"), "{err}");
     }
 }

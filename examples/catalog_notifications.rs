@@ -8,115 +8,97 @@
 //! Three buyers place triggers: new-product announcements (INSERT),
 //! out-of-stock alerts (DELETE — the product leaves the view when fewer
 //! than two vendors carry it), and price-drop alerts (UPDATE with a
-//! quantified condition).
+//! quantified condition). The closing `MATERIALIZE` statement prints the
+//! view the buyers end up seeing.
 
-use quark_core::relational::Value;
-use quark_core::{Mode, Quark};
-use quark_xquery::{create_trigger, register_view};
+use quark_core::{Mode, StatementResult};
 
 fn main() {
     let db = quark_core::xqgm::fixtures::product_vendor_db();
-    let mut quark = Quark::new(db, Mode::GroupedAgg);
-    register_view(
-        &mut quark,
-        r#"create view catalog as {
-             <catalog>{
-               for $prodname in distinct(view("default")/product/row/pname)
-               let $products := view("default")/product/row[./pname = $prodname]
-               let $vendors := view("default")/vendor/row[./pid = $products/pid]
-               where count($vendors) >= 2
-               return <product name={$prodname}>
-                 { for $vendor in $vendors return <vendor>{$vendor/*}</vendor> }
-               </product>
-             }</catalog>
-           }"#,
-    )
-    .expect("view");
+    let mut session = quark_xquery::session(db, Mode::GroupedAgg);
+    session
+        .execute(
+            r#"create view catalog as {
+                 <catalog>{
+                   for $prodname in distinct(view("default")/product/row/pname)
+                   let $products := view("default")/product/row[./pname = $prodname]
+                   let $vendors := view("default")/vendor/row[./pid = $products/pid]
+                   where count($vendors) >= 2
+                   return <product name={$prodname}>
+                     { for $vendor in $vendors return <vendor>{$vendor/*}</vendor> }
+                   </product>
+                 }</catalog>
+               }"#,
+        )
+        .expect("view");
 
-    quark.register_action("announce", |_db, call| {
-        let node = &call.params[0];
-        println!("[announce]  new product listed: {node}");
-        Ok(())
-    });
-    quark.register_action("restock", |_db, call| {
-        println!(
-            "[restock]   product no longer broadly available: {}",
-            call.params[0]
-        );
-        Ok(())
-    });
-    quark.register_action("deal", |_db, call| {
-        println!("[deal]      price drop spotted: {}", call.params[0]);
-        Ok(())
-    });
+    session
+        .register_action("announce", |_db, call| {
+            println!("[announce]  new product listed: {}", call.params[0]);
+            Ok(())
+        })
+        .expect("action");
+    session
+        .register_action("restock", |_db, call| {
+            println!(
+                "[restock]   product no longer broadly available: {}",
+                call.params[0]
+            );
+            Ok(())
+        })
+        .expect("action");
+    session
+        .register_action("deal", |_db, call| {
+            println!("[deal]      price drop spotted: {}", call.params[0]);
+            Ok(())
+        })
+        .expect("action");
 
-    create_trigger(
-        &mut quark,
+    for trigger in [
         "create trigger NewProducts after insert on view('catalog')/product \
          do announce(NEW_NODE)",
-    )
-    .expect("trigger");
-    create_trigger(
-        &mut quark,
         "create trigger OutOfMarket after delete on view('catalog')/product \
          do restock(OLD_NODE)",
-    )
-    .expect("trigger");
-    create_trigger(
-        &mut quark,
         "create trigger Deals after update on view('catalog')/product \
          where some $v in NEW_NODE/vendor satisfies ./price < 100 \
          do deal(NEW_NODE)",
-    )
-    .expect("trigger");
+    ] {
+        session.execute(trigger).expect("trigger");
+    }
 
     println!("== A new product appears with two vendors ==");
-    quark
-        .db
-        .insert(
-            "product",
-            vec![vec![
-                Value::str("P9"),
-                Value::str("OLED 42"),
-                Value::str("LG"),
-            ]],
-        )
+    session
+        .execute("INSERT INTO product VALUES ('P9', 'OLED 42', 'LG')")
         .expect("insert");
-    quark
-        .db
-        .insert(
-            "vendor",
-            vec![
-                vec![Value::str("Amazon"), Value::str("P9"), Value::Double(899.0)],
-                vec![
-                    Value::str("Bestbuy"),
-                    Value::str("P9"),
-                    Value::Double(920.0),
-                ],
-            ],
-        )
+    session
+        .execute("INSERT INTO vendor VALUES ('Amazon', 'P9', 899.0), ('Bestbuy', 'P9', 920.0)")
         .expect("insert");
 
     println!("\n== Amazon undercuts everyone on P1 ==");
-    quark
-        .db
-        .update_by_key(
-            "vendor",
-            &[Value::str("Amazon"), Value::str("P1")],
-            &[(2, Value::Double(89.0))],
-        )
+    session
+        .execute("UPDATE vendor SET price = 89.0 WHERE vid = 'Amazon' AND pid = 'P1'")
         .expect("update");
 
     println!("\n== LCD 19 drops to a single vendor ==");
-    quark
-        .db
-        .delete_by_key("vendor", &[Value::str("Buy.com"), Value::str("P2")])
+    session
+        .execute("DELETE FROM vendor WHERE vid = 'Buy.com' AND pid = 'P2'")
         .expect("delete");
 
     println!(
         "\n{} XML triggers -> {} SQL triggers across {} group(s).",
-        quark.xml_trigger_count(),
-        quark.sql_trigger_count(),
-        quark.group_count(),
+        session.quark().xml_trigger_count(),
+        session.quark().sql_trigger_count(),
+        session.quark().group_count(),
     );
+
+    println!("\n== The catalog as the buyers now see it ==");
+    let StatementResult::Xml(nodes) = session
+        .execute("MATERIALIZE view('catalog')/product")
+        .expect("materialize")
+    else {
+        unreachable!("MATERIALIZE returns XML");
+    };
+    for node in nodes {
+        println!("{}", node.to_pretty_xml());
+    }
 }

@@ -1,77 +1,30 @@
 //! A deeper hierarchy with trigger grouping: regions → customers → orders,
-//! with many structurally similar triggers sharing one translation.
+//! with many structurally similar triggers sharing one translation —
+//! schema, data, view, triggers and updates all through
+//! `session.execute(text)`.
 //!
 //! ```text
 //! cargo run --example orders_monitor
 //! ```
 
-use quark_core::relational::{ColumnDef, ColumnType, Database, TableSchema, Value};
-use quark_core::{Mode, Quark};
-use quark_xquery::{create_trigger, register_view};
+use quark_core::relational::Database;
+use quark_core::{Mode, Session};
 
-fn build_db() -> Database {
-    let mut db = Database::new();
-    db.create_table(
-        TableSchema::new(
-            "region",
-            vec![
-                ColumnDef::new("rid", ColumnType::Int),
-                ColumnDef::new("name", ColumnType::Str),
-            ],
-            &["rid"],
-        )
-        .expect("schema"),
-    )
-    .expect("table");
-    db.create_table(
-        TableSchema::new(
-            "customer",
-            vec![
-                ColumnDef::new("cid", ColumnType::Int),
-                ColumnDef::new("rid", ColumnType::Int),
-                ColumnDef::new("name", ColumnType::Str),
-            ],
-            &["cid"],
-        )
-        .expect("schema"),
-    )
-    .expect("table");
-    db.create_table(
-        TableSchema::new(
-            "orders",
-            vec![
-                ColumnDef::new("oid", ColumnType::Int),
-                ColumnDef::new("cid", ColumnType::Int),
-                ColumnDef::new("total", ColumnType::Double),
-            ],
-            &["oid"],
-        )
-        .expect("schema"),
-    )
-    .expect("table");
-    db.create_index("customer", "rid").expect("index");
-    db.create_index("orders", "cid").expect("index");
-
-    db.load(
-        "region",
-        vec![
-            vec![Value::Int(1), Value::str("north")],
-            vec![Value::Int(2), Value::str("south")],
-        ],
-    )
-    .expect("load");
-    db.load(
-        "customer",
-        vec![
-            vec![Value::Int(10), Value::Int(1), Value::str("ada")],
-            vec![Value::Int(11), Value::Int(1), Value::str("bob")],
-            vec![Value::Int(12), Value::Int(2), Value::str("cyd")],
-            vec![Value::Int(13), Value::Int(2), Value::str("dee")],
-        ],
-    )
-    .expect("load");
-    let mut orders = Vec::new();
-    for (i, cid) in [
+fn build_session() -> Session {
+    let mut session = quark_xquery::session(Database::new(), Mode::GroupedAgg);
+    for stmt in [
+        "CREATE TABLE region (rid INT PRIMARY KEY, name TEXT)",
+        "CREATE TABLE customer (cid INT PRIMARY KEY, rid INT, name TEXT)",
+        "CREATE TABLE orders (oid INT PRIMARY KEY, cid INT, total DOUBLE)",
+        "CREATE INDEX ON customer (rid)",
+        "CREATE INDEX ON orders (cid)",
+        "INSERT INTO region VALUES (1, 'north'), (2, 'south')",
+        "INSERT INTO customer VALUES (10, 1, 'ada'), (11, 1, 'bob'), \
+                                     (12, 2, 'cyd'), (13, 2, 'dee')",
+    ] {
+        session.execute(stmt).expect("setup statement");
+    }
+    let orders: Vec<String> = [
         (0, 10),
         (1, 10),
         (2, 11),
@@ -80,67 +33,65 @@ fn build_db() -> Database {
         (5, 12),
         (6, 13),
         (7, 13),
-    ] {
-        orders.push(vec![
-            Value::Int(100 + i),
-            Value::Int(cid),
-            Value::Double(50.0 + 10.0 * i as f64),
-        ]);
-    }
-    db.load("orders", orders).expect("load");
-    db
+    ]
+    .iter()
+    .map(|(i, cid)| format!("({}, {cid}, {:?})", 100 + i, 50.0 + 10.0 * *i as f64))
+    .collect();
+    session
+        .execute(&format!("INSERT INTO orders VALUES {}", orders.join(", ")))
+        .expect("orders");
+    session
 }
 
 fn main() {
-    let mut quark = Quark::new(build_db(), Mode::GroupedAgg);
-    register_view(
-        &mut quark,
-        r#"create view sales as {
-             <sales>{
-               for $r in view("default")/region/row
-               let $custs := view("default")/customer/row[./rid = $r/rid]
-               where count($custs) >= 2
-               return <region name={$r/name}>
-                 { for $c in $custs return <customer name={$c/name}>
-                     { for $o in view("default")/orders/row[./cid = $c/cid]
-                       return <order><oid>{$o/oid}</oid><total>{$o/total}</total></order> }
-                   </customer> }
-               </region>
-             }</sales>
-           }"#,
-    )
-    .expect("view");
+    let mut session = build_session();
+    session
+        .execute(
+            r#"create view sales as {
+                 <sales>{
+                   for $r in view("default")/region/row
+                   let $custs := view("default")/customer/row[./rid = $r/rid]
+                   where count($custs) >= 2
+                   return <region name={$r/name}>
+                     { for $c in $custs return <customer name={$c/name}>
+                         { for $o in view("default")/orders/row[./cid = $c/cid]
+                           return <order><oid>{$o/oid}</oid><total>{$o/total}</total></order> }
+                       </customer> }
+                   </region>
+                 }</sales>
+               }"#,
+        )
+        .expect("view");
 
-    quark.register_action("page_oncall", |_db, call| {
-        println!("[page] {} -> {}", call.trigger, call.params[0]);
-        Ok(())
-    });
+    session
+        .register_action("page_oncall", |_db, call| {
+            println!("[page] {} -> {}", call.trigger, call.params[0]);
+            Ok(())
+        })
+        .expect("action");
 
     // Forty structurally similar triggers (one per watched region name ×
     // 20 subscribers): one translation, one constants table.
     for i in 0..20 {
         for region in ["north", "south"] {
-            create_trigger(
-                &mut quark,
-                &format!(
+            session
+                .execute(&format!(
                     "create trigger W_{region}_{i} after update on view('sales')/region \
                      where OLD_NODE/@name = '{region}' do page_oncall(NEW_NODE)"
-                ),
-            )
-            .expect("trigger");
+                ))
+                .expect("trigger");
         }
     }
     println!(
         "{} XML triggers -> {} SQL triggers in {} group(s)\n",
-        quark.xml_trigger_count(),
-        quark.sql_trigger_count(),
-        quark.group_count()
+        session.quark().xml_trigger_count(),
+        session.quark().sql_trigger_count(),
+        session.quark().group_count()
     );
 
     println!("== one order total changes in the north region ==");
     println!("   (all 20 'north' subscribers fire; 'south' ones stay quiet)\n");
-    quark
-        .db
-        .update_by_key("orders", &[Value::Int(100)], &[(2, Value::Double(999.0))])
+    session
+        .execute("UPDATE orders SET total = 999.0 WHERE oid = 100")
         .expect("update");
 }

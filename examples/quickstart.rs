@@ -1,90 +1,78 @@
-//! Quickstart: the paper's running example end to end.
+//! Quickstart: the paper's running example end to end, through the one
+//! front door.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 //!
-//! Creates the product/vendor database (Fig. 2), defines the catalog view
-//! in XQuery (Fig. 3), places the §2.2 `Notify` trigger on it, and runs a
-//! few relational statements to show when the trigger fires.
+//! Opens a [`Session`](quark_core::Session) over the product/vendor
+//! database (Fig. 2), defines the catalog view in XQuery (Fig. 3), places
+//! the §2.2 `Notify` trigger on it, and runs a few SQL statements to show
+//! when the trigger fires — every statement goes through
+//! `session.execute(text)`.
 
-use quark_core::relational::Value;
-use quark_core::{Mode, Quark};
-use quark_xquery::{create_trigger, register_view};
+use quark_core::Mode;
 
 fn main() {
-    // 1. A relational database (the engine ships with the paper's Figure-2
-    //    fixture; any schema with primary keys works).
+    // 1. A session over a relational database (the engine ships with the
+    //    paper's Figure-2 fixture; any schema with primary keys works).
     let db = quark_core::xqgm::fixtures::product_vendor_db();
-    let mut quark = Quark::new(db, Mode::GroupedAgg);
+    let mut session = quark_xquery::session(db, Mode::GroupedAgg);
 
     // 2. An (unmaterialized!) XML view over it, straight from Figure 3.
-    register_view(
-        &mut quark,
-        r#"create view catalog as {
-             <catalog>{
-               for $prodname in distinct(view("default")/product/row/pname)
-               let $products := view("default")/product/row[./pname = $prodname]
-               let $vendors := view("default")/vendor/row[./pid = $products/pid]
-               where count($vendors) >= 2
-               return <product name={$prodname}>
-                 { for $vendor in $vendors return <vendor>{$vendor/*}</vendor> }
-               </product>
-             }</catalog>
-           }"#,
-    )
-    .expect("view definition");
+    session
+        .execute(
+            r#"create view catalog as {
+                 <catalog>{
+                   for $prodname in distinct(view("default")/product/row/pname)
+                   let $products := view("default")/product/row[./pname = $prodname]
+                   let $vendors := view("default")/vendor/row[./pid = $products/pid]
+                   where count($vendors) >= 2
+                   return <product name={$prodname}>
+                     { for $vendor in $vendors return <vendor>{$vendor/*}</vendor> }
+                   </product>
+                 }</catalog>
+               }"#,
+        )
+        .expect("view definition");
 
     // 3. An action function and the §2.2 trigger.
-    quark.register_action("notifySmith", |_db, call| {
-        println!("--> notifySmith fired by `{}`:", call.trigger);
-        println!("{}", call.params[0]);
-        Ok(())
-    });
-    create_trigger(
-        &mut quark,
-        r#"CREATE TRIGGER Notify AFTER Update
-           ON view('catalog')/product
-           WHERE OLD_NODE/@name = 'CRT 15'
-           DO notifySmith(NEW_NODE)"#,
-    )
-    .expect("trigger definition");
-
-    // 4. Relational statements. Only changes that actually alter the
-    //    monitored XML node fire the trigger.
-    println!("* Amazon drops its P1 price to 75 (P1 is a 'CRT 15'):");
-    quark
-        .db
-        .update_by_key(
-            "vendor",
-            &[Value::str("Amazon"), Value::str("P1")],
-            &[(2, Value::Double(75.0))],
+    session
+        .register_action("notifySmith", |_db, call| {
+            println!("--> notifySmith fired by `{}`:", call.trigger);
+            println!("{}", call.params[0]);
+            Ok(())
+        })
+        .expect("action registration");
+    session
+        .execute(
+            r#"CREATE TRIGGER Notify AFTER Update
+               ON view('catalog')/product
+               WHERE OLD_NODE/@name = 'CRT 15'
+               DO notifySmith(NEW_NODE)"#,
         )
+        .expect("trigger definition");
+
+    // 4. SQL statements. Only changes that actually alter the monitored
+    //    XML node fire the trigger.
+    println!("* Amazon drops its P1 price to 75 (P1 is a 'CRT 15'):");
+    session
+        .execute("UPDATE vendor SET price = 75.0 WHERE vid = 'Amazon' AND pid = 'P1'")
         .expect("update");
 
     println!("\n* Buy.com reprices P2 ('LCD 19' — not watched): nothing fires.");
-    quark
-        .db
-        .update_by_key(
-            "vendor",
-            &[Value::str("Buy.com"), Value::str("P2")],
-            &[(2, Value::Double(190.0))],
-        )
+    session
+        .execute("UPDATE vendor SET price = 190.0 WHERE vid = 'Buy.com' AND pid = 'P2'")
         .expect("update");
 
     println!("* Samsung renames its manufacturer entry (invisible in the view): nothing fires.");
-    quark
-        .db
-        .update_by_key(
-            "product",
-            &[Value::str("P1")],
-            &[(2, Value::str("Samsung Display"))],
-        )
+    session
+        .execute("UPDATE product SET mfr = 'Samsung Display' WHERE pid = 'P1'")
         .expect("update");
 
     println!(
         "\nDone. {} XML trigger(s) translated into {} SQL trigger(s).",
-        quark.xml_trigger_count(),
-        quark.sql_trigger_count()
+        session.quark().xml_trigger_count(),
+        session.quark().sql_trigger_count()
     );
 }

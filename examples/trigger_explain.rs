@@ -1,7 +1,8 @@
 //! Peek inside the translation: prints the artifacts the paper's figures
 //! show — the catalog XQGM (Fig. 5), the affected-keys graph (Figs. 9-11),
-//! the generated trigger plan (the Fig. 16 analog), and the sorted-outer-
-//! union tagger at work.
+//! the generated trigger plan (the Fig. 16 analog), the sorted-outer-
+//! union tagger at work, and the session-level `EXPLAIN TRIGGER`
+//! statement over a live trigger.
 //!
 //! ```text
 //! cargo run --example trigger_explain
@@ -127,5 +128,37 @@ fn main() {
     ];
     for node in tag_rows(&plan, &rows).expect("tagger") {
         println!("{}", node.to_pretty_xml());
+    }
+
+    // --- EXPLAIN TRIGGER through the session front door ---------------
+    let mut session = quark_xquery::session(product_vendor_db(), quark_core::Mode::Grouped);
+    session
+        .execute(
+            r#"create view catalog as {
+                 <catalog>{
+                   for $prodname in distinct(view("default")/product/row/pname)
+                   let $products := view("default")/product/row[./pname = $prodname]
+                   let $vendors := view("default")/vendor/row[./pid = $products/pid]
+                   where count($vendors) >= 2
+                   return <product name={$prodname}>
+                     { for $vendor in $vendors return <vendor>{$vendor/*}</vendor> }
+                   </product>
+                 }</catalog>
+               }"#,
+        )
+        .expect("view");
+    session
+        .register_action("notify", |_, _| Ok(()))
+        .expect("action");
+    session
+        .execute(
+            "create trigger Notify after update on view('catalog')/product \
+             where OLD_NODE/@name = 'CRT 15' do notify(NEW_NODE)",
+        )
+        .expect("trigger");
+    println!("\n== EXPLAIN TRIGGER Notify (session statement) ==");
+    match session.execute("EXPLAIN TRIGGER Notify").expect("explain") {
+        quark_core::StatementResult::Explain(text) => println!("{text}"),
+        other => unreachable!("EXPLAIN returns Explain, got {other:?}"),
     }
 }

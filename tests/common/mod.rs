@@ -1,14 +1,15 @@
 //! Shared helpers for the integration suite: the paper's catalog system
-//! with a recording notification action.
+//! behind a [`Session`] front door, with a recording notification action.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use quark_core::relational::{Database, Result, Value};
+use quark_core::relational::{Database, Value};
 use quark_core::xml::XmlNodeRef;
 use quark_core::xqgm::fixtures::{catalog_path_graph, product_vendor_db};
 use quark_core::xqgm::{Graph, KeyedGraph};
-use quark_core::{ActionCall, Mode, PathGraph, Quark, XmlView};
+use quark_core::{ActionCall, Mode, PathGraph, Quark, Session, StatementError, XmlView};
+use quark_xquery::XQueryFrontend;
 
 /// One recorded firing: `(trigger name, params)`.
 pub type Firing = (String, Vec<Value>);
@@ -47,24 +48,29 @@ pub fn catalog_path(db: &Database) -> PathGraph {
     }
 }
 
-/// A Quark system over the Figure-2 database with the catalog view
-/// registered and a `notify` action that records firings.
+/// A session over the Figure-2 database with the catalog view registered
+/// (programmatically, from the hand-built fixture path graph — the same
+/// shape the textual Figure-3 view lowers to) and a `notify` action that
+/// records firings. DDL and data changes go through `session.execute`.
 #[allow(dead_code)] // each test binary compiles this module; not all use it
-pub fn catalog_system(mode: Mode) -> (Quark, Log) {
+pub fn catalog_system(mode: Mode) -> (Session, Log) {
     let db = product_vendor_db();
     let pg = catalog_path(&db);
     let mut quark = Quark::new(db, mode);
     quark.register_view(XmlView::new("catalog").with_anchor("product", pg));
+    let mut session = Session::with_frontend(quark, Box::new(XQueryFrontend));
     let log = Log::default();
     let sink = log.clone();
-    quark.register_action("notify", move |_db: &mut Database, call: &ActionCall| {
-        sink.0
-            .lock()
-            .unwrap()
-            .push((call.trigger.clone(), call.params.clone()));
-        Ok(())
-    });
-    (quark, log)
+    session
+        .register_action("notify", move |_db: &mut Database, call: &ActionCall| {
+            sink.0
+                .lock()
+                .unwrap()
+                .push((call.trigger.clone(), call.params.clone()));
+            Ok(())
+        })
+        .expect("register notify");
+    (session, log)
 }
 
 /// First XML param of a firing.
@@ -81,12 +87,17 @@ pub fn all_modes() -> [Mode; 3] {
     [Mode::Ungrouped, Mode::Grouped, Mode::GroupedAgg]
 }
 
+/// One-vendor price update through the statement surface (a keyed UPDATE).
 #[allow(dead_code)]
-pub fn update_price(db: &mut Database, vid: &str, pid: &str, price: f64) -> Result<()> {
-    db.update_by_key(
-        "vendor",
-        &[Value::str(vid), Value::str(pid)],
-        &[(2, Value::Double(price))],
-    )
-    .map(|_| ())
+pub fn update_price(
+    session: &mut Session,
+    vid: &str,
+    pid: &str,
+    price: f64,
+) -> Result<(), StatementError> {
+    session
+        .execute(&format!(
+            "UPDATE vendor SET price = {price:?} WHERE vid = '{vid}' AND pid = '{pid}'"
+        ))
+        .map(|_| ())
 }

@@ -2,6 +2,10 @@
 //! view, comparing the translated triggers' firings (all three modes) with
 //! the materialize-and-diff oracle's Definitions-2/3 semantics — including
 //! the full `OLD_NODE`/`NEW_NODE` values.
+//!
+//! Every operation is rendered as SQL text once and executed verbatim
+//! against all three sessions *and* (via the relational `sql` module) the
+//! oracle's shadow database, so the systems see byte-identical statements.
 
 mod common;
 
@@ -10,9 +14,10 @@ use std::collections::BTreeSet;
 use common::{catalog_path, Log};
 use proptest::prelude::*;
 use quark_core::oracle::changes_of;
-use quark_core::relational::{Database, Result as DbResult, Value};
+use quark_core::relational::{sql, Database, Error, Value};
 use quark_core::xqgm::fixtures::product_vendor_db;
-use quark_core::{Action, ActionParam, Condition, Mode, Quark, TriggerSpec, XmlEvent, XmlView};
+use quark_core::{Mode, Quark, Session, XmlEvent, XmlView};
+use quark_xquery::XQueryFrontend;
 
 /// A randomized, always-applicable operation.
 #[derive(Debug, Clone)]
@@ -41,50 +46,80 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-/// Apply one op as a single SQL statement (no-op when the target state is
-/// already in place, so every system sees identical statements).
-fn apply(db: &mut Database, op: &Op) -> DbResult<bool> {
+/// Render one op as SQL statements, decided against the current database
+/// state (identical across all systems at this point). Some ops expand to
+/// two statements (creating a missing product before its vendor row).
+fn statements_for(db: &Database, op: &Op) -> Vec<String> {
     match op {
         Op::SetVendor(v, p, cents) => {
-            let key = [Value::str(VIDS[*v]), Value::str(PIDS[*p])];
-            let price = Value::Double(*cents as f64 / 2.0);
-            if db.table("vendor")?.get(&key).is_some() {
-                db.update_by_key("vendor", &key, &[(2, price)])?;
+            let (vid, pid) = (VIDS[*v], PIDS[*p]);
+            let key = [Value::str(vid), Value::str(pid)];
+            let price = *cents as f64 / 2.0;
+            let mut stmts = Vec::new();
+            if db
+                .table("vendor")
+                .expect("vendor table")
+                .get(&key)
+                .is_some()
+            {
+                stmts.push(format!(
+                    "UPDATE vendor SET price = {price:?} \
+                     WHERE vid = '{vid}' AND pid = '{pid}'"
+                ));
             } else {
                 // The product may not exist (P4 initially): create it first
                 // so FK-style joins behave.
-                let pkey = [Value::str(PIDS[*p])];
-                if db.table("product")?.get(&pkey).is_none() {
-                    db.insert(
-                        "product",
-                        vec![vec![
-                            Value::str(PIDS[*p]),
-                            Value::str(NAMES[*p]),
-                            Value::str(MFRS[0]),
-                        ]],
-                    )?;
+                let pkey = [Value::str(pid)];
+                if db
+                    .table("product")
+                    .expect("product table")
+                    .get(&pkey)
+                    .is_none()
+                {
+                    stmts.push(format!(
+                        "INSERT INTO product VALUES ('{pid}', '{}', '{}')",
+                        NAMES[*p], MFRS[0]
+                    ));
                 }
-                db.insert("vendor", vec![vec![key[0].clone(), key[1].clone(), price]])?;
+                stmts.push(format!(
+                    "INSERT INTO vendor VALUES ('{vid}', '{pid}', {price:?})"
+                ));
             }
-            Ok(true)
+            stmts
         }
-        Op::DropVendor(v, p) => {
-            let key = [Value::str(VIDS[*v]), Value::str(PIDS[*p])];
-            db.delete_by_key("vendor", &key)
-        }
+        Op::DropVendor(v, p) => vec![format!(
+            "DELETE FROM vendor WHERE vid = '{}' AND pid = '{}'",
+            VIDS[*v], PIDS[*p]
+        )],
         Op::Rename(p, n) => {
-            let key = [Value::str(PIDS[*p])];
-            if db.table("product")?.get(&key).is_none() {
-                return Ok(false);
+            let pid = PIDS[*p];
+            if db
+                .table("product")
+                .expect("product table")
+                .get(&[Value::str(pid)])
+                .is_none()
+            {
+                return vec![];
             }
-            db.update_by_key("product", &key, &[(1, Value::str(NAMES[*n]))])
+            vec![format!(
+                "UPDATE product SET pname = '{}' WHERE pid = '{pid}'",
+                NAMES[*n]
+            )]
         }
         Op::SetMfr(p, m) => {
-            let key = [Value::str(PIDS[*p])];
-            if db.table("product")?.get(&key).is_none() {
-                return Ok(false);
+            let pid = PIDS[*p];
+            if db
+                .table("product")
+                .expect("product table")
+                .get(&[Value::str(pid)])
+                .is_none()
+            {
+                return vec![];
             }
-            db.update_by_key("product", &key, &[(2, Value::str(MFRS[*m]))])
+            vec![format!(
+                "UPDATE product SET mfr = '{}' WHERE pid = '{pid}'",
+                MFRS[*m]
+            )]
         }
     }
 }
@@ -92,11 +127,12 @@ fn apply(db: &mut Database, op: &Op) -> DbResult<bool> {
 /// `(event, key, old serialization, new serialization)`.
 type Observed = (String, String, String, String);
 
-fn watch_all(mode: Mode) -> (Quark, Log) {
+fn watch_all(mode: Mode) -> (Session, Log) {
     let db = product_vendor_db();
     let pg = catalog_path(&db);
     let mut quark = Quark::new(db, mode);
     quark.register_view(XmlView::new("catalog").with_anchor("product", pg));
+    let mut session = Session::with_frontend(quark, Box::new(XQueryFrontend));
     let log = Log::default();
     for (event, name) in [
         (XmlEvent::Insert, "ins"),
@@ -104,28 +140,23 @@ fn watch_all(mode: Mode) -> (Quark, Log) {
         (XmlEvent::Delete, "del"),
     ] {
         let sink = log.clone();
-        quark.register_action(format!("record_{name}"), move |_db, call| {
-            sink.0
-                .lock()
-                .unwrap()
-                .push((call.trigger.clone(), call.params.clone()));
-            Ok(())
-        });
-        quark
-            .create_trigger(TriggerSpec {
-                name: format!("watch_{name}"),
-                event,
-                view: "catalog".into(),
-                anchor: "product".into(),
-                condition: Condition::True,
-                action: Action {
-                    function: format!("record_{name}"),
-                    params: vec![ActionParam::OldNode, ActionParam::NewNode],
-                },
+        session
+            .register_action(format!("record_{name}"), move |_db, call| {
+                sink.0
+                    .lock()
+                    .unwrap()
+                    .push((call.trigger.clone(), call.params.clone()));
+                Ok(())
             })
+            .expect("action");
+        session
+            .execute(&format!(
+                "create trigger watch_{name} after {event} on view('catalog')/product \
+                 do record_{name}(OLD_NODE, NEW_NODE)"
+            ))
             .expect("trigger");
     }
-    (quark, log)
+    (session, log)
 }
 
 fn observed_set(log: &Log) -> BTreeSet<Observed> {
@@ -166,13 +197,17 @@ proptest! {
         let (mut ungrouped, log_u) = watch_all(Mode::Ungrouped);
         let (mut grouped, log_g) = watch_all(Mode::Grouped);
         let (mut agg, log_a) = watch_all(Mode::GroupedAgg);
-        let pg = catalog_path(&ungrouped.db);
+        let pg = catalog_path(ungrouped.database());
 
         for op in &ops {
+            let stmts = statements_for(ungrouped.database(), op);
             // Oracle: expected changes for this statement, from the current
             // state (identical across systems).
-            let expected: BTreeSet<Observed> = changes_of(&pg, &ungrouped.db, |db| {
-                apply(db, op).map(|_| ())
+            let expected: BTreeSet<Observed> = changes_of(&pg, ungrouped.database(), |db| {
+                for s in &stmts {
+                    sql::run(db, s).map_err(Error::from)?;
+                }
+                Ok(())
             })
             .expect("oracle")
             .into_iter()
@@ -190,9 +225,11 @@ proptest! {
             })
             .collect();
 
-            apply(&mut ungrouped.db, op).expect("apply ungrouped");
-            apply(&mut grouped.db, op).expect("apply grouped");
-            apply(&mut agg.db, op).expect("apply agg");
+            for s in &stmts {
+                ungrouped.execute(s).expect("apply ungrouped");
+                grouped.execute(s).expect("apply grouped");
+                agg.execute(s).expect("apply agg");
+            }
 
             let got_u = observed_set(&log_u);
             let got_g = observed_set(&log_g);

@@ -18,17 +18,20 @@ fn spec(mode: Mode, triggers: usize) -> WorkloadSpec {
 fn grouped_sql_triggers_constant_in_xml_triggers() {
     let a = build(spec(Mode::Grouped, 10)).unwrap();
     let b = build(spec(Mode::Grouped, 500)).unwrap();
-    assert_eq!(a.quark.sql_trigger_count(), b.quark.sql_trigger_count());
-    assert_eq!(b.quark.group_count(), 1);
-    assert_eq!(b.quark.xml_trigger_count(), 500);
+    assert_eq!(a.quark().sql_trigger_count(), b.quark().sql_trigger_count());
+    assert_eq!(b.quark().group_count(), 1);
+    assert_eq!(b.quark().xml_trigger_count(), 500);
 }
 
 #[test]
 fn ungrouped_sql_triggers_scale_linearly() {
     let a = build(spec(Mode::Ungrouped, 10)).unwrap();
     let b = build(spec(Mode::Ungrouped, 50)).unwrap();
-    assert_eq!(a.quark.sql_trigger_count() * 5, b.quark.sql_trigger_count());
-    assert_eq!(b.quark.group_count(), 50);
+    assert_eq!(
+        a.quark().sql_trigger_count() * 5,
+        b.quark().sql_trigger_count()
+    );
+    assert_eq!(b.quark().group_count(), 50);
 }
 
 #[test]
@@ -42,8 +45,8 @@ fn grouped_firing_work_independent_of_trigger_count() {
         large.one_update().unwrap();
     }
     assert_eq!(
-        small.quark.db.stats.triggers_fired,
-        large.quark.db.stats.triggers_fired
+        small.session.database().stats.triggers_fired,
+        large.session.database().stats.triggers_fired
     );
     // Both fire the same satisfied triggers.
     assert_eq!(small.temp_rows(), large.temp_rows());
@@ -56,10 +59,11 @@ fn ungrouped_firing_work_scales_with_trigger_count() {
     small.one_update().unwrap();
     large.one_update().unwrap();
     assert!(
-        large.quark.db.stats.triggers_fired >= 4 * small.quark.db.stats.triggers_fired,
+        large.session.database().stats.triggers_fired
+            >= 4 * small.session.database().stats.triggers_fired,
         "{} vs {}",
-        large.quark.db.stats.triggers_fired,
-        small.quark.db.stats.triggers_fired
+        large.session.database().stats.triggers_fired,
+        small.session.database().stats.triggers_fired
     );
 }
 
@@ -69,9 +73,9 @@ fn trigger_creation_amortizes_in_grouped_mode() {
     // creation time stays within a small multiple of a 10-trigger build
     // (it is dominated by constants-row inserts).
     let w = build(spec(Mode::Grouped, 500)).unwrap();
-    assert_eq!(w.quark.group_count(), 1);
+    assert_eq!(w.quark().group_count(), 1);
     // Structural proxy for amortization: SQL triggers did not multiply.
-    assert!(w.quark.sql_trigger_count() <= 8);
+    assert!(w.quark().sql_trigger_count() <= 8);
 }
 
 #[test]
@@ -91,7 +95,7 @@ fn deeper_hierarchies_add_source_events() {
     .unwrap();
     // More tables -> more (table, event) pairs -> more SQL triggers per
     // group, but still independent of the XML-trigger count.
-    assert!(d4.quark.sql_trigger_count() > d2.quark.sql_trigger_count());
+    assert!(d4.quark().sql_trigger_count() > d2.quark().sql_trigger_count());
 }
 
 #[test]

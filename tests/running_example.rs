@@ -7,31 +7,19 @@
 //! DO notifySmith(NEW_NODE)
 //! ```
 //!
-//! exercised across all three translation modes.
+//! exercised across all three translation modes, entirely through the
+//! `Session::execute` statement surface.
 
 mod common;
 
 use common::{all_modes, catalog_system, node_param, update_price};
-use quark_core::relational::expr::BinOp;
-use quark_core::relational::Value;
-use quark_core::{Action, ActionParam, Condition, Mode, NodePath, NodeRef, TriggerSpec, XmlEvent};
+use quark_core::Mode;
 
-fn notify_trigger(name: &str, product_name: &str) -> TriggerSpec {
-    TriggerSpec {
-        name: name.to_string(),
-        event: XmlEvent::Update,
-        view: "catalog".into(),
-        anchor: "product".into(),
-        condition: Condition::cmp(
-            NodePath::attr(NodeRef::Old, "name"),
-            BinOp::Eq,
-            product_name,
-        ),
-        action: Action {
-            function: "notify".into(),
-            params: vec![ActionParam::NewNode],
-        },
-    }
+fn notify_trigger(name: &str, product_name: &str) -> String {
+    format!(
+        "CREATE TRIGGER {name} AFTER UPDATE ON view('catalog')/product \
+         WHERE OLD_NODE/@name = '{product_name}' DO notify(NEW_NODE)"
+    )
 }
 
 /// §2.2: "the trigger will be fired not only for direct updates to a
@@ -40,12 +28,12 @@ fn notify_trigger(name: &str, product_name: &str) -> TriggerSpec {
 #[test]
 fn price_update_fires_notify_with_new_node() {
     for mode in all_modes() {
-        let (mut quark, log) = catalog_system(mode);
-        quark
-            .create_trigger(notify_trigger("Notify", "CRT 15"))
+        let (mut session, log) = catalog_system(mode);
+        session
+            .execute(&notify_trigger("Notify", "CRT 15"))
             .unwrap();
 
-        update_price(&mut quark.db, "Amazon", "P1", 75.0).unwrap();
+        update_price(&mut session, "Amazon", "P1", 75.0).unwrap();
 
         let firings = log.take();
         assert_eq!(
@@ -73,11 +61,11 @@ fn price_update_fires_notify_with_new_node() {
 #[test]
 fn non_matching_product_does_not_fire() {
     for mode in all_modes() {
-        let (mut quark, log) = catalog_system(mode);
-        quark
-            .create_trigger(notify_trigger("Notify", "CRT 15"))
+        let (mut session, log) = catalog_system(mode);
+        session
+            .execute(&notify_trigger("Notify", "CRT 15"))
             .unwrap();
-        update_price(&mut quark.db, "Buy.com", "P2", 190.0).unwrap();
+        update_price(&mut session, "Buy.com", "P2", 190.0).unwrap();
         assert_eq!(log.len(), 0, "{mode:?}");
     }
 }
@@ -89,20 +77,12 @@ fn non_matching_product_does_not_fire() {
 #[test]
 fn vendor_insert_is_an_update_of_the_product_node() {
     for mode in all_modes() {
-        let (mut quark, log) = catalog_system(mode);
-        quark
-            .create_trigger(notify_trigger("NotifyLcd", "LCD 19"))
+        let (mut session, log) = catalog_system(mode);
+        session
+            .execute(&notify_trigger("NotifyLcd", "LCD 19"))
             .unwrap();
-        quark
-            .db
-            .insert(
-                "vendor",
-                vec![vec![
-                    Value::str("Amazon"),
-                    Value::str("P2"),
-                    Value::Double(500.0),
-                ]],
-            )
+        session
+            .execute("INSERT INTO vendor VALUES ('Amazon', 'P2', 500.0)")
             .unwrap();
         let firings = log.take();
         assert_eq!(firings.len(), 1, "{mode:?}");
@@ -116,13 +96,12 @@ fn vendor_insert_is_an_update_of_the_product_node() {
 #[test]
 fn mfr_only_update_does_not_fire() {
     for mode in all_modes() {
-        let (mut quark, log) = catalog_system(mode);
-        quark
-            .create_trigger(notify_trigger("Notify", "CRT 15"))
+        let (mut session, log) = catalog_system(mode);
+        session
+            .execute(&notify_trigger("Notify", "CRT 15"))
             .unwrap();
-        quark
-            .db
-            .update_by_key("product", &[Value::str("P1")], &[(2, Value::str("LG"))])
+        session
+            .execute("UPDATE product SET mfr = 'LG' WHERE pid = 'P1'")
             .unwrap();
         assert_eq!(log.len(), 0, "{mode:?}");
     }
@@ -133,11 +112,11 @@ fn mfr_only_update_does_not_fire() {
 #[test]
 fn noop_update_does_not_fire() {
     for mode in all_modes() {
-        let (mut quark, log) = catalog_system(mode);
-        quark
-            .create_trigger(notify_trigger("Notify", "CRT 15"))
+        let (mut session, log) = catalog_system(mode);
+        session
+            .execute(&notify_trigger("Notify", "CRT 15"))
             .unwrap();
-        update_price(&mut quark.db, "Amazon", "P1", 100.0).unwrap(); // same price
+        update_price(&mut session, "Amazon", "P1", 100.0).unwrap(); // same price
         assert_eq!(log.len(), 0, "{mode:?}");
     }
 }
@@ -146,56 +125,25 @@ fn noop_update_does_not_fire() {
 #[test]
 fn insert_trigger_fires_for_new_qualifying_product() {
     for mode in all_modes() {
-        let (mut quark, log) = catalog_system(mode);
-        quark
-            .create_trigger(TriggerSpec {
-                name: "NewProduct".into(),
-                event: XmlEvent::Insert,
-                view: "catalog".into(),
-                anchor: "product".into(),
-                condition: Condition::True,
-                action: Action {
-                    function: "notify".into(),
-                    params: vec![ActionParam::NewNode],
-                },
-            })
+        let (mut session, log) = catalog_system(mode);
+        session
+            .execute(
+                "CREATE TRIGGER NewProduct AFTER INSERT ON view('catalog')/product \
+                 DO notify(NEW_NODE)",
+            )
             .unwrap();
 
-        quark
-            .db
-            .insert(
-                "product",
-                vec![vec![
-                    Value::str("P4"),
-                    Value::str("OLED 42"),
-                    Value::str("LG"),
-                ]],
-            )
+        session
+            .execute("INSERT INTO product VALUES ('P4', 'OLED 42', 'LG')")
             .unwrap();
         // One vendor: still below the count(*) >= 2 threshold.
-        quark
-            .db
-            .insert(
-                "vendor",
-                vec![vec![
-                    Value::str("Amazon"),
-                    Value::str("P4"),
-                    Value::Double(900.0),
-                ]],
-            )
+        session
+            .execute("INSERT INTO vendor VALUES ('Amazon', 'P4', 900.0)")
             .unwrap();
         assert_eq!(log.len(), 0, "{mode:?}: one vendor is not enough");
         // Second vendor pushes it over the threshold: the node appears.
-        quark
-            .db
-            .insert(
-                "vendor",
-                vec![vec![
-                    Value::str("Bestbuy"),
-                    Value::str("P4"),
-                    Value::Double(950.0),
-                ]],
-            )
+        session
+            .execute("INSERT INTO vendor VALUES ('Bestbuy', 'P4', 950.0)")
             .unwrap();
         let firings = log.take();
         assert_eq!(firings.len(), 1, "{mode:?}");
@@ -210,28 +158,16 @@ fn insert_trigger_fires_for_new_qualifying_product() {
 #[test]
 fn delete_trigger_fires_when_product_leaves_view() {
     for mode in all_modes() {
-        let (mut quark, log) = catalog_system(mode);
-        quark
-            .create_trigger(TriggerSpec {
-                name: "Gone".into(),
-                event: XmlEvent::Delete,
-                view: "catalog".into(),
-                anchor: "product".into(),
-                condition: Condition::cmp(
-                    NodePath::attr(NodeRef::Old, "name"),
-                    BinOp::Eq,
-                    "LCD 19",
-                ),
-                action: Action {
-                    function: "notify".into(),
-                    params: vec![ActionParam::OldNode],
-                },
-            })
+        let (mut session, log) = catalog_system(mode);
+        session
+            .execute(
+                "CREATE TRIGGER Gone AFTER DELETE ON view('catalog')/product \
+                 WHERE OLD_NODE/@name = 'LCD 19' DO notify(OLD_NODE)",
+            )
             .unwrap();
 
-        quark
-            .db
-            .delete_by_key("vendor", &[Value::str("Buy.com"), Value::str("P2")])
+        session
+            .execute("DELETE FROM vendor WHERE vid = 'Buy.com' AND pid = 'P2'")
             .unwrap();
         let firings = log.take();
         assert_eq!(firings.len(), 1, "{mode:?}");
@@ -246,26 +182,16 @@ fn delete_trigger_fires_when_product_leaves_view() {
 #[test]
 fn partial_vendor_delete_is_an_update_not_a_delete() {
     for mode in all_modes() {
-        let (mut quark, log) = catalog_system(mode);
-        quark
-            .create_trigger(notify_trigger("Upd", "CRT 15"))
+        let (mut session, log) = catalog_system(mode);
+        session.execute(&notify_trigger("Upd", "CRT 15")).unwrap();
+        session
+            .execute(
+                "CREATE TRIGGER Gone AFTER DELETE ON view('catalog')/product \
+                 DO notify(OLD_NODE)",
+            )
             .unwrap();
-        quark
-            .create_trigger(TriggerSpec {
-                name: "Gone".into(),
-                event: XmlEvent::Delete,
-                view: "catalog".into(),
-                anchor: "product".into(),
-                condition: Condition::True,
-                action: Action {
-                    function: "notify".into(),
-                    params: vec![ActionParam::OldNode],
-                },
-            })
-            .unwrap();
-        quark
-            .db
-            .delete_by_key("vendor", &[Value::str("Amazon"), Value::str("P1")])
+        session
+            .execute("DELETE FROM vendor WHERE vid = 'Amazon' AND pid = 'P1'")
             .unwrap();
         let firings = log.take();
         assert_eq!(firings.len(), 1, "{mode:?}: {firings:?}");
@@ -283,38 +209,32 @@ fn grouping_shares_sql_triggers() {
     let (mut ungrouped, _) = catalog_system(Mode::Ungrouped);
     for (i, name) in ["CRT 15", "LCD 19", "Plasma 50"].iter().enumerate() {
         grouped
-            .create_trigger(notify_trigger(&format!("g{i}"), name))
+            .execute(&notify_trigger(&format!("g{i}"), name))
             .unwrap();
         ungrouped
-            .create_trigger(notify_trigger(&format!("u{i}"), name))
+            .execute(&notify_trigger(&format!("u{i}"), name))
             .unwrap();
     }
-    assert_eq!(grouped.group_count(), 1);
-    assert_eq!(ungrouped.group_count(), 3);
+    assert_eq!(grouped.quark().group_count(), 1);
+    assert_eq!(ungrouped.quark().group_count(), 3);
     assert_eq!(
-        grouped.sql_trigger_count() * 3,
-        ungrouped.sql_trigger_count()
+        grouped.quark().sql_trigger_count() * 3,
+        ungrouped.quark().sql_trigger_count()
     );
     // All three XML triggers are registered in both systems.
-    assert_eq!(grouped.xml_trigger_count(), 3);
-    assert_eq!(ungrouped.xml_trigger_count(), 3);
+    assert_eq!(grouped.quark().xml_trigger_count(), 3);
+    assert_eq!(ungrouped.quark().xml_trigger_count(), 3);
 }
 
 /// Two triggers with the same constant share a constants-table row; both
 /// fire on a matching update.
 #[test]
 fn same_constant_triggers_share_set_and_both_fire() {
-    let (mut quark, log) = catalog_system(Mode::Grouped);
-    quark
-        .create_trigger(notify_trigger("T1", "CRT 15"))
-        .unwrap();
-    quark
-        .create_trigger(notify_trigger("T2", "CRT 15"))
-        .unwrap();
-    quark
-        .create_trigger(notify_trigger("T3", "LCD 19"))
-        .unwrap();
-    update_price(&mut quark.db, "Amazon", "P1", 75.0).unwrap();
+    let (mut session, log) = catalog_system(Mode::Grouped);
+    session.execute(&notify_trigger("T1", "CRT 15")).unwrap();
+    session.execute(&notify_trigger("T2", "CRT 15")).unwrap();
+    session.execute(&notify_trigger("T3", "LCD 19")).unwrap();
+    update_price(&mut session, "Amazon", "P1", 75.0).unwrap();
     let mut fired: Vec<String> = log.take().into_iter().map(|f| f.0).collect();
     fired.sort();
     assert_eq!(fired, vec!["T1".to_string(), "T2".to_string()]);
@@ -323,14 +243,12 @@ fn same_constant_triggers_share_set_and_both_fire() {
 /// Dropping the last trigger of a group removes its SQL triggers.
 #[test]
 fn drop_trigger_cleans_up_group() {
-    let (mut quark, log) = catalog_system(Mode::Grouped);
-    quark
-        .create_trigger(notify_trigger("T1", "CRT 15"))
-        .unwrap();
-    let sql_count = quark.sql_trigger_count();
+    let (mut session, log) = catalog_system(Mode::Grouped);
+    session.execute(&notify_trigger("T1", "CRT 15")).unwrap();
+    let sql_count = session.quark().sql_trigger_count();
     assert!(sql_count > 0);
-    quark.drop_trigger("T1").unwrap();
-    assert_eq!(quark.sql_trigger_count(), 0);
-    update_price(&mut quark.db, "Amazon", "P1", 75.0).unwrap();
+    session.execute("DROP TRIGGER T1").unwrap();
+    assert_eq!(session.quark().sql_trigger_count(), 0);
+    update_price(&mut session, "Amazon", "P1", 75.0).unwrap();
     assert_eq!(log.len(), 0);
 }

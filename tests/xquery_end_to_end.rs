@@ -1,58 +1,25 @@
-//! Full-syntax pipeline: XQuery view definitions and `CREATE TRIGGER`
-//! statements parsed from text, translated, and fired.
+//! Full-syntax pipeline: schema DDL, XQuery view definitions, `CREATE
+//! TRIGGER` statements and data changes — every statement through one
+//! `Session::execute` front door.
 
 use std::sync::{Arc, Mutex};
 
-use quark_core::relational::{ColumnDef, ColumnType, Database, TableSchema, Value};
-use quark_core::{Mode, Quark};
+use quark_core::relational::Database;
+use quark_core::{Mode, Session};
 
-fn orders_db() -> Database {
-    let mut db = Database::new();
-    db.create_table(
-        TableSchema::new(
-            "customer",
-            vec![
-                ColumnDef::new("cid", ColumnType::Int),
-                ColumnDef::new("name", ColumnType::Str),
-            ],
-            &["cid"],
-        )
-        .unwrap(),
-    )
-    .unwrap();
-    db.create_table(
-        TableSchema::new(
-            "orders",
-            vec![
-                ColumnDef::new("oid", ColumnType::Int),
-                ColumnDef::new("cid", ColumnType::Int),
-                ColumnDef::new("total", ColumnType::Double),
-            ],
-            &["oid"],
-        )
-        .unwrap(),
-    )
-    .unwrap();
-    db.create_index("orders", "cid").unwrap();
-    db.load(
-        "customer",
-        vec![
-            vec![Value::Int(1), Value::str("ada")],
-            vec![Value::Int(2), Value::str("bob")],
-        ],
-    )
-    .unwrap();
-    db.load(
-        "orders",
-        vec![
-            vec![Value::Int(10), Value::Int(1), Value::Double(120.0)],
-            vec![Value::Int(11), Value::Int(1), Value::Double(80.0)],
-            vec![Value::Int(12), Value::Int(2), Value::Double(300.0)],
-            vec![Value::Int(13), Value::Int(2), Value::Double(20.0)],
-        ],
-    )
-    .unwrap();
-    db
+fn orders_session(mode: Mode) -> Session {
+    let mut session = quark_xquery::session(Database::new(), mode);
+    for stmt in [
+        "CREATE TABLE customer (cid INT PRIMARY KEY, name TEXT)",
+        "CREATE TABLE orders (oid INT PRIMARY KEY, cid INT, total DOUBLE)",
+        "CREATE INDEX ON orders (cid)",
+        "INSERT INTO customer VALUES (1, 'ada'), (2, 'bob')",
+        "INSERT INTO orders VALUES (10, 1, 120.0), (11, 1, 80.0), \
+                                   (12, 2, 300.0), (13, 2, 20.0)",
+    ] {
+        session.execute(stmt).unwrap();
+    }
+    session
 }
 
 const VIEW: &str = r#"
@@ -69,41 +36,41 @@ const VIEW: &str = r#"
 
 type FiringLog = Arc<Mutex<Vec<(String, String)>>>;
 
-fn system(mode: Mode) -> (Quark, FiringLog) {
-    let mut quark = Quark::new(orders_db(), mode);
-    quark_xquery::register_view(&mut quark, VIEW).unwrap();
+fn system(mode: Mode) -> (Session, FiringLog) {
+    let mut session = orders_session(mode);
+    session.execute(VIEW).unwrap();
     let log = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&log);
-    quark.register_action("alert", move |_db, call| {
-        sink.lock()
-            .unwrap()
-            .push((call.trigger.clone(), call.params[0].to_string()));
-        Ok(())
-    });
-    (quark, log)
+    session
+        .register_action("alert", move |_db, call| {
+            sink.lock()
+                .unwrap()
+                .push((call.trigger.clone(), call.params[0].to_string()));
+            Ok(())
+        })
+        .unwrap();
+    (session, log)
 }
 
 #[test]
 fn parsed_trigger_with_attr_condition_fires() {
     for mode in [Mode::Ungrouped, Mode::Grouped, Mode::GroupedAgg] {
-        let (mut quark, log) = system(mode);
-        quark_xquery::create_trigger(
-            &mut quark,
-            r#"CREATE TRIGGER AdaWatch AFTER UPDATE
-               ON view('accounts')/customer
-               WHERE OLD_NODE/@name = 'ada'
-               DO alert(NEW_NODE)"#,
-        )
-        .unwrap();
+        let (mut session, log) = system(mode);
+        session
+            .execute(
+                r#"CREATE TRIGGER AdaWatch AFTER UPDATE
+                   ON view('accounts')/customer
+                   WHERE OLD_NODE/@name = 'ada'
+                   DO alert(NEW_NODE)"#,
+            )
+            .unwrap();
         // Ada's order total changes: fires.
-        quark
-            .db
-            .update_by_key("orders", &[Value::Int(10)], &[(2, Value::Double(99.0))])
+        session
+            .execute("UPDATE orders SET total = 99.0 WHERE oid = 10")
             .unwrap();
         // Bob's order changes: no fire.
-        quark
-            .db
-            .update_by_key("orders", &[Value::Int(12)], &[(2, Value::Double(1.0))])
+        session
+            .execute("UPDATE orders SET total = 1.0 WHERE oid = 12")
             .unwrap();
         let entries = std::mem::take(&mut *log.lock().unwrap());
         assert_eq!(entries.len(), 1, "{mode:?}: {entries:?}");
@@ -115,23 +82,21 @@ fn parsed_trigger_with_attr_condition_fires() {
 #[test]
 fn parsed_quantified_condition() {
     for mode in [Mode::Grouped, Mode::GroupedAgg] {
-        let (mut quark, log) = system(mode);
+        let (mut session, log) = system(mode);
         // Fire when some NEW order exceeds 500.
-        quark_xquery::create_trigger(
-            &mut quark,
-            r#"create trigger Big after update on view('accounts')/customer
-               where some $o in NEW_NODE/order satisfies ./total > 500
-               do alert(NEW_NODE)"#,
-        )
-        .unwrap();
-        quark
-            .db
-            .update_by_key("orders", &[Value::Int(10)], &[(2, Value::Double(200.0))])
+        session
+            .execute(
+                r#"create trigger Big after update on view('accounts')/customer
+                   where some $o in NEW_NODE/order satisfies ./total > 500
+                   do alert(NEW_NODE)"#,
+            )
+            .unwrap();
+        session
+            .execute("UPDATE orders SET total = 200.0 WHERE oid = 10")
             .unwrap();
         assert!(log.lock().unwrap().is_empty(), "{mode:?}");
-        quark
-            .db
-            .update_by_key("orders", &[Value::Int(10)], &[(2, Value::Double(900.0))])
+        session
+            .execute("UPDATE orders SET total = 900.0 WHERE oid = 10")
             .unwrap();
         assert_eq!(log.lock().unwrap().len(), 1, "{mode:?}");
     }
@@ -139,35 +104,31 @@ fn parsed_quantified_condition() {
 
 #[test]
 fn parsed_insert_and_delete_triggers() {
-    let (mut quark, log) = system(Mode::GroupedAgg);
-    quark_xquery::create_trigger(
-        &mut quark,
-        "create trigger NewCust after insert on view('accounts')/customer do alert(NEW_NODE)",
-    )
-    .unwrap();
-    quark_xquery::create_trigger(
-        &mut quark,
-        "create trigger GoneCust after delete on view('accounts')/customer do alert(OLD_NODE)",
-    )
-    .unwrap();
-
-    // A new customer with two orders enters the view.
-    quark
-        .db
-        .insert("customer", vec![vec![Value::Int(3), Value::str("eve")]])
-        .unwrap();
-    quark
-        .db
-        .insert(
-            "orders",
-            vec![
-                vec![Value::Int(20), Value::Int(3), Value::Double(5.0)],
-                vec![Value::Int(21), Value::Int(3), Value::Double(6.0)],
-            ],
+    let (mut session, log) = system(Mode::GroupedAgg);
+    session
+        .execute(
+            "create trigger NewCust after insert on view('accounts')/customer \
+             do alert(NEW_NODE)",
         )
         .unwrap();
+    session
+        .execute(
+            "create trigger GoneCust after delete on view('accounts')/customer \
+             do alert(OLD_NODE)",
+        )
+        .unwrap();
+
+    // A new customer with two orders enters the view.
+    session
+        .execute("INSERT INTO customer VALUES (3, 'eve')")
+        .unwrap();
+    session
+        .execute("INSERT INTO orders VALUES (20, 3, 5.0), (21, 3, 6.0)")
+        .unwrap();
     // Bob drops to one order and leaves the view.
-    quark.db.delete_by_key("orders", &[Value::Int(13)]).unwrap();
+    session
+        .execute("DELETE FROM orders WHERE oid = 13")
+        .unwrap();
 
     let entries = std::mem::take(&mut *log.lock().unwrap());
     let names: Vec<&str> = entries.iter().map(|(t, _)| t.as_str()).collect();
@@ -178,21 +139,17 @@ fn parsed_insert_and_delete_triggers() {
 
 #[test]
 fn count_condition_from_text() {
-    let (mut quark, log) = system(Mode::Grouped);
-    quark_xquery::create_trigger(
-        &mut quark,
-        r#"create trigger Busy after update on view('accounts')/customer
-           where count(NEW_NODE/order) >= 3 do alert(NEW_NODE)"#,
-    )
-    .unwrap();
+    let (mut session, log) = system(Mode::Grouped);
+    session
+        .execute(
+            r#"create trigger Busy after update on view('accounts')/customer
+               where count(NEW_NODE/order) >= 3 do alert(NEW_NODE)"#,
+        )
+        .unwrap();
     // Going from 2 to 3 orders is an UPDATE of the customer node with the
     // count condition now satisfied.
-    quark
-        .db
-        .insert(
-            "orders",
-            vec![vec![Value::Int(30), Value::Int(1), Value::Double(1.0)]],
-        )
+    session
+        .execute("INSERT INTO orders VALUES (30, 1, 1.0)")
         .unwrap();
     assert_eq!(log.lock().unwrap().len(), 1);
 }
