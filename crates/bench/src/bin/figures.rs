@@ -3,7 +3,7 @@
 //! repository's extra ablations.
 //!
 //! ```text
-//! cargo run --release -p quark-bench --bin figures -- [fig17|fig18|fig22|fig23|fig24|compile|ablations|all] [--quick] [--full-ungrouped]
+//! cargo run --release -p quark-bench --bin figures -- [fig17|fig18|fig22|fig23|fig24|compile|ablations|all] [--quick] [--full-ungrouped] [--check BASELINE --tolerance F]
 //! ```
 //!
 //! `--quick` scales the workload down (CI-friendly); `--full-ungrouped`
@@ -14,6 +14,13 @@
 //! machine-readable JSON to `BENCH_figures.json` in the working directory
 //! (override with `--out PATH`), so perf trajectories can be tracked
 //! across commits.
+//!
+//! `--check BASELINE` turns the run into a regression gate: after
+//! measuring, every series is compared against the committed baseline JSON
+//! by the geometric mean of its per-point fresh/baseline ratios, and the
+//! process exits non-zero when any series regressed by more than
+//! `--tolerance` (default 0.5, i.e. 50 %). The CI `bench-regression` job
+//! runs `figures --quick --check BENCH_figures.json`.
 
 use std::time::Duration;
 
@@ -26,6 +33,8 @@ struct Args {
     full_ungrouped: bool,
     updates: usize,
     out: String,
+    check: Option<String>,
+    tolerance: f64,
 }
 
 /// One measurement: `figure` / `series` identify the curve, `x` the point
@@ -99,11 +108,14 @@ impl Report {
 const USAGE: &str = "\
 Regenerates the paper's measurement figures.
 
-Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|ablations|all] [--quick] [--full-ungrouped] [--out PATH]
+Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|ablations|all] [--quick] [--full-ungrouped] [--out PATH] [--check BASELINE] [--tolerance F]
 
   --quick           scale workloads down to CI-friendly sizes
   --full-ungrouped  extend Fig. 17's UNGROUPED sweep beyond 1000 triggers (slow)
-  --out PATH        where to write the JSON measurements (default BENCH_figures.json)";
+  --out PATH        where to write the JSON measurements (default BENCH_figures.json)
+  --check BASELINE  compare against a baseline JSON (same format); exit 1 when
+                    any series regresses beyond the tolerance
+  --tolerance F     allowed fractional slowdown per series (default 0.5 = 50%)";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -115,16 +127,43 @@ fn main() {
     let mut out = "BENCH_figures.json".to_string();
     let mut quick = false;
     let mut full_ungrouped = false;
+    let mut check: Option<String> = None;
+    let mut tolerance = 0.5f64;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--quick" => quick = true,
             "--full-ungrouped" => full_ungrouped = true,
             "--out" => {
-                if let Some(path) = argv.get(i + 1) {
-                    out = path.clone();
-                    i += 1; // consume the value
+                let Some(path) = argv.get(i + 1) else {
+                    eprintln!("error: --out expects a path\n\n{USAGE}");
+                    std::process::exit(2);
+                };
+                out = path.clone();
+                i += 1; // consume the value
+            }
+            "--check" => {
+                // A missing value must not silently skip the gate.
+                let Some(path) = argv.get(i + 1) else {
+                    eprintln!("error: --check expects a baseline path\n\n{USAGE}");
+                    std::process::exit(2);
+                };
+                check = Some(path.clone());
+                i += 1;
+            }
+            "--tolerance" => {
+                let Some(v) = argv.get(i + 1) else {
+                    eprintln!("error: --tolerance expects a non-negative number\n\n{USAGE}");
+                    std::process::exit(2);
+                };
+                match v.parse::<f64>() {
+                    Ok(f) if f >= 0.0 => tolerance = f,
+                    _ => {
+                        eprintln!("error: --tolerance expects a non-negative number, got {v:?}");
+                        std::process::exit(2);
+                    }
                 }
+                i += 1;
             }
             flag if flag.starts_with("--") => {
                 eprintln!("error: unknown flag {flag:?}\n\n{USAGE}");
@@ -144,6 +183,8 @@ fn main() {
         full_ungrouped,
         updates: if quick { 20 } else { 100 },
         out,
+        check,
+        tolerance,
     };
 
     type Figure<'a> = (&'a str, &'a dyn Fn(&Args, &mut Report));
@@ -175,6 +216,134 @@ fn main() {
         ),
         Err(e) => eprintln!("\nerror: could not write {}: {e}", args.out),
     }
+
+    if let Some(baseline_path) = &args.check {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: could not read baseline {baseline_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if !check_against_baseline(&report, &baseline, args.tolerance) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parse a baseline produced by this binary: one entry object per line,
+/// `{"figure": "…", "series": "…", "<x label>": X, "ms": M}`.
+fn parse_baseline(text: &str) -> Vec<(String, String, f64, f64)> {
+    fn field_str(line: &str, key: &str) -> Option<String> {
+        let tag = format!("\"{key}\": \"");
+        let start = line.find(&tag)? + tag.len();
+        let end = line[start..].find('"')? + start;
+        Some(line[start..end].to_string())
+    }
+    fn num_after(line: &str, from: usize) -> Option<f64> {
+        let rest = &line[from..];
+        let s: String = rest
+            .chars()
+            .skip_while(|c| !c.is_ascii_digit() && *c != '-')
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        s.parse().ok()
+    }
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let (Some(figure), Some(series)) = (field_str(line, "figure"), field_str(line, "series"))
+        else {
+            continue;
+        };
+        // The x field name varies per figure; it is the field right after
+        // "series" and before "ms".
+        let Some(series_end) = line.find("\"series\"") else {
+            continue;
+        };
+        let after_series = series_end + line[series_end..].find(',').unwrap_or(0);
+        let Some(ms_pos) = line.find("\"ms\"") else {
+            continue;
+        };
+        let Some(x) = num_after(line, after_series) else {
+            continue;
+        };
+        let Some(ms) = num_after(line, ms_pos + 4) else {
+            continue;
+        };
+        out.push((figure, series, x, ms));
+    }
+    out
+}
+
+/// Compare the fresh measurements against a committed baseline. A series
+/// regresses when the geometric mean of its per-point `fresh/baseline`
+/// ratios exceeds `1 + tolerance`; per-point jitter on sub-millisecond
+/// series averages out across the series. Points only present on one side
+/// (new depths, retired sweeps) are reported but never fail the check.
+fn check_against_baseline(report: &Report, baseline: &str, tolerance: f64) -> bool {
+    use std::collections::BTreeMap;
+    let base = parse_baseline(baseline);
+    if base.is_empty() {
+        eprintln!("error: baseline contains no entries (wrong file?)");
+        return false;
+    }
+    let mut base_map: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    for (figure, series, x, ms) in base {
+        base_map.entry((figure, series)).or_default().push((x, ms));
+    }
+
+    println!(
+        "\n== Regression check (tolerance {:.0}%) ==",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<14} {:<36} {:>8} {:>12}",
+        "figure", "series", "points", "geo-mean ×"
+    );
+    let mut ok = true;
+    let mut fresh_map: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    for e in &report.entries {
+        fresh_map
+            .entry((e.figure.to_string(), e.series.clone()))
+            .or_default()
+            .push((e.x, e.ms));
+    }
+    for ((figure, series), fresh_points) in &fresh_map {
+        let Some(base_points) = base_map.get(&(figure.clone(), series.clone())) else {
+            println!("{figure:<14} {series:<36} {:>8} {:>12}", "new", "-");
+            continue;
+        };
+        let mut log_sum = 0.0f64;
+        let mut n = 0usize;
+        for (x, ms) in fresh_points {
+            let Some((_, base_ms)) = base_points.iter().find(|(bx, _)| (bx - x).abs() < 1e-9)
+            else {
+                continue;
+            };
+            if *base_ms > 0.0 && *ms > 0.0 {
+                log_sum += (ms / base_ms).ln();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            println!("{figure:<14} {series:<36} {:>8} {:>12}", "0", "-");
+            continue;
+        }
+        let gm = (log_sum / n as f64).exp();
+        let verdict = if gm > 1.0 + tolerance {
+            ok = false;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!("{figure:<14} {series:<36} {n:>8} {gm:>12.3}{verdict}");
+    }
+    if ok {
+        println!("regression check passed");
+    } else {
+        eprintln!("regression check FAILED: at least one series slowed beyond tolerance");
+    }
+    ok
 }
 
 fn base_spec(args: &Args, mode: Mode) -> WorkloadSpec {
@@ -213,6 +382,11 @@ fn banner(title: &str, spec: &WorkloadSpec, args: &Args) {
 
 /// §6: "the compile time for an XML trigger … is fairly small (a hundred
 /// milliseconds, even for a complex view)".
+///
+/// Hash-consed subplan sharing keeps first-trigger compilation polynomial
+/// in view depth (it used to blow up exponentially past depth 4), so the
+/// sweep extends beyond the paper's depth 5: `--quick` caps at depth 7 to
+/// bound CI time, the full run goes to depth 9.
 fn compile_time(args: &Args, report: &mut Report) {
     let spec = base_spec(args, Mode::GroupedAgg);
     banner("Trigger compile time (§6)", &spec, args);
@@ -223,7 +397,12 @@ fn compile_time(args: &Args, report: &mut Report) {
         "first trigger (ms)",
         format!("{} more, total (ms)", triggers - 1)
     );
-    for depth in [2usize, 3, 4, 5] {
+    let depths: &[usize] = if args.quick {
+        &[2, 3, 4, 5, 6, 7]
+    } else {
+        &[2, 3, 4, 5, 6, 7, 8, 9]
+    };
+    for &depth in depths {
         let mut s = spec;
         s.depth = depth;
         s.triggers = triggers;

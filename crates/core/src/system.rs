@@ -14,6 +14,21 @@
 //! constants into the group's *constants table* — which is why trigger
 //! creation cost amortizes and why firing cost is independent of the
 //! number of XML triggers (Fig. 17).
+//!
+//! Two further compile-path caches live here:
+//!
+//! * within one group's translation, the affected-node plan is built once
+//!   per source *table* and shared by that table's INSERT/UPDATE/DELETE
+//!   source events ([`build_affected`] depends only on the table, the XML
+//!   event, the needs and the options — not on the relational event);
+//! * across groups and views, a **compile cache** keyed on the canonical
+//!   structure of the monitored path graph (plus event, needs, options and
+//!   the database's schema generation) reuses the per-table plans, so a
+//!   `CREATE TRIGGER` forming a new group over an already-translated view
+//!   shape — or over a structurally equal view under another name — skips
+//!   delta-graph construction entirely. Entries are reference-counted by
+//!   the groups using them and evicted when the last such group is
+//!   dropped.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -25,10 +40,10 @@ use quark_relational::{
     Value,
 };
 
-use crate::angraph::{build_affected, AnOptions, Needs, SideNeeds};
+use crate::angraph::{build_affected, AffectedNodePlan, AnOptions, Needs, SideNeeds};
 use crate::condition::{CondLayout, Condition, NodeRef};
 use crate::events::{source_events, SourceEvent};
-use crate::spec::{Action, ActionParam, PathGraph, TriggerSpec, XmlView};
+use crate::spec::{Action, ActionParam, PathGraph, TriggerSpec, XmlEvent, XmlView};
 
 /// Translation strategy (the three systems compared in §6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +89,20 @@ struct Group {
     next_set: i64,
     sql_triggers: Vec<SqlTriggerMeta>,
     trigger_count: usize,
+    /// Compile-cache entry this group holds a reference on.
+    cache_key: Option<String>,
+}
+
+/// One compile-cache entry: the affected-node plan per source table for one
+/// (view structure, event, needs, options, schema generation) signature.
+struct CacheEntry {
+    /// `None` = the table cannot affect the monitored path.
+    plans: HashMap<String, Option<AffectedNodePlan>>,
+    /// Live groups holding a reference; the entry is evicted at zero.
+    /// (Schema changes need no sweep: the key embeds the external schema
+    /// generation, so entries built against an older schema simply stop
+    /// matching and die with their groups.)
+    refs: usize,
 }
 
 struct TriggerRecord {
@@ -105,6 +134,15 @@ pub struct Quark {
     mode: Mode,
     options: AnOptions,
     group_counter: usize,
+    /// Per-system compile cache (see the module docs).
+    compile_cache: HashMap<String, CacheEntry>,
+    compile_cache_enabled: bool,
+    compile_cache_hits: u64,
+    /// Schema-generation bumps caused by this system's own bookkeeping DDL
+    /// (constants tables and their indexes). Subtracting them from the
+    /// database's counter yields the *external* generation, which is stable
+    /// across group creation and therefore usable as a cache-key component.
+    internal_ddl: u64,
 }
 
 impl Quark {
@@ -123,6 +161,10 @@ impl Quark {
             mode,
             options,
             group_counter: 0,
+            compile_cache: HashMap::new(),
+            compile_cache_enabled: true,
+            compile_cache_hits: 0,
+            internal_ddl: 0,
         }
     }
 
@@ -202,6 +244,61 @@ impl Quark {
     /// Number of trigger groups.
     pub fn group_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Number of live compile-cache entries (each referenced by ≥ 1 group).
+    pub fn compile_cache_len(&self) -> usize {
+        self.compile_cache.len()
+    }
+
+    /// How many new-group translations were served from the compile cache.
+    pub fn compile_cache_hits(&self) -> u64 {
+        self.compile_cache_hits
+    }
+
+    /// Enable or disable the compile cache (on by default). Differential
+    /// tests compare a caching system against an uncached one; disabling
+    /// also clears existing entries so no stale plan can be served, and
+    /// releases every group's cache reference — otherwise a group dropped
+    /// after re-enabling would decrement a *recreated* entry it never
+    /// referenced and evict it from under its live users.
+    pub fn set_compile_cache_enabled(&mut self, enabled: bool) {
+        self.compile_cache_enabled = enabled;
+        if !enabled {
+            self.compile_cache.clear();
+            for group in self.groups.values_mut() {
+                group.cache_key = None;
+            }
+        }
+    }
+
+    /// Canonical signature of one translation input: an id-independent
+    /// serialization of the monitored path graph plus everything else
+    /// `build_affected` depends on. Structurally equal views under
+    /// different names produce equal signatures — and share compiled plans.
+    fn cache_signature(&self, template: &PathGraph, event: XmlEvent, needs: Needs) -> String {
+        use std::fmt::Write;
+        let mut sig = String::new();
+        let mut seq: HashMap<usize, usize> = HashMap::new();
+        canonical_graph(&template.kg, template.root, &mut seq, &mut sig);
+        let mut attrs: Vec<(&String, &usize)> = template.attr_cols.iter().collect();
+        attrs.sort();
+        let o = self.options;
+        let gen = self.db.schema_generation() - self.internal_ddl;
+        let _ = write!(
+            sig,
+            "|node={} attrs={attrs:?} key={:?} event={event:?} needs=({},{}) \
+             opts=({},{},{},{}) gen={gen}",
+            template.node_col,
+            template.key(),
+            needs.old.node,
+            needs.new.node,
+            o.pruned_transitions,
+            o.injective_opt,
+            o.use_skeletons,
+            o.agg_compensation,
+        );
+        sig
     }
 
     /// Create an XML trigger: the paper's `CREATE TRIGGER … AFTER Event ON
@@ -323,7 +420,9 @@ impl Quark {
             },
         };
 
-        // Constants table for the group.
+        // Constants table for the group. Its DDL is internal bookkeeping:
+        // count the schema-generation bumps so the compile cache can key on
+        // the *external* generation, which stays put across group creation.
         let constants_table = if grouped && !consts.is_empty() {
             let name = format!("__quark_const_{group_id}");
             let mut columns = vec![ColumnDef::new("set_id", ColumnType::Int)];
@@ -338,10 +437,12 @@ impl Quark {
             }
             self.db
                 .create_table(TableSchema::new(name.clone(), columns, &["set_id"])?)?;
+            self.internal_ddl += 1;
             // Every constant column gets an index so the generated trigger
             // probes instead of scanning (or hashing) all constants rows.
             for i in 0..consts.len() {
                 self.db.create_index(&name, &format!("c{i}"))?;
+                self.internal_ddl += 1;
             }
             Some(name)
         } else {
@@ -366,32 +467,74 @@ impl Quark {
 
         // Event pushdown on the composed path graph.
         let events = source_events(&template.kg.graph, template.root, spec.event, &self.db)?;
+
+        // Affected-node plans, one per source *table* — `build_affected`
+        // does not depend on the relational event, so a table's
+        // INSERT/UPDATE/DELETE source events share one plan. Served from
+        // the compile cache when an equal (view structure, event, needs,
+        // options, schema generation) signature was translated before.
+        let cache_key = self.cache_signature(&template, spec.event, needs);
+        let plans: HashMap<String, Option<AffectedNodePlan>> = match self
+            .compile_cache_enabled
+            .then(|| self.compile_cache.get(&cache_key))
+            .flatten()
+        {
+            Some(entry) => {
+                self.compile_cache_hits += 1;
+                entry.plans.clone()
+            }
+            None => {
+                // One shared arena for every table's delta graphs: the
+                // hash-consed graph reuses each (operator, source-variant)
+                // subplan by reference instead of recloning the template
+                // per source-event combination.
+                let mut pg = template;
+                let mut built: HashMap<String, Option<AffectedNodePlan>> = HashMap::new();
+                for src in &events {
+                    if built.contains_key(&src.table) {
+                        continue;
+                    }
+                    let plan = build_affected(
+                        &mut pg,
+                        &src.table,
+                        spec.event,
+                        needs,
+                        self.options,
+                        &self.db,
+                    )?;
+                    built.insert(src.table.clone(), plan);
+                }
+                built
+            }
+        };
+
+        // Stack the group-specific condition/constants join, once per
+        // table, and generate one SQL trigger per source event.
+        let mut per_table: HashMap<String, (PlanRef, Option<Condition>, String)> = HashMap::new();
         let mut sql_triggers = Vec::new();
         for src in events {
-            let mut pg = template.clone();
-            let Some(affected) = build_affected(
-                &mut pg,
-                &src.table,
-                spec.event,
-                needs,
-                self.options,
-                &self.db,
-            )?
-            else {
+            let Some(Some(affected)) = plans.get(&src.table) else {
                 continue;
             };
-
-            let (plan, residual) = self.attach_condition(
-                affected.plan,
-                &affected.layout,
-                &cond,
-                constants_table.as_deref(),
-                consts.len(),
-                &self.db,
-            )?;
+            let (plan, residual, plan_explain) = match per_table.get(&src.table) {
+                Some(hit) => hit.clone(),
+                None => {
+                    let (plan, residual) = self.attach_condition(
+                        Arc::clone(&affected.plan),
+                        &affected.layout,
+                        &cond,
+                        constants_table.as_deref(),
+                        consts.len(),
+                        &self.db,
+                    )?;
+                    let explain = plan.explain();
+                    let value = (plan, residual, explain);
+                    per_table.insert(src.table.clone(), value.clone());
+                    value
+                }
+            };
 
             let trigger_name = format!("__quark_g{group_id}_{}_{}", src.table, src.event);
-            let plan_explain = plan.explain();
             let body = self.make_handler(
                 plan,
                 residual,
@@ -413,6 +556,20 @@ impl Quark {
             });
         }
 
+        // Take (or create) the group's compile-cache reference.
+        let cache_ref = if self.compile_cache_enabled {
+            match self.compile_cache.get_mut(&cache_key) {
+                Some(entry) => entry.refs += 1,
+                None => {
+                    self.compile_cache
+                        .insert(cache_key.clone(), CacheEntry { plans, refs: 1 });
+                }
+            }
+            Some(cache_key)
+        } else {
+            None
+        };
+
         // Register the group and the trigger.
         let mut sets = HashMap::new();
         sets.insert(consts, set_id);
@@ -428,6 +585,7 @@ impl Quark {
                 next_set: 1,
                 sql_triggers,
                 trigger_count: 1,
+                cache_key: cache_ref,
             },
         );
         self.triggers.insert(
@@ -664,6 +822,18 @@ impl Quark {
             }
             if let Some(ct) = &group.constants_table {
                 self.db.drop_table(ct)?;
+                self.internal_ddl += 1;
+            }
+            // Release the group's compile-cache reference; the entry is
+            // evicted with its last group, so a dropped group's plans can
+            // never be resurrected.
+            if let Some(key) = &group.cache_key {
+                if let Some(entry) = self.compile_cache.get_mut(key) {
+                    entry.refs -= 1;
+                    if entry.refs == 0 {
+                        self.compile_cache.remove(key);
+                    }
+                }
             }
             let _ = group.signature;
         } else if remove_set {
@@ -741,6 +911,33 @@ impl Quark {
             .map(|t| t.len())
             .sum()
     }
+}
+
+/// Serialize the subgraph under `id` with DFS-order numbering, so two
+/// isomorphic graphs built in the same operator order — e.g. two arenas
+/// produced by registering the same view definition twice — serialize
+/// identically regardless of their arena ids. Shared nodes print once and
+/// are back-referenced by sequence number, keeping the output linear in
+/// the DAG size.
+fn canonical_graph(
+    kg: &quark_xqgm::KeyedGraph,
+    id: quark_xqgm::OpId,
+    seq: &mut HashMap<usize, usize>,
+    out: &mut String,
+) {
+    use std::fmt::Write;
+    if let Some(&n) = seq.get(&id) {
+        let _ = write!(out, "#{n};");
+        return;
+    }
+    let n = seq.len();
+    seq.insert(id, n);
+    let op = kg.graph.op(id);
+    let _ = write!(out, "[{n}:{:?}(", op.kind);
+    for &i in &op.inputs {
+        canonical_graph(kg, i, seq, out);
+    }
+    let _ = write!(out, ")]");
 }
 
 fn shape_of(action: &Action) -> Vec<String> {

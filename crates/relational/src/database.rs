@@ -119,6 +119,7 @@ pub struct Database {
     triggers: Vec<Arc<SqlTrigger>>,
     trigger_names: std::collections::HashSet<String>,
     fire_depth: usize,
+    schema_generation: u64,
     /// Execution counters.
     pub stats: Stats,
 }
@@ -150,6 +151,7 @@ impl Database {
             return Err(Error::TableExists(schema.name));
         }
         self.tables.insert(schema.name.clone(), Table::new(schema));
+        self.schema_generation += 1;
         Ok(())
     }
 
@@ -158,6 +160,7 @@ impl Database {
         let t = self.table_mut(table)?;
         let col = t.schema().col(column)?;
         t.create_index(col);
+        self.schema_generation += 1;
         Ok(())
     }
 
@@ -170,7 +173,15 @@ impl Database {
             self.trigger_names.remove(&t.name);
         }
         self.triggers.retain(|t| t.table != table);
+        self.schema_generation += 1;
         Ok(())
+    }
+
+    /// Monotonic counter bumped by every schema change (table/index
+    /// creation, table drop). Compiled-plan caches key on it so plans built
+    /// against an older schema are never reused once the schema moves.
+    pub fn schema_generation(&self) -> u64 {
+        self.schema_generation
     }
 
     /// Look up a table.

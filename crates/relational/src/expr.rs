@@ -16,7 +16,7 @@ use crate::value::{Row, Value};
 use crate::{Error, Result};
 
 /// Binary operators. Comparisons yield `Bool` (NULL-safe: unknown → NULL).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // arithmetic/comparison/logical operators, self-describing
 pub enum BinOp {
     Add,
@@ -54,7 +54,7 @@ impl fmt::Display for BinOp {
 }
 
 /// Scalar functions.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ScalarFunc {
     /// XML element constructor. The first `attrs.len()` arguments supply
     /// attribute values (atomized to strings); remaining arguments become
@@ -86,7 +86,7 @@ pub enum ScalarFunc {
 }
 
 /// A scalar expression evaluated against one row.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// Input column by position.
     Col(usize),
@@ -417,7 +417,7 @@ fn eval_func(f: &ScalarFunc, args: Vec<Value>) -> Result<Value> {
 }
 
 /// Aggregate functions for `HashAggregate`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum AggFunc {
     /// `COUNT(*)`.
     CountStar,
@@ -436,7 +436,7 @@ pub enum AggFunc {
 
 /// One aggregate column: function plus argument expression (`None` only for
 /// `CountStar`).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AggExpr {
     /// Aggregate function.
     pub func: AggFunc,

@@ -7,6 +7,7 @@
 //! table expression in the paper's Figure 16, and the executor memoizes
 //! shared nodes so they run once.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -19,7 +20,7 @@ use crate::{Database, Error, Result};
 pub type PlanRef = Arc<PhysicalPlan>;
 
 /// Which transition table a [`PhysicalPlan::TransitionScan`] reads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransitionSide {
     /// Δtable — rows *after* the update (a.k.a. `INSERTED` / `NEW_TABLE`).
     Delta,
@@ -29,7 +30,7 @@ pub enum TransitionSide {
 
 /// Whether a table access sees the current (post-statement) state or the
 /// reconstructed pre-statement state `B_old = (B ∖ ΔB) ∪ ∇B` (§4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TableEpoch {
     /// Post-statement state.
     Current,
@@ -39,7 +40,7 @@ pub enum TableEpoch {
 
 /// Join variants. `RightAnti` is expressed by swapping inputs of `LeftAnti`
 /// at plan-construction time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JoinKind {
     /// Emit matched (left ++ right) rows.
     Inner,
@@ -59,7 +60,7 @@ impl JoinKind {
 }
 
 /// One sort key.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SortKey {
     /// Expression over the input row.
     pub expr: Expr,
@@ -205,6 +206,14 @@ pub enum PhysicalPlan {
     },
 }
 
+/// Rendering state for [`PhysicalPlan::explain`]: reference counts from the
+/// pre-pass, plus labels assigned to shared nodes in render order.
+struct ExplainState {
+    refs: HashMap<usize, usize>,
+    labels: HashMap<usize, usize>,
+    next_label: usize,
+}
+
 impl PhysicalPlan {
     /// Wrap into a shared handle.
     pub fn into_ref(self) -> PlanRef {
@@ -212,7 +221,26 @@ impl PhysicalPlan {
     }
 
     /// Number of output columns, resolved against `db` for table scans.
+    ///
+    /// Plans are DAGs with heavy sharing (the affected-key subplan feeds
+    /// both the OLD and NEW branches), so the recursion memoizes shared
+    /// nodes by identity — a naive tree walk would revisit a shared node
+    /// once per *path*, which is exponential in view depth.
     pub fn arity(&self, db: &Database) -> Result<usize> {
+        self.arity_memo(db, &mut HashMap::new())
+    }
+
+    fn arity_memo(&self, db: &Database, memo: &mut HashMap<usize, usize>) -> Result<usize> {
+        let child =
+            |p: &PlanRef, db: &Database, memo: &mut HashMap<usize, usize>| -> Result<usize> {
+                let key = Arc::as_ptr(p) as usize;
+                if let Some(&hit) = memo.get(&key) {
+                    return Ok(hit);
+                }
+                let a = p.arity_memo(db, memo)?;
+                memo.insert(key, a);
+                Ok(a)
+            };
         Ok(match self {
             PhysicalPlan::TableScan { table, .. } | PhysicalPlan::TransitionScan { table, .. } => {
                 db.table(table)?.schema().arity()
@@ -220,33 +248,33 @@ impl PhysicalPlan {
             PhysicalPlan::Values { arity, .. } => *arity,
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Distinct { input }
-            | PhysicalPlan::Sort { input, .. } => input.arity(db)?,
+            | PhysicalPlan::Sort { input, .. } => child(input, db, memo)?,
             PhysicalPlan::Project { exprs, .. } => exprs.len(),
             PhysicalPlan::HashJoin {
                 left, right, kind, ..
             } => {
                 if kind.keeps_right() {
-                    left.arity(db)? + right.arity(db)?
+                    child(left, db, memo)? + child(right, db, memo)?
                 } else {
-                    left.arity(db)?
+                    child(left, db, memo)?
                 }
             }
             PhysicalPlan::IndexJoin {
                 outer, table, kind, ..
             } => {
                 if kind.keeps_right() {
-                    outer.arity(db)? + db.table(table)?.schema().arity()
+                    child(outer, db, memo)? + db.table(table)?.schema().arity()
                 } else {
-                    outer.arity(db)?
+                    child(outer, db, memo)?
                 }
             }
             PhysicalPlan::NestedLoopJoin {
                 left, right, kind, ..
             } => {
                 if kind.keeps_right() {
-                    left.arity(db)? + right.arity(db)?
+                    child(left, db, memo)? + child(right, db, memo)?
                 } else {
-                    left.arity(db)?
+                    child(left, db, memo)?
                 }
             }
             PhysicalPlan::HashAggregate {
@@ -256,20 +284,84 @@ impl PhysicalPlan {
                 let first = inputs
                     .first()
                     .ok_or_else(|| Error::Plan("UnionAll with no inputs".into()))?;
-                first.arity(db)?
+                child(first, db, memo)?
             }
-            PhysicalPlan::Unnest { input, .. } => input.arity(db)? + 1,
+            PhysicalPlan::Unnest { input, .. } => child(input, db, memo)? + 1,
         })
     }
 
-    /// Multi-line EXPLAIN-style rendering (shared subplans are annotated).
+    /// Multi-line EXPLAIN-style rendering. Subplans referenced from more
+    /// than one parent are rendered once and tagged `[shared N]`; later
+    /// references print a one-line back-pointer. Without this, rendering a
+    /// deeply shared DAG expands every path — hundreds of megabytes for a
+    /// depth-5 view's trigger plan.
     pub fn explain(&self) -> String {
+        let mut refs: HashMap<usize, usize> = HashMap::new();
+        self.count_refs(&mut refs);
         let mut out = String::new();
-        self.explain_into(&mut out, 0);
+        let mut st = ExplainState {
+            refs,
+            labels: HashMap::new(),
+            next_label: 1,
+        };
+        self.explain_into(&mut out, 0, &mut st);
         out
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
+    /// Count how many parents reference each node (by identity).
+    fn count_refs(&self, refs: &mut HashMap<usize, usize>) {
+        for c in self.children() {
+            let key = Arc::as_ptr(c) as usize;
+            let n = refs.entry(key).or_insert(0);
+            *n += 1;
+            if *n == 1 {
+                c.count_refs(refs);
+            }
+        }
+    }
+
+    /// Input plans of this node, in rendering order.
+    fn children(&self) -> Vec<&PlanRef> {
+        match self {
+            PhysicalPlan::TableScan { .. }
+            | PhysicalPlan::TransitionScan { .. }
+            | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Unnest { input, .. } => vec![input],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. } => vec![left, right],
+            PhysicalPlan::IndexJoin { outer, .. } => vec![outer],
+            PhysicalPlan::UnionAll { inputs } => inputs.iter().collect(),
+        }
+    }
+
+    /// Render one child reference: shared nodes get a `[shared N]` label on
+    /// first visit and a one-line back-pointer afterwards.
+    fn explain_ref(p: &PlanRef, out: &mut String, depth: usize, st: &mut ExplainState) {
+        let key = Arc::as_ptr(p) as usize;
+        if st.refs.get(&key).copied().unwrap_or(0) < 2 {
+            return p.explain_into(out, depth, st);
+        }
+        let pad = "  ".repeat(depth);
+        match st.labels.get(&key) {
+            Some(&n) => {
+                let _ = writeln!(out, "{pad}[shared {n}] (see above)");
+            }
+            None => {
+                let n = st.next_label;
+                st.next_label += 1;
+                st.labels.insert(key, n);
+                let _ = writeln!(out, "{pad}[shared {n}]");
+                p.explain_into(out, depth, st);
+            }
+        }
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize, st: &mut ExplainState) {
         let pad = "  ".repeat(depth);
         match self {
             PhysicalPlan::TableScan { table, epoch } => {
@@ -292,11 +384,11 @@ impl PhysicalPlan {
             }
             PhysicalPlan::Filter { input, predicate } => {
                 let _ = writeln!(out, "{pad}Filter {predicate:?}");
-                input.explain_into(out, depth + 1);
+                Self::explain_ref(input, out, depth + 1, st);
             }
             PhysicalPlan::Project { input, exprs } => {
                 let _ = writeln!(out, "{pad}Project [{}]", exprs.len());
-                input.explain_into(out, depth + 1);
+                Self::explain_ref(input, out, depth + 1, st);
             }
             PhysicalPlan::HashJoin {
                 left,
@@ -310,8 +402,8 @@ impl PhysicalPlan {
                     out,
                     "{pad}HashJoin {kind:?} on {left_keys:?} = {right_keys:?}"
                 );
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+                Self::explain_ref(left, out, depth + 1, st);
+                Self::explain_ref(right, out, depth + 1, st);
             }
             PhysicalPlan::IndexJoin {
                 outer,
@@ -326,14 +418,14 @@ impl PhysicalPlan {
                     out,
                     "{pad}IndexJoin {kind:?} -> {table}[{epoch:?}] probe cols {cols:?}"
                 );
-                outer.explain_into(out, depth + 1);
+                Self::explain_ref(outer, out, depth + 1, st);
             }
             PhysicalPlan::NestedLoopJoin {
                 left, right, kind, ..
             } => {
                 let _ = writeln!(out, "{pad}NestedLoopJoin {kind:?}");
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+                Self::explain_ref(left, out, depth + 1, st);
+                Self::explain_ref(right, out, depth + 1, st);
             }
             PhysicalPlan::HashAggregate {
                 input,
@@ -346,25 +438,25 @@ impl PhysicalPlan {
                     group_exprs.len(),
                     aggs.len()
                 );
-                input.explain_into(out, depth + 1);
+                Self::explain_ref(input, out, depth + 1, st);
             }
             PhysicalPlan::UnionAll { inputs } => {
                 let _ = writeln!(out, "{pad}UnionAll [{}]", inputs.len());
                 for i in inputs {
-                    i.explain_into(out, depth + 1);
+                    Self::explain_ref(i, out, depth + 1, st);
                 }
             }
             PhysicalPlan::Distinct { input } => {
                 let _ = writeln!(out, "{pad}Distinct");
-                input.explain_into(out, depth + 1);
+                Self::explain_ref(input, out, depth + 1, st);
             }
             PhysicalPlan::Sort { input, keys } => {
                 let _ = writeln!(out, "{pad}Sort [{} keys]", keys.len());
-                input.explain_into(out, depth + 1);
+                Self::explain_ref(input, out, depth + 1, st);
             }
             PhysicalPlan::Unnest { input, expr } => {
                 let _ = writeln!(out, "{pad}Unnest {expr:?}");
-                input.explain_into(out, depth + 1);
+                Self::explain_ref(input, out, depth + 1, st);
             }
         }
     }

@@ -16,8 +16,19 @@
 //! Both share a memo so that subgraphs referenced multiple times (the
 //! affected-key union feeding OLD and NEW branches) compile to *shared*
 //! plan nodes, which the executor then evaluates once.
+//!
+//! Produced plan nodes are **hash-consed** within one compiler: a node
+//! whose kind and (already-interned) children structurally match an earlier
+//! node reuses that node's `Arc`. Together with restricted-compilation
+//! memoization keyed on the *structural fingerprint* of the driver (not its
+//! allocation identity), this makes the number of distinct compiled
+//! subplans proportional to the number of distinct (operator, restriction)
+//! pairs — the recursion used to rebuild identical driver pipelines at
+//! every join level, which blew compilation up exponentially in view depth.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use quark_relational::expr::{BinOp, Expr};
@@ -44,10 +55,14 @@ pub struct Compiler<'a> {
     graph: &'a Graph,
     db: &'a Database,
     full: HashMap<OpId, PlanRef>,
-    restricted: HashMap<(OpId, Vec<usize>, usize), PlanRef>,
+    restricted: HashMap<(OpId, Vec<usize>, u64, Vec<usize>), PlanRef>,
     transition_cache: HashMap<OpId, bool>,
     overrides: HashMap<OpId, PlanRef>,
     compensations: HashMap<OpId, AggCompensation>,
+    /// Structural fingerprint per plan node, memoized by allocation.
+    plan_fp: HashMap<usize, u64>,
+    /// Hash-consing table for produced plan nodes.
+    plan_intern: HashMap<u64, Vec<PlanRef>>,
 }
 
 /// Recipe for the §5.2 GROUPED-AGG optimization: compute a GroupBy's
@@ -79,6 +94,139 @@ impl<'a> Compiler<'a> {
             transition_cache: HashMap::new(),
             overrides: HashMap::new(),
             compensations: HashMap::new(),
+            plan_fp: HashMap::new(),
+            plan_intern: HashMap::new(),
+        }
+    }
+
+    /// Structural fingerprint of a plan node, memoized by allocation so a
+    /// shared DAG is walked once, not once per path.
+    fn fp(&mut self, p: &PlanRef) -> u64 {
+        let key = Arc::as_ptr(p) as usize;
+        if let Some(&h) = self.plan_fp.get(&key) {
+            return h;
+        }
+        let mut hasher = DefaultHasher::new();
+        match p.as_ref() {
+            PhysicalPlan::TableScan { table, epoch } => {
+                (0u8, table, epoch).hash(&mut hasher);
+            }
+            PhysicalPlan::TransitionScan {
+                table,
+                side,
+                pruned,
+            } => {
+                (1u8, table, side, pruned).hash(&mut hasher);
+            }
+            PhysicalPlan::Values { arity, rows } => {
+                (2u8, arity, rows).hash(&mut hasher);
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                (3u8, self.fp(input), predicate).hash(&mut hasher);
+            }
+            PhysicalPlan::Project { input, exprs } => {
+                (4u8, self.fp(input), exprs).hash(&mut hasher);
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+                filter,
+            } => {
+                (5u8, self.fp(left), self.fp(right)).hash(&mut hasher);
+                (left_keys, right_keys, kind, filter).hash(&mut hasher);
+            }
+            PhysicalPlan::IndexJoin {
+                outer,
+                table,
+                epoch,
+                probe,
+                kind,
+                filter,
+            } => {
+                (6u8, self.fp(outer), table, epoch).hash(&mut hasher);
+                (probe, kind, filter).hash(&mut hasher);
+            }
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                predicate,
+                kind,
+            } => {
+                (7u8, self.fp(left), self.fp(right)).hash(&mut hasher);
+                (predicate, kind).hash(&mut hasher);
+            }
+            PhysicalPlan::HashAggregate {
+                input,
+                group_exprs,
+                aggs,
+            } => {
+                (8u8, self.fp(input), group_exprs, aggs).hash(&mut hasher);
+            }
+            PhysicalPlan::UnionAll { inputs } => {
+                9u8.hash(&mut hasher);
+                for i in inputs {
+                    self.fp(i).hash(&mut hasher);
+                }
+            }
+            PhysicalPlan::Distinct { input } => {
+                (10u8, self.fp(input)).hash(&mut hasher);
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                (11u8, self.fp(input), keys).hash(&mut hasher);
+            }
+            PhysicalPlan::Unnest { input, expr } => {
+                (12u8, self.fp(input), expr).hash(&mut hasher);
+            }
+        }
+        let h = hasher.finish();
+        self.plan_fp.insert(key, h);
+        h
+    }
+
+    /// Hash-cons an already-wrapped plan node: if a structurally identical
+    /// node was produced before, return that shared `Arc` instead.
+    fn intern_ref(&mut self, p: PlanRef) -> PlanRef {
+        let h = self.fp(&p);
+        if let Some(candidates) = self.plan_intern.get(&h) {
+            for c in candidates {
+                if Arc::ptr_eq(c, &p) {
+                    return Arc::clone(c);
+                }
+                if shallow_eq(c, &p) {
+                    // `p` is a discarded duplicate about to be freed; its
+                    // fingerprint memo entry must die with it, or a later
+                    // allocation at the same address would inherit the
+                    // wrong fingerprint and poison the restricted memo.
+                    let shared = Arc::clone(c);
+                    self.plan_fp.remove(&(Arc::as_ptr(&p) as usize));
+                    return shared;
+                }
+            }
+        }
+        self.plan_intern.entry(h).or_default().push(Arc::clone(&p));
+        p
+    }
+
+    /// Hash-cons a freshly built node.
+    fn intern(&mut self, plan: PhysicalPlan) -> PlanRef {
+        self.intern_ref(plan.into_ref())
+    }
+
+    /// Build the canonical restriction driver over `plan`: distinct
+    /// projections of `cols`, hash-consed so identical drivers share one
+    /// allocation (and thereby one restricted-memo key).
+    fn driver_over(&mut self, plan: &PlanRef, cols: &[usize]) -> Driver {
+        let projected = self.intern(PhysicalPlan::Project {
+            input: Arc::clone(plan),
+            exprs: cols.iter().map(|&c| Expr::col(c)).collect(),
+        });
+        let distinct = self.intern(PhysicalPlan::Distinct { input: projected });
+        Driver {
+            plan: distinct,
+            cols: (0..cols.len()).collect(),
         }
     }
 
@@ -110,19 +258,26 @@ impl<'a> Compiler<'a> {
     }
 
     fn compile_uncached(&mut self, id: OpId) -> Result<PlanRef> {
-        let op = self.graph.op(id);
+        let op = self.graph.op(id).clone();
         Ok(match &op.kind {
-            OpKind::Table { table, source } => table_plan(table, *source),
-            OpKind::Select { predicate } => PhysicalPlan::Filter {
-                input: self.compile(op.inputs[0])?,
-                predicate: predicate.clone(),
+            OpKind::Table { table, source } => {
+                let plan = table_plan(table, *source);
+                self.intern_ref(plan)
             }
-            .into_ref(),
-            OpKind::Project { exprs, .. } => PhysicalPlan::Project {
-                input: self.compile(op.inputs[0])?,
-                exprs: exprs.clone(),
+            OpKind::Select { predicate } => {
+                let input = self.compile(op.inputs[0])?;
+                self.intern(PhysicalPlan::Filter {
+                    input,
+                    predicate: predicate.clone(),
+                })
             }
-            .into_ref(),
+            OpKind::Project { exprs, .. } => {
+                let input = self.compile(op.inputs[0])?;
+                self.intern(PhysicalPlan::Project {
+                    input,
+                    exprs: exprs.clone(),
+                })
+            }
             OpKind::Join { kind, predicate } => {
                 if let Some(plan) =
                     self.delta_driven_join(op.inputs[0], op.inputs[1], *kind, predicate.as_ref())?
@@ -132,31 +287,34 @@ impl<'a> Compiler<'a> {
                 let left = self.compile(op.inputs[0])?;
                 let right = self.compile(op.inputs[1])?;
                 let left_arity = self.graph.arity(op.inputs[0], self.db)?;
-                join_plan(left, right, left_arity, *kind, predicate.as_ref())
+                let plan = join_plan(left, right, left_arity, *kind, predicate.as_ref());
+                self.intern_ref(plan)
             }
             OpKind::GroupBy {
                 group_cols, aggs, ..
-            } => PhysicalPlan::HashAggregate {
-                input: self.compile(op.inputs[0])?,
-                group_exprs: group_cols.iter().map(|&c| Expr::col(c)).collect(),
-                aggs: aggs.clone(),
+            } => {
+                let input = self.compile(op.inputs[0])?;
+                self.intern(PhysicalPlan::HashAggregate {
+                    input,
+                    group_exprs: group_cols.iter().map(|&c| Expr::col(c)).collect(),
+                    aggs: aggs.clone(),
+                })
             }
-            .into_ref(),
             OpKind::Union => {
                 let mut inputs = Vec::with_capacity(op.inputs.len());
                 for &i in &op.inputs {
                     inputs.push(self.compile(i)?);
                 }
-                PhysicalPlan::Distinct {
-                    input: PhysicalPlan::UnionAll { inputs }.into_ref(),
-                }
-                .into_ref()
+                let union = self.intern(PhysicalPlan::UnionAll { inputs });
+                self.intern(PhysicalPlan::Distinct { input: union })
             }
-            OpKind::Unnest { expr, .. } => PhysicalPlan::Unnest {
-                input: self.compile(op.inputs[0])?,
-                expr: expr.clone(),
+            OpKind::Unnest { expr, .. } => {
+                let input = self.compile(op.inputs[0])?;
+                self.intern(PhysicalPlan::Unnest {
+                    input,
+                    expr: expr.clone(),
+                })
             }
-            .into_ref(),
         })
     }
 
@@ -190,21 +348,10 @@ impl<'a> Compiler<'a> {
             let small = self.compile(left)?;
             let lcols: Vec<usize> = equi.iter().map(|&(l, _)| l).collect();
             let rcols: Vec<usize> = equi.iter().map(|&(_, r)| r).collect();
-            let driver = Driver {
-                plan: PhysicalPlan::Distinct {
-                    input: PhysicalPlan::Project {
-                        input: Arc::clone(&small),
-                        exprs: lcols.iter().map(|&c| Expr::col(c)).collect(),
-                    }
-                    .into_ref(),
-                }
-                .into_ref(),
-                cols: (0..lcols.len()).collect(),
-            };
+            let driver = self.driver_over(&small, &lcols);
             let restricted = self.compile_restricted(right, &rcols, &driver)?;
-            return Ok(Some(join_plan(
-                small, restricted, left_arity, kind, predicate,
-            )));
+            let plan = join_plan(small, restricted, left_arity, kind, predicate);
+            return Ok(Some(self.intern_ref(plan)));
         }
         // Small side on the right: only an inner join lets us restrict the
         // left input without changing semantics.
@@ -214,21 +361,10 @@ impl<'a> Compiler<'a> {
         let small = self.compile(right)?;
         let lcols: Vec<usize> = equi.iter().map(|&(l, _)| l).collect();
         let rcols: Vec<usize> = equi.iter().map(|&(_, r)| r).collect();
-        let driver = Driver {
-            plan: PhysicalPlan::Distinct {
-                input: PhysicalPlan::Project {
-                    input: Arc::clone(&small),
-                    exprs: rcols.iter().map(|&c| Expr::col(c)).collect(),
-                }
-                .into_ref(),
-            }
-            .into_ref(),
-            cols: (0..rcols.len()).collect(),
-        };
+        let driver = self.driver_over(&small, &rcols);
         let restricted = self.compile_restricted(left, &lcols, &driver)?;
-        Ok(Some(join_plan(
-            restricted, small, left_arity, kind, predicate,
-        )))
+        let plan = join_plan(restricted, small, left_arity, kind, predicate);
+        Ok(Some(self.intern_ref(plan)))
     }
 
     /// Does the subtree under `op` read a transition table?
@@ -264,7 +400,15 @@ impl<'a> Compiler<'a> {
         if let Some(hit) = self.overrides.get(&id) {
             return Ok(Arc::clone(hit));
         }
-        let memo_key = (id, cols.to_vec(), Arc::as_ptr(&driver.plan) as usize);
+        // Keyed on the driver's *structure*, not its allocation: the
+        // recursion derives equivalent drivers along many paths, and each
+        // must map to one compiled subplan.
+        let memo_key = (
+            id,
+            cols.to_vec(),
+            self.fp(&driver.plan),
+            driver.cols.clone(),
+        );
         if let Some(hit) = self.restricted.get(&memo_key) {
             return Ok(Arc::clone(hit));
         }
@@ -294,26 +438,24 @@ impl<'a> Compiler<'a> {
                         if let Some(probe_pairs) = self.index_probe(table, cols, driver)? {
                             let table_arity = self.db.table(table)?.schema().arity();
                             let driver_arity = driver.plan.arity(self.db)?;
-                            let joined = PhysicalPlan::IndexJoin {
+                            let joined = self.intern(PhysicalPlan::IndexJoin {
                                 outer: Arc::clone(&driver.plan),
                                 table: table.clone(),
                                 epoch: *epoch,
                                 probe: probe_pairs,
                                 kind: JoinKind::Inner,
                                 filter: None,
-                            }
-                            .into_ref();
+                            });
                             // Keep only the table's columns. Driver keys are
                             // distinct and probe columns functionally depend
                             // on the key, so no duplicates arise.
                             let exprs = (0..table_arity)
                                 .map(|c| Expr::col(driver_arity + c))
                                 .collect();
-                            return Ok(PhysicalPlan::Project {
+                            return Ok(self.intern(PhysicalPlan::Project {
                                 input: joined,
                                 exprs,
-                            }
-                            .into_ref());
+                            }));
                         }
                         self.fallback_semi(id, cols, driver)
                     }
@@ -326,11 +468,10 @@ impl<'a> Compiler<'a> {
             }
             OpKind::Select { predicate } => {
                 let input = self.compile_restricted(op.inputs[0], cols, driver)?;
-                Ok(PhysicalPlan::Filter {
+                Ok(self.intern(PhysicalPlan::Filter {
                     input,
                     predicate: predicate.clone(),
-                }
-                .into_ref())
+                }))
             }
             OpKind::Project { exprs, .. } => {
                 let mut mapped = Vec::with_capacity(cols.len());
@@ -341,11 +482,10 @@ impl<'a> Compiler<'a> {
                     }
                 }
                 let input = self.compile_restricted(op.inputs[0], &mapped, driver)?;
-                Ok(PhysicalPlan::Project {
+                Ok(self.intern(PhysicalPlan::Project {
                     input,
                     exprs: exprs.clone(),
-                }
-                .into_ref())
+                }))
             }
             OpKind::GroupBy {
                 group_cols, aggs, ..
@@ -361,12 +501,11 @@ impl<'a> Compiler<'a> {
                     }
                 }
                 let input = self.compile_restricted(op.inputs[0], &mapped, driver)?;
-                Ok(PhysicalPlan::HashAggregate {
+                Ok(self.intern(PhysicalPlan::HashAggregate {
                     input,
                     group_exprs: group_cols.iter().map(|&c| Expr::col(c)).collect(),
                     aggs: aggs.clone(),
-                }
-                .into_ref())
+                }))
             }
             OpKind::Join { kind, predicate } => {
                 self.restrict_join(id, &op.inputs, *kind, predicate.as_ref(), cols, driver)
@@ -376,20 +515,17 @@ impl<'a> Compiler<'a> {
                 for &i in &op.inputs {
                     inputs.push(self.compile_restricted(i, cols, driver)?);
                 }
-                Ok(PhysicalPlan::Distinct {
-                    input: PhysicalPlan::UnionAll { inputs }.into_ref(),
-                }
-                .into_ref())
+                let union = self.intern(PhysicalPlan::UnionAll { inputs });
+                Ok(self.intern(PhysicalPlan::Distinct { input: union }))
             }
             OpKind::Unnest { expr, .. } => {
                 let input_arity = self.graph.arity(op.inputs[0], self.db)?;
                 if cols.iter().all(|&c| c < input_arity) {
                     let input = self.compile_restricted(op.inputs[0], cols, driver)?;
-                    Ok(PhysicalPlan::Unnest {
+                    Ok(self.intern(PhysicalPlan::Unnest {
                         input,
                         expr: expr.clone(),
-                    }
-                    .into_ref())
+                    }))
                 } else {
                     self.fallback_semi(id, cols, driver)
                 }
@@ -431,8 +567,8 @@ impl<'a> Compiler<'a> {
             };
             contributions.push(c);
         }
-        let branch = |input: PlanRef, negate: bool| -> PlanRef {
-            let exprs: Vec<Expr> = group_cols
+        let branch_exprs = |negate: bool| -> Vec<Expr> {
+            group_cols
                 .iter()
                 .map(|&c| Expr::col(c))
                 .chain(contributions.iter().map(|c| {
@@ -442,19 +578,25 @@ impl<'a> Compiler<'a> {
                         c.clone()
                     }
                 }))
-                .collect();
-            PhysicalPlan::Project { input, exprs }.into_ref()
+                .collect()
         };
 
         let new_rows = self.compile_restricted(recipe.new_op, cols, driver)?;
-        let delta_rows = branch(self.compile(recipe.delta_input)?, true);
-        let nabla_rows = branch(self.compile(recipe.nabla_input)?, false);
+        let delta_input = self.compile(recipe.delta_input)?;
+        let delta_rows = self.intern(PhysicalPlan::Project {
+            input: delta_input,
+            exprs: branch_exprs(true),
+        });
+        let nabla_input = self.compile(recipe.nabla_input)?;
+        let nabla_rows = self.intern(PhysicalPlan::Project {
+            input: nabla_input,
+            exprs: branch_exprs(false),
+        });
 
-        let union = PhysicalPlan::UnionAll {
+        let union = self.intern(PhysicalPlan::UnionAll {
             inputs: vec![new_rows, delta_rows, nabla_rows],
-        }
-        .into_ref();
-        let summed = PhysicalPlan::HashAggregate {
+        });
+        let summed = self.intern(PhysicalPlan::HashAggregate {
             input: union,
             group_exprs: (0..glen).map(Expr::col).collect(),
             aggs: (0..aggs.len())
@@ -465,14 +607,12 @@ impl<'a> Compiler<'a> {
                     )
                 })
                 .collect(),
-        }
-        .into_ref();
+        });
         Ok(match recipe.existence_agg {
-            Some(e) => PhysicalPlan::Filter {
+            Some(e) => self.intern(PhysicalPlan::Filter {
                 input: summed,
                 predicate: Expr::bin(BinOp::Gt, Expr::col(glen + e), Expr::lit(0i64)),
-            }
-            .into_ref(),
+            }),
             None => summed,
         })
     }
@@ -529,17 +669,7 @@ impl<'a> Compiler<'a> {
                 Some((equi, _)) if !equi.is_empty() => {
                     let lcols: Vec<usize> = equi.iter().map(|&(l, _)| l).collect();
                     let rcols: Vec<usize> = equi.iter().map(|&(_, r)| r).collect();
-                    let new_driver = Driver {
-                        plan: PhysicalPlan::Distinct {
-                            input: PhysicalPlan::Project {
-                                input: Arc::clone(&right),
-                                exprs: rcols.iter().map(|&c| Expr::col(c)).collect(),
-                            }
-                            .into_ref(),
-                        }
-                        .into_ref(),
-                        cols: (0..rcols.len()).collect(),
-                    };
+                    let new_driver = self.driver_over(&right, &rcols);
                     self.compile_restricted(inputs[0], &lcols, &new_driver)?
                 }
                 _ => self.compile(inputs[0])?,
@@ -551,56 +681,40 @@ impl<'a> Compiler<'a> {
                 JoinKind::Inner,
                 swapped_pred.as_ref(),
             );
+            let joined = self.intern_ref(joined);
             // Reorder to (left ++ right).
             let exprs = (0..left_arity)
                 .map(|c| Expr::col(right_arity + c))
                 .chain((0..right_arity).map(Expr::col))
                 .collect();
-            return Ok(PhysicalPlan::Project {
+            return Ok(self.intern(PhysicalPlan::Project {
                 input: joined,
                 exprs,
-            }
-            .into_ref());
+            }));
         }
 
         if kind == JoinKind::Inner {
             // Restriction columns span both sides: restrict each side with
             // the driver projected onto that side's columns, join, then
             // apply the exact semi-join against the full driver.
-            let project_driver = |positions: &[(usize, usize)], plan: &Driver| -> Driver {
-                let exprs: Vec<Expr> = positions
-                    .iter()
-                    .map(|&(i, _)| Expr::col(plan.cols[i]))
-                    .collect();
-                let n = exprs.len();
-                Driver {
-                    plan: PhysicalPlan::Distinct {
-                        input: PhysicalPlan::Project {
-                            input: Arc::clone(&plan.plan),
-                            exprs,
-                        }
-                        .into_ref(),
-                    }
-                    .into_ref(),
-                    cols: (0..n).collect(),
-                }
-            };
-            let dl = project_driver(&on_left, driver);
-            let dr = project_driver(&on_right, driver);
+            let dl_cols: Vec<usize> = on_left.iter().map(|&(i, _)| driver.cols[i]).collect();
+            let dr_cols: Vec<usize> = on_right.iter().map(|&(i, _)| driver.cols[i]).collect();
+            let dl = self.driver_over(&driver.plan, &dl_cols);
+            let dr = self.driver_over(&driver.plan, &dr_cols);
             let lcols: Vec<usize> = on_left.iter().map(|&(_, c)| c).collect();
             let rcols: Vec<usize> = on_right.iter().map(|&(_, c)| c).collect();
             let left = self.compile_restricted(inputs[0], &lcols, &dl)?;
             let right = self.compile_restricted(inputs[1], &rcols, &dr)?;
             let joined = join_plan(left, right, left_arity, kind, predicate);
-            return Ok(PhysicalPlan::HashJoin {
+            let joined = self.intern_ref(joined);
+            return Ok(self.intern(PhysicalPlan::HashJoin {
                 left: joined,
                 right: Arc::clone(&driver.plan),
                 left_keys: cols.iter().map(|&c| Expr::col(c)).collect(),
                 right_keys: driver.cols.iter().map(|&c| Expr::col(c)).collect(),
                 kind: JoinKind::LeftSemi,
                 filter: None,
-            }
-            .into_ref());
+            }));
         }
 
         self.fallback_semi(id, cols, driver)
@@ -666,15 +780,16 @@ impl<'a> Compiler<'a> {
                         } else {
                             Some(Expr::and_all(residual))
                         };
-                        return Ok(PhysicalPlan::IndexJoin {
+                        let epoch = *epoch;
+                        let table = table.clone();
+                        return Ok(self.intern(PhysicalPlan::IndexJoin {
                             outer: left,
-                            table: table.clone(),
-                            epoch: *epoch,
+                            table,
+                            epoch,
                             probe,
                             kind,
                             filter,
-                        }
-                        .into_ref());
+                        }));
                     }
                 }
             }
@@ -688,23 +803,15 @@ impl<'a> Compiler<'a> {
             if !equi.is_empty() {
                 let lcols: Vec<usize> = equi.iter().map(|&(l, _)| l).collect();
                 let rcols: Vec<usize> = equi.iter().map(|&(_, r)| r).collect();
-                let new_driver = Driver {
-                    plan: PhysicalPlan::Distinct {
-                        input: PhysicalPlan::Project {
-                            input: Arc::clone(&left),
-                            exprs: lcols.iter().map(|&c| Expr::col(c)).collect(),
-                        }
-                        .into_ref(),
-                    }
-                    .into_ref(),
-                    cols: (0..lcols.len()).collect(),
-                };
+                let new_driver = self.driver_over(&left, &lcols);
                 let right = self.compile_restricted(right_id, &rcols, &new_driver)?;
-                return Ok(join_plan(left, right, left_arity, kind, predicate));
+                let plan = join_plan(left, right, left_arity, kind, predicate);
+                return Ok(self.intern_ref(plan));
             }
         }
         let right = self.compile(right_id)?;
-        Ok(join_plan(left, right, left_arity, kind, predicate))
+        let plan = join_plan(left, right, left_arity, kind, predicate);
+        Ok(self.intern_ref(plan))
     }
 
     /// Try to derive index-probe pairs for restricting `table` directly on
@@ -738,15 +845,170 @@ impl<'a> Compiler<'a> {
     /// driver.
     fn fallback_semi(&mut self, id: OpId, cols: &[usize], driver: &Driver) -> Result<PlanRef> {
         let full = self.compile(id)?;
-        Ok(PhysicalPlan::HashJoin {
+        Ok(self.intern(PhysicalPlan::HashJoin {
             left: full,
             right: Arc::clone(&driver.plan),
             left_keys: cols.iter().map(|&c| Expr::col(c)).collect(),
             right_keys: driver.cols.iter().map(|&c| Expr::col(c)).collect(),
             kind: JoinKind::LeftSemi,
             filter: None,
+        }))
+    }
+}
+
+/// Structural equality that compares children by allocation identity —
+/// sound for hash-consing because candidates' children are interned, so
+/// structurally equal children are pointer-equal. Falling back to deep
+/// equality would re-walk shared DAGs once per path.
+fn shallow_eq(a: &PhysicalPlan, b: &PhysicalPlan) -> bool {
+    use PhysicalPlan as P;
+    match (a, b) {
+        (
+            P::TableScan {
+                table: ta,
+                epoch: ea,
+            },
+            P::TableScan {
+                table: tb,
+                epoch: eb,
+            },
+        ) => ta == tb && ea == eb,
+        (
+            P::TransitionScan {
+                table: ta,
+                side: sa,
+                pruned: pa,
+            },
+            P::TransitionScan {
+                table: tb,
+                side: sb,
+                pruned: pb,
+            },
+        ) => ta == tb && sa == sb && pa == pb,
+        (
+            P::Values {
+                arity: aa,
+                rows: ra,
+            },
+            P::Values {
+                arity: ab,
+                rows: rb,
+            },
+        ) => aa == ab && ra == rb,
+        (
+            P::Filter {
+                input: ia,
+                predicate: pa,
+            },
+            P::Filter {
+                input: ib,
+                predicate: pb,
+            },
+        ) => Arc::ptr_eq(ia, ib) && pa == pb,
+        (
+            P::Project {
+                input: ia,
+                exprs: ea,
+            },
+            P::Project {
+                input: ib,
+                exprs: eb,
+            },
+        ) => Arc::ptr_eq(ia, ib) && ea == eb,
+        (
+            P::HashJoin {
+                left: la,
+                right: ra,
+                left_keys: lka,
+                right_keys: rka,
+                kind: ka,
+                filter: fa,
+            },
+            P::HashJoin {
+                left: lb,
+                right: rb,
+                left_keys: lkb,
+                right_keys: rkb,
+                kind: kb,
+                filter: fb,
+            },
+        ) => {
+            Arc::ptr_eq(la, lb)
+                && Arc::ptr_eq(ra, rb)
+                && lka == lkb
+                && rka == rkb
+                && ka == kb
+                && fa == fb
         }
-        .into_ref())
+        (
+            P::IndexJoin {
+                outer: oa,
+                table: ta,
+                epoch: ea,
+                probe: pa,
+                kind: ka,
+                filter: fa,
+            },
+            P::IndexJoin {
+                outer: ob,
+                table: tb,
+                epoch: eb,
+                probe: pb,
+                kind: kb,
+                filter: fb,
+            },
+        ) => Arc::ptr_eq(oa, ob) && ta == tb && ea == eb && pa == pb && ka == kb && fa == fb,
+        (
+            P::NestedLoopJoin {
+                left: la,
+                right: ra,
+                predicate: pa,
+                kind: ka,
+            },
+            P::NestedLoopJoin {
+                left: lb,
+                right: rb,
+                predicate: pb,
+                kind: kb,
+            },
+        ) => Arc::ptr_eq(la, lb) && Arc::ptr_eq(ra, rb) && pa == pb && ka == kb,
+        (
+            P::HashAggregate {
+                input: ia,
+                group_exprs: ga,
+                aggs: aa,
+            },
+            P::HashAggregate {
+                input: ib,
+                group_exprs: gb,
+                aggs: ab,
+            },
+        ) => Arc::ptr_eq(ia, ib) && ga == gb && aa == ab,
+        (P::UnionAll { inputs: ia }, P::UnionAll { inputs: ib }) => {
+            ia.len() == ib.len() && ia.iter().zip(ib).all(|(x, y)| Arc::ptr_eq(x, y))
+        }
+        (P::Distinct { input: ia }, P::Distinct { input: ib }) => Arc::ptr_eq(ia, ib),
+        (
+            P::Sort {
+                input: ia,
+                keys: ka,
+            },
+            P::Sort {
+                input: ib,
+                keys: kb,
+            },
+        ) => Arc::ptr_eq(ia, ib) && ka == kb,
+        (
+            P::Unnest {
+                input: ia,
+                expr: ea,
+            },
+            P::Unnest {
+                input: ib,
+                expr: eb,
+            },
+        ) => Arc::ptr_eq(ia, ib) && ea == eb,
+        _ => false,
     }
 }
 

@@ -8,8 +8,22 @@
 //! A [`Graph`] is an append-only arena of [`Operator`]s; subgraphs are
 //! shared by id, which is how `CreateAKGraph` reuses the original view
 //! operators (e.g. joining box 4 with its Δ-side counterpart in Fig. 10).
+//!
+//! Operators are **hash-consed**: pushing an operator whose kind and inputs
+//! structurally match an existing arena entry returns the existing id
+//! instead of appending a duplicate. Because inputs are themselves interned
+//! ids, structural equality of whole subgraphs collapses to id equality —
+//! the Δ/∇/old-epoch variants that trigger translation derives per source
+//! event share every untouched subtree by construction, and the memo tables
+//! keyed on [`OpId`] (compilation, keys, skeletons) hit across variants.
+//! Per-operator `arity`/`column_names` are memoized for the same reason: a
+//! naive recursive walk revisits shared nodes once per *path*, which is
+//! exponential in view depth.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
 use quark_relational::expr::{AggExpr, Expr};
 use quark_relational::plan::TableEpoch;
@@ -23,7 +37,7 @@ pub type OpId = usize;
 pub type JoinKind = quark_relational::plan::JoinKind;
 
 /// Where a `Table` operator reads its rows from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TableSource {
     /// The stored table, current or reconstructed-old epoch.
     Base(TableEpoch),
@@ -40,7 +54,7 @@ pub enum TableSource {
 }
 
 /// Operator kinds — exactly Table 1 of the paper.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Represents a relational table.
     Table {
@@ -92,7 +106,7 @@ pub enum OpKind {
 }
 
 /// One operator node.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Operator {
     /// What the operator does.
     pub kind: OpKind,
@@ -102,9 +116,32 @@ pub struct Operator {
 
 /// An XQGM graph: an arena of operators. Any operator id can serve as a
 /// root; trigger translation evaluates several roots over shared subgraphs.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// The arena hash-conses operators (see the module docs) and memoizes
+/// per-operator arity and column names. Both memos resolve table schemas
+/// against the `Database` passed to the *first* call; a graph must only be
+/// used with databases whose referenced tables keep their schemas (the
+/// engine has no `ALTER TABLE`, so this holds for every database the graph
+/// was built against).
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     ops: Vec<Operator>,
+    /// Structural hash per operator (kind + input ids).
+    hashes: Vec<u64>,
+    /// Hash-consing table: structural hash → candidate ids.
+    intern: HashMap<u64, Vec<OpId>>,
+    /// Memoized output arity per operator.
+    arities: Vec<OnceLock<usize>>,
+    /// Memoized output column names per operator.
+    names: Vec<OnceLock<Vec<String>>>,
+}
+
+/// Graphs compare by operator content; the intern table and memo caches are
+/// derived state.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.ops == other.ops
+    }
 }
 
 impl Graph {
@@ -134,8 +171,26 @@ impl Graph {
     }
 
     fn push(&mut self, op: Operator) -> OpId {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        op.hash(&mut hasher);
+        for &i in &op.inputs {
+            self.hashes[i].hash(&mut hasher);
+        }
+        let h = hasher.finish();
+        if let Some(candidates) = self.intern.get(&h) {
+            for &id in candidates {
+                if self.ops[id] == op {
+                    return id;
+                }
+            }
+        }
+        let id = self.ops.len();
         self.ops.push(op);
-        self.ops.len() - 1
+        self.hashes.push(h);
+        self.arities.push(OnceLock::new());
+        self.names.push(OnceLock::new());
+        self.intern.entry(h).or_default().push(id);
+        id
     }
 
     /// Add a `Table` operator reading the current base state.
@@ -240,7 +295,18 @@ impl Graph {
     }
 
     /// Number of output columns of `op`, resolving table schemas in `db`.
+    /// Memoized per operator (see the type docs for the schema-stability
+    /// invariant).
     pub fn arity(&self, id: OpId, db: &Database) -> Result<usize> {
+        if let Some(&a) = self.arities[id].get() {
+            return Ok(a);
+        }
+        let a = self.arity_uncached(id, db)?;
+        let _ = self.arities[id].set(a);
+        Ok(a)
+    }
+
+    fn arity_uncached(&self, id: OpId, db: &Database) -> Result<usize> {
         let op = self.op(id);
         Ok(match &op.kind {
             OpKind::Table { table, .. } => db.table(table)?.schema().arity(),
@@ -261,8 +327,18 @@ impl Graph {
         })
     }
 
-    /// Output column names of `op` (synthesized where unnamed).
+    /// Output column names of `op` (synthesized where unnamed). Memoized
+    /// per operator.
     pub fn column_names(&self, id: OpId, db: &Database) -> Result<Vec<String>> {
+        if let Some(hit) = self.names[id].get() {
+            return Ok(hit.clone());
+        }
+        let names = self.column_names_uncached(id, db)?;
+        let _ = self.names[id].set(names.clone());
+        Ok(names)
+    }
+
+    fn column_names_uncached(&self, id: OpId, db: &Database) -> Result<Vec<String>> {
         let op = self.op(id);
         Ok(match &op.kind {
             OpKind::Table { table, .. } => db

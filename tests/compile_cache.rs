@@ -1,0 +1,355 @@
+//! The per-system compile cache: memoized trigger translation must be
+//! observationally identical to a fresh uncached compile (same `EXPLAIN
+//! TRIGGER` rendering, same SQL-trigger and constants-row counts, same
+//! firing results in all three modes), entries must be shared across
+//! structurally equal views, and dropping the last group of an entry must
+//! evict it — recreation recompiles instead of resurrecting dropped plans.
+
+mod common;
+
+use common::{all_modes, catalog_system, update_price, Log};
+use quark_core::relational::Database;
+use quark_core::{Mode, Session, StatementResult};
+
+/// `EXPLAIN TRIGGER` text with the group-specific identifiers (group ids in
+/// generated trigger names, constants-table suffixes, member/set counters)
+/// masked, leaving exactly the translation structure: SQL trigger events,
+/// tables, and compiled plans.
+fn normalized_explain(session: &mut Session, trigger: &str) -> String {
+    let StatementResult::Explain(text) = session
+        .execute(&format!("EXPLAIN TRIGGER {trigger}"))
+        .unwrap()
+    else {
+        panic!("expected Explain result")
+    };
+    let mut out = String::new();
+    for line in text.lines() {
+        // The header lines carry the trigger's own name and set/member
+        // counters; skip them and keep the structural payload.
+        if line.starts_with("XML trigger")
+            || line.starts_with("group:")
+            || line.starts_with("constants:")
+        {
+            continue;
+        }
+        out.push_str(&mask_ids(line));
+        out.push('\n');
+    }
+    out
+}
+
+/// Replace the digits following `__quark_g` and `__quark_const_` with `N`.
+fn mask_ids(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(pos) = rest.find("__quark_") {
+        let (before, tail) = rest.split_at(pos);
+        out.push_str(before);
+        let prefix_len = if tail.starts_with("__quark_const_") {
+            "__quark_const_".len()
+        } else if tail.starts_with("__quark_g") {
+            "__quark_g".len()
+        } else {
+            "__quark_".len()
+        };
+        out.push_str(&tail[..prefix_len]);
+        let after = &tail[prefix_len..];
+        let digits = after.chars().take_while(|c| c.is_ascii_digit()).count();
+        if digits > 0 {
+            out.push('N');
+        }
+        rest = &after[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// A trigger whose action shape differs from `notify(NEW_NODE)` — it forms
+/// a separate group in every mode but shares the (view, event, needs)
+/// compile-cache signature.
+fn other_shape_trigger(name: &str, watched: &str) -> String {
+    format!(
+        "create trigger {name} after update on view('catalog')/product \
+         where OLD_NODE/@name = '{watched}' do notify(NEW_NODE, 'tagged')"
+    )
+}
+
+fn base_trigger(name: &str, watched: &str) -> String {
+    format!(
+        "create trigger {name} after update on view('catalog')/product \
+         where OLD_NODE/@name = '{watched}' do notify(NEW_NODE)"
+    )
+}
+
+/// The cache-hit translation must render exactly like the cold one: the
+/// second group's plans are the cached plans of the first, re-dressed with
+/// its own constants table.
+#[test]
+fn cache_hit_translation_renders_identically() {
+    for mode in all_modes() {
+        let (mut session, _log) = catalog_system(mode);
+        session.execute(&base_trigger("Cold", "CRT 15")).unwrap();
+        assert_eq!(session.quark().compile_cache_hits(), 0, "{mode:?}");
+        session
+            .execute(&other_shape_trigger("Warm", "CRT 15"))
+            .unwrap();
+        assert_eq!(
+            session.quark().compile_cache_hits(),
+            1,
+            "{mode:?}: second group should reuse the compiled plans"
+        );
+        let cold = normalized_explain(&mut session, "Cold");
+        let warm = normalized_explain(&mut session, "Warm");
+        assert_eq!(cold, warm, "{mode:?}: cached translation diverged");
+    }
+}
+
+/// Differential check: a caching system and a cache-disabled system run the
+/// same statement sequence and must agree on every observable — firings,
+/// SQL-trigger counts, constants rows, and `EXPLAIN TRIGGER` output.
+#[test]
+fn memoized_compile_is_observationally_identical_to_uncached() {
+    for mode in all_modes() {
+        let (mut cached, cached_log) = catalog_system(mode);
+        let (mut uncached, uncached_log) = catalog_system(mode);
+        uncached.quark_mut().set_compile_cache_enabled(false);
+
+        let triggers = [
+            base_trigger("T0", "CRT 15"),
+            other_shape_trigger("T1", "CRT 15"),
+            base_trigger("T2", "LCD 19"),
+            other_shape_trigger("T3", "LCD 19"),
+        ];
+        for t in &triggers {
+            cached.execute(t).unwrap();
+            uncached.execute(t).unwrap();
+        }
+        assert!(
+            cached.quark().compile_cache_hits() > 0,
+            "{mode:?}: differential run never exercised the cache"
+        );
+        assert_eq!(uncached.quark().compile_cache_hits(), 0, "{mode:?}");
+        assert_eq!(
+            cached.quark().sql_trigger_count(),
+            uncached.quark().sql_trigger_count(),
+            "{mode:?}"
+        );
+        assert_eq!(
+            cached.quark().constants_row_count(),
+            uncached.quark().constants_row_count(),
+            "{mode:?}"
+        );
+
+        // A deterministic pseudo-random statement mix (keyed updates,
+        // inserts, deletes) — both systems must fire identically after
+        // every statement.
+        let vendors = [
+            ("Amazon", "P1"),
+            ("Bestbuy", "P1"),
+            ("Circuitcity", "P1"),
+            ("Amazon", "P3"),
+            ("Buy.com", "P2"),
+            ("PriceGrabber", "P2"),
+        ];
+        let mut state = 0x5eed_cafe_u64;
+        for step in 0..40 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pick = (state >> 33) as usize;
+            let stmt = match pick % 5 {
+                0..=2 => {
+                    let (vid, pid) = vendors[pick % vendors.len()];
+                    let price = 40.0 + (pick % 200) as f64;
+                    format!(
+                        "UPDATE vendor SET price = {price:?} \
+                         WHERE vid = '{vid}' AND pid = '{pid}'"
+                    )
+                }
+                3 => format!(
+                    "INSERT INTO vendor VALUES ('Newegg{step}', 'P1', {:?})",
+                    90.0 + (pick % 50) as f64
+                ),
+                _ => format!("DELETE FROM vendor WHERE vid = 'Newegg{}'", step.max(1) - 1),
+            };
+            let a = cached.execute(&stmt).unwrap();
+            let b = uncached.execute(&stmt).unwrap();
+            assert_eq!(a, b, "{mode:?} step {step}: {stmt}");
+            assert_eq!(
+                cached_log.take(),
+                uncached_log.take(),
+                "{mode:?} step {step}: firings diverged after {stmt}"
+            );
+        }
+
+        for name in ["T0", "T1", "T2", "T3"] {
+            assert_eq!(
+                normalized_explain(&mut cached, name),
+                normalized_explain(&mut uncached, name),
+                "{mode:?}: EXPLAIN TRIGGER {name} diverged"
+            );
+        }
+    }
+}
+
+/// Lifecycle: the compile cache holds one reference per live group, drops
+/// the entry with its last group, and recreation after a full drop
+/// recompiles (a cache *miss*) instead of resurrecting dropped plans.
+#[test]
+fn drop_recreate_evicts_compile_cache() {
+    for mode in [Mode::Grouped, Mode::GroupedAgg] {
+        let (mut session, log) = catalog_system(mode);
+        session.execute(&base_trigger("A", "CRT 15")).unwrap();
+        session.execute(&base_trigger("B", "LCD 19")).unwrap(); // same group
+        session
+            .execute(&other_shape_trigger("C", "CRT 15"))
+            .unwrap(); // 2nd group
+        assert_eq!(session.quark().compile_cache_len(), 1, "{mode:?}");
+        assert_eq!(session.quark().compile_cache_hits(), 1, "{mode:?}");
+
+        // Dropping one group keeps the entry alive for the other.
+        session.execute("DROP TRIGGER C").unwrap();
+        assert_eq!(session.quark().compile_cache_len(), 1, "{mode:?}");
+
+        // Dropping one member of the surviving group keeps it too.
+        session.execute("DROP TRIGGER A").unwrap();
+        assert_eq!(session.quark().compile_cache_len(), 1, "{mode:?}");
+
+        // The last member's drop evicts the entry.
+        session.execute("DROP TRIGGER B").unwrap();
+        assert_eq!(session.quark().group_count(), 0, "{mode:?}");
+        assert_eq!(
+            session.quark().compile_cache_len(),
+            0,
+            "{mode:?}: entry must die with its last group"
+        );
+
+        // Recreation recompiles: hit counter stays put, and the fresh
+        // trigger observably works.
+        let hits_before = session.quark().compile_cache_hits();
+        session.execute(&base_trigger("A2", "CRT 15")).unwrap();
+        assert_eq!(
+            session.quark().compile_cache_hits(),
+            hits_before,
+            "{mode:?}: recreation must not be served from a dropped entry"
+        );
+        assert_eq!(session.quark().compile_cache_len(), 1, "{mode:?}");
+        update_price(&mut session, "Amazon", "P1", 55.0).unwrap();
+        assert_eq!(log.take().len(), 1, "{mode:?}: recreated trigger fires");
+    }
+}
+
+/// Disabling the cache must release every group's entry reference: a group
+/// created before the disable would otherwise decrement — and wrongly
+/// evict — an entry recreated after re-enabling.
+#[test]
+fn disabling_cache_releases_group_references() {
+    let (mut session, _log) = catalog_system(Mode::Grouped);
+    session.execute(&base_trigger("A", "CRT 15")).unwrap();
+    session.quark_mut().set_compile_cache_enabled(false);
+    assert_eq!(session.quark().compile_cache_len(), 0);
+    session.quark_mut().set_compile_cache_enabled(true);
+    session
+        .execute(&other_shape_trigger("B", "CRT 15"))
+        .unwrap();
+    assert_eq!(session.quark().compile_cache_len(), 1);
+
+    // A holds no reference on B's entry; dropping it must not evict.
+    session.execute("DROP TRIGGER A").unwrap();
+    assert_eq!(session.quark().compile_cache_len(), 1);
+    session.execute("DROP TRIGGER B").unwrap();
+    assert_eq!(session.quark().compile_cache_len(), 0);
+}
+
+/// Ungrouped mode gives every trigger its own group; the compile cache is
+/// what keeps the N-th identical trigger from re-deriving the delta graphs.
+#[test]
+fn ungrouped_triggers_share_compiled_plans() {
+    let (mut session, log) = catalog_system(Mode::Ungrouped);
+    for i in 0..5 {
+        session
+            .execute(&base_trigger(&format!("U{i}"), "CRT 15"))
+            .unwrap();
+    }
+    assert_eq!(session.quark().group_count(), 5);
+    assert_eq!(session.quark().compile_cache_len(), 1);
+    assert_eq!(session.quark().compile_cache_hits(), 4);
+    update_price(&mut session, "Amazon", "P1", 66.0).unwrap();
+    assert_eq!(log.take().len(), 5, "all five copies fire");
+}
+
+/// Two views registered under different names but with identical structure
+/// share one compile-cache entry (the signature is canonical, not
+/// name-based).
+#[test]
+fn structurally_equal_views_share_cache_entries() {
+    let mut session = quark_xquery::session(Database::new(), Mode::GroupedAgg);
+    for stmt in [
+        "CREATE TABLE customer (cid INT PRIMARY KEY, name TEXT)",
+        "CREATE TABLE orders (oid INT PRIMARY KEY, cid INT, total DOUBLE)",
+        "CREATE INDEX ON orders (cid)",
+        "INSERT INTO customer VALUES (1, 'ada'), (2, 'bob')",
+        "INSERT INTO orders VALUES (10, 1, 120.0), (11, 1, 80.0), \
+                                   (12, 2, 300.0), (13, 2, 20.0)",
+    ] {
+        session.execute(stmt).unwrap();
+    }
+    let body = r#"{
+      <accounts>{
+        for $c in view("default")/customer/row
+        let $orders := view("default")/orders/row[./cid = $c/cid]
+        where count($orders) >= 2
+        return <customer name={$c/name}>
+          { for $o in $orders return <order><oid>{$o/oid}</oid><total>{$o/total}</total></order> }
+        </customer>
+      }</accounts>
+    }"#;
+    session
+        .execute(&format!("create view accounts as {body}"))
+        .unwrap();
+    session
+        .execute(&format!("create view mirror as {body}"))
+        .unwrap();
+    let log = Log::default();
+    let sink = log.clone();
+    session
+        .register_action("notify", move |_db: &mut Database, call| {
+            sink.0
+                .lock()
+                .unwrap()
+                .push((call.trigger.clone(), call.params.clone()));
+            Ok(())
+        })
+        .unwrap();
+
+    session
+        .execute(
+            "create trigger OnAccounts after update on view('accounts')/customer \
+             where OLD_NODE/@name = 'ada' do notify(NEW_NODE)",
+        )
+        .unwrap();
+    assert_eq!(session.quark().compile_cache_hits(), 0);
+    session
+        .execute(
+            "create trigger OnMirror after update on view('mirror')/customer \
+             where OLD_NODE/@name = 'ada' do notify(NEW_NODE)",
+        )
+        .unwrap();
+    assert_eq!(
+        session.quark().compile_cache_hits(),
+        1,
+        "structurally equal view must hit the cache"
+    );
+    assert_eq!(session.quark().compile_cache_len(), 1);
+
+    // Both views' triggers fire on the same base change.
+    session
+        .execute("UPDATE orders SET total = 140.0 WHERE oid = 10")
+        .unwrap();
+    let mut fired: Vec<String> = log.take().into_iter().map(|(name, _)| name).collect();
+    fired.sort();
+    assert_eq!(
+        fired,
+        vec!["OnAccounts".to_string(), "OnMirror".to_string()]
+    );
+}
