@@ -3,7 +3,7 @@
 //! repository's extra ablations.
 //!
 //! ```text
-//! cargo run --release -p quark-bench --bin figures -- [fig17|fig18|fig22|fig23|fig24|compile|ablations|all] [--quick] [--full-ungrouped] [--check BASELINE --tolerance F]
+//! cargo run --release -p quark-bench --bin figures -- [fig17|fig18|fig22|fig23|fig24|compile|cardinality|ablations|all] [--quick] [--full-ungrouped] [--check BASELINE --tolerance F]
 //! ```
 //!
 //! `--quick` scales the workload down (CI-friendly); `--full-ungrouped`
@@ -108,7 +108,7 @@ impl Report {
 const USAGE: &str = "\
 Regenerates the paper's measurement figures.
 
-Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|ablations|all] [--quick] [--full-ungrouped] [--out PATH] [--check BASELINE] [--tolerance F]
+Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|cardinality|ablations|all] [--quick] [--full-ungrouped] [--out PATH] [--check BASELINE] [--tolerance F]
 
   --quick           scale workloads down to CI-friendly sizes
   --full-ungrouped  extend Fig. 17's UNGROUPED sweep beyond 1000 triggers (slow)
@@ -195,6 +195,7 @@ fn main() {
         ("fig22", &fig22),
         ("fig24", &fig24),
         ("fig23", &fig23),
+        ("cardinality", &cardinality),
         ("ablations", &ablations),
     ];
     if args.which != "all" && !figures.iter().any(|(name, _)| *name == args.which) {
@@ -590,6 +591,48 @@ fn fig24(args: &Args, report: &mut Report) {
             let avg = w.measure(args.updates).expect("measure");
             row.push_str(&format!("{:>16.3}", ms(avg)));
             report.push("fig24", mode_name(mode), "satisfied", k as f64, ms(avg));
+        }
+        println!("{row}");
+    }
+}
+
+/// Cardinality sweep (no paper counterpart): per-firing latency vs
+/// base-table rows, all three modes. The paper's flat Figs. 17/23 curves
+/// assume every base-table access in a generated trigger is "an index
+/// probe, never a scan" (§6.1); this sweep pins that property down
+/// directly — per-firing cost must stay O(affected rows), independent of
+/// how many rows the leaf table holds. Trigger count is held small so the
+/// only growing quantity is the data.
+fn cardinality(args: &Args, report: &mut Report) {
+    let mut spec = base_spec(args, Mode::Grouped);
+    spec.depth = 3;
+    spec.fanout = 16;
+    spec.triggers = 50;
+    spec.satisfied = 5;
+    spec.full_action = false;
+    banner(
+        "Cardinality: per-firing latency vs base-table rows",
+        &spec,
+        args,
+    );
+    // Same sizes in quick and full runs so the committed quick baseline
+    // gates every point of the sweep (the acceptance bar is 100k within
+    // 2x of 1k for the grouped modes).
+    let sizes: &[usize] = &[1_000, 4_000, 16_000, 64_000, 100_000];
+    println!(
+        "{:<12} {:>16} {:>16} {:>16}",
+        "leaves", "UNGROUPED (ms)", "GROUPED (ms)", "GROUPED-AGG (ms)"
+    );
+    for &n in sizes {
+        let mut row = format!("{n:<12}");
+        for mode in [Mode::Ungrouped, Mode::Grouped, Mode::GroupedAgg] {
+            let mut s = spec;
+            s.mode = mode;
+            s.leaf_count = n;
+            let mut w = build(s).expect("workload");
+            let avg = w.measure(args.updates).expect("measure");
+            row.push_str(&format!("{:>16.3}", ms(avg)));
+            report.push("cardinality", mode_name(mode), "leaves", n as f64, ms(avg));
         }
         println!("{row}");
     }

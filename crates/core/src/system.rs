@@ -246,6 +246,14 @@ impl Quark {
         self.groups.len()
     }
 
+    /// Execution-counter snapshot of the underlying database: statement and
+    /// firing counts plus the executor's `rows_scanned` / `index_probes` /
+    /// `build_cache_hits` observability counters — the probe-not-scan
+    /// evidence behind the flat firing-latency curves.
+    pub fn stats(&self) -> quark_relational::Stats {
+        self.db.stats()
+    }
+
     /// Number of live compile-cache entries (each referenced by ≥ 1 group).
     pub fn compile_cache_len(&self) -> usize {
         self.compile_cache.len()

@@ -11,13 +11,15 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::exec::{execute, ExecContext};
+use crate::exec::{execute, ExecCache, ExecContext};
+use crate::expr::{BinOp, Expr};
 use crate::plan::PlanRef;
 use crate::schema::TableSchema;
-use crate::table::Table;
-use crate::value::{Row, Value};
+use crate::table::{Key, Table};
+use crate::value::{ColumnType, Row, Value};
 use crate::{Error, Result};
 
 /// Relational statement kinds, which double as trigger event kinds.
@@ -107,21 +109,83 @@ pub struct Stats {
     pub statements: u64,
     /// Trigger bodies evaluated.
     pub triggers_fired: u64,
+    /// Rows visited by full table scans — `TableScan` operators plus the
+    /// statement-level scan fallbacks of `update_expr`/`delete_expr`.
+    /// Together with [`Stats::index_probes`] this lets tests assert
+    /// probe-not-scan instead of inferring it from wall-clock time.
+    pub rows_scanned: u64,
+    /// Primary-key and secondary-index equality probes (index joins and
+    /// keyed statement fast paths).
+    pub index_probes: u64,
+    /// Join build sides / stable subplan results served from the
+    /// cross-firing executor cache instead of being rebuilt.
+    pub build_cache_hits: u64,
+}
+
+/// Executor-side counters. They are bumped during plan execution, where
+/// only `&Database` is available, so they live behind relaxed atomics and
+/// are folded into [`Stats`] snapshots by [`Database::stats`].
+#[derive(Debug, Default)]
+pub(crate) struct ExecCounters {
+    pub(crate) rows_scanned: AtomicU64,
+    pub(crate) index_probes: AtomicU64,
+    pub(crate) build_cache_hits: AtomicU64,
+}
+
+impl ExecCounters {
+    pub(crate) fn add_scanned(&self, n: u64) {
+        self.rows_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_probes(&self, n: u64) {
+        self.index_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_build_hit(&self) {
+        self.build_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ExecCounters {
+        ExecCounters {
+            rows_scanned: AtomicU64::new(self.rows_scanned.load(Ordering::Relaxed)),
+            index_probes: AtomicU64::new(self.index_probes.load(Ordering::Relaxed)),
+            build_cache_hits: AtomicU64::new(self.build_cache_hits.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// An in-memory relational database with statement triggers.
 ///
 /// `Clone` copies tables and trigger registrations (triggers share their
-/// bodies); the oracle baseline uses clones as shadow states.
-#[derive(Default, Clone)]
+/// bodies); the oracle baseline uses clones as shadow states. A clone gets
+/// a **fresh executor cache**: the copy's tables diverge independently
+/// while reusing the same per-table version counters, so cached build
+/// sides must never cross database instances.
+#[derive(Default)]
 pub struct Database {
     tables: HashMap<String, Table>,
     triggers: Vec<Arc<SqlTrigger>>,
     trigger_names: std::collections::HashSet<String>,
     fire_depth: usize,
     schema_generation: u64,
-    /// Execution counters.
-    pub stats: Stats,
+    stats: Stats,
+    pub(crate) counters: ExecCounters,
+    pub(crate) exec_cache: ExecCache,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            tables: self.tables.clone(),
+            triggers: self.triggers.clone(),
+            trigger_names: self.trigger_names.clone(),
+            fire_depth: self.fire_depth,
+            schema_generation: self.schema_generation,
+            stats: self.stats,
+            counters: self.counters.snapshot(),
+            exec_cache: ExecCache::new(self.exec_cache.is_enabled()),
+        }
+    }
 }
 
 impl fmt::Debug for Database {
@@ -182,6 +246,28 @@ impl Database {
     /// against an older schema are never reused once the schema moves.
     pub fn schema_generation(&self) -> u64 {
         self.schema_generation
+    }
+
+    /// Snapshot of the execution counters: statement/trigger counts plus
+    /// the executor's scan/probe/cache observability counters.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats;
+        s.rows_scanned = self.counters.rows_scanned.load(Ordering::Relaxed);
+        s.index_probes = self.counters.index_probes.load(Ordering::Relaxed);
+        s.build_cache_hits = self.counters.build_cache_hits.load(Ordering::Relaxed);
+        s
+    }
+
+    /// Enable or disable the cross-firing executor cache (on by default).
+    /// Disabling clears existing entries; differential tests compare a
+    /// caching database against an uncached one.
+    pub fn set_exec_cache_enabled(&mut self, enabled: bool) {
+        self.exec_cache.set_enabled(enabled);
+    }
+
+    /// Number of live executor-cache entries (tests and leak checks).
+    pub fn exec_cache_len(&self) -> usize {
+        self.exec_cache.len()
     }
 
     /// Look up a table.
@@ -275,6 +361,7 @@ impl Database {
         key: &[Value],
         assignments: &[(usize, Value)],
     ) -> Result<bool> {
+        self.counters.add_probes(1);
         let (old, new) = {
             let t = self.table_mut(table)?;
             let Some(existing) = t.get(key) else {
@@ -352,6 +439,8 @@ impl Database {
         pred: Option<&crate::expr::Expr>,
         assignments: &[(usize, crate::expr::Expr)],
     ) -> Result<usize> {
+        let mut probed = 0u64;
+        let mut scanned = 0u64;
         let (deleted, inserted) = {
             let t = self.table_mut(table)?;
             let arity = t.schema().arity();
@@ -361,19 +450,39 @@ impl Database {
                 }
             }
             let mut targets: Vec<(Box<[Value]>, Vec<Value>)> = Vec::new();
-            for r in t.iter() {
-                let keep = match pred {
-                    Some(p) => p.eval(r)?.is_true(),
-                    None => true,
-                };
-                if !keep {
-                    continue;
+            // Keyed fast path: a predicate that is an equality on the
+            // primary key or an indexed column probes the affected rows
+            // directly (the probe is exactly the predicate, so no residual
+            // evaluation is needed); anything else scans.
+            match pred.and_then(|p| probe_keys(t, p)) {
+                Some(keys) => {
+                    probed = 1;
+                    for k in keys {
+                        let r = t.get(&k).expect("probed key exists");
+                        let mut next: Vec<Value> = r.to_vec();
+                        for (col, e) in assignments {
+                            next[*col] = e.eval(r)?;
+                        }
+                        targets.push((k, next));
+                    }
                 }
-                let mut next: Vec<Value> = r.to_vec();
-                for (col, e) in assignments {
-                    next[*col] = e.eval(r)?;
+                None => {
+                    scanned = t.len() as u64;
+                    for r in t.iter() {
+                        let keep = match pred {
+                            Some(p) => p.eval(r)?.is_true(),
+                            None => true,
+                        };
+                        if !keep {
+                            continue;
+                        }
+                        let mut next: Vec<Value> = r.to_vec();
+                        for (col, e) in assignments {
+                            next[*col] = e.eval(r)?;
+                        }
+                        targets.push((t.schema().key_of(r), next));
+                    }
                 }
-                targets.push((t.schema().key_of(r), next));
             }
             // Phase 1: remove every affected row.
             let mut deleted = Vec::with_capacity(targets.len());
@@ -406,6 +515,7 @@ impl Database {
             }
             (deleted, inserted)
         };
+        self.note_access(probed, scanned);
         self.stats.statements += 1;
         let n = inserted.len();
         if n > 0 {
@@ -421,20 +531,33 @@ impl Database {
 
     /// `DELETE FROM table WHERE pred` as one statement, with the predicate
     /// as an [`Expr`](crate::expr::Expr)ession. Evaluation errors abort the
-    /// statement before any row changes.
+    /// statement before any row changes. Indexed-equality predicates probe
+    /// the affected rows instead of scanning (see [`Database::update_expr`]).
     pub fn delete_expr(&mut self, table: &str, pred: Option<&crate::expr::Expr>) -> Result<usize> {
+        let mut probed = 0u64;
+        let mut scanned = 0u64;
         let deleted = {
             let t = self.table_mut(table)?;
-            let mut keys = Vec::new();
-            for r in t.iter() {
-                let hit = match pred {
-                    Some(p) => p.eval(r)?.is_true(),
-                    None => true,
-                };
-                if hit {
-                    keys.push(t.schema().key_of(r));
+            let keys = match pred.and_then(|p| probe_keys(t, p)) {
+                Some(keys) => {
+                    probed = 1;
+                    keys
                 }
-            }
+                None => {
+                    scanned = t.len() as u64;
+                    let mut keys = Vec::new();
+                    for r in t.iter() {
+                        let hit = match pred {
+                            Some(p) => p.eval(r)?.is_true(),
+                            None => true,
+                        };
+                        if hit {
+                            keys.push(t.schema().key_of(r));
+                        }
+                    }
+                    keys
+                }
+            };
             let mut deleted = Vec::with_capacity(keys.len());
             for k in keys {
                 if let Some(row) = t.delete(&k) {
@@ -443,6 +566,7 @@ impl Database {
             }
             deleted
         };
+        self.note_access(probed, scanned);
         self.stats.statements += 1;
         let n = deleted.len();
         if n > 0 {
@@ -458,6 +582,7 @@ impl Database {
 
     /// `DELETE FROM table WHERE pk = key` as one statement.
     pub fn delete_by_key(&mut self, table: &str, key: &[Value]) -> Result<bool> {
+        self.counters.add_probes(1);
         let old = self.table_mut(table)?.delete(key);
         self.stats.statements += 1;
         match old {
@@ -537,6 +662,17 @@ impl Database {
     // Trigger dispatch
     // ------------------------------------------------------------------
 
+    /// Fold `(probes, scanned-row)` deltas from the statement fast paths
+    /// into the executor counters.
+    fn note_access(&self, probed: u64, scanned: u64) {
+        if probed > 0 {
+            self.counters.add_probes(probed);
+        }
+        if scanned > 0 {
+            self.counters.add_scanned(scanned);
+        }
+    }
+
     fn after_statement(&mut self, trans: TransitionTables) -> Result<()> {
         let matching: Vec<Arc<SqlTrigger>> = self
             .triggers
@@ -572,6 +708,96 @@ impl Database {
         }
         Ok(())
     }
+}
+
+/// Collect `(column, literal)` pairs when `pred` is a pure conjunction of
+/// `col = literal` equalities (either operand order). Rejects duplicate
+/// columns and NULL/NaN literals, whose SQL comparison semantics (`NULL =
+/// NULL` is unknown, `NaN` compares to nothing) differ from the total
+/// key-equality an index probe would apply.
+fn equality_pairs(pred: &Expr, out: &mut Vec<(usize, Value)>) -> bool {
+    match pred {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => equality_pairs(left, out) && equality_pairs(right, out),
+        Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } => {
+            let (col, lit) = match (left.as_ref(), right.as_ref()) {
+                (Expr::Col(c), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(c)) => (*c, v),
+                _ => return false,
+            };
+            if lit.is_null() || matches!(lit, Value::Double(d) if d.is_nan()) {
+                return false;
+            }
+            if out.iter().any(|(seen, _)| *seen == col) {
+                return false;
+            }
+            out.push((col, lit.clone()));
+            true
+        }
+        _ => false,
+    }
+}
+
+/// A probe literal is only equivalent to the predicate's SQL comparison
+/// when its type lines up with the column's declared type (numerics are
+/// interchangeable: storage order and hashing unify `Int`/`Double`).
+/// Cross-kind comparisons like `str_col = 5` atomize in SQL but would
+/// miss under key equality, so they fall back to the scan path.
+fn probe_compatible(lit: &Value, ty: ColumnType) -> bool {
+    matches!(
+        (lit, ty),
+        (
+            Value::Int(_) | Value::Double(_),
+            ColumnType::Int | ColumnType::Double
+        ) | (Value::Str(_), ColumnType::Str)
+            | (Value::Bool(_), ColumnType::Bool)
+    )
+}
+
+/// Primary keys of the rows matching an indexed-equality predicate: the
+/// equalities cover the full primary key (one PK probe) or a single
+/// secondary-indexed column (one index probe). `None` when the predicate
+/// is not probeable — callers fall back to the full scan.
+fn probe_keys(t: &Table, pred: &Expr) -> Option<Vec<Key>> {
+    let mut pairs = Vec::new();
+    if !equality_pairs(pred, &mut pairs) {
+        return None;
+    }
+    let schema = t.schema();
+    if pairs
+        .iter()
+        .any(|(c, v)| *c >= schema.arity() || !probe_compatible(v, schema.columns[*c].ty))
+    {
+        return None;
+    }
+    let pk = &schema.primary_key;
+    if pairs.len() == pk.len() && pk.iter().all(|c| pairs.iter().any(|(pc, _)| pc == c)) {
+        let key: Key = pk
+            .iter()
+            .map(|c| {
+                pairs
+                    .iter()
+                    .find(|(pc, _)| pc == c)
+                    .expect("coverage checked")
+                    .1
+                    .clone()
+            })
+            .collect();
+        return Some(t.get(&key).map(|r| schema.key_of(r)).into_iter().collect());
+    }
+    if let [(col, value)] = pairs.as_slice() {
+        if t.has_index(*col) {
+            let rows = t.index_lookup(*col, value).ok()?;
+            return Some(rows.iter().map(|r| schema.key_of(r)).collect());
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -769,6 +995,88 @@ mod tests {
             db.drop_trigger("t"),
             Err(Error::UnknownTrigger(_))
         ));
+    }
+
+    #[test]
+    fn update_expr_probes_primary_key_equality() {
+        let mut db = db_with_vendor();
+        db.load("vendor", vec![vrow("a", "P1", 1.0), vrow("b", "P1", 2.0)])
+            .unwrap();
+        let before = db.stats();
+        // price = price * 2 is a non-literal assignment, so the sql-layer
+        // keyed fast path does not apply; the expr layer must still probe.
+        let pred = Expr::bin(
+            BinOp::And,
+            Expr::eq(Expr::col(0), Expr::lit("a")),
+            Expr::eq(Expr::col(1), Expr::lit("P1")),
+        );
+        let double = Expr::bin(BinOp::Mul, Expr::col(2), Expr::lit(2.0));
+        let n = db
+            .update_expr("vendor", Some(&pred), &[(2, double)])
+            .unwrap();
+        assert_eq!(n, 1);
+        let after = db.stats();
+        assert_eq!(after.rows_scanned, before.rows_scanned, "no scan");
+        assert!(after.index_probes > before.index_probes);
+        assert_eq!(
+            db.table("vendor")
+                .unwrap()
+                .get(&[Value::str("a"), Value::str("P1")])
+                .unwrap()[2],
+            Value::Double(2.0)
+        );
+    }
+
+    #[test]
+    fn delete_expr_probes_secondary_index() {
+        let mut db = db_with_vendor();
+        db.create_index("vendor", "pid").unwrap();
+        db.load(
+            "vendor",
+            vec![
+                vrow("a", "P1", 1.0),
+                vrow("b", "P1", 2.0),
+                vrow("c", "P2", 3.0),
+            ],
+        )
+        .unwrap();
+        let before = db.stats();
+        let pred = Expr::eq(Expr::col(1), Expr::lit("P1"));
+        let n = db.delete_expr("vendor", Some(&pred)).unwrap();
+        assert_eq!(n, 2);
+        let after = db.stats();
+        assert_eq!(after.rows_scanned, before.rows_scanned, "no scan");
+        assert!(after.index_probes > before.index_probes);
+        assert_eq!(db.table("vendor").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn probe_fast_path_skips_null_and_type_mismatched_literals() {
+        let mut db = db_with_vendor();
+        db.load("vendor", vec![vrow("a", "P1", 1.0)]).unwrap();
+        let before = db.stats();
+        // `vid = NULL` is unknown for every row: must delete nothing (a
+        // naive key probe on the NULL literal would behave differently).
+        let pred = Expr::bin(
+            BinOp::And,
+            Expr::eq(Expr::col(0), Expr::lit(Value::Null)),
+            Expr::eq(Expr::col(1), Expr::lit("P1")),
+        );
+        assert_eq!(db.delete_expr("vendor", Some(&pred)).unwrap(), 0);
+        // A numeric literal against a string key column falls back to the
+        // scan path, where SQL atomization applies.
+        let pred = Expr::bin(
+            BinOp::And,
+            Expr::eq(Expr::col(0), Expr::lit(5i64)),
+            Expr::eq(Expr::col(1), Expr::lit("P1")),
+        );
+        assert_eq!(db.delete_expr("vendor", Some(&pred)).unwrap(), 0);
+        let after = db.stats();
+        assert!(
+            after.rows_scanned > before.rows_scanned,
+            "fell back to scan"
+        );
+        assert_eq!(db.table("vendor").unwrap().len(), 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! table expression in the paper's Figure 16, and the executor memoizes
 //! shared nodes so they run once.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -288,6 +288,56 @@ impl PhysicalPlan {
             }
             PhysicalPlan::Unnest { input, .. } => child(input, db, memo)? + 1,
         })
+    }
+
+    /// The stored tables this plan's result is a pure function of, or
+    /// `None` when the result also depends on the firing statement (a
+    /// transition-table scan or a reconstructed `Old`-epoch access).
+    ///
+    /// This is the cacheability analysis behind the executor's
+    /// cross-firing caches: a subplan with `Some(tables)` produces
+    /// identical rows for as long as every named table's
+    /// [`version`](crate::Table::version) stands still, so join build
+    /// sides over such subplans can be reused across firings instead of
+    /// being re-hashed each time.
+    pub fn stable_tables(&self) -> Option<BTreeSet<String>> {
+        self.stable_memo(&mut HashMap::new())
+    }
+
+    fn stable_memo(
+        &self,
+        memo: &mut HashMap<usize, Option<BTreeSet<String>>>,
+    ) -> Option<BTreeSet<String>> {
+        let mut out = BTreeSet::new();
+        match self {
+            PhysicalPlan::TransitionScan { .. } => return None,
+            PhysicalPlan::TableScan { table, epoch } => {
+                if *epoch == TableEpoch::Old {
+                    return None;
+                }
+                out.insert(table.clone());
+            }
+            PhysicalPlan::IndexJoin { table, epoch, .. } => {
+                if *epoch == TableEpoch::Old {
+                    return None;
+                }
+                out.insert(table.clone());
+            }
+            _ => {}
+        }
+        for c in self.children() {
+            let key = Arc::as_ptr(c) as usize;
+            let child = match memo.get(&key) {
+                Some(hit) => hit.clone(),
+                None => {
+                    let computed = c.stable_memo(memo);
+                    memo.insert(key, computed.clone());
+                    computed
+                }
+            };
+            out.extend(child?);
+        }
+        Some(out)
     }
 
     /// Multi-line EXPLAIN-style rendering. Subplans referenced from more

@@ -398,22 +398,18 @@ pub fn execute(db: &mut Database, stmt: &Statement) -> Result<SqlOutcome, Statem
                     (names, idx)
                 }
             };
-            let mut hits: Vec<&Row> = Vec::new();
+            // Ordered storage scans in primary-key order, so the output is
+            // deterministic without a sort.
+            let mut rows: Vec<Row> = Vec::new();
             for r in t.iter() {
                 let keep = match &pred {
                     Some(p) => p.eval(r).map_err(StatementError::Db)?.is_true(),
                     None => true,
                 };
                 if keep {
-                    hits.push(r);
+                    rows.push(indices.iter().map(|&i| r[i].clone()).collect::<Row>());
                 }
             }
-            // Deterministic output order: sort by primary key.
-            hits.sort_by_key(|r| schema.key_of(r));
-            let rows: Vec<Row> = hits
-                .into_iter()
-                .map(|r| indices.iter().map(|&i| r[i].clone()).collect::<Row>())
-                .collect();
             Ok(SqlOutcome::Rows {
                 columns: names,
                 rows,

@@ -1,14 +1,24 @@
-//! Row storage: a primary-key hash index plus optional single-column
+//! Row storage: primary-key-ordered rows plus optional single-column
 //! secondary indices.
 //!
 //! The paper's experiments (§6.1) "defined primary keys for all the
 //! relational tables and built appropriate indices on the key columns and
 //! other join columns"; the flat curves of Figs. 17 and 23 depend on every
 //! base-table access in a generated trigger being an index probe, never a
-//! scan. Secondary indices here are unordered hash indices — the generated
-//! plans only ever probe them with equality keys.
+//! scan. Rows live in a hash map keyed by primary key (probes stay O(1)
+//! however large the table grows) alongside an ordered key set, so
+//! primary-key order — the canonical order of every scan, view
+//! materialization and `SELECT` — falls out of iteration for free instead
+//! of being re-sorted on every access. Secondary indices are hash indices
+//! whose buckets keep their keys ordered, so index probes also yield rows
+//! in primary-key order without sorting; the generated plans only ever
+//! probe them with equality keys.
+//!
+//! Every mutation bumps a per-table **version**; executor-level caches
+//! (join build sides, stable subplan results) key on it so a cached
+//! structure is reused exactly until the data it was built from changes.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use crate::schema::TableSchema;
@@ -23,8 +33,13 @@ pub type Key = Box<[Value]>;
 pub struct Table {
     schema: Arc<TableSchema>,
     rows: HashMap<Key, Row>,
-    /// column index -> (value -> set of pks)
-    secondary: HashMap<usize, HashMap<Value, HashSet<Key>>>,
+    /// Primary keys in order; kept in lockstep with `rows` so ordered
+    /// iteration never sorts and keyed probes never walk a tree.
+    order: BTreeSet<Key>,
+    /// column index -> (value -> ordered set of pks)
+    secondary: HashMap<usize, HashMap<Value, BTreeSet<Key>>>,
+    /// Bumped on every mutation (insert/delete/update/index creation).
+    version: u64,
 }
 
 impl Table {
@@ -33,7 +48,9 @@ impl Table {
         Table {
             schema: Arc::new(schema),
             rows: HashMap::new(),
+            order: BTreeSet::new(),
             secondary: HashMap::new(),
+            version: 0,
         }
     }
 
@@ -57,12 +74,18 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// Monotonic per-table mutation counter. Any cache derived from this
+    /// table's contents is valid exactly while the version stands still.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Add a hash index on one column (no-op if already present).
     pub fn create_index(&mut self, column: usize) {
         if self.secondary.contains_key(&column) {
             return;
         }
-        let mut index: HashMap<Value, HashSet<Key>> = HashMap::new();
+        let mut index: HashMap<Value, BTreeSet<Key>> = HashMap::new();
         for (key, row) in &self.rows {
             index
                 .entry(row[column].clone())
@@ -70,6 +93,7 @@ impl Table {
                 .insert(key.clone());
         }
         self.secondary.insert(column, index);
+        self.version += 1;
     }
 
     /// `true` if a secondary index exists on `column`.
@@ -82,12 +106,24 @@ impl Table {
         self.rows.get(key)
     }
 
-    /// Iterate over all rows (arbitrary order).
+    /// Iterate over all rows in primary-key order.
     pub fn iter(&self) -> impl Iterator<Item = &Row> {
-        self.rows.values()
+        self.order
+            .iter()
+            .map(|k| self.rows.get(k).expect("order tracks rows"))
     }
 
-    /// Rows whose `column` equals `value`, via the secondary index.
+    /// Iterate over `(primary key, row)` pairs in primary-key order. The
+    /// stored key is handed out directly so scans never re-extract (and
+    /// re-clone) key values from rows.
+    pub fn entries(&self) -> impl Iterator<Item = (&Key, &Row)> {
+        self.order
+            .iter()
+            .map(|k| (k, self.rows.get(k).expect("order tracks rows")))
+    }
+
+    /// Rows whose `column` equals `value`, via the secondary index, in
+    /// primary-key order.
     pub fn index_lookup(&self, column: usize, value: &Value) -> Result<Vec<&Row>> {
         let index = self
             .secondary
@@ -116,13 +152,16 @@ impl Table {
                 .or_default()
                 .insert(key.clone());
         }
+        self.order.insert(key.clone());
         self.rows.insert(key, Arc::clone(&row));
+        self.version += 1;
         Ok(row)
     }
 
     /// Delete by primary key, returning the removed row.
     pub fn delete(&mut self, key: &[Value]) -> Option<Row> {
         let row = self.rows.remove(key)?;
+        self.order.remove(key);
         for (&col, index) in &mut self.secondary {
             if let Some(bucket) = index.get_mut(&row[col]) {
                 bucket.remove(key);
@@ -131,6 +170,7 @@ impl Table {
                 }
             }
         }
+        self.version += 1;
         Some(row)
     }
 
@@ -154,7 +194,7 @@ impl Table {
 
     /// Primary keys of all rows (used by statement planning in tests).
     pub fn keys(&self) -> impl Iterator<Item = &Key> {
-        self.rows.keys()
+        self.order.iter()
     }
 }
 
@@ -237,6 +277,51 @@ mod tests {
             t.index_lookup(2, &Value::Double(1.0)),
             Err(Error::Plan(_))
         ));
+    }
+
+    #[test]
+    fn iteration_and_index_lookup_are_pk_ordered() {
+        let mut t = vendor_table();
+        t.create_index(1);
+        t.insert(v("Circuitcity", "P1", 3.0)).unwrap();
+        t.insert(v("Amazon", "P1", 1.0)).unwrap();
+        t.insert(v("Bestbuy", "P1", 2.0)).unwrap();
+        let vids: Vec<&Value> = t.iter().map(|r| &r[0]).collect();
+        assert_eq!(
+            vids,
+            vec![
+                &Value::str("Amazon"),
+                &Value::str("Bestbuy"),
+                &Value::str("Circuitcity")
+            ]
+        );
+        let hits = t.index_lookup(1, &Value::str("P1")).unwrap();
+        let vids: Vec<&Value> = hits.iter().map(|r| &r[0]).collect();
+        assert_eq!(
+            vids,
+            vec![
+                &Value::str("Amazon"),
+                &Value::str("Bestbuy"),
+                &Value::str("Circuitcity")
+            ]
+        );
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut t = vendor_table();
+        let v0 = t.version();
+        t.insert(v("Amazon", "P1", 1.0)).unwrap();
+        let v1 = t.version();
+        assert!(v1 > v0);
+        let key: Key = Box::new([Value::str("Amazon"), Value::str("P1")]);
+        t.update(&key, v("Amazon", "P1", 2.0)).unwrap();
+        let v2 = t.version();
+        assert!(v2 > v1);
+        t.delete(&key).unwrap();
+        assert!(t.version() > v2);
+        t.create_index(1);
+        assert!(t.version() > v2 + 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! as XPERANTO embeds XML-constructing functions in relational operators
 //! (§2.1 of the paper).
 
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -65,11 +66,12 @@ impl Value {
     }
 
     /// The string a value atomizes to in comparisons: XML nodes atomize to
-    /// their text content (attribute-style values), strings to themselves.
-    fn atomized(&self) -> Option<String> {
+    /// their text content (attribute-style values), strings to themselves
+    /// (borrowed — string-vs-string comparisons never allocate).
+    fn atomized(&self) -> Option<Cow<'_, str>> {
         match self {
-            Value::Str(s) => Some(s.to_string()),
-            Value::Xml(x) => Some(x.text_content()),
+            Value::Str(s) => Some(Cow::Borrowed(s.as_ref())),
+            Value::Xml(x) => Some(Cow::Owned(x.text_content())),
             _ => None,
         }
     }

@@ -45,8 +45,8 @@ fn grouped_firing_work_independent_of_trigger_count() {
         large.one_update().unwrap();
     }
     assert_eq!(
-        small.session.database().stats.triggers_fired,
-        large.session.database().stats.triggers_fired
+        small.session.database().stats().triggers_fired,
+        large.session.database().stats().triggers_fired
     );
     // Both fire the same satisfied triggers.
     assert_eq!(small.temp_rows(), large.temp_rows());
@@ -59,11 +59,11 @@ fn ungrouped_firing_work_scales_with_trigger_count() {
     small.one_update().unwrap();
     large.one_update().unwrap();
     assert!(
-        large.session.database().stats.triggers_fired
-            >= 4 * small.session.database().stats.triggers_fired,
+        large.session.database().stats().triggers_fired
+            >= 4 * small.session.database().stats().triggers_fired,
         "{} vs {}",
-        large.session.database().stats.triggers_fired,
-        small.session.database().stats.triggers_fired
+        large.session.database().stats().triggers_fired,
+        small.session.database().stats().triggers_fired
     );
 }
 

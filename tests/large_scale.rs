@@ -1,0 +1,362 @@
+//! Large-cardinality correctness and O(affected) firing.
+//!
+//! The committed figure sweeps demonstrate *flat* per-firing latency as the
+//! base tables grow; this suite pins the same property down semantically:
+//!
+//! * a ≥10k-row base table behaves byte-identically to the
+//!   materialize-and-diff oracle in every translation mode,
+//! * a firing at that scale performs index probes, not scans — asserted on
+//!   the executor's `rows_scanned`/`index_probes` counters rather than
+//!   inferred from wall-clock time,
+//! * ordered storage and the cross-firing executor cache change nothing
+//!   observable: a caching session and an uncached one produce identical
+//!   statement results and identical firing sequences (proptest).
+
+mod common;
+
+use std::collections::BTreeSet;
+
+use common::{catalog_path, Log};
+use proptest::prelude::*;
+use quark_core::oracle::changes_of;
+use quark_core::relational::{sql, Database, Error, Value};
+use quark_core::xqgm::fixtures::product_vendor_db;
+use quark_core::{Mode, Quark, Session, XmlEvent, XmlView};
+use quark_xquery::XQueryFrontend;
+
+/// `(event, key, old serialization, new serialization)`.
+type Observed = (String, String, String, String);
+
+const LARGE_PRODUCTS: usize = 10_000;
+
+/// The Figure-2 catalog database scaled to `LARGE_PRODUCTS` products with
+/// two vendor rows each (the view keeps products with ≥ 2 vendors): a
+/// ≥10k-row base table on both sides of the join.
+fn large_db() -> Database {
+    let mut db = product_vendor_db();
+    let mut products = Vec::with_capacity(LARGE_PRODUCTS);
+    let mut vendors = Vec::with_capacity(2 * LARGE_PRODUCTS);
+    for i in 0..LARGE_PRODUCTS {
+        let pid = format!("Q{i:05}");
+        products.push(vec![
+            Value::str(&pid),
+            Value::str(format!("Widget {i}")),
+            Value::str("Acme"),
+        ]);
+        vendors.push(vec![
+            Value::str(format!("V{}", i % 7)),
+            Value::str(&pid),
+            Value::Double(10.0 + (i % 97) as f64),
+        ]);
+        vendors.push(vec![
+            Value::str(format!("W{}", i % 5)),
+            Value::str(&pid),
+            Value::Double(20.0 + (i % 89) as f64),
+        ]);
+    }
+    db.load("product", products).unwrap();
+    db.load("vendor", vendors).unwrap();
+    db
+}
+
+/// A session over the large catalog with recording triggers for all three
+/// XML events (mirrors the differential-oracle suite's `watch_all`).
+fn watch_large(mode: Mode) -> (Session, Log) {
+    let db = large_db();
+    let pg = catalog_path(&db);
+    let mut quark = Quark::new(db, mode);
+    quark.register_view(XmlView::new("catalog").with_anchor("product", pg));
+    let mut session = Session::with_frontend(quark, Box::new(XQueryFrontend));
+    let log = Log::default();
+    for (event, name) in [
+        (XmlEvent::Insert, "ins"),
+        (XmlEvent::Update, "upd"),
+        (XmlEvent::Delete, "del"),
+    ] {
+        let sink = log.clone();
+        session
+            .register_action(format!("record_{name}"), move |_db, call| {
+                sink.0
+                    .lock()
+                    .unwrap()
+                    .push((call.trigger.clone(), call.params.clone()));
+                Ok(())
+            })
+            .expect("action");
+        session
+            .execute(&format!(
+                "create trigger watch_{name} after {event} on view('catalog')/product \
+                 do record_{name}(OLD_NODE, NEW_NODE)"
+            ))
+            .expect("trigger");
+    }
+    (session, log)
+}
+
+fn observed_set(log: &Log) -> BTreeSet<Observed> {
+    log.take()
+        .into_iter()
+        .map(|(trigger, params)| {
+            let event = trigger.trim_start_matches("watch_").to_string();
+            let render = |v: &Value| match v {
+                Value::Xml(x) => x.to_xml(),
+                _ => String::new(),
+            };
+            let old = render(&params[0]);
+            let new = render(&params[1]);
+            let key = match (&params[0], &params[1]) {
+                (_, Value::Xml(x)) => x.attr("name").unwrap_or_default().to_string(),
+                (Value::Xml(x), _) => x.attr("name").unwrap_or_default().to_string(),
+                _ => String::new(),
+            };
+            (event, key, old, new)
+        })
+        .collect()
+}
+
+/// The large-cardinality differential scenario: keyed statements against a
+/// 10k-row base table fire exactly the oracle's events, in every mode.
+#[test]
+fn large_cardinality_matches_oracle_in_all_modes() {
+    let (mut ungrouped, log_u) = watch_large(Mode::Ungrouped);
+    let (mut grouped, log_g) = watch_large(Mode::Grouped);
+    let (mut agg, log_a) = watch_large(Mode::GroupedAgg);
+    let pg = catalog_path(ungrouped.database());
+
+    let statements = [
+        "UPDATE vendor SET price = 42.0 WHERE vid = 'V1' AND pid = 'Q00001'",
+        "INSERT INTO vendor VALUES ('Amazon', 'Q00002', 10.0)",
+        "DELETE FROM vendor WHERE vid = 'V3' AND pid = 'Q00003'",
+        "UPDATE product SET pname = 'Renamed' WHERE pid = 'Q00004'",
+        "UPDATE vendor SET price = price + 1.0 WHERE pid = 'Q00005'",
+    ];
+    for stmt in statements {
+        let expected: BTreeSet<Observed> = changes_of(&pg, ungrouped.database(), |db| {
+            sql::run(db, stmt).map_err(Error::from).map(|_| ())
+        })
+        .expect("oracle")
+        .into_iter()
+        .map(|c| {
+            let event = match c.event {
+                XmlEvent::Insert => "ins",
+                XmlEvent::Update => "upd",
+                XmlEvent::Delete => "del",
+            }
+            .to_string();
+            let key = c.key[0].to_string();
+            let old = c.old.map(|x| x.to_xml()).unwrap_or_default();
+            let new = c.new.map(|x| x.to_xml()).unwrap_or_default();
+            (event, key, old, new)
+        })
+        .collect();
+        assert!(!expected.is_empty(), "statement affects the view: {stmt}");
+
+        ungrouped.execute(stmt).expect("ungrouped");
+        grouped.execute(stmt).expect("grouped");
+        agg.execute(stmt).expect("agg");
+
+        assert_eq!(observed_set(&log_u), expected, "UNGROUPED on {stmt}");
+        assert_eq!(observed_set(&log_g), expected, "GROUPED on {stmt}");
+        assert_eq!(observed_set(&log_a), expected, "GROUPED-AGG on {stmt}");
+    }
+}
+
+/// A keyed statement at 10k rows is processed with index probes; the rows
+/// visited by scans stay orders of magnitude below the table size.
+#[test]
+fn firing_at_10k_rows_probes_instead_of_scanning() {
+    for mode in [Mode::Ungrouped, Mode::Grouped, Mode::GroupedAgg] {
+        let (mut session, log) = watch_large(mode);
+        // Warm up (first firing may build caches), then measure the next.
+        session
+            .execute("UPDATE vendor SET price = 1.5 WHERE vid = 'V3' AND pid = 'Q00010'")
+            .expect("warmup");
+        log.take();
+        let before = session.quark().stats();
+        session
+            .execute("UPDATE vendor SET price = 2.5 WHERE vid = 'V4' AND pid = 'Q00011'")
+            .expect("measured statement");
+        let after = session.quark().stats();
+        assert!(!log.take().is_empty(), "trigger fired ({mode:?})");
+        assert!(
+            after.index_probes > before.index_probes,
+            "{mode:?}: firing must probe indexes"
+        );
+        let scanned = after.rows_scanned - before.rows_scanned;
+        assert!(
+            scanned < (LARGE_PRODUCTS / 10) as u64,
+            "{mode:?}: scanned {scanned} rows per firing at a \
+             {LARGE_PRODUCTS}-row base table — O(table), not O(affected)"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cached vs uncached differential proptest
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    SetVendor(usize, usize, u32),
+    DropVendor(usize, usize),
+    Rename(usize, usize),
+}
+
+const VIDS: [&str; 4] = ["Amazon", "Bestbuy", "Circuitcity", "Buy.com"];
+const PIDS: [&str; 4] = ["P1", "P2", "P3", "P4"];
+const NAMES: [&str; 4] = ["CRT 15", "LCD 19", "OLED 42", "Plasma 50"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..4usize, 0..4usize, 1..400u32).prop_map(|(v, p, c)| Op::SetVendor(v, p, c)),
+        (0..4usize, 0..4usize).prop_map(|(v, p)| Op::DropVendor(v, p)),
+        (0..4usize, 0..4usize).prop_map(|(p, n)| Op::Rename(p, n)),
+    ]
+}
+
+/// Render an op as SQL decided against the current state (identical in
+/// both sessions at this point).
+fn statements_for(db: &Database, op: &Op) -> Vec<String> {
+    match op {
+        Op::SetVendor(v, p, cents) => {
+            let (vid, pid) = (VIDS[*v], PIDS[*p]);
+            let key = [Value::str(vid), Value::str(pid)];
+            let price = *cents as f64 / 2.0;
+            let mut stmts = Vec::new();
+            if db.table("vendor").unwrap().get(&key).is_some() {
+                stmts.push(format!(
+                    "UPDATE vendor SET price = {price:?} WHERE vid = '{vid}' AND pid = '{pid}'"
+                ));
+            } else {
+                if db
+                    .table("product")
+                    .unwrap()
+                    .get(&[Value::str(pid)])
+                    .is_none()
+                {
+                    stmts.push(format!(
+                        "INSERT INTO product VALUES ('{pid}', '{}', 'Acme')",
+                        NAMES[*p]
+                    ));
+                }
+                stmts.push(format!(
+                    "INSERT INTO vendor VALUES ('{vid}', '{pid}', {price:?})"
+                ));
+            }
+            stmts
+        }
+        Op::DropVendor(v, p) => vec![format!(
+            "DELETE FROM vendor WHERE vid = '{}' AND pid = '{}'",
+            VIDS[*v], PIDS[*p]
+        )],
+        Op::Rename(p, n) => {
+            let pid = PIDS[*p];
+            if db
+                .table("product")
+                .unwrap()
+                .get(&[Value::str(pid)])
+                .is_none()
+            {
+                return vec![];
+            }
+            vec![format!(
+                "UPDATE product SET pname = '{}' WHERE pid = '{pid}'",
+                NAMES[*n]
+            )]
+        }
+    }
+}
+
+/// One watched session over the Figure-2 catalog; `cached` toggles the
+/// executor cache.
+fn watched_session(mode: Mode, cached: bool) -> (Session, Log) {
+    let db = product_vendor_db();
+    let pg = catalog_path(&db);
+    let mut quark = Quark::new(db, mode);
+    quark.register_view(XmlView::new("catalog").with_anchor("product", pg));
+    let mut session = Session::with_frontend(quark, Box::new(XQueryFrontend));
+    session.database_mut().set_exec_cache_enabled(cached);
+    let log = Log::default();
+    for (event, name) in [
+        (XmlEvent::Insert, "ins"),
+        (XmlEvent::Update, "upd"),
+        (XmlEvent::Delete, "del"),
+    ] {
+        let sink = log.clone();
+        session
+            .register_action(format!("record_{name}"), move |_db, call| {
+                sink.0
+                    .lock()
+                    .unwrap()
+                    .push((call.trigger.clone(), call.params.clone()));
+                Ok(())
+            })
+            .expect("action");
+        session
+            .execute(&format!(
+                "create trigger watch_{name} after {event} on view('catalog')/product \
+                 do record_{name}(OLD_NODE, NEW_NODE)"
+            ))
+            .expect("trigger");
+    }
+    (session, log)
+}
+
+/// Firings rendered as a byte-comparable *sequence* (order matters).
+fn rendered_firings(log: &Log) -> Vec<String> {
+    log.take()
+        .into_iter()
+        .map(|(trigger, params)| {
+            let mut s = trigger;
+            for p in params {
+                s.push('|');
+                s.push_str(&p.to_string());
+            }
+            s
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        rng_seed: Some(0x1cde_2005_0004),
+        ..ProptestConfig::default()
+    })]
+
+    /// Ordered storage plus the cross-firing executor cache are invisible:
+    /// a caching session and an uncached one return byte-identical
+    /// statement results and fire in byte-identical order, in both grouped
+    /// modes.
+    #[test]
+    fn cached_execution_is_byte_identical(
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+        agg_mode in 0..2usize,
+    ) {
+        let mode = if agg_mode == 1 { Mode::GroupedAgg } else { Mode::Grouped };
+        let (mut cached, log_c) = watched_session(mode, true);
+        let (mut uncached, log_p) = watched_session(mode, false);
+        for op in &ops {
+            for stmt in statements_for(cached.database(), op) {
+                let a = cached.execute(&stmt);
+                let b = uncached.execute(&stmt);
+                prop_assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "result mismatch on {}",
+                    stmt
+                );
+                prop_assert_eq!(
+                    rendered_firings(&log_c),
+                    rendered_firings(&log_p),
+                    "firing mismatch on {}",
+                    stmt
+                );
+            }
+        }
+        // The cached session actually cached something at least once in a
+        // while; assert nothing here (plans may be all-unstable), but the
+        // cache must never grow without bound.
+        prop_assert!(cached.database().exec_cache_len() < 1024);
+    }
+}
