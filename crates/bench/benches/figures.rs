@@ -121,7 +121,7 @@ fn bench_compile_time(c: &mut Criterion) {
                     spec.satisfied = 0;
                     build(spec).expect("workload")
                 },
-                |mut w| {
+                |w| {
                     w.session
                         .execute(&quark_bench::trigger_statement("bench_compile", "name_0_0"))
                         .expect("trigger");

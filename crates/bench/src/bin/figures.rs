@@ -3,7 +3,7 @@
 //! repository's extra ablations.
 //!
 //! ```text
-//! cargo run --release -p quark-bench --bin figures -- [fig17|fig18|fig22|fig23|fig24|compile|cardinality|ablations|all] [--quick] [--full-ungrouped] [--check BASELINE --tolerance F]
+//! cargo run --release -p quark-bench --bin figures -- [fig17|fig18|fig22|fig23|fig24|compile|cardinality|sessions|ablations|all] [--quick] [--full-ungrouped] [--check BASELINE --tolerance F]
 //! ```
 //!
 //! `--quick` scales the workload down (CI-friendly); `--full-ungrouped`
@@ -22,7 +22,7 @@
 //! `--tolerance` (default 0.5, i.e. 50 %). The CI `bench-regression` job
 //! runs `figures --quick --check BENCH_figures.json`.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use quark_bench::{build, trigger_statement, watched_name, WorkloadSpec};
 use quark_core::Mode;
@@ -108,7 +108,7 @@ impl Report {
 const USAGE: &str = "\
 Regenerates the paper's measurement figures.
 
-Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|cardinality|ablations|all] [--quick] [--full-ungrouped] [--out PATH] [--check BASELINE] [--tolerance F]
+Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|cardinality|sessions|ablations|all] [--quick] [--full-ungrouped] [--out PATH] [--check BASELINE] [--tolerance F]
 
   --quick           scale workloads down to CI-friendly sizes
   --full-ungrouped  extend Fig. 17's UNGROUPED sweep beyond 1000 triggers (slow)
@@ -196,6 +196,7 @@ fn main() {
         ("fig24", &fig24),
         ("fig23", &fig23),
         ("cardinality", &cardinality),
+        ("sessions", &sessions_sweep),
         ("ablations", &ablations),
     ];
     if args.which != "all" && !figures.iter().any(|(name, _)| *name == args.which) {
@@ -638,6 +639,58 @@ fn cardinality(args: &Args, report: &mut Report) {
     }
 }
 
+/// Multi-session read throughput (no paper counterpart): a fixed count of
+/// `SELECT` statements split across 1/2/4/8 concurrent session handles of
+/// one [`SessionPool`](quark_core::SessionPool). Read statements evaluate
+/// lock-free against the shared published snapshot, so total wall time
+/// should *fall* as handles are added (up to the core count) — the
+/// concurrent-session counterpart of the paper's "many clients, one
+/// trigger corpus" scenario. The trigger corpus is installed but idle:
+/// the sweep isolates the read path. On a single-core host the expected
+/// shape is *flat* — adding sessions must at least not add contention;
+/// the speedup shows on multi-core hardware.
+fn sessions_sweep(args: &Args, report: &mut Report) {
+    use std::thread;
+    let mut spec = base_spec(args, Mode::Grouped);
+    spec.depth = 2;
+    spec.triggers = 200;
+    spec.satisfied = 5;
+    let w = build(spec).expect("workload");
+    banner("Sessions: concurrent read throughput", &spec, args);
+    let total_reads: usize = if args.quick { 4_000 } else { 40_000 };
+    let pool = quark_core::SessionPool::new(w.session);
+    // Warm the published snapshot once so every point measures
+    // steady-state reads rather than the first post-build clone.
+    pool.session()
+        .execute("SELECT name FROM t0 WHERE id = 0")
+        .expect("warmup read");
+    println!("{:<10} {:>16} {:>14}", "sessions", "total (ms)", "reads/s");
+    for &k in &[1usize, 2, 4, 8] {
+        let per = total_reads / k;
+        let start = Instant::now();
+        let threads: Vec<_> = (0..k)
+            .map(|t| {
+                let session = pool.session();
+                thread::spawn(move || {
+                    for i in 0..per {
+                        let id = (t * per + i) % 64;
+                        session
+                            .execute(&format!("SELECT name FROM t0 WHERE id = {id}"))
+                            .expect("read");
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().expect("reader thread");
+        }
+        let elapsed = start.elapsed();
+        let throughput = (per * k) as f64 / elapsed.as_secs_f64();
+        println!("{k:<10} {:>16.3} {:>14.0}", ms(elapsed), throughput);
+        report.push("sessions", "READ-TOTAL", "sessions", k as f64, ms(elapsed));
+    }
+}
+
 /// Repository ablations: the §1 materialization strawman, and the
 /// Appendix-F optimizations toggled off.
 fn ablations(args: &Args, report: &mut Report) {
@@ -715,7 +768,7 @@ fn build_with_options(
     let mut zero = spec;
     zero.triggers = 0;
     zero.satisfied = 0;
-    let mut w = build(zero).expect("workload");
+    let w = build(zero).expect("workload");
     let mut options = w.session.quark().options();
     tweak(&mut options);
     w.session.quark_mut().set_options(options);

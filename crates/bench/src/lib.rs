@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use quark_core::relational::expr::BinOp;
 use quark_core::relational::{Database, Result, Value};
-use quark_core::{Quark, Session};
+use quark_core::Session;
 use quark_xquery::viewtree::{LevelSpec, TopBinding, ViewSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -149,7 +149,7 @@ pub fn watched_name(spec: &WorkloadSpec, i: usize) -> String {
 pub fn build(spec: WorkloadSpec) -> Result<Workload> {
     assert!(spec.depth >= 2, "hierarchy depth must be ≥ 2");
     assert!(spec.satisfied <= spec.triggers.max(1));
-    let mut session = quark_xquery::session(Database::new(), spec.mode);
+    let session = quark_xquery::session(Database::new(), spec.mode);
     let levels = spec.depth;
     let branching = split_fanout(spec.fanout, levels - 1);
     let top_count = (spec.leaf_count / spec.fanout).max(1);
@@ -193,7 +193,7 @@ pub fn build(spec: WorkloadSpec) -> Result<Workload> {
     // Bench views are generated programmatically (depths beyond what the
     // textual recognizer accepts), so they register through the system.
     let view = chain_view_spec(levels);
-    let xml_view = view.build(session.database())?;
+    let xml_view = view.build(&session.database())?;
     session.quark_mut().register_view(xml_view);
 
     // Temp-table action (§6.1: "insert the entire NEW_NODE into a
@@ -282,7 +282,7 @@ pub fn chain_view_spec(levels: usize) -> ViewSpec {
 
 impl Workload {
     /// The underlying system (trigger/group counts).
-    pub fn quark(&self) -> &Quark {
+    pub fn quark(&self) -> quark_core::session::QuarkRead<'_> {
         self.session.quark()
     }
 

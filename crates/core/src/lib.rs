@@ -38,7 +38,9 @@ pub mod tagger;
 
 pub use angraph::{AnOptions, Needs, SideNeeds};
 pub use condition::{CondValue, Condition, NodePath, NodeRef, Step};
-pub use session::{ObjectKind, Session, Span, StatementError, StatementFrontend, StatementResult};
+pub use session::{
+    ObjectKind, Session, SessionPool, Span, StatementError, StatementFrontend, StatementResult,
+};
 pub use spec::{Action, ActionParam, PathGraph, TriggerSpec, XmlEvent, XmlView};
 pub use system::{ActionCall, ActionFn, Mode, Quark};
 

@@ -1,5 +1,5 @@
 //! The session front door: one statement surface for tables, views and
-//! view triggers alike.
+//! view triggers alike — shareable across threads.
 //!
 //! The paper's whole interface is a single declarative language — users
 //! write `CREATE TRIGGER … ON view('v')/path` and ordinary SQL, and the
@@ -27,30 +27,53 @@
 //! the XQuery frontend in the layering; `quark-xquery` provides the
 //! standard implementation and a one-line constructor.
 //!
+//! # Concurrency model
+//!
+//! A `Session` is a cheap handle onto a shared system, so `execute` takes
+//! `&self` and handles are `Send + Sync`. [`Session::fork`] (or a
+//! [`SessionPool`]) hands out additional handles onto the same system, and
+//! the statement surface splits in two:
+//!
+//! * **Write statements** — data changes, DDL, trigger creation/drop —
+//!   serialize on one write lock around the *whole* statement, including
+//!   every trigger firing and cascade it causes. Firing semantics are
+//!   exactly the single-session semantics; no reader or writer ever sees a
+//!   statement half-applied.
+//! * **Read statements** — `SELECT`, `EXPLAIN TRIGGER`, `MATERIALIZE` —
+//!   run lock-free against an immutable [`Quark`] snapshot behind an
+//!   `Arc`. The snapshot is republished on demand: the first read after a
+//!   write clones the system under the lock (at a statement boundary by
+//!   construction) and every subsequent read shares that clone until the
+//!   next write. Readers therefore always observe some pre- or
+//!   post-statement state, never a mid-cascade one.
+//!
 //! ```
 //! use quark_core::{Mode, Quark};
 //! use quark_core::session::{Session, StatementResult};
 //! use quark_relational::Database;
 //!
-//! let mut session = Session::new(Quark::new(Database::new(), Mode::Grouped));
+//! let session = Session::new(Quark::new(Database::new(), Mode::Grouped));
 //! session.execute("CREATE TABLE vendor (vid TEXT, pid TEXT, price DOUBLE, \
 //!                  PRIMARY KEY (vid, pid))").unwrap();
 //! session.execute("INSERT INTO vendor VALUES ('Amazon', 'P1', 100.0)").unwrap();
 //! let n = session.execute("UPDATE vendor SET price = 75.0 \
 //!                          WHERE vid = 'Amazon' AND pid = 'P1'").unwrap();
 //! assert_eq!(n, StatementResult::RowsAffected(1));
+//! let reader = session.fork(); // may live on another thread
 //! let StatementResult::Rows { rows, .. } =
-//!     session.execute("SELECT price FROM vendor").unwrap() else { panic!() };
+//!     reader.execute("SELECT price FROM vendor").unwrap() else { panic!() };
 //! assert_eq!(rows[0][0], 75.0.into());
 //! ```
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use quark_relational::sql::{self, SqlOutcome, Statement};
-use quark_relational::{Database, Error, Result, Row, Value};
+use quark_relational::{Database, Error, Result};
 use quark_xml::XmlNodeRef;
 
-use crate::oracle;
 use crate::system::{ActionCall, Quark};
 
 pub use quark_relational::sql::{Span, StatementError};
@@ -89,7 +112,7 @@ pub enum StatementResult {
         /// Projected column names.
         columns: Vec<String>,
         /// Result rows.
-        rows: Vec<Row>,
+        rows: Vec<quark_relational::Row>,
     },
     /// A schema object was created.
     Created {
@@ -127,20 +150,155 @@ impl StatementResult {
 /// `CREATE TRIGGER`). Implementations parse the text, lower it, register
 /// the result against the system, and return the created object's name.
 ///
+/// `Send + Sync` because one frontend instance serves every forked handle
+/// of a session concurrently (implementations are stateless parsers).
+///
 /// `quark-xquery` provides the standard implementation (`XQueryFrontend`)
 /// plus a `session(db, mode)` constructor that wires it in.
-pub trait StatementFrontend: Send {
+pub trait StatementFrontend: Send + Sync {
     /// Handle a `CREATE VIEW` statement; returns the view name.
     fn create_view(&self, quark: &mut Quark, text: &str) -> Result<String, StatementError>;
     /// Handle a `CREATE TRIGGER` statement; returns the trigger name.
     fn create_trigger(&self, quark: &mut Quark, text: &str) -> Result<String, StatementError>;
 }
 
-/// A session over a [`Quark`] system: the single entry point for the
-/// unified textual statement surface (see the [module docs](self)).
-pub struct Session {
-    quark: Quark,
+/// State shared by every handle of one session (see the module docs):
+/// the authoritative system behind a write lock, the pluggable frontend,
+/// and the published read snapshot with its version stamp.
+struct Shared {
+    /// The authoritative system. Write statements hold the write lock for
+    /// their full duration (statement + every trigger cascade).
+    state: RwLock<Quark>,
+    /// Frontend for the XQuery-bodied DDL, shared by all handles.
     frontend: Option<Box<dyn StatementFrontend>>,
+    /// Bumped (under the write lock) by every write-side access; the
+    /// published snapshot is stamped with the version it was cloned at.
+    version: AtomicU64,
+    /// Last published read snapshot: `(version, state clone)`. Rebuilt on
+    /// demand by the first read that finds it stale.
+    snapshot: Mutex<Option<(u64, Arc<Quark>)>>,
+}
+
+/// A handle onto a shared [`Quark`] system: the single entry point for the
+/// unified textual statement surface (see the [module docs](self)).
+///
+/// Handles are cheap to [`fork`](Session::fork) and safe to move across
+/// threads; read statements on any handle run lock-free against a
+/// consistent snapshot while write statements serialize.
+pub struct Session {
+    shared: Arc<Shared>,
+}
+
+/// A pool of sessions over one system: the server-side entry point for
+/// fielding many clients at once. Functionally a [`Session`] factory —
+/// every handle it hands out shares the same write lock, compiled trigger
+/// corpus and published read snapshot.
+pub struct SessionPool {
+    root: Session,
+}
+
+impl SessionPool {
+    /// Build a pool around an existing session (takes one handle; the
+    /// session's other forks keep working).
+    pub fn new(session: Session) -> Self {
+        SessionPool { root: session }
+    }
+
+    /// A new handle onto the shared system.
+    pub fn session(&self) -> Session {
+        self.root.fork()
+    }
+
+    /// `n` handles onto the shared system (e.g. one per worker thread).
+    pub fn sessions(&self, n: usize) -> Vec<Session> {
+        (0..n).map(|_| self.root.fork()).collect()
+    }
+
+    /// Tear down the pool, returning the underlying session handle.
+    pub fn into_session(self) -> Session {
+        self.root
+    }
+}
+
+impl fmt::Debug for SessionPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionPool").finish()
+    }
+}
+
+/// Shared read guard over the session's [`Quark`] (see [`Session::quark`]).
+pub struct QuarkRead<'a>(RwLockReadGuard<'a, Quark>);
+
+impl Deref for QuarkRead<'_> {
+    type Target = Quark;
+    fn deref(&self) -> &Quark {
+        &self.0
+    }
+}
+
+/// Exclusive write guard over the session's [`Quark`]; dropping it
+/// invalidates the published read snapshot (see [`Session::quark_mut`]).
+pub struct QuarkWrite<'a> {
+    guard: RwLockWriteGuard<'a, Quark>,
+    version: &'a AtomicU64,
+}
+
+impl Deref for QuarkWrite<'_> {
+    type Target = Quark;
+    fn deref(&self) -> &Quark {
+        &self.guard
+    }
+}
+
+impl DerefMut for QuarkWrite<'_> {
+    fn deref_mut(&mut self) -> &mut Quark {
+        &mut self.guard
+    }
+}
+
+impl Drop for QuarkWrite<'_> {
+    fn drop(&mut self) {
+        // Conservatively assume the holder mutated something: stale
+        // snapshots are republished on the next read.
+        self.version.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Shared read guard over the underlying [`Database`] (see
+/// [`Session::database`]).
+pub struct DatabaseRead<'a>(RwLockReadGuard<'a, Quark>);
+
+impl Deref for DatabaseRead<'_> {
+    type Target = Database;
+    fn deref(&self) -> &Database {
+        self.0.database()
+    }
+}
+
+/// Exclusive write guard over the underlying [`Database`]; dropping it
+/// invalidates the published read snapshot (see [`Session::database_mut`]).
+pub struct DatabaseWrite<'a> {
+    guard: RwLockWriteGuard<'a, Quark>,
+    version: &'a AtomicU64,
+}
+
+impl Deref for DatabaseWrite<'_> {
+    type Target = Database;
+    fn deref(&self) -> &Database {
+        self.guard.database()
+    }
+}
+
+impl DerefMut for DatabaseWrite<'_> {
+    fn deref_mut(&mut self) -> &mut Database {
+        self.guard.database_mut()
+    }
+}
+
+impl Drop for DatabaseWrite<'_> {
+    fn drop(&mut self) {
+        self.version.fetch_add(1, Ordering::Release);
+    }
 }
 
 impl Session {
@@ -148,55 +306,138 @@ impl Session {
     /// statement surface plus `DROP TRIGGER` / `EXPLAIN TRIGGER` /
     /// `MATERIALIZE` over programmatically registered views.
     pub fn new(quark: Quark) -> Self {
-        Session {
-            quark,
-            frontend: None,
-        }
+        Session::build(quark, None)
     }
 
     /// Open a session with a frontend handling the XQuery-bodied DDL.
     pub fn with_frontend(quark: Quark, frontend: Box<dyn StatementFrontend>) -> Self {
+        Session::build(quark, Some(frontend))
+    }
+
+    fn build(quark: Quark, frontend: Option<Box<dyn StatementFrontend>>) -> Self {
         Session {
-            quark,
-            frontend: Some(frontend),
+            shared: Arc::new(Shared {
+                state: RwLock::new(quark),
+                frontend,
+                version: AtomicU64::new(0),
+                snapshot: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// A new handle onto the same system. Forks share everything: the
+    /// write lock, the trigger corpus, the compile and executor caches,
+    /// and the published read snapshot.
+    pub fn fork(&self) -> Session {
+        Session {
+            shared: Arc::clone(&self.shared),
         }
     }
 
     /// The underlying system (trigger/group/translation inspection).
-    pub fn quark(&self) -> &Quark {
-        &self.quark
+    ///
+    /// Holds a shared lock for the guard's lifetime: do not keep it alive
+    /// across a write call on the same thread (`execute` of a data-change
+    /// statement, [`Session::quark_mut`], …) — that self-deadlocks.
+    pub fn quark(&self) -> QuarkRead<'_> {
+        QuarkRead(self.shared.state.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Mutable access to the underlying system — the programmatic escape
     /// hatch for fixture views ([`Quark::register_view`]) and translation
-    /// options; statements should go through [`Session::execute`].
-    pub fn quark_mut(&mut self) -> &mut Quark {
-        &mut self.quark
+    /// options; statements should go through [`Session::execute`]. Holds
+    /// the write lock for the guard's lifetime and invalidates the read
+    /// snapshot when dropped.
+    pub fn quark_mut(&self) -> QuarkWrite<'_> {
+        QuarkWrite {
+            guard: self.shared.state.write().unwrap_or_else(|e| e.into_inner()),
+            version: &self.shared.version,
+        }
     }
 
-    /// Shared view of the underlying database (inspection).
-    pub fn database(&self) -> &Database {
-        self.quark.database()
+    /// Shared view of the underlying database (inspection). The same
+    /// locking caveat as [`Session::quark`] applies.
+    pub fn database(&self) -> DatabaseRead<'_> {
+        DatabaseRead(self.shared.state.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Mutable database access (bulk [`Database::load`] of fixture data).
-    pub fn database_mut(&mut self) -> &mut Database {
-        self.quark.database_mut()
+    /// Holds the write lock for the guard's lifetime and invalidates the
+    /// read snapshot when dropped.
+    pub fn database_mut(&self) -> DatabaseWrite<'_> {
+        DatabaseWrite {
+            guard: self.shared.state.write().unwrap_or_else(|e| e.into_inner()),
+            version: &self.shared.version,
+        }
     }
 
     /// Tear down the session, returning the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if other handles onto this session ([`Session::fork`],
+    /// [`SessionPool`]) are still alive.
     pub fn into_quark(self) -> Quark {
-        self.quark
+        let shared = Arc::try_unwrap(self.shared)
+            .ok()
+            .expect("Session::into_quark with live forked handles");
+        shared.state.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Register an action function callable from trigger DO clauses
     /// (delegates to [`Quark::register_action`]).
     pub fn register_action(
-        &mut self,
+        &self,
         name: impl Into<String>,
         f: impl Fn(&mut Database, &ActionCall) -> Result<()> + Send + Sync + 'static,
     ) -> Result<()> {
-        self.quark.register_action(name, f)
+        self.with_write(|quark| quark.register_action(name, f))
+    }
+
+    /// Run `f` against the authoritative state under the write lock,
+    /// bumping the snapshot version before release (so the next read
+    /// republishes). Every write-side path funnels through here.
+    fn with_write<R>(&self, f: impl FnOnce(&mut Quark) -> R) -> R {
+        let mut guard = self.shared.state.write().unwrap_or_else(|e| e.into_inner());
+        let out = f(&mut guard);
+        // Bump while still holding the lock: a concurrent reader
+        // rebuilding its snapshot under the read lock always stamps it
+        // with the version of the state it cloned.
+        self.shared.version.fetch_add(1, Ordering::Release);
+        out
+    }
+
+    /// The current read snapshot, republishing if a write happened since
+    /// the last publication. The clone is taken under the state lock, so a
+    /// snapshot always sits on a statement boundary; returning an `Arc`
+    /// means execution against it holds no lock at all.
+    pub fn snapshot(&self) -> Arc<Quark> {
+        let version = self.shared.version.load(Ordering::Acquire);
+        {
+            let cell = self.shared.snapshot.lock().expect("snapshot cell");
+            if let Some((published, snap)) = cell.as_ref() {
+                if *published == version {
+                    return Arc::clone(snap);
+                }
+            }
+        }
+        // Stale (or never published): clone the state under the read
+        // lock. Writers bump the version only while holding the write
+        // lock, so the version re-read here is exactly the clone's.
+        let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+        let version = self.shared.version.load(Ordering::Acquire);
+        let snap = Arc::new(state.clone());
+        drop(state);
+        let mut cell = self.shared.snapshot.lock().expect("snapshot cell");
+        match cell.as_ref() {
+            // Another reader published an equal-or-newer snapshot while we
+            // were cloning; keep theirs so all readers converge.
+            Some((published, existing)) if *published >= version => Arc::clone(existing),
+            _ => {
+                *cell = Some((version, Arc::clone(&snap)));
+                snap
+            }
+        }
     }
 
     /// Parse and execute one statement.
@@ -205,7 +446,12 @@ impl Session {
     /// else goes through the [`sql`] grammar, with the view-level
     /// statements (`DROP TRIGGER`, `EXPLAIN TRIGGER`, `MATERIALIZE`)
     /// interpreted against this session's trigger and view registries.
-    pub fn execute(&mut self, text: &str) -> Result<StatementResult, StatementError> {
+    ///
+    /// Read statements (`SELECT`, `EXPLAIN TRIGGER`, `MATERIALIZE`)
+    /// evaluate lock-free against the published snapshot; all others
+    /// serialize on the session's write lock (see the [module
+    /// docs](self)).
+    pub fn execute(&self, text: &str) -> Result<StatementResult, StatementError> {
         // Route on the first two keywords, past any leading whitespace and
         // `--` line comments (the whole surface accepts them, including the
         // frontend statements — the frontend parser sees the trimmed text,
@@ -216,62 +462,67 @@ impl Session {
         let first = words.next().unwrap_or_default();
         let second = words.next().unwrap_or_default();
         if first == "create" && (second == "view" || second == "trigger") {
-            let frontend = self.frontend.take().ok_or_else(|| {
-                StatementError::Db(Error::Plan(format!(
+            let Some(frontend) = self.shared.frontend.as_deref() else {
+                return Err(StatementError::Db(Error::Plan(format!(
                     "CREATE {} requires a session frontend \
                      (open the session via quark_xquery::session)",
                     second.to_ascii_uppercase()
-                )))
-            })?;
-            let result = if second == "view" {
-                frontend.create_view(&mut self.quark, stripped).map(|name| {
-                    StatementResult::Created {
-                        kind: ObjectKind::View,
-                        name,
-                    }
-                })
-            } else {
-                frontend
-                    .create_trigger(&mut self.quark, stripped)
-                    .map(|name| StatementResult::Created {
-                        kind: ObjectKind::Trigger,
-                        name,
-                    })
+                ))));
             };
-            self.frontend = Some(frontend);
+            let result = self.with_write(|quark| {
+                if second == "view" {
+                    frontend
+                        .create_view(quark, stripped)
+                        .map(|name| StatementResult::Created {
+                            kind: ObjectKind::View,
+                            name,
+                        })
+                } else {
+                    frontend
+                        .create_trigger(quark, stripped)
+                        .map(|name| StatementResult::Created {
+                            kind: ObjectKind::Trigger,
+                            name,
+                        })
+                }
+            });
             return result.map_err(|e| shift_span(e, offset));
         }
 
         let stmt = sql::parse(text)?;
         match stmt {
+            // ---- read statements: lock-free against the snapshot ------
+            Statement::Select {
+                table,
+                columns,
+                filter,
+            } => {
+                let snap = self.snapshot();
+                let outcome = sql::select(snap.database(), &table, &columns, filter.as_ref())?;
+                let SqlOutcome::Rows { columns, rows } = outcome else {
+                    return Err(StatementError::Db(Error::Plan(
+                        "SELECT produced a non-row outcome".into(),
+                    )));
+                };
+                Ok(StatementResult::Rows { columns, rows })
+            }
+            Statement::ExplainTrigger(name) => Ok(StatementResult::Explain(
+                self.snapshot().explain_trigger(&name)?,
+            )),
+            Statement::Materialize { view, anchor } => Ok(StatementResult::Xml(
+                self.snapshot().materialize(&view, &anchor)?,
+            )),
+            // ---- write statements: serialized on the write lock -------
             Statement::DropTrigger(name) => {
-                self.quark.drop_trigger(&name)?;
+                self.with_write(|quark| quark.drop_trigger(&name))?;
                 Ok(StatementResult::Dropped {
                     kind: ObjectKind::Trigger,
                     name,
                 })
             }
-            Statement::ExplainTrigger(name) => {
-                Ok(StatementResult::Explain(self.quark.explain_trigger(&name)?))
-            }
-            Statement::Materialize { view, anchor } => {
-                let pg = self
-                    .quark
-                    .view(&view)
-                    .ok_or_else(|| Error::Plan(format!("unknown view `{view}`")))?
-                    .anchors
-                    .get(&anchor)
-                    .ok_or_else(|| Error::Plan(format!("view `{view}` has no element `{anchor}`")))?
-                    .clone();
-                let nodes = oracle::materialize(&pg, self.quark.database())?;
-                let mut keyed: Vec<(Vec<Value>, XmlNodeRef)> = nodes.into_iter().collect();
-                keyed.sort_by(|a, b| a.0.cmp(&b.0));
-                Ok(StatementResult::Xml(
-                    keyed.into_iter().map(|(_, n)| n).collect(),
-                ))
-            }
             other => {
-                let outcome = sql::execute(self.quark.database_mut(), &other)?;
+                let outcome =
+                    self.with_write(|quark| sql::execute(quark.database_mut(), &other))?;
                 Ok(match outcome {
                     SqlOutcome::RowsAffected(n) => StatementResult::RowsAffected(n),
                     SqlOutcome::Rows { columns, rows } => StatementResult::Rows { columns, rows },
@@ -324,9 +575,13 @@ fn shift_span(e: StatementError, offset: usize) -> StatementError {
 
 impl fmt::Debug for Session {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Session")
-            .field("mode", &self.quark.mode())
-            .field("frontend", &self.frontend.is_some())
+        let mut dbg = f.debug_struct("Session");
+        match self.shared.state.try_read() {
+            Ok(state) => dbg.field("mode", &state.mode()),
+            Err(_) => dbg.field("mode", &"<locked>"),
+        };
+        dbg.field("frontend", &self.shared.frontend.is_some())
+            .field("handles", &Arc::strong_count(&self.shared))
             .finish()
     }
 }
@@ -343,7 +598,7 @@ mod tests {
 
     #[test]
     fn relational_statements_work_without_a_frontend() {
-        let mut s = session();
+        let s = session();
         let r = s
             .execute("INSERT INTO vendor VALUES ('Newegg', 'P1', 99.0)")
             .unwrap();
@@ -359,7 +614,7 @@ mod tests {
 
     #[test]
     fn frontend_statements_require_a_frontend() {
-        let mut s = session();
+        let s = session();
         let err = s.execute("CREATE VIEW v AS { <v/> }").unwrap_err();
         assert!(err.to_string().contains("frontend"), "{err}");
         let err = s
@@ -370,22 +625,74 @@ mod tests {
 
     #[test]
     fn materialize_requires_a_known_view() {
-        let mut s = session();
+        let s = session();
         let err = s.execute("MATERIALIZE view('nope')/product").unwrap_err();
         assert!(err.to_string().contains("unknown view"), "{err}");
     }
 
     #[test]
     fn drop_unknown_trigger_reports_db_error() {
-        let mut s = session();
+        let s = session();
         let err = s.execute("DROP TRIGGER nope").unwrap_err();
         assert!(matches!(err, StatementError::Db(Error::UnknownTrigger(_))));
     }
 
     #[test]
     fn parse_errors_surface_with_spans() {
-        let mut s = session();
+        let s = session();
         let err = s.execute("SELEC * FROM vendor").unwrap_err();
         assert!(err.span().is_some());
+    }
+
+    #[test]
+    fn forks_share_writes_and_snapshots() {
+        let a = session();
+        let b = a.fork();
+        a.execute("INSERT INTO vendor VALUES ('Newegg', 'P1', 99.0)")
+            .unwrap();
+        let StatementResult::Rows { rows, .. } = b
+            .execute("SELECT vid FROM vendor WHERE vid = 'Newegg'")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 1, "fork reads the shared write");
+        // Two consecutive reads with no intervening write share one snapshot.
+        let s1 = a.snapshot();
+        let s2 = b.snapshot();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        // A write through a mutable guard invalidates it.
+        drop(a.database_mut());
+        let s3 = b.snapshot();
+        assert!(!Arc::ptr_eq(&s1, &s3));
+    }
+
+    #[test]
+    fn session_pool_hands_out_handles() {
+        let pool = SessionPool::new(session());
+        let handles = pool.sessions(3);
+        handles[0]
+            .execute("INSERT INTO vendor VALUES ('Newegg', 'P1', 99.0)")
+            .unwrap();
+        for h in &handles {
+            let StatementResult::Rows { rows, .. } = h
+                .execute("SELECT vid FROM vendor WHERE vid = 'Newegg'")
+                .unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(rows.len(), 1);
+        }
+        drop(handles);
+        let _ = pool.into_session().into_quark();
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+        assert_send_sync::<SessionPool>();
+        assert_send_sync::<Quark>();
+        assert_send_sync::<Database>();
     }
 }

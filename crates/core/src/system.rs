@@ -80,6 +80,7 @@ struct Member {
 
 type Members = Arc<Mutex<HashMap<i64, Vec<Member>>>>;
 
+#[derive(Clone)]
 struct Group {
     signature: String,
     constants_table: Option<String>,
@@ -95,6 +96,7 @@ struct Group {
 
 /// One compile-cache entry: the affected-node plan per source table for one
 /// (view structure, event, needs, options, schema generation) signature.
+#[derive(Clone)]
 struct CacheEntry {
     /// `None` = the table cannot affect the monitored path.
     plans: HashMap<String, Option<AffectedNodePlan>>,
@@ -105,6 +107,7 @@ struct CacheEntry {
     refs: usize,
 }
 
+#[derive(Clone)]
 struct TriggerRecord {
     group_signature: String,
     set_id: i64,
@@ -112,6 +115,7 @@ struct TriggerRecord {
 
 /// One SQL trigger generated for a group, with its compiled plan rendered
 /// for `EXPLAIN TRIGGER`.
+#[derive(Clone)]
 struct SqlTriggerMeta {
     name: String,
     table: String,
@@ -125,6 +129,16 @@ struct SqlTriggerMeta {
 /// [`Session::execute`](crate::session::Session::execute) by default, with
 /// [`Quark::database`] / [`Quark::database_mut`] as the escape hatches for
 /// inspection and programmatic access.
+///
+/// `Clone` produces a consistent copy of the whole system — tables,
+/// trigger registrations, views, groups and compile cache (plans are
+/// `Arc`-shared, so the copy is shallow where it can be). The session
+/// layer clones under its write lock to publish immutable read snapshots
+/// for concurrent `SELECT`/`EXPLAIN`/`MATERIALIZE`. The action registry
+/// and group membership tables are reference-shared with the original
+/// (they are behind `Arc<Mutex<…>>` already); a clone used purely for
+/// reading never touches them mutably.
+#[derive(Clone)]
 pub struct Quark {
     db: Database,
     views: HashMap<String, XmlView>,
@@ -907,6 +921,24 @@ impl Quark {
             }
         }
         Ok(out)
+    }
+
+    /// Materialize the monitored nodes of `view('view')/anchor` against the
+    /// current database state, in canonical key order — the `MATERIALIZE`
+    /// statement of the session surface. Read-only: concurrent sessions run
+    /// it against an immutable snapshot.
+    pub fn materialize(&self, view: &str, anchor: &str) -> Result<Vec<quark_xml::XmlNodeRef>> {
+        let pg = self
+            .views
+            .get(view)
+            .ok_or_else(|| Error::Plan(format!("unknown view `{view}`")))?
+            .anchors
+            .get(anchor)
+            .ok_or_else(|| Error::Plan(format!("view `{view}` has no element `{anchor}`")))?;
+        let nodes = crate::oracle::materialize(pg, &self.db)?;
+        let mut keyed: Vec<(Vec<Value>, quark_xml::XmlNodeRef)> = nodes.into_iter().collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(keyed.into_iter().map(|(_, n)| n).collect())
     }
 
     /// Total rows across all live constants tables (leak checks: dropping

@@ -157,13 +157,17 @@ impl ExecCounters {
 /// An in-memory relational database with statement triggers.
 ///
 /// `Clone` copies tables and trigger registrations (triggers share their
-/// bodies); the oracle baseline uses clones as shadow states. A clone gets
-/// a **fresh executor cache**: the copy's tables diverge independently
-/// while reusing the same per-table version counters, so cached build
-/// sides must never cross database instances.
+/// bodies); the oracle baseline uses clones as shadow states, and the
+/// session layer clones to publish concurrent read snapshots. Tables are
+/// **copy-on-write** behind `Arc`: a clone is a refcount bump per table,
+/// and the first mutation of a table after a clone pays the one-off copy
+/// ([`Arc::make_mut`]) — so snapshot republication never walks row
+/// storage. A clone gets a **fresh executor cache**: the copy's tables
+/// diverge independently while reusing the same per-table version
+/// counters, so cached build sides must never cross database instances.
 #[derive(Default)]
 pub struct Database {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Arc<Table>>,
     triggers: Vec<Arc<SqlTrigger>>,
     trigger_names: std::collections::HashSet<String>,
     fire_depth: usize,
@@ -214,7 +218,8 @@ impl Database {
         if self.tables.contains_key(&schema.name) {
             return Err(Error::TableExists(schema.name));
         }
-        self.tables.insert(schema.name.clone(), Table::new(schema));
+        self.tables
+            .insert(schema.name.clone(), Arc::new(Table::new(schema)));
         self.schema_generation += 1;
         Ok(())
     }
@@ -274,12 +279,17 @@ impl Database {
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(name)
+            .map(Arc::as_ref)
             .ok_or_else(|| Error::UnknownTable(name.to_string()))
     }
 
+    /// Mutable table access, copy-on-write: a table still shared with a
+    /// clone (a published read snapshot) is copied once here, so writers
+    /// never mutate storage a snapshot reader is walking.
     fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(name)
+            .map(Arc::make_mut)
             .ok_or_else(|| Error::UnknownTable(name.to_string()))
     }
 
@@ -748,8 +758,9 @@ fn equality_pairs(pred: &Expr, out: &mut Vec<(usize, Value)>) -> bool {
 /// when its type lines up with the column's declared type (numerics are
 /// interchangeable: storage order and hashing unify `Int`/`Double`).
 /// Cross-kind comparisons like `str_col = 5` atomize in SQL but would
-/// miss under key equality, so they fall back to the scan path.
-fn probe_compatible(lit: &Value, ty: ColumnType) -> bool {
+/// miss under key equality, so they fall back to the scan path. Shared
+/// with the textual layer's keyed fast path ([`crate::sql`]).
+pub(crate) fn probe_compatible(lit: &Value, ty: ColumnType) -> bool {
     matches!(
         (lit, ty),
         (
@@ -1076,6 +1087,51 @@ mod tests {
             after.rows_scanned > before.rows_scanned,
             "fell back to scan"
         );
+        assert_eq!(db.table("vendor").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn nan_equality_on_indexed_column_scans_and_matches_nothing() {
+        let mut db = db_with_vendor();
+        db.create_index("vendor", "price").unwrap();
+        db.load(
+            "vendor",
+            vec![vrow("a", "P1", f64::NAN), vrow("b", "P1", 2.0)],
+        )
+        .unwrap();
+        let before = db.stats();
+        // SQL comparison: `NaN = NaN` is unknown, so nothing matches. A key
+        // probe through the index would use total equality (NaN == NaN) and
+        // wrongly delete the row — the NaN literal must force the scan.
+        let pred = Expr::eq(Expr::col(2), Expr::lit(f64::NAN));
+        assert_eq!(db.delete_expr("vendor", Some(&pred)).unwrap(), 0);
+        let after = db.stats();
+        assert!(
+            after.rows_scanned > before.rows_scanned,
+            "fell back to scan"
+        );
+        assert_eq!(after.index_probes, before.index_probes, "no index probe");
+        assert_eq!(db.table("vendor").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn type_mismatched_indexed_equality_scans_and_atomizes() {
+        let mut db = db_with_vendor();
+        db.create_index("vendor", "pid").unwrap();
+        db.load("vendor", vec![vrow("a", "5", 1.0), vrow("b", "P1", 2.0)])
+            .unwrap();
+        let before = db.stats();
+        // `pid = 5` compares an Int literal against a TEXT column: SQL
+        // atomization matches the row whose pid is '5', which an index
+        // probe keyed on Int(5) would miss (probe-miss, not 1 row).
+        let pred = Expr::eq(Expr::col(1), Expr::lit(5i64));
+        assert_eq!(db.delete_expr("vendor", Some(&pred)).unwrap(), 1);
+        let after = db.stats();
+        assert!(
+            after.rows_scanned > before.rows_scanned,
+            "fell back to scan"
+        );
+        assert_eq!(after.index_probes, before.index_probes, "no index probe");
         assert_eq!(db.table("vendor").unwrap().len(), 1);
     }
 

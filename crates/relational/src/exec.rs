@@ -62,8 +62,10 @@ struct CacheEntry {
     key_exprs: Vec<Expr>,
     /// `None` marks a plan known to be *unstable* (it reads transition
     /// tables), so hot firing paths skip both the cache and the
-    /// stability analysis. Stability is a property of the plan alone —
-    /// the marker never needs version validation.
+    /// stability analysis. Stability is a property of the plan alone, so
+    /// the marker needs no per-table version validation — but it is still
+    /// discarded when `schema_gen` moves (DROP/CREATE churn must not leave
+    /// markers recorded against a schema that no longer exists).
     value: Option<Cached>,
 }
 
@@ -145,6 +147,14 @@ impl ExecCache {
             return CacheLookup::Miss;
         }
         let Some(value) = &e.value else {
+            // Negative (unstable) markers also key on the schema
+            // generation: a DROP/CREATE cycle can recreate a same-shaped
+            // table behind an entry recorded against the old schema, and a
+            // marker must never outlive the world it was analyzed in.
+            if e.schema_gen != db.schema_generation() {
+                entries.remove(&key);
+                return CacheLookup::Miss;
+            }
             return CacheLookup::Unstable;
         };
         let fresh = e.schema_gen == db.schema_generation()
@@ -194,7 +204,7 @@ impl ExecCache {
             }
             None => CacheEntry {
                 plan: Arc::downgrade(plan),
-                schema_gen: 0,
+                schema_gen: db.schema_generation(),
                 deps: Vec::new(),
                 key_exprs,
                 value: None,

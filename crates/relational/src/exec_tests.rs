@@ -779,3 +779,78 @@ fn exec_cache_sweeps_entries_of_dropped_plans() {
         db.exec_cache_len()
     );
 }
+
+/// Negative (unstable) markers are keyed on the schema generation too: a
+/// DROP/CREATE cycle of a same-shaped table invalidates markers recorded
+/// against the old schema, and the plan re-analyzes against the recreated
+/// world with correct results. (Positive entries already catch this via
+/// their own `schema_gen` check; the marker path used to skip it.)
+#[test]
+fn unstable_marker_invalidated_by_drop_recreate() {
+    let mut db = setup();
+    // Build side reads the Δ transition table: unstable, negatively cached.
+    let plan = PhysicalPlan::HashJoin {
+        left: scan("product").into_ref(),
+        right: PhysicalPlan::TransitionScan {
+            table: "vendor".into(),
+            side: TransitionSide::Delta,
+            pruned: false,
+        }
+        .into_ref(),
+        left_keys: vec![Expr::col(0)],
+        right_keys: vec![Expr::col(1)],
+        kind: JoinKind::Inner,
+        filter: None,
+    }
+    .into_ref();
+    let trans = transitions(
+        "vendor",
+        Event::Insert,
+        vec![row([
+            Value::str("Newegg"),
+            Value::str("P1"),
+            Value::Double(1.0),
+        ])],
+        vec![],
+    );
+    assert_eq!(
+        execute_with_transitions(&db, &plan, &trans).unwrap().len(),
+        1
+    );
+    assert_eq!(db.exec_cache_len(), 1, "unstable marker stored");
+    let gen_before = db.schema_generation();
+
+    // Same-shaped drop/recreate of the monitored table moves the schema
+    // generation; the stale marker must be discarded and re-recorded.
+    db.drop_table("vendor").unwrap();
+    db.create_table(
+        TableSchema::new(
+            "vendor",
+            vec![
+                ColumnDef::new("vid", ColumnType::Str),
+                ColumnDef::new("pid", ColumnType::Str),
+                ColumnDef::new("price", ColumnType::Double),
+            ],
+            &["vid", "pid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    assert!(db.schema_generation() > gen_before);
+
+    // Still correct (product row P1 joins the Δ row), marker re-armed.
+    assert_eq!(
+        execute_with_transitions(&db, &plan, &trans).unwrap().len(),
+        1
+    );
+    assert_eq!(db.exec_cache_len(), 1);
+    assert_eq!(
+        execute_with_transitions(&db, &plan, &trans).unwrap().len(),
+        1
+    );
+    assert_eq!(
+        db.stats().build_cache_hits,
+        0,
+        "unstable plans never serve cached builds"
+    );
+}

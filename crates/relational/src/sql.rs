@@ -376,46 +376,53 @@ pub fn execute(db: &mut Database, stmt: &Statement) -> Result<SqlOutcome, Statem
             table,
             columns,
             filter,
-        } => {
-            let t = db.table(table)?;
-            let schema = t.schema();
-            let pred = filter
-                .as_ref()
-                .map(|f| bind(f, schema, table))
-                .transpose()?;
-            let (names, indices): (Vec<String>, Vec<usize>) = match columns {
-                SelectCols::Star => (
-                    schema.columns.iter().map(|c| c.name.clone()).collect(),
-                    (0..schema.arity()).collect(),
-                ),
-                SelectCols::Named(cols) => {
-                    let mut names = Vec::with_capacity(cols.len());
-                    let mut idx = Vec::with_capacity(cols.len());
-                    for (c, span) in cols {
-                        idx.push(schema.col(c).map_err(|_| unknown_column(c, table, *span))?);
-                        names.push(c.clone());
-                    }
-                    (names, idx)
-                }
-            };
-            // Ordered storage scans in primary-key order, so the output is
-            // deterministic without a sort.
-            let mut rows: Vec<Row> = Vec::new();
-            for r in t.iter() {
-                let keep = match &pred {
-                    Some(p) => p.eval(r).map_err(StatementError::Db)?.is_true(),
-                    None => true,
-                };
-                if keep {
-                    rows.push(indices.iter().map(|&i| r[i].clone()).collect::<Row>());
-                }
+        } => select(db, table, columns, filter.as_ref()),
+    }
+}
+
+/// Execute a `SELECT` against a shared database reference. This is the
+/// read-only entry point concurrent sessions use to evaluate reads against
+/// an immutable snapshot ([`execute`] delegates here for its `SELECT` arm).
+pub fn select(
+    db: &Database,
+    table: &str,
+    columns: &SelectCols,
+    filter: Option<&SqlExpr>,
+) -> Result<SqlOutcome, StatementError> {
+    let t = db.table(table)?;
+    let schema = t.schema();
+    let pred = filter.map(|f| bind(f, schema, table)).transpose()?;
+    let (names, indices): (Vec<String>, Vec<usize>) = match columns {
+        SelectCols::Star => (
+            schema.columns.iter().map(|c| c.name.clone()).collect(),
+            (0..schema.arity()).collect(),
+        ),
+        SelectCols::Named(cols) => {
+            let mut names = Vec::with_capacity(cols.len());
+            let mut idx = Vec::with_capacity(cols.len());
+            for (c, span) in cols {
+                idx.push(schema.col(c).map_err(|_| unknown_column(c, table, *span))?);
+                names.push(c.clone());
             }
-            Ok(SqlOutcome::Rows {
-                columns: names,
-                rows,
-            })
+            (names, idx)
+        }
+    };
+    // Ordered storage scans in primary-key order, so the output is
+    // deterministic without a sort.
+    let mut rows: Vec<Row> = Vec::new();
+    for r in t.iter() {
+        let keep = match &pred {
+            Some(p) => p.eval(r).map_err(StatementError::Db)?.is_true(),
+            None => true,
+        };
+        if keep {
+            rows.push(indices.iter().map(|&i| r[i].clone()).collect::<Row>());
         }
     }
+    Ok(SqlOutcome::Rows {
+        columns: names,
+        rows,
+    })
 }
 
 /// Parse and execute in one call.
@@ -458,6 +465,13 @@ fn bind(e: &SqlExpr, schema: &TableSchema, table: &str) -> Result<Expr, Statemen
 
 /// If `filter` is a conjunction of `col = literal` equalities covering the
 /// primary key exactly, return the key values in key order.
+///
+/// A probe replaces the predicate's SQL comparison with total key equality,
+/// so it is only taken when the two agree: NULL and NaN literals (whose SQL
+/// comparisons are unknown / always-false, but which a key lookup would
+/// match via total order) and literals whose kind mismatches the column's
+/// declared type (which SQL atomizes — `str_col = 5` can match `'5'` — but
+/// a key probe would miss) all fall back to the generic expression path.
 fn pk_probe(schema: &TableSchema, filter: &SqlExpr) -> Option<Vec<Value>> {
     let mut pairs: Vec<(String, Value)> = Vec::new();
     if !collect_equalities(filter, &mut pairs) {
@@ -470,6 +484,9 @@ fn pk_probe(schema: &TableSchema, filter: &SqlExpr) -> Option<Vec<Value>> {
     for &pk_col in &schema.primary_key {
         let name = &schema.columns[pk_col].name;
         let v = pairs.iter().find(|(c, _)| c == name)?;
+        if !crate::database::probe_compatible(&v.1, schema.columns[pk_col].ty) {
+            return None;
+        }
         key.push(v.1.clone());
     }
     Some(key)
@@ -488,6 +505,9 @@ fn collect_equalities(e: &SqlExpr, out: &mut Vec<(String, Value)>) -> bool {
             right,
         } => match (left.as_ref(), right.as_ref()) {
             (SqlExpr::Col(c, _), SqlExpr::Lit(v)) | (SqlExpr::Lit(v), SqlExpr::Col(c, _)) => {
+                if v.is_null() || matches!(v, Value::Double(d) if d.is_nan()) {
+                    return false; // SQL comparison ≠ key equality: scan
+                }
                 if out.iter().any(|(seen, _)| seen == c) {
                     return false; // duplicate constraint: let the generic path decide
                 }
@@ -515,6 +535,12 @@ fn literal_assignments(assignments: &[(usize, Expr)]) -> Option<Vec<(usize, Valu
 // Parser
 // ---------------------------------------------------------------------
 
+/// `true` for UTF-8 continuation bytes (`0b10xxxxxx`) — positions that are
+/// not char boundaries and must never appear as span endpoints.
+fn is_continuation(b: u8) -> bool {
+    b & 0xC0 == 0x80
+}
+
 struct Cursor<'a> {
     input: &'a [u8],
     pos: usize,
@@ -536,8 +562,19 @@ impl<'a> Cursor<'a> {
     }
 
     fn err_here(&self, message: impl Into<String>) -> StatementError {
-        let start = self.pos.min(self.input.len());
-        let end = (start + 1).min(self.input.len()).max(start);
+        // Spans are byte offsets that callers slice back out of the
+        // statement text, so both ends must sit on UTF-8 char boundaries:
+        // cover the whole character under the cursor, not its first byte.
+        // (`start == len` happens for end-of-input errors; the text end is
+        // always a boundary.)
+        let mut start = self.pos.min(self.input.len());
+        while start > 0 && start < self.input.len() && is_continuation(self.input[start]) {
+            start -= 1;
+        }
+        let mut end = (start + 1).min(self.input.len()).max(start);
+        while end < self.input.len() && is_continuation(self.input[end]) {
+            end += 1;
+        }
         self.err_at(Span::new(start, end), message)
     }
 
@@ -1232,6 +1269,74 @@ mod tests {
         };
         assert_eq!(&text[span.start..span.end], "prices");
         assert!(message.contains("unknown column"), "{message}");
+    }
+
+    #[test]
+    fn parse_error_spans_stay_on_char_boundaries() {
+        // The offending token is a multibyte character: the span must
+        // cover it whole (slicing the statement text at the span must not
+        // panic and must return the character).
+        let text = "SELECT ☃ FROM vendor";
+        let err = parse(text).unwrap_err();
+        let StatementError::Parse { span, .. } = err else {
+            panic!("expected parse error");
+        };
+        assert_eq!(&text[span.start..span.end], "☃");
+
+        // Errors positioned after multibyte string literals stay sliceable.
+        let text = "INSERT INTO vendor VALUES ('héllo™', 'P9', 1.0) ✗";
+        let err = parse(text).unwrap_err();
+        let span = err.span().expect("parse error has a span");
+        assert!(text.get(span.start..span.end).is_some(), "{span:?}");
+
+        // Multibyte input inside a WHERE clause: the error lands on the
+        // non-ASCII expression head.
+        let text = "DELETE FROM vendor WHERE vid = ☃";
+        let err = parse(text).unwrap_err();
+        let span = err.span().expect("parse error has a span");
+        assert_eq!(&text[span.start..span.end], "☃");
+    }
+
+    #[test]
+    fn end_of_input_errors_have_clamped_spans() {
+        // Truncated statements error at `pos == len`; the span must clamp
+        // to the text (an out-of-range index here panicked once).
+        for text in [
+            "DROP TRIGGER",
+            "DELETE FROM vendor WHERE vid =",
+            "INSERT INTO vendor VALUES ('héllo™', ",
+            "SELECT",
+            "",
+        ] {
+            let err = parse(text).unwrap_err();
+            let span = err.span().expect("parse error has a span");
+            assert!(
+                text.get(span.start..span.end).is_some(),
+                "{text:?}: {span:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_and_null_pk_literals_skip_the_probe_fast_path() {
+        let mut db = Database::new();
+        run(&mut db, "CREATE TABLE t (id TEXT PRIMARY KEY, v INT)").unwrap();
+        run(&mut db, "INSERT INTO t VALUES ('5', 1), ('x', 2)").unwrap();
+        // `id = 5` compares an Int literal to a TEXT key. SQL atomization
+        // matches the row '5'; a key probe with Int(5) would miss it and
+        // report 0 rows. The statement must take the scan path.
+        let out = run(&mut db, "UPDATE t SET v = 9 WHERE id = 5").unwrap();
+        assert_eq!(out, SqlOutcome::RowsAffected(1));
+        assert_eq!(
+            db.table("t").unwrap().get(&[Value::str("5")]).unwrap()[1],
+            Value::Int(9)
+        );
+        // NULL comparisons are unknown for every row: no matches, via the
+        // generic path (a probe keyed on NULL asks the index a question
+        // SQL semantics never ask).
+        let out = run(&mut db, "DELETE FROM t WHERE id = NULL").unwrap();
+        assert_eq!(out, SqlOutcome::RowsAffected(0));
+        assert_eq!(db.table("t").unwrap().len(), 2);
     }
 
     #[test]

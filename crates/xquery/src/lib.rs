@@ -18,7 +18,7 @@
 //! ```
 //! use quark_core::{Mode, StatementResult};
 //! let db = quark_xqgm::fixtures::product_vendor_db();
-//! let mut session = quark_xquery::session(db, Mode::Grouped);
+//! let session = quark_xquery::session(db, Mode::Grouped);
 //! session.execute(r#"
 //!     create view catalog as {
 //!       <catalog>{
@@ -63,10 +63,19 @@ pub use viewtree::{LevelSpec, TopBinding, ViewSpec};
 pub struct XQueryFrontend;
 
 fn spanned(e: ParseError, text: &str) -> StatementError {
-    // Clamp to the statement text: `at` sits at text.len() for
-    // end-of-input errors, and spans must stay sliceable.
-    let start = e.at.min(text.len());
-    let end = (start + 1).min(text.len()).max(start);
+    // Clamp to the statement text (`at` sits at text.len() for
+    // end-of-input errors) and snap both ends to UTF-8 char boundaries:
+    // spans are byte offsets that callers slice back out of the text, so
+    // they must cover whole characters even when the error lands on (or
+    // just before) a multibyte one.
+    let mut start = e.at.min(text.len());
+    while start > 0 && !text.is_char_boundary(start) {
+        start -= 1;
+    }
+    let mut end = (start + 1).min(text.len()).max(start);
+    while end < text.len() && !text.is_char_boundary(end) {
+        end += 1;
+    }
     StatementError::Parse {
         message: e.message,
         span: Span::new(start, end),
@@ -139,7 +148,7 @@ mod tests {
         use std::sync::{Arc, Mutex};
 
         let db = quark_xqgm::fixtures::product_vendor_db();
-        let mut session = session(db, Mode::Grouped);
+        let session = session(db, Mode::Grouped);
         let created = session.execute(CATALOG).unwrap();
         assert_eq!(
             created,
@@ -221,7 +230,7 @@ mod tests {
     #[test]
     fn view_parse_errors_carry_spans() {
         let db = quark_xqgm::fixtures::product_vendor_db();
-        let mut s = session(db, Mode::Grouped);
+        let s = session(db, Mode::Grouped);
         let err = s.execute("create view broken as { <v> }").unwrap_err();
         assert!(err.span().is_some(), "{err}");
         let err = s

@@ -15,7 +15,7 @@ use quark_core::{Mode, StatementResult};
 
 fn main() {
     let db = quark_core::xqgm::fixtures::product_vendor_db();
-    let mut session = quark_xquery::session(db, Mode::GroupedAgg);
+    let session = quark_xquery::session(db, Mode::GroupedAgg);
     session
         .execute(
             r#"create view catalog as {

@@ -11,7 +11,7 @@ use quark_core::relational::Database;
 use quark_core::{Mode, Session};
 
 fn build_session() -> Session {
-    let mut session = quark_xquery::session(Database::new(), Mode::GroupedAgg);
+    let session = quark_xquery::session(Database::new(), Mode::GroupedAgg);
     for stmt in [
         "CREATE TABLE region (rid INT PRIMARY KEY, name TEXT)",
         "CREATE TABLE customer (cid INT PRIMARY KEY, rid INT, name TEXT)",
@@ -44,7 +44,7 @@ fn build_session() -> Session {
 }
 
 fn main() {
-    let mut session = build_session();
+    let session = build_session();
     session
         .execute(
             r#"create view sales as {

@@ -17,7 +17,7 @@ fn main() {
     // 1. A session over a relational database (the engine ships with the
     //    paper's Figure-2 fixture; any schema with primary keys works).
     let db = quark_core::xqgm::fixtures::product_vendor_db();
-    let mut session = quark_xquery::session(db, Mode::GroupedAgg);
+    let session = quark_xquery::session(db, Mode::GroupedAgg);
 
     // 2. An (unmaterialized!) XML view over it, straight from Figure 3.
     session

@@ -131,7 +131,7 @@ fn main() {
     }
 
     // --- EXPLAIN TRIGGER through the session front door ---------------
-    let mut session = quark_xquery::session(product_vendor_db(), quark_core::Mode::Grouped);
+    let session = quark_xquery::session(product_vendor_db(), quark_core::Mode::Grouped);
     session
         .execute(
             r#"create view catalog as {

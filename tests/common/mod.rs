@@ -19,6 +19,7 @@ pub type Firing = (String, Vec<Value>);
 pub struct Log(pub Arc<Mutex<Vec<Firing>>>);
 
 impl Log {
+    #[allow(dead_code)] // each test binary compiles this module separately
     pub fn take(&self) -> Vec<Firing> {
         std::mem::take(&mut self.0.lock().unwrap())
     }
@@ -58,7 +59,7 @@ pub fn catalog_system(mode: Mode) -> (Session, Log) {
     let pg = catalog_path(&db);
     let mut quark = Quark::new(db, mode);
     quark.register_view(XmlView::new("catalog").with_anchor("product", pg));
-    let mut session = Session::with_frontend(quark, Box::new(XQueryFrontend));
+    let session = Session::with_frontend(quark, Box::new(XQueryFrontend));
     let log = Log::default();
     let sink = log.clone();
     session

@@ -244,7 +244,7 @@ fn drop_recreate_evicts_compile_cache() {
 /// evict — an entry recreated after re-enabling.
 #[test]
 fn disabling_cache_releases_group_references() {
-    let (mut session, _log) = catalog_system(Mode::Grouped);
+    let (session, _log) = catalog_system(Mode::Grouped);
     session.execute(&base_trigger("A", "CRT 15")).unwrap();
     session.quark_mut().set_compile_cache_enabled(false);
     assert_eq!(session.quark().compile_cache_len(), 0);
@@ -283,7 +283,7 @@ fn ungrouped_triggers_share_compiled_plans() {
 /// name-based).
 #[test]
 fn structurally_equal_views_share_cache_entries() {
-    let mut session = quark_xquery::session(Database::new(), Mode::GroupedAgg);
+    let session = quark_xquery::session(Database::new(), Mode::GroupedAgg);
     for stmt in [
         "CREATE TABLE customer (cid INT PRIMARY KEY, name TEXT)",
         "CREATE TABLE orders (oid INT PRIMARY KEY, cid INT, total DOUBLE)",

@@ -132,7 +132,7 @@ fn watch_all(mode: Mode) -> (Session, Log) {
     let pg = catalog_path(&db);
     let mut quark = Quark::new(db, mode);
     quark.register_view(XmlView::new("catalog").with_anchor("product", pg));
-    let mut session = Session::with_frontend(quark, Box::new(XQueryFrontend));
+    let session = Session::with_frontend(quark, Box::new(XQueryFrontend));
     let log = Log::default();
     for (event, name) in [
         (XmlEvent::Insert, "ins"),
@@ -194,16 +194,16 @@ proptest! {
     /// with byte-identical OLD/NEW node serializations.
     #[test]
     fn translated_triggers_match_oracle(ops in proptest::collection::vec(op_strategy(), 1..10)) {
-        let (mut ungrouped, log_u) = watch_all(Mode::Ungrouped);
-        let (mut grouped, log_g) = watch_all(Mode::Grouped);
-        let (mut agg, log_a) = watch_all(Mode::GroupedAgg);
-        let pg = catalog_path(ungrouped.database());
+        let (ungrouped, log_u) = watch_all(Mode::Ungrouped);
+        let (grouped, log_g) = watch_all(Mode::Grouped);
+        let (agg, log_a) = watch_all(Mode::GroupedAgg);
+        let pg = catalog_path(&ungrouped.database());
 
         for op in &ops {
-            let stmts = statements_for(ungrouped.database(), op);
+            let stmts = statements_for(&ungrouped.database(), op);
             // Oracle: expected changes for this statement, from the current
             // state (identical across systems).
-            let expected: BTreeSet<Observed> = changes_of(&pg, ungrouped.database(), |db| {
+            let expected: BTreeSet<Observed> = changes_of(&pg, &ungrouped.database(), |db| {
                 for s in &stmts {
                     sql::run(db, s).map_err(Error::from)?;
                 }

@@ -66,7 +66,7 @@ fn watch_large(mode: Mode) -> (Session, Log) {
     let pg = catalog_path(&db);
     let mut quark = Quark::new(db, mode);
     quark.register_view(XmlView::new("catalog").with_anchor("product", pg));
-    let mut session = Session::with_frontend(quark, Box::new(XQueryFrontend));
+    let session = Session::with_frontend(quark, Box::new(XQueryFrontend));
     let log = Log::default();
     for (event, name) in [
         (XmlEvent::Insert, "ins"),
@@ -118,10 +118,10 @@ fn observed_set(log: &Log) -> BTreeSet<Observed> {
 /// 10k-row base table fire exactly the oracle's events, in every mode.
 #[test]
 fn large_cardinality_matches_oracle_in_all_modes() {
-    let (mut ungrouped, log_u) = watch_large(Mode::Ungrouped);
-    let (mut grouped, log_g) = watch_large(Mode::Grouped);
-    let (mut agg, log_a) = watch_large(Mode::GroupedAgg);
-    let pg = catalog_path(ungrouped.database());
+    let (ungrouped, log_u) = watch_large(Mode::Ungrouped);
+    let (grouped, log_g) = watch_large(Mode::Grouped);
+    let (agg, log_a) = watch_large(Mode::GroupedAgg);
+    let pg = catalog_path(&ungrouped.database());
 
     let statements = [
         "UPDATE vendor SET price = 42.0 WHERE vid = 'V1' AND pid = 'Q00001'",
@@ -131,7 +131,7 @@ fn large_cardinality_matches_oracle_in_all_modes() {
         "UPDATE vendor SET price = price + 1.0 WHERE pid = 'Q00005'",
     ];
     for stmt in statements {
-        let expected: BTreeSet<Observed> = changes_of(&pg, ungrouped.database(), |db| {
+        let expected: BTreeSet<Observed> = changes_of(&pg, &ungrouped.database(), |db| {
             sql::run(db, stmt).map_err(Error::from).map(|_| ())
         })
         .expect("oracle")
@@ -166,7 +166,7 @@ fn large_cardinality_matches_oracle_in_all_modes() {
 #[test]
 fn firing_at_10k_rows_probes_instead_of_scanning() {
     for mode in [Mode::Ungrouped, Mode::Grouped, Mode::GroupedAgg] {
-        let (mut session, log) = watch_large(mode);
+        let (session, log) = watch_large(mode);
         // Warm up (first firing may build caches), then measure the next.
         session
             .execute("UPDATE vendor SET price = 1.5 WHERE vid = 'V3' AND pid = 'Q00010'")
@@ -274,7 +274,7 @@ fn watched_session(mode: Mode, cached: bool) -> (Session, Log) {
     let pg = catalog_path(&db);
     let mut quark = Quark::new(db, mode);
     quark.register_view(XmlView::new("catalog").with_anchor("product", pg));
-    let mut session = Session::with_frontend(quark, Box::new(XQueryFrontend));
+    let session = Session::with_frontend(quark, Box::new(XQueryFrontend));
     session.database_mut().set_exec_cache_enabled(cached);
     let log = Log::default();
     for (event, name) in [
@@ -334,10 +334,13 @@ proptest! {
         agg_mode in 0..2usize,
     ) {
         let mode = if agg_mode == 1 { Mode::GroupedAgg } else { Mode::Grouped };
-        let (mut cached, log_c) = watched_session(mode, true);
-        let (mut uncached, log_p) = watched_session(mode, false);
+        let (cached, log_c) = watched_session(mode, true);
+        let (uncached, log_p) = watched_session(mode, false);
         for op in &ops {
-            for stmt in statements_for(cached.database(), op) {
+            // Hoist: the guard must drop before `execute` takes the write
+            // lock, or the loop would self-deadlock.
+            let stmts = statements_for(&cached.database(), op);
+            for stmt in stmts {
                 let a = cached.execute(&stmt);
                 let b = uncached.execute(&stmt);
                 prop_assert_eq!(

@@ -77,7 +77,7 @@ fn non_matching_product_does_not_fire() {
 #[test]
 fn vendor_insert_is_an_update_of_the_product_node() {
     for mode in all_modes() {
-        let (mut session, log) = catalog_system(mode);
+        let (session, log) = catalog_system(mode);
         session
             .execute(&notify_trigger("NotifyLcd", "LCD 19"))
             .unwrap();
@@ -96,7 +96,7 @@ fn vendor_insert_is_an_update_of_the_product_node() {
 #[test]
 fn mfr_only_update_does_not_fire() {
     for mode in all_modes() {
-        let (mut session, log) = catalog_system(mode);
+        let (session, log) = catalog_system(mode);
         session
             .execute(&notify_trigger("Notify", "CRT 15"))
             .unwrap();
@@ -125,7 +125,7 @@ fn noop_update_does_not_fire() {
 #[test]
 fn insert_trigger_fires_for_new_qualifying_product() {
     for mode in all_modes() {
-        let (mut session, log) = catalog_system(mode);
+        let (session, log) = catalog_system(mode);
         session
             .execute(
                 "CREATE TRIGGER NewProduct AFTER INSERT ON view('catalog')/product \
@@ -158,7 +158,7 @@ fn insert_trigger_fires_for_new_qualifying_product() {
 #[test]
 fn delete_trigger_fires_when_product_leaves_view() {
     for mode in all_modes() {
-        let (mut session, log) = catalog_system(mode);
+        let (session, log) = catalog_system(mode);
         session
             .execute(
                 "CREATE TRIGGER Gone AFTER DELETE ON view('catalog')/product \
@@ -182,7 +182,7 @@ fn delete_trigger_fires_when_product_leaves_view() {
 #[test]
 fn partial_vendor_delete_is_an_update_not_a_delete() {
     for mode in all_modes() {
-        let (mut session, log) = catalog_system(mode);
+        let (session, log) = catalog_system(mode);
         session.execute(&notify_trigger("Upd", "CRT 15")).unwrap();
         session
             .execute(
@@ -205,8 +205,8 @@ fn partial_vendor_delete_is_an_update_not_a_delete() {
 /// triggers; ungrouped does not (§5.1 / Fig. 17's premise).
 #[test]
 fn grouping_shares_sql_triggers() {
-    let (mut grouped, _) = catalog_system(Mode::Grouped);
-    let (mut ungrouped, _) = catalog_system(Mode::Ungrouped);
+    let (grouped, _) = catalog_system(Mode::Grouped);
+    let (ungrouped, _) = catalog_system(Mode::Ungrouped);
     for (i, name) in ["CRT 15", "LCD 19", "Plasma 50"].iter().enumerate() {
         grouped
             .execute(&notify_trigger(&format!("g{i}"), name))

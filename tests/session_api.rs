@@ -19,7 +19,7 @@ const CATALOG: &str = r#"
 
 fn catalog_session() -> Session {
     let db = quark_core::xqgm::fixtures::product_vendor_db();
-    let mut session = quark_xquery::session(db, Mode::Grouped);
+    let session = quark_xquery::session(db, Mode::Grouped);
     session.execute(CATALOG).unwrap();
     session.register_action("notify", |_, _| Ok(())).unwrap();
     session
@@ -31,7 +31,7 @@ fn catalog_session() -> Session {
 
 #[test]
 fn created_table_index_view_and_trigger() {
-    let mut session = catalog_session();
+    let session = catalog_session();
     assert_eq!(
         session
             .execute("CREATE TABLE audit (id INT PRIMARY KEY, note TEXT)")
@@ -80,7 +80,7 @@ fn created_table_index_view_and_trigger() {
 
 #[test]
 fn rows_affected_for_insert_update_delete_and_misses() {
-    let mut session = catalog_session();
+    let session = catalog_session();
     assert_eq!(
         session
             .execute("INSERT INTO vendor VALUES ('Newegg', 'P1', 99.0), ('Newegg', 'P2', 98.0)")
@@ -118,7 +118,7 @@ fn rows_affected_for_insert_update_delete_and_misses() {
 
 #[test]
 fn rows_variant_orders_by_primary_key() {
-    let mut session = catalog_session();
+    let session = catalog_session();
     let StatementResult::Rows { columns, rows } = session
         .execute("SELECT vid, price FROM vendor WHERE pid = 'P1'")
         .unwrap()
@@ -132,7 +132,7 @@ fn rows_variant_orders_by_primary_key() {
 
 #[test]
 fn explain_variant_renders_translation_artifacts() {
-    let mut session = catalog_session();
+    let session = catalog_session();
     session
         .execute(
             "create trigger Notify after update on view('catalog')/product \
@@ -156,7 +156,7 @@ fn explain_variant_renders_translation_artifacts() {
 
 #[test]
 fn xml_variant_materializes_the_view_in_key_order() {
-    let mut session = catalog_session();
+    let session = catalog_session();
     let StatementResult::Xml(nodes) = session
         .execute("MATERIALIZE view('catalog')/product")
         .unwrap()
@@ -183,7 +183,7 @@ fn xml_variant_materializes_the_view_in_key_order() {
 
 #[test]
 fn dropped_variant_for_triggers_and_tables() {
-    let mut session = catalog_session();
+    let session = catalog_session();
     session
         .execute("create trigger T after update on view('catalog')/product do notify(NEW_NODE)")
         .unwrap();
@@ -212,7 +212,7 @@ fn dropped_variant_for_triggers_and_tables() {
 
 #[test]
 fn sql_parse_errors_carry_exact_spans() {
-    let mut session = catalog_session();
+    let session = catalog_session();
 
     let text = "SELEC * FROM vendor";
     let err = session.execute(text).unwrap_err();
@@ -240,7 +240,7 @@ fn sql_parse_errors_carry_exact_spans() {
 
 #[test]
 fn frontend_parse_errors_carry_spans_too() {
-    let mut session = catalog_session();
+    let session = catalog_session();
     let err = session
         .execute("create trigger T after explode on view('catalog')/product do notify()")
         .unwrap_err();
@@ -255,7 +255,7 @@ fn frontend_parse_errors_carry_spans_too() {
 
 #[test]
 fn leading_comments_route_to_the_frontend() {
-    let mut session = catalog_session();
+    let session = catalog_session();
     // `--` comments are accepted on every statement, including the two
     // frontend-parsed ones.
     let created = session
@@ -297,7 +297,7 @@ fn leading_comments_route_to_the_frontend() {
 
 #[test]
 fn end_of_input_frontend_errors_have_clamped_spans() {
-    let mut session = catalog_session();
+    let session = catalog_session();
     let text = "create view v as {";
     let err = session.execute(text).unwrap_err();
     let span = err.span().expect("parse error has a span");
@@ -310,7 +310,7 @@ fn end_of_input_frontend_errors_have_clamped_spans() {
 
 #[test]
 fn statement_error_displays_span_position() {
-    let mut session = catalog_session();
+    let session = catalog_session();
     let err = session.execute("DELETE FRUM vendor").unwrap_err();
     let rendered = err.to_string();
     assert!(rendered.starts_with("parse error at "), "{rendered}");
@@ -319,7 +319,7 @@ fn statement_error_displays_span_position() {
 
 #[test]
 fn engine_errors_pass_through_unspanned() {
-    let mut session = catalog_session();
+    let session = catalog_session();
     let err = session
         .execute("INSERT INTO vendor VALUES ('Amazon', 'P1', 1.0)")
         .unwrap_err();
@@ -334,7 +334,7 @@ fn engine_errors_pass_through_unspanned() {
 
 #[test]
 fn trigger_firing_errors_surface_through_execute() {
-    let mut session = catalog_session();
+    let session = catalog_session();
     session
         .execute("create trigger Bad after update on view('catalog')/product do missing_fn()")
         .unwrap();
@@ -353,7 +353,7 @@ fn full_lifecycle_from_empty_database() {
     use quark_core::relational::Database;
     use std::sync::{Arc, Mutex};
 
-    let mut session = quark_xquery::session(Database::new(), Mode::GroupedAgg);
+    let session = quark_xquery::session(Database::new(), Mode::GroupedAgg);
     for stmt in [
         "CREATE TABLE customer (cid INT PRIMARY KEY, name TEXT)",
         "CREATE TABLE orders (oid INT PRIMARY KEY, cid INT, total DOUBLE)",
@@ -400,4 +400,49 @@ fn full_lifecycle_from_empty_database() {
     };
     assert_eq!(rows.len(), 2);
     assert_eq!(rows[0][0], Value::Double(121.0));
+}
+
+// ---------------------------------------------------------------------
+// UTF-8 statements: spans stay sliceable
+// ---------------------------------------------------------------------
+
+#[test]
+fn multibyte_statements_produce_sliceable_spans() {
+    let session = catalog_session();
+    // SQL-side error on a multibyte token.
+    let text = "SELECT ☃ FROM vendor";
+    let err = session.execute(text).unwrap_err();
+    let span = err.span().expect("parse error has a span");
+    assert_eq!(&text[span.start..span.end], "☃");
+
+    // Frontend error landing inside non-ASCII view text, behind a comment
+    // (spans are shifted back into the original statement).
+    let text = "-- vue cassée\ncreate view brisée as { ☃ }";
+    let err = session.execute(text).unwrap_err();
+    let span = err.span().expect("frontend parse error has a span");
+    assert!(
+        text.get(span.start..span.end).is_some(),
+        "span {span:?} must sit on char boundaries of {text:?}"
+    );
+
+    // Non-ASCII *data* flows through statements and back out of SELECT.
+    session
+        .execute("CREATE TABLE notes (id INT PRIMARY KEY, body TEXT)")
+        .unwrap();
+    session
+        .execute("INSERT INTO notes VALUES (1, 'héllo ☃ — naïve')")
+        .unwrap();
+    let StatementResult::Rows { rows, .. } = session
+        .execute("SELECT body FROM notes WHERE body = 'héllo ☃ — naïve'")
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::str("héllo ☃ — naïve"));
+    // And a trailing-garbage error after a multibyte literal stays safe.
+    let text = "INSERT INTO notes VALUES (2, 'héllo™') ✗";
+    let err = session.execute(text).unwrap_err();
+    let span = err.span().expect("parse error has a span");
+    assert!(text.get(span.start..span.end).is_some(), "{span:?}");
 }

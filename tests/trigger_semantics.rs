@@ -29,7 +29,7 @@ fn minprice_system(mode: Mode) -> (Session, Log) {
     };
     let mut quark = Quark::new(db, mode);
     quark.register_view(XmlView::new("minprice").with_anchor("product", pg));
-    let mut session = Session::with_frontend(quark, Box::new(XQueryFrontend));
+    let session = Session::with_frontend(quark, Box::new(XQueryFrontend));
     let log = Log::default();
     let sink = log.clone();
     session
@@ -126,7 +126,7 @@ fn old_content_condition_forces_full_old_side() {
 #[test]
 fn insert_condition_on_new_attribute() {
     for mode in all_modes() {
-        let (mut session, log) = catalog_system(mode);
+        let (session, log) = catalog_system(mode);
         session
             .execute(
                 "create trigger NewOled after insert on view('catalog')/product \
@@ -160,7 +160,7 @@ fn insert_condition_on_new_attribute() {
 #[test]
 fn multi_row_statement_fires_per_affected_node() {
     for mode in all_modes() {
-        let (mut session, log) = catalog_system(mode);
+        let (session, log) = catalog_system(mode);
         session
             .execute(
                 "create trigger All after update on view('catalog')/product \
@@ -200,7 +200,7 @@ fn unregistered_action_errors_at_fire_time() {
 /// Triggers on unknown views or anchors are rejected at creation.
 #[test]
 fn unknown_view_or_anchor_rejected() {
-    let (mut session, _log) = catalog_system(Mode::Grouped);
+    let (session, _log) = catalog_system(Mode::Grouped);
     assert!(session
         .execute("create trigger X after update on view('nope')/product do notify()")
         .is_err());
@@ -212,7 +212,7 @@ fn unknown_view_or_anchor_rejected() {
 /// Duplicate trigger names are rejected.
 #[test]
 fn duplicate_trigger_name_rejected() {
-    let (mut session, _log) = catalog_system(Mode::Grouped);
+    let (session, _log) = catalog_system(Mode::Grouped);
     let stmt = "create trigger Dup after update on view('catalog')/product do notify()";
     session.execute(stmt).unwrap();
     assert!(session.execute(stmt).is_err());
@@ -222,7 +222,7 @@ fn duplicate_trigger_name_rejected() {
 /// overwriting the closure installed triggers reference.
 #[test]
 fn duplicate_action_registration_rejected() {
-    let (mut session, _log) = catalog_system(Mode::Grouped);
+    let (session, _log) = catalog_system(Mode::Grouped);
     let err = session
         .register_action("notify", |_, _| Ok(()))
         .unwrap_err();

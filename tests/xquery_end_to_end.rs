@@ -8,7 +8,7 @@ use quark_core::relational::Database;
 use quark_core::{Mode, Session};
 
 fn orders_session(mode: Mode) -> Session {
-    let mut session = quark_xquery::session(Database::new(), mode);
+    let session = quark_xquery::session(Database::new(), mode);
     for stmt in [
         "CREATE TABLE customer (cid INT PRIMARY KEY, name TEXT)",
         "CREATE TABLE orders (oid INT PRIMARY KEY, cid INT, total DOUBLE)",
@@ -37,7 +37,7 @@ const VIEW: &str = r#"
 type FiringLog = Arc<Mutex<Vec<(String, String)>>>;
 
 fn system(mode: Mode) -> (Session, FiringLog) {
-    let mut session = orders_session(mode);
+    let session = orders_session(mode);
     session.execute(VIEW).unwrap();
     let log = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&log);
@@ -55,7 +55,7 @@ fn system(mode: Mode) -> (Session, FiringLog) {
 #[test]
 fn parsed_trigger_with_attr_condition_fires() {
     for mode in [Mode::Ungrouped, Mode::Grouped, Mode::GroupedAgg] {
-        let (mut session, log) = system(mode);
+        let (session, log) = system(mode);
         session
             .execute(
                 r#"CREATE TRIGGER AdaWatch AFTER UPDATE
@@ -82,7 +82,7 @@ fn parsed_trigger_with_attr_condition_fires() {
 #[test]
 fn parsed_quantified_condition() {
     for mode in [Mode::Grouped, Mode::GroupedAgg] {
-        let (mut session, log) = system(mode);
+        let (session, log) = system(mode);
         // Fire when some NEW order exceeds 500.
         session
             .execute(
@@ -104,7 +104,7 @@ fn parsed_quantified_condition() {
 
 #[test]
 fn parsed_insert_and_delete_triggers() {
-    let (mut session, log) = system(Mode::GroupedAgg);
+    let (session, log) = system(Mode::GroupedAgg);
     session
         .execute(
             "create trigger NewCust after insert on view('accounts')/customer \
@@ -139,7 +139,7 @@ fn parsed_insert_and_delete_triggers() {
 
 #[test]
 fn count_condition_from_text() {
-    let (mut session, log) = system(Mode::Grouped);
+    let (session, log) = system(Mode::Grouped);
     session
         .execute(
             r#"create trigger Busy after update on view('accounts')/customer
