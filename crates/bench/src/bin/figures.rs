@@ -24,7 +24,7 @@
 
 use std::time::{Duration, Instant};
 
-use quark_bench::{build, trigger_statement, watched_name, WorkloadSpec};
+use quark_bench::{build, build_sharded, trigger_statement, watched_name, ShardSpec, WorkloadSpec};
 use quark_core::Mode;
 
 struct Args {
@@ -649,6 +649,13 @@ fn cardinality(args: &Args, report: &mut Report) {
 /// the sweep isolates the read path. On a single-core host the expected
 /// shape is *flat* — adding sessions must at least not add contention;
 /// the speedup shows on multi-core hardware.
+///
+/// A second, mixed read/write sweep measures the footprint-latched write
+/// path: k handles over the sharded workload ([`build_sharded`]), each
+/// interleaving trigger-bearing UPDATEs with SELECTs, once with
+/// pairwise-disjoint shard footprints (writers parallel) and once with
+/// every handle on one shard (writers serialized — the old
+/// one-global-lock behavior, now scoped to the contended tables only).
 fn sessions_sweep(args: &Args, report: &mut Report) {
     use std::thread;
     let mut spec = base_spec(args, Mode::Grouped);
@@ -688,6 +695,70 @@ fn sessions_sweep(args: &Args, report: &mut Report) {
         let throughput = (per * k) as f64 / elapsed.as_secs_f64();
         println!("{k:<10} {:>16.3} {:>14.0}", ms(elapsed), throughput);
         report.push("sessions", "READ-TOTAL", "sessions", k as f64, ms(elapsed));
+    }
+
+    // Mixed read/write sweep over the sharded multi-writer workload: k
+    // handles each interleave keyed UPDATEs (full trigger cascades into
+    // the shard's audit table) with keyed SELECTs. DISJOINT: handle t
+    // writes shard t — pairwise-disjoint footprints, so writers hold
+    // non-overlapping latch sets and the wall time should not grow with
+    // k (falling on multi-core hosts). OVERLAP: every handle writes
+    // shard 0 — all writers serialize on one latch set, the floor the
+    // per-table refactor lifts the disjoint case above.
+    let total_ops: usize = if args.quick { 2_000 } else { 20_000 };
+    for (series, overlap) in [("MIXED-DISJOINT", false), ("MIXED-OVERLAP", true)] {
+        println!(
+            "\n{series}: {total_ops} mixed ops (50% keyed UPDATE w/ triggers, 50% keyed SELECT)"
+        );
+        println!(
+            "{:<10} {:>16} {:>14} {:>12}",
+            "sessions", "total (ms)", "ops/s", "conflicts"
+        );
+        for &k in &[1usize, 2, 4, 8] {
+            let w = build_sharded(ShardSpec::quick(8, Mode::Grouped)).expect("sharded workload");
+            let pool = quark_core::SessionPool::new(w.session);
+            pool.session()
+                .execute("SELECT name FROM m0 WHERE id = 0")
+                .expect("warmup read");
+            let per = total_ops / k;
+            let start = Instant::now();
+            let threads: Vec<_> = (0..k)
+                .map(|t| {
+                    let session = pool.session();
+                    let shard = if overlap { 0 } else { t };
+                    thread::spawn(move || {
+                        for i in 0..per {
+                            if i % 2 == 0 {
+                                let price = 50.0 + (i % 1000) as f64 / 7.0;
+                                session
+                                    .execute(&format!(
+                                        "UPDATE m{shard} SET price = {price:?} WHERE id = 0"
+                                    ))
+                                    .expect("mixed write");
+                            } else {
+                                let id = i % 256;
+                                session
+                                    .execute(&format!("SELECT name FROM m{shard} WHERE id = {id}"))
+                                    .expect("mixed read");
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for th in threads {
+                th.join().expect("mixed thread");
+            }
+            let elapsed = start.elapsed();
+            let conflicts = pool.session().quark().stats().latch_conflicts;
+            let throughput = (per * k) as f64 / elapsed.as_secs_f64();
+            println!(
+                "{k:<10} {:>16.3} {:>14.0} {:>12}",
+                ms(elapsed),
+                throughput,
+                conflicts
+            );
+            report.push("sessions", series, "sessions", k as f64, ms(elapsed));
+        }
     }
 }
 

@@ -201,7 +201,10 @@ pub fn build(spec: WorkloadSpec) -> Result<Workload> {
     session.execute("CREATE TABLE __temp (seq INT PRIMARY KEY, content TEXT)")?;
     let full = spec.full_action;
     let counter = std::sync::Arc::new(std::sync::Mutex::new(0i64));
-    session.register_action("insertTemp", move |db, call| {
+    // Declared write set: lets the workload's updates keep a bounded
+    // footprint and run on the session's latched write path instead of
+    // falling back to global mode.
+    session.register_action_with_writes("insertTemp", ["__temp"], move |db, call| {
         let mut c = counter.lock().expect("temp counter");
         *c += 1;
         let content = match (&call.params[0], full) {
@@ -322,11 +325,150 @@ impl Workload {
     }
 }
 
+/// Parameters for the sharded multi-writer workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSpec {
+    /// Number of pairwise-disjoint shards.
+    pub shards: usize,
+    /// Rows per shard table.
+    pub rows: usize,
+    /// XML triggers per shard (all watching the shard's hot row).
+    pub triggers: usize,
+    /// Translation mode.
+    pub mode: Mode,
+}
+
+impl ShardSpec {
+    /// Small defaults for CI-scale contention experiments.
+    pub fn quick(shards: usize, mode: Mode) -> Self {
+        ShardSpec {
+            shards,
+            rows: 256,
+            triggers: 8,
+            mode,
+        }
+    }
+}
+
+/// A sharded multi-writer system: `shards` pairwise-disjoint trigger
+/// systems inside one session (see [`build_sharded`]).
+pub struct ShardedWorkload {
+    /// Session driving all shards.
+    pub session: Session,
+    /// Spec it was built from.
+    pub spec: ShardSpec,
+}
+
+/// Build `spec.shards` disjoint single-level trigger systems in one
+/// session: shard `h` is `m{h}(id, name, price)` behind the XML view
+/// `shard{h}`, with `spec.triggers` XML triggers whose `audit{h}` action
+/// (declared write set `{audit{h}}`) appends the fired node into the
+/// `audit{h}` table. The write footprint of a statement against `m{h}`
+/// is therefore bounded and disjoint from every other shard's, so
+/// writers on distinct shards take non-overlapping latch sets and run
+/// in parallel; writers on the same shard serialize on its latches.
+pub fn build_sharded(spec: ShardSpec) -> Result<ShardedWorkload> {
+    let session = quark_xquery::session(Database::new(), spec.mode);
+    for h in 0..spec.shards {
+        session.execute(&format!(
+            "CREATE TABLE m{h} (id INT PRIMARY KEY, name TEXT, price DOUBLE)"
+        ))?;
+        let rows: Vec<Vec<Value>> = (0..spec.rows)
+            .map(|k| {
+                vec![
+                    Value::Int(k as i64),
+                    Value::str(format!("row_{h}_{k}")),
+                    Value::Double(100.0),
+                ]
+            })
+            .collect();
+        session.database_mut().load(&format!("m{h}"), rows)?;
+
+        let view = ViewSpec {
+            name: format!("shard{h}"),
+            root_element: "doc".into(),
+            binding: TopBinding::Rows,
+            top: LevelSpec {
+                element: "item".into(),
+                table: format!("m{h}"),
+                parent_fk: None,
+                attrs: vec![("name".into(), "name".into())],
+                scalars: vec![("*".into(), "*".into())],
+                child_count: None,
+                child: None,
+            },
+        };
+        let xml_view = view.build(&session.database())?;
+        session.quark_mut().register_view(xml_view);
+
+        session.execute(&format!(
+            "CREATE TABLE audit{h} (seq INT PRIMARY KEY, content TEXT)"
+        ))?;
+        let seq = std::sync::Arc::new(std::sync::Mutex::new(0i64));
+        let audit_table = format!("audit{h}");
+        let target = audit_table.clone();
+        session.register_action_with_writes(
+            audit_table.clone(),
+            [audit_table.clone()],
+            move |db, call| {
+                let mut s = seq.lock().expect("audit seq");
+                *s += 1;
+                let content = match &call.params[0] {
+                    Value::Xml(x) => x.to_xml(),
+                    other => other.to_string(),
+                };
+                db.insert_row(&target, vec![Value::Int(*s), Value::str(content)])
+            },
+        )?;
+
+        for i in 0..spec.triggers {
+            session.execute(&format!(
+                "create trigger s{h}_t{i} after update on view('shard{h}')/item \
+                 where OLD_NODE/@name = 'row_{h}_0' do audit{h}(NEW_NODE)"
+            ))?;
+        }
+    }
+    Ok(ShardedWorkload { session, spec })
+}
+
+impl ShardedWorkload {
+    /// Keyed UPDATE against shard `shard`'s hot row; `seq` varies the
+    /// written price deterministically.
+    pub fn update_stmt(&self, shard: usize, seq: i64) -> String {
+        let price = 50.0 + (seq % 1000) as f64 / 7.0;
+        format!("UPDATE m{shard} SET price = {price:?} WHERE id = 0")
+    }
+
+    /// Keyed SELECT against shard `shard`.
+    pub fn select_stmt(&self, shard: usize, id: i64) -> String {
+        format!("SELECT name FROM m{shard} WHERE id = {id}")
+    }
+
+    /// Rows accumulated in shard `shard`'s audit table.
+    pub fn audit_rows(&self, shard: usize) -> usize {
+        self.session
+            .database()
+            .table(&format!("audit{shard}"))
+            .map(|t| t.len())
+            .unwrap_or(0)
+    }
+}
+
 pub mod ablation;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sharded_workload_fires_only_its_shard() {
+        let w = build_sharded(ShardSpec::quick(2, Mode::Grouped)).unwrap();
+        w.session.execute(&w.update_stmt(0, 1)).unwrap();
+        assert_eq!(w.audit_rows(0), w.spec.triggers);
+        assert_eq!(w.audit_rows(1), 0);
+        // Single-threaded disjoint writes never contend.
+        assert_eq!(w.session.quark().stats().latch_conflicts, 0);
+    }
 
     #[test]
     fn split_fanout_products_match() {

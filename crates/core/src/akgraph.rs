@@ -101,7 +101,8 @@ fn build(
             if !relevant {
                 return Ok(None);
             }
-            let schema = db.table(t)?.schema();
+            let table = db.table(t)?;
+            let schema = table.schema();
             let pk = schema.primary_key.clone();
             let names: Vec<String> = pk.iter().map(|&c| schema.columns[c].name.clone()).collect();
             let trans = kg.table_from(t.clone(), side.source(options.pruned_transitions), db)?;
@@ -315,7 +316,7 @@ mod tests {
     /// table alone yields count = 1 < 2.
     #[test]
     fn nested_predicate_counterexample_yields_affected_key() {
-        let (mut db, mut kg, root) = setup();
+        let (db, mut kg, root) = setup();
         let ak = create_ak_graph(
             &mut kg,
             root,
@@ -362,7 +363,7 @@ mod tests {
     /// An update to one vendor of "CRT 15" flags exactly that product name.
     #[test]
     fn vendor_update_flags_one_group() {
-        let (mut db, mut kg, root) = setup();
+        let (db, mut kg, root) = setup();
         let ak = create_ak_graph(
             &mut kg,
             root,
@@ -444,7 +445,7 @@ mod tests {
     /// The ∇ side runs over G_old and reads the ∇ transition source.
     #[test]
     fn nabla_side_uses_old_graph() {
-        let (mut db, mut kg, root) = setup();
+        let (db, mut kg, root) = setup();
         let old_root = kg.old_version(root, "vendor");
         let ak = create_ak_graph(
             &mut kg,
@@ -472,7 +473,7 @@ mod tests {
     /// Product-side changes propagate through the left join input.
     #[test]
     fn product_update_side() {
-        let (mut db, mut kg, root) = setup();
+        let (db, mut kg, root) = setup();
         let ak = create_ak_graph(
             &mut kg,
             root,

@@ -42,7 +42,7 @@ pub use session::{
     ObjectKind, Session, SessionPool, Span, StatementError, StatementFrontend, StatementResult,
 };
 pub use spec::{Action, ActionParam, PathGraph, TriggerSpec, XmlEvent, XmlView};
-pub use system::{ActionCall, ActionFn, Mode, Quark};
+pub use system::{ActionCall, ActionFn, Footprint, Mode, Quark};
 
 // Re-export the layers below for one-stop consumption by examples/benches.
 pub use quark_relational as relational;

@@ -32,20 +32,38 @@
 //! A `Session` is a cheap handle onto a shared system, so `execute` takes
 //! `&self` and handles are `Send + Sync`. [`Session::fork`] (or a
 //! [`SessionPool`]) hands out additional handles onto the same system, and
-//! the statement surface splits in two:
+//! the statement surface splits in three:
 //!
-//! * **Write statements** — data changes, DDL, trigger creation/drop —
-//!   serialize on one write lock around the *whole* statement, including
-//!   every trigger firing and cascade it causes. Firing semantics are
-//!   exactly the single-session semantics; no reader or writer ever sees a
-//!   statement half-applied.
+//! * **Footprint-latched writes** — `INSERT`/`UPDATE`/`DELETE` whose
+//!   trigger [`Footprint`] is statically bounded —
+//!   acquire exactly the per-table latches of that footprint (the target
+//!   table plus every table their reachable trigger groups read or write)
+//!   and run the whole statement, cascade included, under them. Writers
+//!   with **disjoint footprints run in parallel**; overlapping writers
+//!   serialize on the first shared table. Latch admission is
+//!   all-or-nothing — a writer waits holding *no* latches until its whole
+//!   footprint is free — so the hierarchy is deadlock-free by
+//!   construction.
+//! * **Global writes** — DDL, trigger creation/drop, and any DML whose
+//!   cascade can reach an opaque body (a raw SQL trigger, or an action
+//!   registered without a declared write set) — take the exclusive level
+//!   above the latches, draining every in-flight latched writer first.
 //! * **Read statements** — `SELECT`, `EXPLAIN TRIGGER`, `MATERIALIZE` —
 //!   run lock-free against an immutable [`Quark`] snapshot behind an
-//!   `Arc`. The snapshot is republished on demand: the first read after a
-//!   write clones the system under the lock (at a statement boundary by
-//!   construction) and every subsequent read shares that clone until the
-//!   next write. Readers therefore always observe some pre- or
-//!   post-statement state, never a mid-cascade one.
+//!   `Arc`, republished by the *writers* at commit: a latched writer folds
+//!   exactly its footprint tables into the current snapshot (an `Arc`
+//!   swap per table), a global writer republishes a full copy-on-write
+//!   clone. Publication only happens while readers are active — an
+//!   unobserved write stream pays no snapshot maintenance at all. Readers
+//!   therefore always observe some *statement-boundary* state, never a
+//!   mid-cascade one, and the first read after a write no longer pays the
+//!   clone.
+//!
+//! [`Session::execute_batch`] adds batched ingestion on top: consecutive
+//! `INSERT`s into the same table coalesce into one statement, so
+//! transition-table construction, relevance checks and the trigger cascade
+//! are paid once per batch — the paper's statement-level trigger
+//! granularity makes that reduction semantically exact.
 //!
 //! ```
 //! use quark_core::{Mode, Quark};
@@ -65,16 +83,17 @@
 //! assert_eq!(rows[0][0], 75.0.into());
 //! ```
 
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use quark_relational::sql::{self, SqlOutcome, Statement};
 use quark_relational::{Database, Error, Result};
 use quark_xml::XmlNodeRef;
 
-use crate::system::{ActionCall, Quark};
+use crate::system::{ActionCall, Footprint, Quark};
 
 pub use quark_relational::sql::{Span, StatementError};
 
@@ -163,20 +182,152 @@ pub trait StatementFrontend: Send + Sync {
 }
 
 /// State shared by every handle of one session (see the module docs):
-/// the authoritative system behind a write lock, the pluggable frontend,
-/// and the published read snapshot with its version stamp.
+/// the authoritative system behind the two-level lock hierarchy, the
+/// pluggable frontend, and the published read snapshot.
+///
+/// Lock ordering is `state` → `published` (never the reverse), and the
+/// latch manager only admits writers that can take their *whole* footprint
+/// at once, so the hierarchy cannot deadlock.
 struct Shared {
-    /// The authoritative system. Write statements hold the write lock for
+    /// Level 1, the authoritative system. Footprint-latched writers hold
+    /// it *shared* (their mutual exclusion is per-table, via `latches`);
+    /// global writers — DDL, trigger DDL, unbounded-footprint DML, the
+    /// `quark_mut`/`database_mut` escape hatches — hold it exclusively for
     /// their full duration (statement + every trigger cascade).
     state: RwLock<Quark>,
+    /// Level 2: the per-table latches footprint-scoped writers hold while
+    /// the level-1 lock is only shared.
+    latches: LatchManager,
     /// Frontend for the XQuery-bodied DDL, shared by all handles.
     frontend: Option<Box<dyn StatementFrontend>>,
-    /// Bumped (under the write lock) by every write-side access; the
-    /// published snapshot is stamped with the version it was cloned at.
+    /// Commit counter, bumped under the `published` mutex by every write
+    /// commit; the published snapshot is stamped with the version of the
+    /// last commit it contains.
     version: AtomicU64,
-    /// Last published read snapshot: `(version, state clone)`. Rebuilt on
-    /// demand by the first read that finds it stale.
-    snapshot: Mutex<Option<(u64, Arc<Quark>)>>,
+    /// Last published read snapshot, maintained by writers at commit:
+    /// `None` means demoted — either no write has ever been observed or
+    /// the write stream ran without reader demand, in which case the next
+    /// read rebuilds it from the authoritative state. Kept fresh
+    /// incrementally while readers are active (see `commit_tables` /
+    /// `commit_global`).
+    published: Mutex<Option<(u64, Arc<Quark>)>>,
+    /// Set by every [`Session::snapshot`] call, consumed by the next
+    /// commit: publication work is only paid when somebody read since the
+    /// last commit.
+    reader_seen: AtomicBool,
+    /// Memoized per-target-table footprints. Valid between global writes:
+    /// only trigger DDL, schema DDL, action registration or raw database
+    /// access can change a footprint, and all of those take the global
+    /// mode, which clears this cache at commit.
+    footprints: Mutex<HashMap<String, Footprint>>,
+}
+
+/// The per-table latch table of the write path.
+///
+/// Not a lock per table: a single held-set under one mutex, with
+/// all-or-nothing admission. `acquire` blocks (holding **no** latches)
+/// until every table of the requested footprint is free, then takes them
+/// all in one critical section. Since no waiter ever holds a latch while
+/// waiting, no cycle of waiters can form — deadlock freedom without
+/// imposing an acquisition order on callers (footprints are `BTreeSet`s,
+/// so the order is canonical anyway).
+#[derive(Default)]
+struct LatchManager {
+    held: Mutex<HashSet<String>>,
+    freed: Condvar,
+}
+
+impl LatchManager {
+    /// Block until every table in `footprint` is unlatched, then latch
+    /// them all. Contention is recorded on `db`'s counters: one
+    /// `latch_conflicts` per acquisition that found any wanted table busy,
+    /// one `latch_waits` per blocking wait.
+    fn acquire<'a>(&'a self, footprint: &BTreeSet<String>, db: &Database) -> LatchGuard<'a> {
+        let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
+        let mut conflicted = false;
+        while footprint.iter().any(|t| held.contains(t)) {
+            if !conflicted {
+                conflicted = true;
+                db.note_latch_conflict();
+            }
+            db.note_latch_wait();
+            held = self.freed.wait(held).unwrap_or_else(|e| e.into_inner());
+        }
+        held.extend(footprint.iter().cloned());
+        LatchGuard {
+            latches: self,
+            tables: footprint.clone(),
+        }
+    }
+}
+
+/// Releases its tables and wakes all waiters on drop — including during a
+/// panic unwind, so a trigger body that panics mid-cascade cannot wedge
+/// other writers' footprints.
+struct LatchGuard<'a> {
+    latches: &'a LatchManager,
+    tables: BTreeSet<String>,
+}
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        let mut held = self.latches.held.lock().unwrap_or_else(|e| e.into_inner());
+        for t in &self.tables {
+            held.remove(t);
+        }
+        self.latches.freed.notify_all();
+    }
+}
+
+impl Shared {
+    /// Commit a footprint-latched write: bump the commit version and keep
+    /// the published snapshot coherent. Runs with the level-1 lock held
+    /// *shared* and the writer's footprint latches still held, so the
+    /// adopted tables cannot move underneath the fold; commits serialize
+    /// on the `published` mutex, which makes the version stamp exact.
+    ///
+    /// Publication policy: if readers showed demand since the last commit,
+    /// fold exactly `tables` into the current snapshot (a copy-on-write
+    /// system clone plus an `Arc` swap per table — never a row walk);
+    /// otherwise *demote* to `None`, dropping the snapshot's table
+    /// references so an unobserved write stream pays neither publication
+    /// nor copy-on-write table copies.
+    fn commit_tables(&self, state: &Quark, tables: &BTreeSet<String>) {
+        let mut cell = self.published.lock().unwrap_or_else(|e| e.into_inner());
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        *cell = match cell.take() {
+            Some((_, snap)) if self.reader_seen.swap(false, Ordering::AcqRel) => {
+                // The previous snapshot contains every commit before this
+                // one (any commit that didn't fold would have demoted), so
+                // previous + this writer's tables = the boundary state of
+                // commit `version` exactly.
+                let mut next = (*snap).clone();
+                next.adopt_tables_from(state, tables.iter());
+                Some((version, Arc::new(next)))
+            }
+            _ => None,
+        };
+    }
+
+    /// Commit a global-mode write: anything may have changed (schema,
+    /// trigger topology, action registry), so the footprint cache is
+    /// cleared and publication — under the same demand policy as
+    /// [`Shared::commit_tables`] — is a full copy-on-write clone of the
+    /// authoritative state. Runs with the level-1 lock held exclusively.
+    fn commit_global(&self, state: &Quark) {
+        self.footprints
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        let mut cell = self.published.lock().unwrap_or_else(|e| e.into_inner());
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        *cell = match cell.take() {
+            Some(_) if self.reader_seen.swap(false, Ordering::AcqRel) => {
+                Some((version, Arc::new(state.clone())))
+            }
+            _ => None,
+        };
+    }
 }
 
 /// A handle onto a shared [`Quark`] system: the single entry point for the
@@ -237,10 +388,11 @@ impl Deref for QuarkRead<'_> {
 }
 
 /// Exclusive write guard over the session's [`Quark`]; dropping it
-/// invalidates the published read snapshot (see [`Session::quark_mut`]).
+/// commits in global mode — the published read snapshot is republished or
+/// demoted, and the footprint cache cleared (see [`Session::quark_mut`]).
 pub struct QuarkWrite<'a> {
     guard: RwLockWriteGuard<'a, Quark>,
-    version: &'a AtomicU64,
+    shared: &'a Shared,
 }
 
 impl Deref for QuarkWrite<'_> {
@@ -258,9 +410,8 @@ impl DerefMut for QuarkWrite<'_> {
 
 impl Drop for QuarkWrite<'_> {
     fn drop(&mut self) {
-        // Conservatively assume the holder mutated something: stale
-        // snapshots are republished on the next read.
-        self.version.fetch_add(1, Ordering::Release);
+        // Conservatively assume the holder mutated something.
+        self.shared.commit_global(&self.guard);
     }
 }
 
@@ -276,10 +427,11 @@ impl Deref for DatabaseRead<'_> {
 }
 
 /// Exclusive write guard over the underlying [`Database`]; dropping it
-/// invalidates the published read snapshot (see [`Session::database_mut`]).
+/// commits in global mode, like [`QuarkWrite`] (see
+/// [`Session::database_mut`]).
 pub struct DatabaseWrite<'a> {
     guard: RwLockWriteGuard<'a, Quark>,
-    version: &'a AtomicU64,
+    shared: &'a Shared,
 }
 
 impl Deref for DatabaseWrite<'_> {
@@ -297,7 +449,7 @@ impl DerefMut for DatabaseWrite<'_> {
 
 impl Drop for DatabaseWrite<'_> {
     fn drop(&mut self) {
-        self.version.fetch_add(1, Ordering::Release);
+        self.shared.commit_global(&self.guard);
     }
 }
 
@@ -318,9 +470,12 @@ impl Session {
         Session {
             shared: Arc::new(Shared {
                 state: RwLock::new(quark),
+                latches: LatchManager::default(),
                 frontend,
                 version: AtomicU64::new(0),
-                snapshot: Mutex::new(None),
+                published: Mutex::new(None),
+                reader_seen: AtomicBool::new(false),
+                footprints: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -351,7 +506,7 @@ impl Session {
     pub fn quark_mut(&self) -> QuarkWrite<'_> {
         QuarkWrite {
             guard: self.shared.state.write().unwrap_or_else(|e| e.into_inner()),
-            version: &self.shared.version,
+            shared: &self.shared,
         }
     }
 
@@ -367,7 +522,7 @@ impl Session {
     pub fn database_mut(&self) -> DatabaseWrite<'_> {
         DatabaseWrite {
             guard: self.shared.state.write().unwrap_or_else(|e| e.into_inner()),
-            version: &self.shared.version,
+            shared: &self.shared,
         }
     }
 
@@ -385,59 +540,93 @@ impl Session {
     }
 
     /// Register an action function callable from trigger DO clauses
-    /// (delegates to [`Quark::register_action`]).
+    /// (delegates to [`Quark::register_action`]). The action's write set
+    /// is undeclared, so any DML whose cascade can reach it takes the
+    /// global write mode; declare the writes with
+    /// [`Session::register_action_with_writes`] to keep such writers
+    /// footprint-latched.
     pub fn register_action(
         &self,
         name: impl Into<String>,
-        f: impl Fn(&mut Database, &ActionCall) -> Result<()> + Send + Sync + 'static,
+        f: impl Fn(&Database, &ActionCall) -> Result<()> + Send + Sync + 'static,
     ) -> Result<()> {
         self.with_write(|quark| quark.register_action(name, f))
     }
 
-    /// Run `f` against the authoritative state under the write lock,
-    /// bumping the snapshot version before release (so the next read
-    /// republishes). Every write-side path funnels through here.
+    /// Register an action declaring the tables it may write (delegates to
+    /// [`Quark::register_action_with_writes`]).
+    pub fn register_action_with_writes(
+        &self,
+        name: impl Into<String>,
+        writes: impl IntoIterator<Item = impl Into<String>>,
+        f: impl Fn(&Database, &ActionCall) -> Result<()> + Send + Sync + 'static,
+    ) -> Result<()> {
+        self.with_write(|quark| quark.register_action_with_writes(name, writes, f))
+    }
+
+    /// Run `f` against the authoritative state in **global mode** — the
+    /// exclusive level of the lock hierarchy, which drains every in-flight
+    /// footprint-latched writer first — then commit. Every write-side path
+    /// that can touch schema, trigger topology or unbounded footprints
+    /// funnels through here.
     fn with_write<R>(&self, f: impl FnOnce(&mut Quark) -> R) -> R {
         let mut guard = self.shared.state.write().unwrap_or_else(|e| e.into_inner());
         let out = f(&mut guard);
-        // Bump while still holding the lock: a concurrent reader
-        // rebuilding its snapshot under the read lock always stamps it
-        // with the version of the state it cloned.
-        self.shared.version.fetch_add(1, Ordering::Release);
+        self.shared.commit_global(&guard);
         out
     }
 
-    /// The current read snapshot, republishing if a write happened since
-    /// the last publication. The clone is taken under the state lock, so a
-    /// snapshot always sits on a statement boundary; returning an `Arc`
-    /// means execution against it holds no lock at all.
+    /// The current read snapshot. While writers keep committing with
+    /// reader demand, the snapshot is maintained *by the writers* (an
+    /// `Arc` swap per committed footprint table) and this is one atomic
+    /// load plus a mutex-protected pointer clone. After a demotion — the
+    /// write stream ran unobserved — the first read rebuilds it: it takes
+    /// the state lock **exclusively** (draining in-flight latched writers,
+    /// so the clone sits on a statement boundary) and republishes.
+    /// Returning an `Arc` means execution against it holds no lock at all.
     pub fn snapshot(&self) -> Arc<Quark> {
+        // Record demand first: a commit racing this read either sees the
+        // flag (and folds its tables into the snapshot we then return) or
+        // consumed it before our fast-path check (and then either kept the
+        // snapshot fresh or demoted it, sending us to the rebuild path).
+        self.shared.reader_seen.store(true, Ordering::Release);
         let version = self.shared.version.load(Ordering::Acquire);
         {
-            let cell = self.shared.snapshot.lock().expect("snapshot cell");
+            let cell = self
+                .shared
+                .published
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
             if let Some((published, snap)) = cell.as_ref() {
-                if *published == version {
+                // `>=`: a commit that folded between our version load and
+                // this check published a *newer* boundary state — equally
+                // valid to serve.
+                if *published >= version {
                     return Arc::clone(snap);
                 }
             }
         }
-        // Stale (or never published): clone the state under the read
-        // lock. Writers bump the version only while holding the write
-        // lock, so the version re-read here is exactly the clone's.
-        let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+        // Demoted (or stale after a panicked writer): rebuild from the
+        // authoritative state. Exclusive access, so no latched writer is
+        // mid-statement during the clone; the clone is copy-on-write
+        // (refcount bumps), not a row-storage walk.
+        let state = self.shared.state.write().unwrap_or_else(|e| e.into_inner());
+        let mut cell = self
+            .shared
+            .published
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // Holding both locks: no commit can run concurrently, so the
+        // version read here is exactly the clone's.
         let version = self.shared.version.load(Ordering::Acquire);
-        let snap = Arc::new(state.clone());
-        drop(state);
-        let mut cell = self.shared.snapshot.lock().expect("snapshot cell");
-        match cell.as_ref() {
-            // Another reader published an equal-or-newer snapshot while we
-            // were cloning; keep theirs so all readers converge.
-            Some((published, existing)) if *published >= version => Arc::clone(existing),
-            _ => {
-                *cell = Some((version, Arc::clone(&snap)));
-                snap
+        if let Some((published, existing)) = cell.as_ref() {
+            if *published >= version {
+                return Arc::clone(existing);
             }
         }
+        let snap = Arc::new(state.clone());
+        *cell = Some((version, Arc::clone(&snap)));
+        snap
     }
 
     /// Parse and execute one statement.
@@ -490,6 +679,85 @@ impl Session {
         }
 
         let stmt = sql::parse(text)?;
+        self.execute_parsed(&stmt)
+    }
+
+    /// Execute a batch of statements, coalescing runs of consecutive
+    /// `INSERT`s into the same table into **one** statement per run: row
+    /// storage is touched once, one transition table is built, and the
+    /// trigger cascade — relevance checks included — fires once for the
+    /// whole run. The paper's statement-level trigger granularity makes
+    /// the coalescing semantically exact: it is indistinguishable from the
+    /// client having sent one multi-row `INSERT`. (Statement-*count*
+    /// observables do change: triggers see one Δ per run.)
+    ///
+    /// Returns one [`StatementResult`] per input statement — a coalesced
+    /// `INSERT` reports the rows *it* contributed. All statements are
+    /// parsed up front (a parse error fails the batch before anything
+    /// runs); an execution error aborts the batch at that statement,
+    /// leaving earlier statements committed.
+    pub fn execute_batch<'t>(
+        &self,
+        statements: impl IntoIterator<Item = &'t str>,
+    ) -> Result<Vec<StatementResult>, StatementError> {
+        let mut parsed: Vec<Result<Statement, &'t str>> = Vec::new();
+        for text in statements {
+            // Frontend statements (CREATE VIEW / CREATE TRIGGER) are not
+            // part of the relational grammar; route them through
+            // `execute` unchanged.
+            let stripped = strip_leading_trivia(text);
+            let mut words = stripped.split_whitespace().map(|w| w.to_ascii_lowercase());
+            let first = words.next().unwrap_or_default();
+            let second = words.next().unwrap_or_default();
+            if first == "create" && (second == "view" || second == "trigger") {
+                parsed.push(Err(text));
+            } else {
+                parsed.push(Ok(sql::parse(text)?));
+            }
+        }
+        let mut results = Vec::with_capacity(parsed.len());
+        let mut i = 0;
+        while i < parsed.len() {
+            // A run of ≥ 2 consecutive INSERTs into one table coalesces.
+            if let Ok(Statement::Insert { table, .. }) = &parsed[i] {
+                let mut end = i + 1;
+                while matches!(&parsed[end..], [Ok(Statement::Insert { table: t, .. }), ..]
+                    if t == table)
+                {
+                    end += 1;
+                }
+                if end - i >= 2 {
+                    let mut merged = Vec::new();
+                    let mut counts = Vec::with_capacity(end - i);
+                    for stmt in &parsed[i..end] {
+                        let Ok(Statement::Insert { rows, .. }) = stmt else {
+                            unreachable!("run membership checked above");
+                        };
+                        counts.push(rows.len());
+                        merged.extend(rows.iter().cloned());
+                    }
+                    let batched = Statement::Insert {
+                        table: table.clone(),
+                        rows: merged,
+                    };
+                    self.execute_parsed(&batched)?;
+                    self.quark().database().note_batched((end - i) as u64);
+                    results.extend(counts.into_iter().map(StatementResult::RowsAffected));
+                    i = end;
+                    continue;
+                }
+            }
+            results.push(match &parsed[i] {
+                Ok(stmt) => self.execute_parsed(stmt)?,
+                Err(text) => self.execute(text)?,
+            });
+            i += 1;
+        }
+        Ok(results)
+    }
+
+    /// Route one parsed statement (see [`Session::execute`]).
+    fn execute_parsed(&self, stmt: &Statement) -> Result<StatementResult, StatementError> {
         match stmt {
             // ---- read statements: lock-free against the snapshot ------
             Statement::Select {
@@ -498,7 +766,7 @@ impl Session {
                 filter,
             } => {
                 let snap = self.snapshot();
-                let outcome = sql::select(snap.database(), &table, &columns, filter.as_ref())?;
+                let outcome = sql::select(snap.database(), table, columns, filter.as_ref())?;
                 let SqlOutcome::Rows { columns, rows } = outcome else {
                     return Err(StatementError::Db(Error::Plan(
                         "SELECT produced a non-row outcome".into(),
@@ -507,22 +775,33 @@ impl Session {
                 Ok(StatementResult::Rows { columns, rows })
             }
             Statement::ExplainTrigger(name) => Ok(StatementResult::Explain(
-                self.snapshot().explain_trigger(&name)?,
+                self.snapshot().explain_trigger(name)?,
             )),
             Statement::Materialize { view, anchor } => Ok(StatementResult::Xml(
-                self.snapshot().materialize(&view, &anchor)?,
+                self.snapshot().materialize(view, anchor)?,
             )),
-            // ---- write statements: serialized on the write lock -------
+            // ---- data changes: footprint-latched when bounded ---------
+            Statement::Insert { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. } => {
+                let outcome = self.execute_dml(table, stmt)?;
+                let SqlOutcome::RowsAffected(n) = outcome else {
+                    return Err(StatementError::Db(Error::Plan(
+                        "DML produced a non-count outcome".into(),
+                    )));
+                };
+                Ok(StatementResult::RowsAffected(n))
+            }
+            // ---- DDL: global mode -------------------------------------
             Statement::DropTrigger(name) => {
-                self.with_write(|quark| quark.drop_trigger(&name))?;
+                self.with_write(|quark| quark.drop_trigger(name))?;
                 Ok(StatementResult::Dropped {
                     kind: ObjectKind::Trigger,
-                    name,
+                    name: name.clone(),
                 })
             }
             other => {
-                let outcome =
-                    self.with_write(|quark| sql::execute(quark.database_mut(), &other))?;
+                let outcome = self.with_write(|quark| sql::execute(quark.database_mut(), other))?;
                 Ok(match outcome {
                     SqlOutcome::RowsAffected(n) => StatementResult::RowsAffected(n),
                     SqlOutcome::Rows { columns, rows } => StatementResult::Rows { columns, rows },
@@ -543,6 +822,50 @@ impl Session {
                         name,
                     },
                 })
+            }
+        }
+    }
+
+    /// Execute one data-change statement on the write path of the module
+    /// docs: compute the statement's [`Footprint`], and either latch
+    /// exactly those tables under the shared level-1 lock (bounded case —
+    /// disjoint writers run in parallel) or fall back to global mode
+    /// (unbounded case — exact single-writer semantics).
+    fn execute_dml(&self, table: &str, stmt: &Statement) -> Result<SqlOutcome, StatementError> {
+        let state = self.shared.state.read().unwrap_or_else(|e| e.into_inner());
+        match self.footprint_of(&state, table) {
+            Footprint::Global => {
+                drop(state);
+                self.with_write(|quark| sql::execute_dml(quark.database(), stmt))
+            }
+            Footprint::Tables(tables) => {
+                let _latch = self.shared.latches.acquire(&tables, state.database());
+                let out = sql::execute_dml(state.database(), stmt);
+                // Commit even on a statement error: partial effects (a
+                // cascade failing mid-way) are visible in the
+                // authoritative state and must reach/demote the snapshot.
+                self.shared.commit_tables(&state, &tables);
+                out
+            }
+        }
+    }
+
+    /// Memoized [`Quark::write_footprint`]. The cache is cleared by every
+    /// global commit, which is the only way trigger topology, schema or
+    /// the action registry — everything the footprint depends on — can
+    /// change.
+    fn footprint_of(&self, state: &Quark, table: &str) -> Footprint {
+        let mut cache = self
+            .shared
+            .footprints
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        match cache.get(table) {
+            Some(fp) => fp.clone(),
+            None => {
+                let fp = state.write_footprint(table);
+                cache.insert(table.to_string(), fp.clone());
+                fp
             }
         }
     }

@@ -30,7 +30,7 @@
 //!   the groups using them and evicted when the last such group is
 //!   dropped.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
 
 use quark_relational::expr::{BinOp, Expr};
@@ -65,10 +65,38 @@ pub struct ActionCall {
     pub params: Vec<Value>,
 }
 
-/// A registered action function.
-pub type ActionFn = Arc<dyn Fn(&mut Database, &ActionCall) -> Result<()> + Send + Sync>;
+/// A registered action function. Takes `&Database`: actions run inside a
+/// trigger cascade, where the session layer holds per-table latches rather
+/// than exclusive access (every data-change entry point of [`Database`] is
+/// interior-mutable).
+pub type ActionFn = Arc<dyn Fn(&Database, &ActionCall) -> Result<()> + Send + Sync>;
 
-type ActionRegistry = Arc<Mutex<HashMap<String, ActionFn>>>;
+/// A registered action plus its declared write set.
+#[derive(Clone)]
+struct ActionEntry {
+    f: ActionFn,
+    /// Tables the action may write, if declared
+    /// ([`Quark::register_action_with_writes`]). `None` means the body is
+    /// opaque: any write whose cascade can reach this action must take the
+    /// session's global exclusive mode ([`Footprint::Global`]).
+    writes: Option<BTreeSet<String>>,
+}
+
+type ActionRegistry = Arc<Mutex<HashMap<String, ActionEntry>>>;
+
+/// The set of per-table latches a write statement must hold: the
+/// statement's target table plus every table read or written by the
+/// trigger groups its cascade can reach ([`Quark::write_footprint`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Footprint {
+    /// A statically bounded footprint — writers whose `Tables` sets are
+    /// disjoint can run in parallel.
+    Tables(BTreeSet<String>),
+    /// Not statically boundable: a raw SQL trigger (opaque body) or an
+    /// action without a declared write set is reachable, so the write must
+    /// serialize in the session's global exclusive mode.
+    Global,
+}
 
 /// Per-trigger bookkeeping shared with SQL-trigger handlers.
 #[derive(Clone)]
@@ -89,6 +117,11 @@ struct Group {
     sets: HashMap<Vec<Value>, i64>,
     next_set: i64,
     sql_triggers: Vec<SqlTriggerMeta>,
+    /// Every base table the group's compiled plans read or write —
+    /// transitively through shared subplans — plus the constants table.
+    /// Recorded at translation time; the session's footprint analysis
+    /// unions it into any write statement that can fire this group.
+    footprint: BTreeSet<String>,
     trigger_count: usize,
     /// Compile-cache entry this group holds a reference on.
     cache_key: Option<String>,
@@ -141,15 +174,19 @@ struct SqlTriggerMeta {
 #[derive(Clone)]
 pub struct Quark {
     db: Database,
-    views: HashMap<String, XmlView>,
+    /// The registries below are `Arc`-shared copy-on-write (mutated via
+    /// `Arc::make_mut` under the session's global exclusive mode), so
+    /// publishing a read snapshot — `Quark::clone` at a write commit —
+    /// costs a refcount bump per registry, not a deep copy.
+    views: Arc<HashMap<String, XmlView>>,
     actions: ActionRegistry,
-    groups: HashMap<String, Group>,
-    triggers: HashMap<String, TriggerRecord>,
+    groups: Arc<HashMap<String, Group>>,
+    triggers: Arc<HashMap<String, TriggerRecord>>,
     mode: Mode,
     options: AnOptions,
     group_counter: usize,
     /// Per-system compile cache (see the module docs).
-    compile_cache: HashMap<String, CacheEntry>,
+    compile_cache: Arc<HashMap<String, CacheEntry>>,
     compile_cache_enabled: bool,
     compile_cache_hits: u64,
     /// Schema-generation bumps caused by this system's own bookkeeping DDL
@@ -168,14 +205,14 @@ impl Quark {
         };
         Quark {
             db,
-            views: HashMap::new(),
+            views: Arc::new(HashMap::new()),
             actions: Arc::new(Mutex::new(HashMap::new())),
-            groups: HashMap::new(),
-            triggers: HashMap::new(),
+            groups: Arc::new(HashMap::new()),
+            triggers: Arc::new(HashMap::new()),
             mode,
             options,
             group_counter: 0,
-            compile_cache: HashMap::new(),
+            compile_cache: Arc::new(HashMap::new()),
             compile_cache_enabled: true,
             compile_cache_hits: 0,
             internal_ddl: 0,
@@ -219,7 +256,7 @@ impl Quark {
 
     /// Register an XML view (its anchors become monitorable paths).
     pub fn register_view(&mut self, view: XmlView) {
-        self.views.insert(view.name.clone(), view);
+        Arc::make_mut(&mut self.views).insert(view.name.clone(), view);
     }
 
     /// Look up a registered view.
@@ -234,14 +271,38 @@ impl Quark {
     pub fn register_action(
         &mut self,
         name: impl Into<String>,
-        f: impl Fn(&mut Database, &ActionCall) -> Result<()> + Send + Sync + 'static,
+        f: impl Fn(&Database, &ActionCall) -> Result<()> + Send + Sync + 'static,
     ) -> Result<()> {
-        let name = name.into();
+        self.insert_action(name.into(), Arc::new(f), None)
+    }
+
+    /// Register an action that declares the tables it may write. Writes
+    /// whose cascades reach only declared actions keep a bounded
+    /// [`Footprint`] and can run in parallel with disjoint writers; an
+    /// undeclared action ([`Quark::register_action`]) forces such writes
+    /// into the global exclusive mode instead. The declaration is a
+    /// *promise*: writing outside it is not checked.
+    pub fn register_action_with_writes(
+        &mut self,
+        name: impl Into<String>,
+        writes: impl IntoIterator<Item = impl Into<String>>,
+        f: impl Fn(&Database, &ActionCall) -> Result<()> + Send + Sync + 'static,
+    ) -> Result<()> {
+        let writes = writes.into_iter().map(Into::into).collect();
+        self.insert_action(name.into(), Arc::new(f), Some(writes))
+    }
+
+    fn insert_action(
+        &mut self,
+        name: String,
+        f: ActionFn,
+        writes: Option<BTreeSet<String>>,
+    ) -> Result<()> {
         let mut registry = self.actions.lock().expect("action registry");
         if registry.contains_key(&name) {
             return Err(Error::ActionExists(name));
         }
-        registry.insert(name, Arc::new(f));
+        registry.insert(name, ActionEntry { f, writes });
         Ok(())
     }
 
@@ -287,8 +348,8 @@ impl Quark {
     pub fn set_compile_cache_enabled(&mut self, enabled: bool) {
         self.compile_cache_enabled = enabled;
         if !enabled {
-            self.compile_cache.clear();
-            for group in self.groups.values_mut() {
+            Arc::make_mut(&mut self.compile_cache).clear();
+            for group in Arc::make_mut(&mut self.groups).values_mut() {
                 group.cache_key = None;
             }
         }
@@ -363,7 +424,7 @@ impl Quark {
             format!("ungrouped|{}", spec.name)
         };
 
-        if let Some(group) = self.groups.get_mut(&signature) {
+        if let Some(group) = Arc::make_mut(&mut self.groups).get_mut(&signature) {
             // Fast path (§5.1): join an existing group — one constants-table
             // row, no recompilation.
             let set_id = match group.sets.get(&consts) {
@@ -392,7 +453,7 @@ impl Quark {
                     params: spec.action.params.clone(),
                 });
             group.trigger_count += 1;
-            self.triggers.insert(
+            Arc::make_mut(&mut self.triggers).insert(
                 spec.name,
                 TriggerRecord {
                     group_signature: signature,
@@ -578,12 +639,25 @@ impl Quark {
             });
         }
 
+        // The group's source-table footprint: every base table its stacked
+        // plans touch (transitively through shared subplans — the plan walk
+        // deduplicates on subplan identity), plus the constants table the
+        // generated triggers join on every firing.
+        let mut footprint: BTreeSet<String> = BTreeSet::new();
+        for (table, (plan, _, _)) in &per_table {
+            footprint.insert(table.clone());
+            footprint.extend(plan.table_footprint());
+        }
+        if let Some(ct) = &constants_table {
+            footprint.insert(ct.clone());
+        }
+
         // Take (or create) the group's compile-cache reference.
         let cache_ref = if self.compile_cache_enabled {
-            match self.compile_cache.get_mut(&cache_key) {
+            match Arc::make_mut(&mut self.compile_cache).get_mut(&cache_key) {
                 Some(entry) => entry.refs += 1,
                 None => {
-                    self.compile_cache
+                    Arc::make_mut(&mut self.compile_cache)
                         .insert(cache_key.clone(), CacheEntry { plans, refs: 1 });
                 }
             }
@@ -597,7 +671,7 @@ impl Quark {
         sets.insert(consts, set_id);
         // For ungrouped mode, make the signature unique per trigger so no
         // sharing occurs (done by caller via the signature string).
-        self.groups.insert(
+        Arc::make_mut(&mut self.groups).insert(
             signature.clone(),
             Group {
                 signature: signature.clone(),
@@ -606,11 +680,12 @@ impl Quark {
                 sets,
                 next_set: 1,
                 sql_triggers,
+                footprint,
                 trigger_count: 1,
                 cache_key: cache_ref,
             },
         );
-        self.triggers.insert(
+        Arc::make_mut(&mut self.triggers).insert(
             spec.name,
             TriggerRecord {
                 group_signature: signature,
@@ -779,7 +854,7 @@ impl Quark {
                         .lock()
                         .expect("actions")
                         .get(&m.function)
-                        .cloned()
+                        .map(|e| Arc::clone(&e.f))
                         .ok_or_else(|| {
                             Error::Plan(format!("unregistered action `{}`", m.function))
                         })?;
@@ -811,13 +886,11 @@ impl Quark {
     /// still-live group, the set's constants-table row is removed so it
     /// stops joining on every subsequent firing.
     pub fn drop_trigger(&mut self, name: &str) -> Result<()> {
-        let record = self
-            .triggers
+        let record = Arc::make_mut(&mut self.triggers)
             .remove(name)
             .ok_or_else(|| Error::UnknownTrigger(name.to_string()))?;
         let (remove_group, remove_set) = {
-            let group = self
-                .groups
+            let group = Arc::make_mut(&mut self.groups)
                 .get_mut(&record.group_signature)
                 .ok_or_else(|| Error::Plan("trigger group missing".into()))?;
             let mut members = group.members.lock().expect("members");
@@ -835,8 +908,7 @@ impl Quark {
             (group.trigger_count == 0, set_empty)
         };
         if remove_group {
-            let group = self
-                .groups
+            let group = Arc::make_mut(&mut self.groups)
                 .remove(&record.group_signature)
                 .expect("checked");
             for t in &group.sql_triggers {
@@ -850,18 +922,18 @@ impl Quark {
             // evicted with its last group, so a dropped group's plans can
             // never be resurrected.
             if let Some(key) = &group.cache_key {
-                if let Some(entry) = self.compile_cache.get_mut(key) {
+                let cache = Arc::make_mut(&mut self.compile_cache);
+                if let Some(entry) = cache.get_mut(key) {
                     entry.refs -= 1;
                     if entry.refs == 0 {
-                        self.compile_cache.remove(key);
+                        cache.remove(key);
                     }
                 }
             }
             let _ = group.signature;
         } else if remove_set {
             let ct = {
-                let group = self
-                    .groups
+                let group = Arc::make_mut(&mut self.groups)
                     .get_mut(&record.group_signature)
                     .expect("checked above");
                 group.sets.retain(|_, id| *id != record.set_id);
@@ -939,6 +1011,67 @@ impl Quark {
         let mut keyed: Vec<(Vec<Value>, quark_xml::XmlNodeRef)> = nodes.into_iter().collect();
         keyed.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(keyed.into_iter().map(|(_, n)| n).collect())
+    }
+
+    /// Compute the latch [`Footprint`] of a write statement targeting
+    /// `table`.
+    ///
+    /// Starting from the target, the analysis chases every table the
+    /// cascade can *write* (declared action write sets), because writes
+    /// fire further triggers; tables a reachable group merely *reads*
+    /// (its compiled plans' sources and its constants table) join the
+    /// footprint without being chased. The result degrades to
+    /// [`Footprint::Global`] as soon as anything opaque is reachable — a
+    /// raw SQL trigger installed directly on the database (its body is an
+    /// arbitrary closure) or a group member whose action did not declare
+    /// its writes — since nothing bounds what such a body touches.
+    pub fn write_footprint(&self, table: &str) -> Footprint {
+        // Group-generated SQL triggers are transparent: map them back to
+        // their groups. Anything else on a reachable table is opaque.
+        let group_of: HashMap<&str, &Group> = self
+            .groups
+            .values()
+            .flat_map(|g| g.sql_triggers.iter().map(move |t| (t.name.as_str(), g)))
+            .collect();
+        let actions = self.actions.lock().expect("action registry");
+        let mut tables: BTreeSet<String> = BTreeSet::new();
+        let mut written: BTreeSet<String> = BTreeSet::new();
+        let mut queue: Vec<String> = vec![table.to_string()];
+        while let Some(t) = queue.pop() {
+            if !written.insert(t.clone()) {
+                continue;
+            }
+            tables.insert(t.clone());
+            for trig in self.db.triggers().filter(|tr| tr.table == t) {
+                let Some(group) = group_of.get(trig.name.as_str()) else {
+                    return Footprint::Global;
+                };
+                tables.extend(group.footprint.iter().cloned());
+                for members in group.members.lock().expect("members").values() {
+                    for m in members {
+                        match actions.get(&m.function).and_then(|e| e.writes.as_ref()) {
+                            // Unregistered or undeclared action: opaque.
+                            None => return Footprint::Global,
+                            Some(ws) => queue.extend(ws.iter().cloned()),
+                        }
+                    }
+                }
+            }
+        }
+        Footprint::Tables(tables)
+    }
+
+    /// Replace this system's versions of `tables` with `from`'s current
+    /// ones (a refcount bump per table; see
+    /// [`Database::adopt_tables_from`]). The session layer folds a
+    /// committed writer's footprint into the published read snapshot this
+    /// way instead of re-cloning the whole system.
+    pub fn adopt_tables_from<I, S>(&mut self, from: &Quark, tables: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.db.adopt_tables_from(&from.db, tables);
     }
 
     /// Total rows across all live constants tables (leak checks: dropping

@@ -9,10 +9,12 @@
 //! the benchmark action inserts into a temporary table); cascades are capped
 //! at a DB2-like nesting depth of 16.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::exec::{execute, ExecCache, ExecContext};
 use crate::expr::{BinOp, Expr};
@@ -58,10 +60,16 @@ pub struct TransitionTables {
 }
 
 /// Callback receiving the rows produced by a query-bodied trigger.
-pub type RowsHandler = dyn Fn(&mut Database, Vec<Row>) -> Result<()> + Send + Sync;
+///
+/// Takes `&Database`: every data-change entry point is interior-mutable
+/// (per-table latches), so a cascade can run while the session layer holds
+/// only a shared reference — the requirement behind footprint-scoped
+/// parallel writers.
+pub type RowsHandler = dyn Fn(&Database, Vec<Row>) -> Result<()> + Send + Sync;
 
-/// Callback for a native-bodied trigger.
-pub type NativeTriggerFn = dyn Fn(&mut Database, &TransitionTables) -> Result<()> + Send + Sync;
+/// Callback for a native-bodied trigger (same `&Database` contract as
+/// [`RowsHandler`]).
+pub type NativeTriggerFn = dyn Fn(&Database, &TransitionTables) -> Result<()> + Send + Sync;
 
 /// Body of a registered statement trigger.
 #[derive(Clone)]
@@ -120,19 +128,43 @@ pub struct Stats {
     /// Join build sides / stable subplan results served from the
     /// cross-firing executor cache instead of being rebuilt.
     pub build_cache_hits: u64,
+    /// Footprint-latch acquisitions that had to block because another
+    /// writer held part of the requested footprint (one per blocking wait;
+    /// a single contended acquisition can wait more than once).
+    pub latch_waits: u64,
+    /// Footprint-latch acquisitions that found at least one requested
+    /// table latched by another writer (one per contended acquisition).
+    pub latch_conflicts: u64,
+    /// Statements whose execution was folded into a coalesced batch by
+    /// `Session::execute_batch` (each member of a merged run counts).
+    pub batched_statements: u64,
 }
 
-/// Executor-side counters. They are bumped during plan execution, where
-/// only `&Database` is available, so they live behind relaxed atomics and
-/// are folded into [`Stats`] snapshots by [`Database::stats`].
+/// Execution counters. They are bumped during statement and plan
+/// execution, where only `&Database` is available (the data-change surface
+/// is interior-mutable), so they live behind relaxed atomics and are
+/// folded into [`Stats`] snapshots by [`Database::stats`].
 #[derive(Debug, Default)]
 pub(crate) struct ExecCounters {
+    pub(crate) statements: AtomicU64,
+    pub(crate) triggers_fired: AtomicU64,
     pub(crate) rows_scanned: AtomicU64,
     pub(crate) index_probes: AtomicU64,
     pub(crate) build_cache_hits: AtomicU64,
+    pub(crate) latch_waits: AtomicU64,
+    pub(crate) latch_conflicts: AtomicU64,
+    pub(crate) batched_statements: AtomicU64,
 }
 
 impl ExecCounters {
+    fn add_statement(&self) {
+        self.statements.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add_fired(&self) {
+        self.triggers_fired.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn add_scanned(&self, n: u64) {
         self.rows_scanned.fetch_add(n, Ordering::Relaxed);
     }
@@ -147,14 +179,41 @@ impl ExecCounters {
 
     fn snapshot(&self) -> ExecCounters {
         ExecCounters {
+            statements: AtomicU64::new(self.statements.load(Ordering::Relaxed)),
+            triggers_fired: AtomicU64::new(self.triggers_fired.load(Ordering::Relaxed)),
             rows_scanned: AtomicU64::new(self.rows_scanned.load(Ordering::Relaxed)),
             index_probes: AtomicU64::new(self.index_probes.load(Ordering::Relaxed)),
             build_cache_hits: AtomicU64::new(self.build_cache_hits.load(Ordering::Relaxed)),
+            latch_waits: AtomicU64::new(self.latch_waits.load(Ordering::Relaxed)),
+            latch_conflicts: AtomicU64::new(self.latch_conflicts.load(Ordering::Relaxed)),
+            batched_statements: AtomicU64::new(self.batched_statements.load(Ordering::Relaxed)),
         }
     }
 }
 
+/// One table's slot in the catalog: the per-table **latch** of the
+/// two-level lock hierarchy. Row data sits behind it as a copy-on-write
+/// `Arc<Table>`; catalog changes (create/drop/index) take `&mut Database`
+/// — the global exclusive level — and never race with slot access.
+type TableCell = Arc<RwLock<Arc<Table>>>;
+
+fn new_cell(table: Table) -> TableCell {
+    new_cell_arc(Arc::new(table))
+}
+
+fn new_cell_arc(table: Arc<Table>) -> TableCell {
+    Arc::new(RwLock::new(table))
+}
+
 /// An in-memory relational database with statement triggers.
+///
+/// Every *data-change* entry point takes `&self`: per-table state lives
+/// behind per-table `RwLock` latches (`TableCell`), so writers whose
+/// table footprints are disjoint can run concurrently — the session layer
+/// is responsible for latching a statement's full trigger footprint before
+/// executing it. *Catalog* changes (create/drop table, indexes, trigger
+/// DDL) still take `&mut self`, which the session layer maps to its global
+/// exclusive mode.
 ///
 /// `Clone` copies tables and trigger registrations (triggers share their
 /// bodies); the oracle baseline uses clones as shadow states, and the
@@ -165,30 +224,112 @@ impl ExecCounters {
 /// storage. A clone gets a **fresh executor cache**: the copy's tables
 /// diverge independently while reusing the same per-table version
 /// counters, so cached build sides must never cross database instances.
-#[derive(Default)]
 pub struct Database {
-    tables: HashMap<String, Arc<Table>>,
-    triggers: Vec<Arc<SqlTrigger>>,
-    trigger_names: std::collections::HashSet<String>,
-    fire_depth: usize,
+    tables: HashMap<String, TableCell>,
+    /// `Arc`-shared so publishing a read snapshot clones a pointer, not
+    /// the trigger corpus; trigger DDL copies-on-write via `Arc::make_mut`.
+    triggers: Arc<Vec<Arc<SqlTrigger>>>,
+    trigger_names: Arc<std::collections::HashSet<String>>,
+    /// Identity for the thread-local cascade-depth bookkeeping: cascades
+    /// never cross threads, but one thread may drive several database
+    /// instances (oracle shadow clones), so depth is keyed on both.
+    db_id: u64,
     schema_generation: u64,
-    stats: Stats,
     pub(crate) counters: ExecCounters,
     pub(crate) exec_cache: ExecCache,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            tables: HashMap::new(),
+            triggers: Arc::new(Vec::new()),
+            trigger_names: Arc::new(std::collections::HashSet::new()),
+            db_id: NEXT_DB_ID.fetch_add(1, Ordering::Relaxed),
+            schema_generation: 0,
+            counters: ExecCounters::default(),
+            exec_cache: ExecCache::default(),
+        }
+    }
 }
 
 impl Clone for Database {
     fn clone(&self) -> Self {
         Database {
-            tables: self.tables.clone(),
-            triggers: self.triggers.clone(),
-            trigger_names: self.trigger_names.clone(),
-            fire_depth: self.fire_depth,
+            tables: self
+                .tables
+                .iter()
+                .map(|(name, cell)| {
+                    let inner = cell.read().unwrap_or_else(|e| e.into_inner());
+                    (name.clone(), Arc::new(RwLock::new(Arc::clone(&inner))))
+                })
+                .collect(),
+            triggers: Arc::clone(&self.triggers),
+            trigger_names: Arc::clone(&self.trigger_names),
+            db_id: NEXT_DB_ID.fetch_add(1, Ordering::Relaxed),
             schema_generation: self.schema_generation,
-            stats: self.stats,
             counters: self.counters.snapshot(),
             exec_cache: ExecCache::new(self.exec_cache.is_enabled()),
         }
+    }
+}
+
+/// Shared read access to one table, holding its latch for the guard's
+/// lifetime. Dereferences to [`Table`].
+pub struct TableRef<'a>(RwLockReadGuard<'a, Arc<Table>>);
+
+impl Deref for TableRef<'_> {
+    type Target = Table;
+    fn deref(&self) -> &Table {
+        &self.0
+    }
+}
+
+/// Exclusive write access to one table, holding its latch for the guard's
+/// lifetime. The first mutable dereference after a snapshot publication
+/// pays the copy-on-write table copy ([`Arc::make_mut`]).
+struct TableWrite<'a>(RwLockWriteGuard<'a, Arc<Table>>);
+
+impl Deref for TableWrite<'_> {
+    type Target = Table;
+    fn deref(&self) -> &Table {
+        &self.0
+    }
+}
+
+impl DerefMut for TableWrite<'_> {
+    fn deref_mut(&mut self) -> &mut Table {
+        Arc::make_mut(&mut self.0)
+    }
+}
+
+/// Global source of database-instance ids (see [`Database::db_id`]).
+static NEXT_DB_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Cascade depth per database instance on this thread. A cascade runs
+    /// entirely on the thread that executed its root statement, so depth
+    /// needs no cross-thread coordination — but it must not live in the
+    /// (now shared) `Database`, where two threads' concurrent cascades
+    /// would observe each other's nesting.
+    static FIRE_DEPTH: RefCell<HashMap<u64, usize>> = RefCell::new(HashMap::new());
+}
+
+/// Decrements the thread-local cascade depth on drop, so a panicking
+/// trigger body cannot leave the depth permanently elevated.
+struct DepthGuard(u64);
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        FIRE_DEPTH.with(|m| {
+            let mut m = m.borrow_mut();
+            if let Some(d) = m.get_mut(&self.0) {
+                *d -= 1;
+                if *d == 0 {
+                    m.remove(&self.0);
+                }
+            }
+        });
     }
 }
 
@@ -219,16 +360,17 @@ impl Database {
             return Err(Error::TableExists(schema.name));
         }
         self.tables
-            .insert(schema.name.clone(), Arc::new(Table::new(schema)));
+            .insert(schema.name.clone(), new_cell(Table::new(schema)));
         self.schema_generation += 1;
         Ok(())
     }
 
     /// Add a secondary hash index on `table.column`.
     pub fn create_index(&mut self, table: &str, column: &str) -> Result<()> {
-        let t = self.table_mut(table)?;
+        let mut t = self.table_write(table)?;
         let col = t.schema().col(column)?;
         t.create_index(col);
+        drop(t);
         self.schema_generation += 1;
         Ok(())
     }
@@ -238,10 +380,11 @@ impl Database {
         self.tables
             .remove(table)
             .ok_or_else(|| Error::UnknownTable(table.to_string()))?;
+        let names = Arc::make_mut(&mut self.trigger_names);
         for t in self.triggers.iter().filter(|t| t.table == table) {
-            self.trigger_names.remove(&t.name);
+            names.remove(&t.name);
         }
-        self.triggers.retain(|t| t.table != table);
+        Arc::make_mut(&mut self.triggers).retain(|t| t.table != table);
         self.schema_generation += 1;
         Ok(())
     }
@@ -254,13 +397,42 @@ impl Database {
     }
 
     /// Snapshot of the execution counters: statement/trigger counts plus
-    /// the executor's scan/probe/cache observability counters.
+    /// the executor's scan/probe/cache observability counters and the
+    /// session layer's latch/batching contention counters.
     pub fn stats(&self) -> Stats {
-        let mut s = self.stats;
-        s.rows_scanned = self.counters.rows_scanned.load(Ordering::Relaxed);
-        s.index_probes = self.counters.index_probes.load(Ordering::Relaxed);
-        s.build_cache_hits = self.counters.build_cache_hits.load(Ordering::Relaxed);
-        s
+        let c = &self.counters;
+        Stats {
+            statements: c.statements.load(Ordering::Relaxed),
+            triggers_fired: c.triggers_fired.load(Ordering::Relaxed),
+            rows_scanned: c.rows_scanned.load(Ordering::Relaxed),
+            index_probes: c.index_probes.load(Ordering::Relaxed),
+            build_cache_hits: c.build_cache_hits.load(Ordering::Relaxed),
+            latch_waits: c.latch_waits.load(Ordering::Relaxed),
+            latch_conflicts: c.latch_conflicts.load(Ordering::Relaxed),
+            batched_statements: c.batched_statements.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Record one blocking wait during a footprint-latch acquisition
+    /// (bumped by the session layer's latch manager).
+    pub fn note_latch_wait(&self) {
+        self.counters.latch_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one contended footprint-latch acquisition (bumped by the
+    /// session layer's latch manager).
+    pub fn note_latch_conflict(&self) {
+        self.counters
+            .latch_conflicts
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` statements executed as part of one coalesced batch
+    /// (bumped by `Session::execute_batch`).
+    pub fn note_batched(&self, n: u64) {
+        self.counters
+            .batched_statements
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// Enable or disable the cross-firing executor cache (on by default).
@@ -275,22 +447,48 @@ impl Database {
         self.exec_cache.len()
     }
 
-    /// Look up a table.
-    pub fn table(&self, name: &str) -> Result<&Table> {
+    /// Look up a table, taking its latch in shared mode for the guard's
+    /// lifetime. Uncontended in practice: concurrent access to the *same*
+    /// table's slot only happens when a raw [`Database`] reference is read
+    /// while a latched writer runs (reads through the session surface use
+    /// published snapshots, which are separate instances).
+    pub fn table(&self, name: &str) -> Result<TableRef<'_>> {
         self.tables
             .get(name)
-            .map(Arc::as_ref)
+            .map(|cell| TableRef(cell.read().unwrap_or_else(|e| e.into_inner())))
             .ok_or_else(|| Error::UnknownTable(name.to_string()))
     }
 
-    /// Mutable table access, copy-on-write: a table still shared with a
-    /// clone (a published read snapshot) is copied once here, so writers
-    /// never mutate storage a snapshot reader is walking.
-    fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+    /// Exclusive table access, copy-on-write: a table still shared with a
+    /// clone (a published read snapshot) is copied once on first mutable
+    /// dereference, so writers never mutate storage a snapshot reader is
+    /// walking. Mutual exclusion between whole *statements* on the same
+    /// table is the session latch manager's job; this latch only protects
+    /// the slot itself.
+    fn table_write(&self, name: &str) -> Result<TableWrite<'_>> {
         self.tables
-            .get_mut(name)
-            .map(Arc::make_mut)
+            .get(name)
+            .map(|cell| TableWrite(cell.write().unwrap_or_else(|e| e.into_inner())))
             .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// Replace this database's versions of `tables` with `from`'s current
+    /// ones (a refcount bump per table; missing tables are skipped). The
+    /// session layer folds a committed writer's footprint into the
+    /// published snapshot this way — an `Arc` swap per table instead of a
+    /// full-state clone.
+    pub fn adopt_tables_from<I, S>(&mut self, from: &Database, tables: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for t in tables {
+            let name = t.as_ref();
+            if let Some(src) = from.tables.get(name) {
+                let inner = Arc::clone(&src.read().unwrap_or_else(|e| e.into_inner()));
+                self.tables.insert(name.to_string(), new_cell_arc(inner));
+            }
+        }
     }
 
     /// `true` if `name` exists.
@@ -309,20 +507,21 @@ impl Database {
 
     /// Register a statement-level AFTER trigger.
     pub fn create_trigger(&mut self, trigger: SqlTrigger) -> Result<()> {
-        if !self.trigger_names.insert(trigger.name.clone()) {
+        if self.trigger_names.contains(&trigger.name) {
             return Err(Error::TriggerExists(trigger.name));
         }
         self.table(&trigger.table)?;
-        self.triggers.push(Arc::new(trigger));
+        Arc::make_mut(&mut self.trigger_names).insert(trigger.name.clone());
+        Arc::make_mut(&mut self.triggers).push(Arc::new(trigger));
         Ok(())
     }
 
     /// Remove a trigger by name.
     pub fn drop_trigger(&mut self, name: &str) -> Result<()> {
-        if !self.trigger_names.remove(name) {
+        if !Arc::make_mut(&mut self.trigger_names).remove(name) {
             return Err(Error::UnknownTrigger(name.to_string()));
         }
-        self.triggers.retain(|t| t.name != name);
+        Arc::make_mut(&mut self.triggers).retain(|t| t.name != name);
         Ok(())
     }
 
@@ -331,21 +530,27 @@ impl Database {
         self.triggers.len()
     }
 
+    /// Iterate the registered SQL triggers (name/table/event inspection —
+    /// the footprint analysis of the session layer walks these).
+    pub fn triggers(&self) -> impl Iterator<Item = &SqlTrigger> {
+        self.triggers.iter().map(Arc::as_ref)
+    }
+
     // ------------------------------------------------------------------
     // Statements (each fires AFTER triggers once)
     // ------------------------------------------------------------------
 
     /// `INSERT INTO table VALUES rows…` as one statement.
-    pub fn insert(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+    pub fn insert(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
         let n = rows.len();
         let mut inserted = Vec::with_capacity(n);
         {
-            let t = self.table_mut(table)?;
+            let mut t = self.table_write(table)?;
             for r in rows {
                 inserted.push(t.insert(r)?);
             }
         }
-        self.stats.statements += 1;
+        self.counters.add_statement();
         if !inserted.is_empty() {
             self.after_statement(TransitionTables {
                 table: table.to_string(),
@@ -358,7 +563,7 @@ impl Database {
     }
 
     /// Single-row insert convenience.
-    pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<()> {
+    pub fn insert_row(&self, table: &str, row: Vec<Value>) -> Result<()> {
         self.insert(table, vec![row]).map(|_| ())
     }
 
@@ -366,14 +571,14 @@ impl Database {
     /// are `(column index, new value)` pairs. Returns `false` when no row
     /// has that key.
     pub fn update_by_key(
-        &mut self,
+        &self,
         table: &str,
         key: &[Value],
         assignments: &[(usize, Value)],
     ) -> Result<bool> {
         self.counters.add_probes(1);
         let (old, new) = {
-            let t = self.table_mut(table)?;
+            let mut t = self.table_write(table)?;
             let Some(existing) = t.get(key) else {
                 return Ok(false);
             };
@@ -386,7 +591,7 @@ impl Database {
             }
             t.update(key, next)?
         };
-        self.stats.statements += 1;
+        self.counters.add_statement();
         self.after_statement(TransitionTables {
             table: table.to_string(),
             event: Event::Update,
@@ -398,13 +603,13 @@ impl Database {
 
     /// `UPDATE table SET row = f(row) WHERE pred(row)` as one statement.
     pub fn update_where(
-        &mut self,
+        &self,
         table: &str,
         pred: impl Fn(&Row) -> bool,
         f: impl Fn(&Row) -> Vec<Value>,
     ) -> Result<usize> {
         let (deleted, inserted) = {
-            let t = self.table_mut(table)?;
+            let mut t = self.table_write(table)?;
             let keys: Vec<_> = t
                 .iter()
                 .filter(|r| pred(r))
@@ -421,7 +626,7 @@ impl Database {
             }
             (deleted, inserted)
         };
-        self.stats.statements += 1;
+        self.counters.add_statement();
         let n = inserted.len();
         if n > 0 {
             self.after_statement(TransitionTables {
@@ -444,7 +649,7 @@ impl Database {
     /// order. Evaluation errors and key collisions abort the statement
     /// atomically — no rows change and no triggers fire.
     pub fn update_expr(
-        &mut self,
+        &self,
         table: &str,
         pred: Option<&crate::expr::Expr>,
         assignments: &[(usize, crate::expr::Expr)],
@@ -452,7 +657,7 @@ impl Database {
         let mut probed = 0u64;
         let mut scanned = 0u64;
         let (deleted, inserted) = {
-            let t = self.table_mut(table)?;
+            let mut t = self.table_write(table)?;
             let arity = t.schema().arity();
             for (col, _) in assignments {
                 if *col >= arity {
@@ -464,7 +669,7 @@ impl Database {
             // primary key or an indexed column probes the affected rows
             // directly (the probe is exactly the predicate, so no residual
             // evaluation is needed); anything else scans.
-            match pred.and_then(|p| probe_keys(t, p)) {
+            match pred.and_then(|p| probe_keys(&t, p)) {
                 Some(keys) => {
                     probed = 1;
                     for k in keys {
@@ -526,7 +731,7 @@ impl Database {
             (deleted, inserted)
         };
         self.note_access(probed, scanned);
-        self.stats.statements += 1;
+        self.counters.add_statement();
         let n = inserted.len();
         if n > 0 {
             self.after_statement(TransitionTables {
@@ -543,12 +748,12 @@ impl Database {
     /// as an [`Expr`](crate::expr::Expr)ession. Evaluation errors abort the
     /// statement before any row changes. Indexed-equality predicates probe
     /// the affected rows instead of scanning (see [`Database::update_expr`]).
-    pub fn delete_expr(&mut self, table: &str, pred: Option<&crate::expr::Expr>) -> Result<usize> {
+    pub fn delete_expr(&self, table: &str, pred: Option<&crate::expr::Expr>) -> Result<usize> {
         let mut probed = 0u64;
         let mut scanned = 0u64;
         let deleted = {
-            let t = self.table_mut(table)?;
-            let keys = match pred.and_then(|p| probe_keys(t, p)) {
+            let mut t = self.table_write(table)?;
+            let keys = match pred.and_then(|p| probe_keys(&t, p)) {
                 Some(keys) => {
                     probed = 1;
                     keys
@@ -577,7 +782,7 @@ impl Database {
             deleted
         };
         self.note_access(probed, scanned);
-        self.stats.statements += 1;
+        self.counters.add_statement();
         let n = deleted.len();
         if n > 0 {
             self.after_statement(TransitionTables {
@@ -591,10 +796,10 @@ impl Database {
     }
 
     /// `DELETE FROM table WHERE pk = key` as one statement.
-    pub fn delete_by_key(&mut self, table: &str, key: &[Value]) -> Result<bool> {
+    pub fn delete_by_key(&self, table: &str, key: &[Value]) -> Result<bool> {
         self.counters.add_probes(1);
-        let old = self.table_mut(table)?.delete(key);
-        self.stats.statements += 1;
+        let old = self.table_write(table)?.delete(key);
+        self.counters.add_statement();
         match old {
             None => Ok(false),
             Some(row) => {
@@ -610,9 +815,9 @@ impl Database {
     }
 
     /// `DELETE FROM table WHERE pred(row)` as one statement.
-    pub fn delete_where(&mut self, table: &str, pred: impl Fn(&Row) -> bool) -> Result<usize> {
+    pub fn delete_where(&self, table: &str, pred: impl Fn(&Row) -> bool) -> Result<usize> {
         let deleted = {
-            let t = self.table_mut(table)?;
+            let mut t = self.table_write(table)?;
             let keys: Vec<_> = t
                 .iter()
                 .filter(|r| pred(r))
@@ -626,7 +831,7 @@ impl Database {
             }
             deleted
         };
-        self.stats.statements += 1;
+        self.counters.add_statement();
         let n = deleted.len();
         if n > 0 {
             self.after_statement(TransitionTables {
@@ -641,8 +846,8 @@ impl Database {
 
     /// Bulk load without firing triggers (initial data population, like
     /// loading a warehouse before enabling triggers).
-    pub fn load(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
-        let t = self.table_mut(table)?;
+    pub fn load(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let mut t = self.table_write(table)?;
         let n = rows.len();
         for r in rows {
             t.insert(r)?;
@@ -654,8 +859,8 @@ impl Database {
     /// [`Database::load`], used for internal bookkeeping tables (e.g.
     /// removing a stale constants-table row when a grouped trigger leaves
     /// its set). Returns the number of rows removed.
-    pub fn unload_where(&mut self, table: &str, pred: impl Fn(&Row) -> bool) -> Result<usize> {
-        let t = self.table_mut(table)?;
+    pub fn unload_where(&self, table: &str, pred: impl Fn(&Row) -> bool) -> Result<usize> {
+        let mut t = self.table_write(table)?;
         let keys: Vec<_> = t
             .iter()
             .filter(|r| pred(r))
@@ -683,7 +888,7 @@ impl Database {
         }
     }
 
-    fn after_statement(&mut self, trans: TransitionTables) -> Result<()> {
+    fn after_statement(&self, trans: TransitionTables) -> Result<()> {
         let matching: Vec<Arc<SqlTrigger>> = self
             .triggers
             .iter()
@@ -693,18 +898,28 @@ impl Database {
         if matching.is_empty() {
             return Ok(());
         }
-        if self.fire_depth >= MAX_TRIGGER_DEPTH {
+        let admitted = FIRE_DEPTH.with(|m| {
+            let mut m = m.borrow_mut();
+            let d = m.entry(self.db_id).or_insert(0);
+            if *d >= MAX_TRIGGER_DEPTH {
+                false
+            } else {
+                *d += 1;
+                true
+            }
+        });
+        if !admitted {
             return Err(Error::TriggerDepthExceeded);
         }
-        self.fire_depth += 1;
-        let result = self.fire_all(&matching, &trans);
-        self.fire_depth -= 1;
-        result
+        // Unwind-safe decrement: a panicking trigger body must not leave
+        // this thread's depth for `db_id` permanently elevated.
+        let _guard = DepthGuard(self.db_id);
+        self.fire_all(&matching, &trans)
     }
 
-    fn fire_all(&mut self, triggers: &[Arc<SqlTrigger>], trans: &TransitionTables) -> Result<()> {
+    fn fire_all(&self, triggers: &[Arc<SqlTrigger>], trans: &TransitionTables) -> Result<()> {
         for t in triggers {
-            self.stats.triggers_fired += 1;
+            self.counters.add_fired();
             match &t.body {
                 TriggerBody::Query { plan, handler } => {
                     let rows: Vec<Row> = {
@@ -1010,7 +1225,7 @@ mod tests {
 
     #[test]
     fn update_expr_probes_primary_key_equality() {
-        let mut db = db_with_vendor();
+        let db = db_with_vendor();
         db.load("vendor", vec![vrow("a", "P1", 1.0), vrow("b", "P1", 2.0)])
             .unwrap();
         let before = db.stats();
@@ -1063,7 +1278,7 @@ mod tests {
 
     #[test]
     fn probe_fast_path_skips_null_and_type_mismatched_literals() {
-        let mut db = db_with_vendor();
+        let db = db_with_vendor();
         db.load("vendor", vec![vrow("a", "P1", 1.0)]).unwrap();
         let before = db.stats();
         // `vid = NULL` is unknown for every row: must delete nothing (a

@@ -151,7 +151,7 @@ fn hash_join_inner() {
 
 #[test]
 fn hash_join_left_outer_pads_nulls() {
-    let mut db = setup();
+    let db = setup();
     db.load(
         "product",
         vec![vec![
@@ -178,7 +178,7 @@ fn hash_join_left_outer_pads_nulls() {
 
 #[test]
 fn semi_and_anti_joins() {
-    let mut db = setup();
+    let db = setup();
     db.load(
         "product",
         vec![vec![
@@ -329,7 +329,7 @@ fn old_epoch_reconstructs_pre_statement_state() {
     // Simulate: Amazon's P1 price 100 -> 75 (the paper's §2.3 example).
     let old_row = row([Value::str("Amazon"), Value::str("P1"), Value::Double(100.0)]);
     let new_row = row([Value::str("Amazon"), Value::str("P1"), Value::Double(75.0)]);
-    let mut db = db;
+    let db = db;
     db.update_by_key(
         "vendor",
         &[Value::str("Amazon"), Value::str("P1")],
@@ -392,7 +392,7 @@ fn old_epoch_reconstructs_pre_statement_state() {
 
 #[test]
 fn old_epoch_after_insert_excludes_new_rows() {
-    let mut db = setup();
+    let db = setup();
     db.load(
         "vendor",
         vec![vec![
@@ -415,7 +415,7 @@ fn old_epoch_after_insert_excludes_new_rows() {
 
 #[test]
 fn old_epoch_after_delete_restores_rows() {
-    let mut db = setup();
+    let db = setup();
     let key = [Value::str("Amazon"), Value::str("P1")];
     let old = db.table("vendor").unwrap().get(&key).unwrap().clone();
     db.delete_by_key("vendor", &key).unwrap();
@@ -628,7 +628,7 @@ fn stable_tables_classifies_plans() {
 /// across executions until the table changes.
 #[test]
 fn hash_join_build_side_cached_until_table_changes() {
-    let mut db = setup();
+    let db = setup();
     let probe = PhysicalPlan::Values {
         arity: 1,
         rows: vec![row([Value::str("P1")])],

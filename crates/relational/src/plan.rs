@@ -7,7 +7,7 @@
 //! table expression in the paper's Figure 16, and the executor memoizes
 //! shared nodes so they run once.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -338,6 +338,39 @@ impl PhysicalPlan {
             out.extend(child?);
         }
         Some(out)
+    }
+
+    /// Every stored table this plan can read, regardless of epoch: current
+    /// scans and index probes, reconstructed `Old`-epoch accesses, and the
+    /// base tables named by transition scans all count.
+    ///
+    /// Where [`PhysicalPlan::stable_tables`] answers "what must stand still
+    /// for a cached result to stay valid" (and bails on statement-dependent
+    /// inputs), this is the *footprint* analysis behind write scheduling: a
+    /// writer whose trigger plans only touch these tables can run under
+    /// per-table latches instead of the global write lock, in parallel with
+    /// writers whose footprints are disjoint.
+    pub fn table_footprint(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.footprint_memo(&mut HashSet::new(), &mut out);
+        out
+    }
+
+    fn footprint_memo(&self, seen: &mut HashSet<usize>, out: &mut BTreeSet<String>) {
+        match self {
+            PhysicalPlan::TableScan { table, .. }
+            | PhysicalPlan::TransitionScan { table, .. }
+            | PhysicalPlan::IndexJoin { table, .. } => {
+                out.insert(table.clone());
+            }
+            _ => {}
+        }
+        for c in self.children() {
+            let key = Arc::as_ptr(c) as usize;
+            if seen.insert(key) {
+                c.footprint_memo(seen, out);
+            }
+        }
     }
 
     /// Multi-line EXPLAIN-style rendering. Subplans referenced from more

@@ -326,6 +326,24 @@ pub fn execute(db: &mut Database, stmt: &Statement) -> Result<SqlOutcome, Statem
         Statement::ExplainTrigger(_) | Statement::Materialize { .. } => Err(StatementError::Db(
             Error::Plan("view-level statement requires a Session".into()),
         )),
+        Statement::Insert { .. } | Statement::Update { .. } | Statement::Delete { .. } => {
+            execute_dml(db, stmt)
+        }
+        Statement::Select {
+            table,
+            columns,
+            filter,
+        } => select(db, table, columns, filter.as_ref()),
+    }
+}
+
+/// Execute a data-change statement (`INSERT`/`UPDATE`/`DELETE`) against a
+/// *shared* database reference. This is the entry point for footprint-
+/// latched writers: the session layer acquires the statement's table
+/// latches first, then runs the statement (and its cascade) while holding
+/// only `&Database`. [`execute`] delegates its DML arms here.
+pub fn execute_dml(db: &Database, stmt: &Statement) -> Result<SqlOutcome, StatementError> {
+    match stmt {
         Statement::Insert { table, rows } => {
             let n = db.insert(table, rows.clone())?;
             Ok(SqlOutcome::RowsAffected(n))
@@ -372,11 +390,9 @@ pub fn execute(db: &mut Database, stmt: &Statement) -> Result<SqlOutcome, Statem
             let n = db.delete_expr(table, pred.as_ref())?;
             Ok(SqlOutcome::RowsAffected(n))
         }
-        Statement::Select {
-            table,
-            columns,
-            filter,
-        } => select(db, table, columns, filter.as_ref()),
+        other => Err(StatementError::Db(Error::Plan(format!(
+            "not a data-change statement: {other:?}"
+        )))),
     }
 }
 

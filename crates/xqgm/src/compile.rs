@@ -741,7 +741,8 @@ impl<'a> Compiler<'a> {
             if let Some(pred) = predicate {
                 let (equi, residual) = split_equi(pred, left_arity);
                 if !equi.is_empty() {
-                    let schema = self.db.table(table)?.schema();
+                    let t = self.db.table(table)?;
+                    let schema = t.schema();
                     let rcols: Vec<usize> = equi.iter().map(|&(_, r)| r).collect();
                     let probe: Option<Vec<(usize, Expr)>> = if set_eq(&rcols, &schema.primary_key) {
                         // Order the probes to match the pk sequence.

@@ -34,7 +34,7 @@ fn arb_driver_names() -> impl Strategy<Value = Vec<&'static str>> {
 }
 
 fn db_with(rows: &[(String, String, f64)]) -> Database {
-    let mut db = product_vendor_db();
+    let db = product_vendor_db();
     // Extra products so P4/P5 vendor rows join somewhere.
     db.load(
         "product",

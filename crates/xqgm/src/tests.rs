@@ -52,7 +52,7 @@ fn catalog_view_materializes_figure_4() {
 /// Products with fewer than two vendors are filtered out (box 6).
 #[test]
 fn nested_predicate_filters_single_vendor_products() {
-    let mut db = product_vendor_db();
+    let db = product_vendor_db();
     db.load(
         "product",
         vec![vec![
@@ -239,7 +239,7 @@ fn restricted_compile_with_empty_driver_is_empty() {
 /// mirrored graph evaluates to the pre-statement view.
 #[test]
 fn old_version_graph_sees_pre_statement_state() {
-    let mut db = product_vendor_db();
+    let db = product_vendor_db();
     let mut g = Graph::new();
     let (top, _) = catalog_path_graph(&mut g);
     let (mut kg, new_top) = KeyedGraph::normalize(&g, top, &db).unwrap();

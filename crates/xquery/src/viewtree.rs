@@ -141,11 +141,13 @@ impl ViewSpec {
                 "grouped top binding supports depth-2 views (Fig. 3 shape)".into(),
             ));
         }
-        let parent_schema = db.table(&self.top.table)?.schema();
+        let parent_table = db.table(&self.top.table)?;
+        let parent_schema = parent_table.schema();
         let parent_key = single_pk(db, &self.top.table)?;
         let pk_idx = parent_schema.col(&parent_key)?;
         let group_idx = parent_schema.col(group_col)?;
-        let child_schema = db.table(&child.table)?.schema();
+        let child_table = db.table(&child.table)?;
+        let child_schema = child_table.schema();
         let fk_name = child.parent_fk.as_ref().ok_or_else(|| {
             Error::Plan(format!(
                 "level `{}` lacks a parent foreign key",
@@ -386,7 +388,8 @@ fn element_expr_inner(
 }
 
 fn single_pk(db: &Database, table: &str) -> Result<String> {
-    let schema = db.table(table)?.schema();
+    let t = db.table(table)?;
+    let schema = t.schema();
     if schema.primary_key.len() != 1 {
         return Err(Error::Plan(format!(
             "view trees require single-column primary keys; `{table}` has {}",

@@ -63,7 +63,7 @@ pub fn catalog_system(mode: Mode) -> (Session, Log) {
     let log = Log::default();
     let sink = log.clone();
     session
-        .register_action("notify", move |_db: &mut Database, call: &ActionCall| {
+        .register_action("notify", move |_db: &Database, call: &ActionCall| {
             sink.0
                 .lock()
                 .unwrap()

@@ -313,7 +313,7 @@ fn structurally_equal_views_share_cache_entries() {
     let log = Log::default();
     let sink = log.clone();
     session
-        .register_action("notify", move |_db: &mut Database, call| {
+        .register_action("notify", move |_db: &Database, call| {
             sink.0
                 .lock()
                 .unwrap()

@@ -33,7 +33,7 @@ const LARGE_PRODUCTS: usize = 10_000;
 /// two vendor rows each (the view keeps products with ≥ 2 vendors): a
 /// ≥10k-row base table on both sides of the join.
 fn large_db() -> Database {
-    let mut db = product_vendor_db();
+    let db = product_vendor_db();
     let mut products = Vec::with_capacity(LARGE_PRODUCTS);
     let mut vendors = Vec::with_capacity(2 * LARGE_PRODUCTS);
     for i in 0..LARGE_PRODUCTS {

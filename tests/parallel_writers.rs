@@ -1,0 +1,467 @@
+//! Footprint-scoped parallel writers: the differential and fault-injection
+//! suite for the per-table latch write path.
+//!
+//! The contract under test (see README § Concurrency model): writers whose
+//! trigger footprints are pairwise disjoint run in parallel and produce a
+//! final state identical to *some* serial order of the same statements;
+//! writers with overlapping footprints serialize on the contended latches
+//! without losing updates; a panic inside a trigger cascade — on either
+//! the latched or the global write path — must not wedge the system for
+//! other writers; and `Session::execute_batch` coalescing is semantically
+//! exact at statement-trigger granularity.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+
+use quark_bench::{build_sharded, ShardSpec};
+use quark_core::relational::{Row, Value};
+use quark_core::{Mode, Session, SessionPool, StatementResult};
+use quark_xquery::viewtree::{LevelSpec, TopBinding, ViewSpec};
+
+/// All rows of `table`, in primary-key order.
+fn dump(session: &Session, table: &str) -> Vec<Row> {
+    session
+        .database()
+        .table(table)
+        .map(|t| t.iter().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// N writers on pairwise-disjoint shards, run concurrently, must leave the
+/// database in exactly the state a serial replay of the same per-writer
+/// statement sequences produces. Disjointness makes every interleaving
+/// equivalent, so the serial replay is a complete oracle, not a sample.
+#[test]
+fn disjoint_writers_match_serial_replay() {
+    const WRITERS: usize = 4;
+    const UPDATES: i64 = 20;
+    let spec = ShardSpec::quick(WRITERS, Mode::Grouped);
+
+    // Concurrent run.
+    let concurrent = build_sharded(spec).expect("sharded workload");
+    let stmts: Vec<Vec<String>> = (0..WRITERS)
+        .map(|t| (0..UPDATES).map(|i| concurrent.update_stmt(t, i)).collect())
+        .collect();
+    let pool = SessionPool::new(concurrent.session);
+    let barrier = Arc::new(Barrier::new(WRITERS));
+    let threads: Vec<_> = stmts
+        .iter()
+        .map(|writer_stmts| {
+            let session = pool.session();
+            let barrier = Arc::clone(&barrier);
+            let writer_stmts = writer_stmts.clone();
+            thread::spawn(move || {
+                barrier.wait();
+                for s in &writer_stmts {
+                    session.execute(s).expect("disjoint write");
+                }
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().expect("writer thread");
+    }
+    let concurrent = pool.session();
+    // Disjoint footprints never contend.
+    assert_eq!(concurrent.quark().stats().latch_conflicts, 0);
+
+    // Serial replay on an identically built system.
+    let serial = build_sharded(spec).expect("replay workload");
+    for writer_stmts in &stmts {
+        for s in writer_stmts {
+            serial.session.execute(s).expect("serial replay");
+        }
+    }
+
+    for h in 0..WRITERS {
+        assert_eq!(
+            dump(&concurrent, &format!("m{h}")),
+            dump(&serial.session, &format!("m{h}")),
+            "shard {h} base table diverged from serial replay"
+        );
+        assert_eq!(
+            dump(&concurrent, &format!("audit{h}")),
+            dump(&serial.session, &format!("audit{h}")),
+            "shard {h} audit table diverged from serial replay"
+        );
+        assert_eq!(
+            serial.audit_rows(h),
+            spec.triggers * UPDATES as usize,
+            "every update fires every shard trigger"
+        );
+    }
+}
+
+/// Writers all hammering one shard serialize on its latch set: no update
+/// or trigger firing is lost, the contention shows up in the stats, and —
+/// because every writer issues the same statement sequence — the final
+/// row state is deterministic.
+#[test]
+fn overlapping_writers_serialize_without_losing_updates() {
+    const WRITERS: usize = 4;
+    const UPDATES: usize = 40;
+    let spec = ShardSpec::quick(1, Mode::Grouped);
+    let w = build_sharded(spec).expect("sharded workload");
+    // Disjoint per-writer price ranges, strictly changing per statement:
+    // no interleaving can produce a value-level no-op UPDATE (whose empty
+    // Δ would legitimately fire nothing and skew the firing count).
+    let price = |t: usize, i: usize| 50.0 + t as f64 + i as f64 / 53.0;
+    let pool = SessionPool::new(w.session);
+    let barrier = Arc::new(Barrier::new(WRITERS));
+    let threads: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let session = pool.session();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for i in 0..UPDATES {
+                    let p = price(t, i);
+                    session
+                        .execute(&format!("UPDATE m0 SET price = {p:?} WHERE id = 0"))
+                        .expect("overlapping write");
+                }
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().expect("writer thread");
+    }
+    let session = pool.session();
+
+    // No lost trigger firings: every one of the WRITERS×UPDATES statements
+    // fired all of the shard's triggers exactly once.
+    let audit = dump(&session, "audit0");
+    assert_eq!(audit.len(), WRITERS * UPDATES * spec.triggers);
+    // The final row state is the last-committed statement's write — which
+    // must be some writer's final statement, never an interleaving tear.
+    let m0 = dump(&session, "m0");
+    let Value::Double(final_price) = m0[0][2] else {
+        panic!("expected price column")
+    };
+    assert!(
+        (0..WRITERS).any(|t| price(t, UPDATES - 1) == final_price),
+        "final price {final_price} is not any writer's last write"
+    );
+    // Four writers × 40 trigger-bearing updates on one latch set cannot
+    // all have slipped past each other.
+    assert!(
+        session.quark().stats().latch_conflicts > 0,
+        "overlapping writers recorded no latch contention"
+    );
+}
+
+/// A one-table shard with a panic-injectable action. `declared` picks the
+/// write path the cascade runs on: a declared write set keeps the
+/// footprint bounded (latched path); an undeclared action forces the
+/// global-exclusive path.
+fn panicky_shard(
+    session: &Session,
+    name: &str,
+    declared: bool,
+    panic_flag: Arc<AtomicBool>,
+    log: Arc<Mutex<Vec<String>>>,
+) {
+    session
+        .execute(&format!(
+            "CREATE TABLE {name} (id INT PRIMARY KEY, name TEXT, price DOUBLE)"
+        ))
+        .expect("create table");
+    session
+        .execute(&format!(
+            "INSERT INTO {name} VALUES (0, 'hot', 1.0), (1, 'cold', 2.0)"
+        ))
+        .expect("seed rows");
+    let view = ViewSpec {
+        name: format!("v_{name}"),
+        root_element: "doc".into(),
+        binding: TopBinding::Rows,
+        top: LevelSpec {
+            element: "item".into(),
+            table: name.into(),
+            parent_fk: None,
+            attrs: vec![("name".into(), "name".into())],
+            scalars: vec![("*".into(), "*".into())],
+            child_count: None,
+            child: None,
+        },
+    };
+    let xml_view = view.build(&session.database()).expect("build view");
+    session.quark_mut().register_view(xml_view);
+    let action = format!("act_{name}");
+    let tag = name.to_string();
+    let body = move |_db: &quark_core::relational::Database, _call: &quark_core::ActionCall| {
+        if panic_flag.load(Ordering::SeqCst) {
+            panic!("injected cascade panic in {tag}");
+        }
+        log.lock().expect("log").push(tag.clone());
+        Ok(())
+    };
+    if declared {
+        session
+            .register_action_with_writes(action.clone(), Vec::<String>::new(), body)
+            .expect("register declared action");
+    } else {
+        session
+            .register_action(action.clone(), body)
+            .expect("register action");
+    }
+    session
+        .execute(&format!(
+            "create trigger tg_{name} after update on view('v_{name}')/item \
+             where OLD_NODE/@name = 'hot' do {action}(NEW_NODE)"
+        ))
+        .expect("create trigger");
+}
+
+/// A panic inside a *latched* cascade (bounded footprint, shared lock
+/// level) must release the writer's latches on unwind: writers on other
+/// shards, later writers on the same shard, and snapshot readers all keep
+/// working. A leaked latch would deadlock this test rather than fail an
+/// assertion.
+#[test]
+fn panicking_latched_cascade_does_not_wedge_other_writers() {
+    let session = quark_xquery::session(Default::default(), Mode::Grouped);
+    let flag = Arc::new(AtomicBool::new(false));
+    let log = Arc::new(Mutex::new(Vec::new()));
+    panicky_shard(&session, "pa", true, Arc::clone(&flag), Arc::clone(&log));
+    panicky_shard(
+        &session,
+        "pb",
+        true,
+        Arc::new(AtomicBool::new(false)),
+        Arc::clone(&log),
+    );
+    let pool = SessionPool::new(session);
+
+    flag.store(true, Ordering::SeqCst);
+    let victim = pool.session();
+    let crashed = thread::spawn(move || {
+        victim
+            .execute("UPDATE pa SET price = 9.0 WHERE id = 0")
+            .expect("unreachable: cascade panics first");
+    })
+    .join();
+    assert!(crashed.is_err(), "injected panic must propagate");
+    flag.store(false, Ordering::SeqCst);
+
+    let session = pool.session();
+    // The other shard was never at risk…
+    session
+        .execute("UPDATE pb SET price = 3.0 WHERE id = 0")
+        .expect("sibling shard writer");
+    // …and the crashed shard's latches were released on unwind.
+    session
+        .execute("UPDATE pa SET price = 4.0 WHERE id = 0")
+        .expect("same shard writer after panic");
+    assert_eq!(log.lock().unwrap().as_slice(), ["pb", "pa"]);
+    // Snapshot reads converge on the post-recovery state.
+    let StatementResult::Rows { rows, .. } = session
+        .execute("SELECT price FROM pa WHERE id = 0")
+        .expect("read")
+    else {
+        panic!("expected rows")
+    };
+    assert_eq!(rows[0][0], Value::Double(4.0));
+}
+
+/// A panic inside a *global-mode* cascade poisons the exclusive state
+/// lock; every lock site recovers via `into_inner`, so the system keeps
+/// accepting statements. Pins the poisoning-recovery behavior end to end
+/// (state lock, publication mutex, latch manager).
+#[test]
+fn panicking_global_cascade_recovers_from_poison() {
+    let session = quark_xquery::session(Default::default(), Mode::Grouped);
+    let flag = Arc::new(AtomicBool::new(false));
+    let log = Arc::new(Mutex::new(Vec::new()));
+    // Undeclared action ⇒ unbounded footprint ⇒ global write path.
+    panicky_shard(&session, "pg", false, Arc::clone(&flag), Arc::clone(&log));
+    let pool = SessionPool::new(session);
+
+    flag.store(true, Ordering::SeqCst);
+    let victim = pool.session();
+    let crashed = thread::spawn(move || {
+        victim
+            .execute("UPDATE pg SET price = 9.0 WHERE id = 0")
+            .expect("unreachable: cascade panics first");
+    })
+    .join();
+    assert!(crashed.is_err(), "injected panic must propagate");
+    flag.store(false, Ordering::SeqCst);
+
+    let session = pool.session();
+    session
+        .execute("UPDATE pg SET price = 5.0 WHERE id = 0")
+        .expect("global writer after poison");
+    assert_eq!(log.lock().unwrap().as_slice(), ["pg"]);
+    let StatementResult::Rows { rows, .. } = session
+        .execute("SELECT price FROM pg WHERE id = 0")
+        .expect("read after poison")
+    else {
+        panic!("expected rows")
+    };
+    assert_eq!(rows[0][0], Value::Double(5.0));
+    assert!(session.quark().stats().statements >= 2);
+}
+
+/// `execute_batch` coalesces runs of same-table INSERTs: storage and the
+/// trigger cascade are touched once per run, per-statement results and
+/// per-row action invocations are preserved, and the fold is observable
+/// in `batched_statements`.
+#[test]
+fn execute_batch_coalesces_and_preserves_semantics() {
+    fn insert_system() -> (Session, Arc<Mutex<Vec<String>>>) {
+        let session = quark_xquery::session(Default::default(), Mode::Grouped);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        session
+            .execute("CREATE TABLE ord (id INT PRIMARY KEY, name TEXT, price DOUBLE)")
+            .expect("create ord");
+        session
+            .execute("CREATE TABLE misc (id INT PRIMARY KEY, name TEXT)")
+            .expect("create misc");
+        let view = ViewSpec {
+            name: "orders".into(),
+            root_element: "doc".into(),
+            binding: TopBinding::Rows,
+            top: LevelSpec {
+                element: "order".into(),
+                table: "ord".into(),
+                parent_fk: None,
+                attrs: vec![("name".into(), "name".into())],
+                scalars: vec![("*".into(), "*".into())],
+                child_count: None,
+                child: None,
+            },
+        };
+        let xml_view = view.build(&session.database()).expect("build view");
+        session.quark_mut().register_view(xml_view);
+        let sink = Arc::clone(&log);
+        session
+            .register_action_with_writes("record", Vec::<String>::new(), move |_db, call| {
+                sink.lock().expect("log").push(call.trigger.clone());
+                Ok(())
+            })
+            .expect("register record");
+        session
+            .execute(
+                "create trigger NewOrder after insert on view('orders')/order \
+                 do record(NEW_NODE)",
+            )
+            .expect("create trigger");
+        (session, log)
+    }
+
+    let batch: Vec<String> = vec![
+        "INSERT INTO ord VALUES (1, 'a', 10.0)".into(),
+        "INSERT INTO ord VALUES (2, 'b', 20.0)".into(),
+        "INSERT INTO ord VALUES (3, 'c', 30.0)".into(),
+        "SELECT name FROM ord WHERE id = 2".into(),
+        "INSERT INTO misc VALUES (1, 'x')".into(),
+        "INSERT INTO misc VALUES (2, 'y')".into(),
+        "UPDATE ord SET price = 11.0 WHERE id = 1".into(),
+    ];
+
+    // Batched execution.
+    let (batched, batched_log) = insert_system();
+    let before = batched.quark().stats();
+    let results = batched
+        .execute_batch(batch.iter().map(String::as_str))
+        .expect("batch");
+    let after = batched.quark().stats();
+
+    // One result per input statement, each INSERT reporting its own row.
+    assert_eq!(results.len(), batch.len());
+    for idx in [0, 1, 2, 4, 5, 6] {
+        assert!(
+            matches!(results[idx], StatementResult::RowsAffected(1)),
+            "statement {idx} should report its own single row"
+        );
+    }
+    assert!(matches!(&results[3], StatementResult::Rows { rows, .. } if rows.len() == 1));
+
+    // The two runs (3 ord-INSERTs, 2 misc-INSERTs) folded into one
+    // statement each: 6 data-change inputs became 3 executed data-change
+    // statements, and all 5 run members are counted as batched.
+    assert_eq!(after.batched_statements - before.batched_statements, 5);
+    assert_eq!(after.statements - before.statements, 3);
+    // The insert cascade ran once for the whole ord run (one Δ), but the
+    // action was still invoked once per new node.
+    assert_eq!(batched_log.lock().unwrap().len(), 3);
+
+    // Differential: statement-at-a-time execution reaches the same state.
+    let (serial, serial_log) = insert_system();
+    for s in &batch {
+        serial.execute(s).expect("serial statement");
+    }
+    assert_eq!(dump(&batched, "ord"), dump(&serial, "ord"));
+    assert_eq!(dump(&batched, "misc"), dump(&serial, "misc"));
+    assert_eq!(serial_log.lock().unwrap().len(), 3);
+    // The serial run paid one cascade per INSERT instead of one per run.
+    assert_eq!(serial.quark().stats().batched_statements, 0);
+    assert!(serial.quark().stats().statements > after.statements - before.statements);
+}
+
+/// Mixed readers and disjoint writers together: readers see consistent
+/// snapshots (never a torn cross-table state) while writers make
+/// progress under them.
+#[test]
+fn readers_ride_snapshots_while_writers_run() {
+    const UPDATES: i64 = 30;
+    let spec = ShardSpec::quick(2, Mode::Grouped);
+    let w = build_sharded(spec).expect("sharded workload");
+    let triggers = spec.triggers;
+    let pool = SessionPool::new(w.session);
+    let barrier = Arc::new(Barrier::new(3));
+
+    let writers: Vec<_> = (0..2usize)
+        .map(|t| {
+            let session = pool.session();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for i in 0..UPDATES {
+                    let price = 50.0 + (i % 1000) as f64 / 7.0;
+                    session
+                        .execute(&format!("UPDATE m{t} SET price = {price:?} WHERE id = 0"))
+                        .expect("writer");
+                }
+            })
+        })
+        .collect();
+    let reader = {
+        let session = pool.session();
+        let barrier = Arc::clone(&barrier);
+        thread::spawn(move || {
+            barrier.wait();
+            for _ in 0..200 {
+                // Audit rows only ever grow in a snapshot-consistent
+                // world: each audit table holds a multiple of the firings
+                // one statement contributes, never a partial cascade…
+                for h in 0..2 {
+                    let StatementResult::Rows { rows, .. } = session
+                        .execute(&format!("SELECT seq FROM audit{h}"))
+                        .expect("reader")
+                    else {
+                        panic!("expected rows")
+                    };
+                    assert!(rows.len() <= (UPDATES as usize) * triggers);
+                }
+            }
+        })
+    };
+    for th in writers {
+        th.join().expect("writer thread");
+    }
+    reader.join().expect("reader thread");
+
+    let session = pool.session();
+    for h in 0..2 {
+        let StatementResult::Rows { rows, .. } = session
+            .execute(&format!("SELECT seq FROM audit{h}"))
+            .expect("final read")
+        else {
+            panic!("expected rows")
+        };
+        assert_eq!(rows.len(), UPDATES as usize * triggers);
+    }
+}

@@ -33,7 +33,7 @@ fn minprice_system(mode: Mode) -> (Session, Log) {
     let log = Log::default();
     let sink = log.clone();
     session
-        .register_action("notify", move |_db: &mut Database, call| {
+        .register_action("notify", move |_db: &Database, call| {
             sink.0
                 .lock()
                 .unwrap()
