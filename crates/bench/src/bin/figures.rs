@@ -3,7 +3,7 @@
 //! repository's extra ablations.
 //!
 //! ```text
-//! cargo run --release -p quark-bench --bin figures -- [fig17|fig18|fig22|fig23|fig24|compile|cardinality|sessions|ablations|all] [--quick] [--full-ungrouped] [--check BASELINE --tolerance F]
+//! cargo run --release -p quark-bench --bin figures -- [fig17|fig18|fig22|fig23|fig24|compile|cardinality|sessions|restart|ablations|all] [--quick] [--full-ungrouped] [--check BASELINE --tolerance F]
 //! ```
 //!
 //! `--quick` scales the workload down (CI-friendly); `--full-ungrouped`
@@ -108,7 +108,7 @@ impl Report {
 const USAGE: &str = "\
 Regenerates the paper's measurement figures.
 
-Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|cardinality|sessions|ablations|all] [--quick] [--full-ungrouped] [--out PATH] [--check BASELINE] [--tolerance F]
+Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|cardinality|sessions|restart|ablations|all] [--quick] [--full-ungrouped] [--out PATH] [--check BASELINE] [--tolerance F]
 
   --quick           scale workloads down to CI-friendly sizes
   --full-ungrouped  extend Fig. 17's UNGROUPED sweep beyond 1000 triggers (slow)
@@ -197,6 +197,7 @@ fn main() {
         ("fig23", &fig23),
         ("cardinality", &cardinality),
         ("sessions", &sessions_sweep),
+        ("restart", &restart_sweep),
         ("ablations", &ablations),
     ];
     if args.which != "all" && !figures.iter().any(|(name, _)| *name == args.which) {
@@ -759,6 +760,128 @@ fn sessions_sweep(args: &Args, report: &mut Report) {
             );
             report.push("sessions", series, "sessions", k as f64, ms(elapsed));
         }
+    }
+}
+
+/// Restart sweep (no paper counterpart): durable open cost, cold vs
+/// warm, as the WAL grows. COLD-OPEN builds a database from scratch in a
+/// fresh directory — schema, data, the Figure-3 view and a trigger corpus
+/// (translation included). WARM-OPEN is recovery: crash the session
+/// (drop without `close`) with k committed statements in the WAL since
+/// the last checkpoint, reopen, and re-arm everything from the persisted
+/// catalog — zero re-translations (asserted), so the warm curve is pure
+/// page-load + redo + re-arm cost and should stay well under the cold
+/// one at every WAL length.
+fn restart_sweep(args: &Args, report: &mut Report) {
+    use quark_core::storage::SyncMode;
+
+    fn tmp_dir(n: usize) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("quark-figures-restart-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const CATALOG_VIEW: &str = r#"
+        create view catalog as {
+          <catalog>{
+            for $prodname in distinct(view("default")/product/row/pname)
+            let $products := view("default")/product/row[./pname = $prodname]
+            let $vendors := view("default")/vendor/row[./pid = $products/pid]
+            where count($vendors) >= 2
+            return <product name={$prodname}>
+              { for $vendor in $vendors return <vendor>{$vendor/*}</vendor> }
+            </product>
+          }</catalog>
+        }"#;
+    const TRIGGERS: usize = 32;
+    const PRODUCTS: usize = 64;
+
+    let wal_lengths: &[usize] = if args.quick {
+        &[0, 64, 256]
+    } else {
+        &[0, 256, 1024, 4096]
+    };
+
+    println!("\n== Restart: durable open, cold vs warm, vs WAL length ==");
+    println!("   products={PRODUCTS} triggers={TRIGGERS} sync=Never");
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "wal stmts", "COLD-OPEN (ms)", "WARM-OPEN (ms)"
+    );
+
+    for (i, &k) in wal_lengths.iter().enumerate() {
+        let dir = tmp_dir(i);
+
+        // Cold: everything from scratch, translation included.
+        let t0 = Instant::now();
+        let session = quark_xquery::open_session_with(&dir, Mode::Grouped, SyncMode::Never)
+            .expect("open fresh durable session");
+        session
+            .execute("CREATE TABLE product (pid TEXT PRIMARY KEY, pname TEXT, mfr TEXT)")
+            .expect("schema");
+        session
+            .execute(
+                "CREATE TABLE vendor (vid TEXT, pid TEXT, price DOUBLE, \
+                 PRIMARY KEY (vid, pid))",
+            )
+            .expect("schema");
+        session.execute(CATALOG_VIEW).expect("view");
+        session
+            .register_action_with_writes("notify", Vec::<String>::new(), |_, _| Ok(()))
+            .expect("action");
+        for p in 0..PRODUCTS {
+            session
+                .execute(&format!(
+                    "INSERT INTO product VALUES ('P{p}', 'N{}', 'M')",
+                    p % TRIGGERS
+                ))
+                .expect("insert product");
+            session
+                .execute(&format!(
+                    "INSERT INTO vendor VALUES ('V0', 'P{p}', 10.0), ('V1', 'P{p}', 12.0)"
+                ))
+                .expect("insert vendors");
+        }
+        for t in 0..TRIGGERS {
+            session
+                .execute(&format!(
+                    "CREATE TRIGGER T{t} AFTER Update ON view('catalog')/product \
+                     WHERE OLD_NODE/@name = 'N{t}' DO notify(NEW_NODE)"
+                ))
+                .expect("trigger");
+        }
+        let cold = t0.elapsed();
+
+        // Grow the WAL: k footprint-latched statements since the last
+        // checkpoint (the trigger DDL above checkpointed and truncated).
+        for u in 0..k {
+            session
+                .execute(&format!(
+                    "UPDATE vendor SET price = {}.5 WHERE vid = 'V0' AND pid = 'P{}'",
+                    u % 97,
+                    u % PRODUCTS
+                ))
+                .expect("wal update");
+        }
+        drop(session); // crash: no close, no final checkpoint
+
+        // Warm: recovery only.
+        let t1 = Instant::now();
+        let session = quark_xquery::open_session_with(&dir, Mode::Grouped, SyncMode::Never)
+            .expect("reopen durable session");
+        let warm = t1.elapsed();
+        assert_eq!(
+            session.quark().translations(),
+            0,
+            "warm restart must not re-translate"
+        );
+        drop(session);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        println!("{k:<12} {:>16.3} {:>16.3}", ms(cold), ms(warm));
+        report.push("restart", "COLD-OPEN", "wal_stmts", k as f64, ms(cold));
+        report.push("restart", "WARM-OPEN", "wal_stmts", k as f64, ms(warm));
     }
 }
 

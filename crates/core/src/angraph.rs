@@ -33,7 +33,7 @@ use crate::inject::{is_injective, skeleton, SkeletonMap};
 use crate::spec::{PathGraph, XmlEvent};
 
 /// Translation options (which paper optimizations are active).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnOptions {
     /// Pruned transition tables (Appendix F, Def. 8).
     pub pruned_transitions: bool,

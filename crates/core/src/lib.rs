@@ -46,5 +46,6 @@ pub use system::{ActionCall, ActionFn, Footprint, Mode, Quark};
 
 // Re-export the layers below for one-stop consumption by examples/benches.
 pub use quark_relational as relational;
+pub use quark_storage as storage;
 pub use quark_xml as xml;
 pub use quark_xqgm as xqgm;

@@ -21,6 +21,7 @@
 //! | `DROP TRIGGER` / `DROP TABLE` | [`StatementResult::Dropped`] |
 //! | `EXPLAIN TRIGGER name` | [`StatementResult::Explain`] |
 //! | `MATERIALIZE view('v')/anchor` | [`StatementResult::Xml`] |
+//! | `STATS` | [`StatementResult::Rows`] (one `counter`/`value` row each) |
 //!
 //! The XQuery-bodied statements (`CREATE VIEW`, `CREATE TRIGGER`) are
 //! parsed by a pluggable [`StatementFrontend`] so this crate stays below
@@ -90,7 +91,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use quark_relational::sql::{self, SqlOutcome, Statement};
-use quark_relational::{Database, Error, Result};
+use quark_relational::{Database, Error, Result, Value};
 use quark_xml::XmlNodeRef;
 
 use crate::system::{ActionCall, Footprint, Quark};
@@ -355,6 +356,12 @@ impl SessionPool {
         SessionPool { root: session }
     }
 
+    /// Open (or create) a durable session pool rooted at `path` (see
+    /// [`Session::open`]).
+    pub fn open(path: impl AsRef<std::path::Path>, mode: crate::system::Mode) -> Result<Self> {
+        Ok(SessionPool::new(Session::open(path, mode)?))
+    }
+
     /// A new handle onto the shared system.
     pub fn session(&self) -> Session {
         self.root.fork()
@@ -412,6 +419,10 @@ impl Drop for QuarkWrite<'_> {
     fn drop(&mut self) {
         // Conservatively assume the holder mutated something.
         self.shared.commit_global(&self.guard);
+        // Best-effort durable point (Drop cannot report): a failed
+        // checkpoint leaves the previous one intact, and the next
+        // statement-path commit retries and surfaces the error.
+        let _ = self.guard.checkpoint();
     }
 }
 
@@ -450,6 +461,8 @@ impl DerefMut for DatabaseWrite<'_> {
 impl Drop for DatabaseWrite<'_> {
     fn drop(&mut self) {
         self.shared.commit_global(&self.guard);
+        // Best-effort, as in `QuarkWrite::drop`.
+        let _ = self.guard.checkpoint();
     }
 }
 
@@ -464,6 +477,42 @@ impl Session {
     /// Open a session with a frontend handling the XQuery-bodied DDL.
     pub fn with_frontend(quark: Quark, frontend: Box<dyn StatementFrontend>) -> Self {
         Session::build(quark, Some(frontend))
+    }
+
+    /// Open (or create) a **durable** session rooted at directory `path`
+    /// (see [`Quark::open`]): an existing database is recovered to its
+    /// last committed statement boundary with every view and trigger group
+    /// re-armed, and subsequent statements are logged to the write-ahead
+    /// log with fsync-on-commit. No frontend is attached; use
+    /// `quark_xquery::open_session` for the full statement surface.
+    pub fn open(path: impl AsRef<std::path::Path>, mode: crate::system::Mode) -> Result<Self> {
+        Ok(Session::new(Quark::open(path, mode)?))
+    }
+
+    /// [`Session::open`] with an explicit WAL sync mode
+    /// ([`quark_storage::SyncMode::Never`] trades the crash guarantee for
+    /// speed — useful in tests and bulk loads).
+    pub fn open_with(
+        path: impl AsRef<std::path::Path>,
+        mode: crate::system::Mode,
+        sync: quark_storage::SyncMode,
+    ) -> Result<Self> {
+        Ok(Session::new(Quark::open_with(path, mode, sync)?))
+    }
+
+    /// Flush and tear down: checkpoints the durable store (if one is
+    /// attached — a no-op otherwise) so reopening recovers instantly from
+    /// the catalog without replaying the log.
+    ///
+    /// Dropping a session *without* `close` is crash-equivalent, not
+    /// lossy: every committed statement is already in the WAL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if other handles onto this session are still alive, like
+    /// [`Session::into_quark`].
+    pub fn close(self) -> Result<()> {
+        self.into_quark().checkpoint()
     }
 
     fn build(quark: Quark, frontend: Option<Box<dyn StatementFrontend>>) -> Self {
@@ -550,7 +599,7 @@ impl Session {
         name: impl Into<String>,
         f: impl Fn(&Database, &ActionCall) -> Result<()> + Send + Sync + 'static,
     ) -> Result<()> {
-        self.with_write(|quark| quark.register_action(name, f))
+        self.with_write(|quark| quark.register_action(name, f))?
     }
 
     /// Register an action declaring the tables it may write (delegates to
@@ -561,7 +610,7 @@ impl Session {
         writes: impl IntoIterator<Item = impl Into<String>>,
         f: impl Fn(&Database, &ActionCall) -> Result<()> + Send + Sync + 'static,
     ) -> Result<()> {
-        self.with_write(|quark| quark.register_action_with_writes(name, writes, f))
+        self.with_write(|quark| quark.register_action_with_writes(name, writes, f))?
     }
 
     /// Run `f` against the authoritative state in **global mode** — the
@@ -569,11 +618,20 @@ impl Session {
     /// footprint-latched writer first — then commit. Every write-side path
     /// that can touch schema, trigger topology or unbounded footprints
     /// funnels through here.
-    fn with_write<R>(&self, f: impl FnOnce(&mut Quark) -> R) -> R {
+    ///
+    /// A global commit is also the durable commit point for everything the
+    /// write-ahead log does not cover: when a storage engine is attached,
+    /// the whole system (schema, data, views, trigger groups, compile
+    /// cache) is checkpointed before the call returns, and the WAL is
+    /// truncated. Global writes are rare — DDL, trigger DDL, registration
+    /// — so paying a full checkpoint keeps the recovery protocol redo-only
+    /// over plain base-table DML.
+    fn with_write<R>(&self, f: impl FnOnce(&mut Quark) -> R) -> Result<R, Error> {
         let mut guard = self.shared.state.write().unwrap_or_else(|e| e.into_inner());
         let out = f(&mut guard);
         self.shared.commit_global(&guard);
-        out
+        guard.checkpoint()?;
+        Ok(out)
     }
 
     /// The current read snapshot. While writers keep committing with
@@ -674,7 +732,7 @@ impl Session {
                             name,
                         })
                 }
-            });
+            })?;
             return result.map_err(|e| shift_span(e, offset));
         }
 
@@ -780,6 +838,38 @@ impl Session {
             Statement::Materialize { view, anchor } => Ok(StatementResult::Xml(
                 self.snapshot().materialize(view, anchor)?,
             )),
+            Statement::Stats => {
+                let snap = self.snapshot();
+                let s = snap.stats();
+                let mut counters = vec![
+                    ("batched_statements", s.batched_statements),
+                    ("build_cache_hits", s.build_cache_hits),
+                    ("checkpoints", s.checkpoints),
+                    ("compile_cache_hits", snap.compile_cache_hits()),
+                    ("index_probes", s.index_probes),
+                    ("latch_conflicts", s.latch_conflicts),
+                    ("latch_waits", s.latch_waits),
+                    ("pages_evicted", s.pages_evicted),
+                    ("recovery_ms", s.recovery_ms),
+                    ("rows_scanned", s.rows_scanned),
+                    ("statements", s.statements),
+                    ("translations", snap.translations()),
+                    ("triggers_fired", s.triggers_fired),
+                    ("wal_bytes_written", s.wal_bytes_written),
+                    ("wal_fsyncs", s.wal_fsyncs),
+                ];
+                counters.sort_by_key(|&(name, _)| name);
+                let rows = counters
+                    .into_iter()
+                    .map(|(name, v)| {
+                        quark_relational::row([Value::str(name), Value::Int(v as i64)])
+                    })
+                    .collect();
+                Ok(StatementResult::Rows {
+                    columns: vec!["counter".into(), "value".into()],
+                    rows,
+                })
+            }
             // ---- data changes: footprint-latched when bounded ---------
             Statement::Insert { table, .. }
             | Statement::Update { table, .. }
@@ -794,14 +884,15 @@ impl Session {
             }
             // ---- DDL: global mode -------------------------------------
             Statement::DropTrigger(name) => {
-                self.with_write(|quark| quark.drop_trigger(name))?;
+                self.with_write(|quark| quark.drop_trigger(name))??;
                 Ok(StatementResult::Dropped {
                     kind: ObjectKind::Trigger,
                     name: name.clone(),
                 })
             }
             other => {
-                let outcome = self.with_write(|quark| sql::execute(quark.database_mut(), other))?;
+                let outcome =
+                    self.with_write(|quark| sql::execute(quark.database_mut(), other))??;
                 Ok(match outcome {
                     SqlOutcome::RowsAffected(n) => StatementResult::RowsAffected(n),
                     SqlOutcome::Rows { columns, rows } => StatementResult::Rows { columns, rows },
@@ -836,16 +927,40 @@ impl Session {
         match self.footprint_of(&state, table) {
             Footprint::Global => {
                 drop(state);
-                self.with_write(|quark| sql::execute_dml(quark.database(), stmt))
+                // The global commit checkpoints the full state, which
+                // subsumes WAL logging; the redo buffer is still drained
+                // so captured ops cannot leak into the next statement.
+                self.with_write(|quark| {
+                    let db = quark.database();
+                    db.begin_redo();
+                    let out = sql::execute_dml(db, stmt);
+                    let _ = db.take_redo();
+                    out
+                })?
             }
             Footprint::Tables(tables) => {
                 let _latch = self.shared.latches.acquire(&tables, state.database());
+                // Capture the statement's physical effects — cascade
+                // included — and append them to the write-ahead log as one
+                // batch closed by a commit record: the statement boundary
+                // is the durability boundary.
+                state.database().begin_redo();
                 let out = sql::execute_dml(state.database(), stmt);
+                let ops = state.database().take_redo();
+                // Logged even when the statement erred: partial cascade
+                // effects stay committed in the authoritative state (see
+                // below) and recovery must reproduce them.
+                let logged = match state.storage() {
+                    Some(engine) => engine.log_statement(&ops),
+                    None => Ok(()),
+                };
                 // Commit even on a statement error: partial effects (a
                 // cascade failing mid-way) are visible in the
                 // authoritative state and must reach/demote the snapshot.
                 self.shared.commit_tables(&state, &tables);
-                out
+                let outcome = out?;
+                logged?;
+                Ok(outcome)
             }
         }
     }

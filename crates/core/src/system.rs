@@ -45,6 +45,12 @@ use crate::condition::{CondLayout, Condition, NodeRef};
 use crate::events::{source_events, SourceEvent};
 use crate::spec::{Action, ActionParam, PathGraph, TriggerSpec, XmlEvent, XmlView};
 
+/// Serialization of the view/trigger layer (the storage catalog's "core
+/// blob"). A child module so it can reach this module's private group and
+/// cache structures.
+#[path = "persist.rs"]
+pub(crate) mod persist;
+
 /// Translation strategy (the three systems compared in §6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -147,13 +153,18 @@ struct TriggerRecord {
 }
 
 /// One SQL trigger generated for a group, with its compiled plan rendered
-/// for `EXPLAIN TRIGGER`.
+/// for `EXPLAIN TRIGGER` and the handler ingredients kept for persistence:
+/// re-arming a recovered group rebuilds each handler from `plan_ref` /
+/// `residual` / `src` without re-running translation.
 #[derive(Clone)]
 struct SqlTriggerMeta {
     name: String,
     table: String,
     event: quark_relational::Event,
     plan: String,
+    plan_ref: PlanRef,
+    residual: Option<Condition>,
+    src: SourceEvent,
 }
 
 /// The active XML-view system.
@@ -193,7 +204,18 @@ pub struct Quark {
     /// (constants tables and their indexes). Subtracting them from the
     /// database's counter yields the *external* generation, which is stable
     /// across group creation and therefore usable as a cache-key component.
-    internal_ddl: u64,
+    /// Signed: recovery re-bases it so the external generation continues
+    /// from the persisted value even though the rebuilt database's raw
+    /// counter restarts from the recovery DDL count.
+    internal_ddl: i64,
+    /// Count of actual delta-graph translations (`build_affected` runs for
+    /// a new group). Warm restarts assert this stays zero: every group is
+    /// re-armed from its persisted rendering, never re-translated.
+    translations: u64,
+    /// Durable-storage engine, attached by [`Quark::open`]. `None` for an
+    /// in-memory system. `Arc`-shared so read snapshots (`Quark::clone`)
+    /// observe the same counters.
+    storage: Option<Arc<quark_storage::StorageEngine>>,
 }
 
 impl Quark {
@@ -216,7 +238,100 @@ impl Quark {
             compile_cache_enabled: true,
             compile_cache_hits: 0,
             internal_ddl: 0,
+            translations: 0,
+            storage: None,
         }
+    }
+
+    /// Open (or create) a durable system rooted at directory `path`.
+    ///
+    /// A fresh directory starts an empty system with durability attached;
+    /// an existing one is recovered to its last committed statement
+    /// boundary: base tables are rebuilt from the checkpointed page store,
+    /// the committed WAL tail is replayed on top (torn or corrupt trailing
+    /// records are discarded), and every registered view, trigger group and
+    /// compile-cache entry is re-armed from its persisted rendering — no
+    /// view is re-translated (see [`Quark::translations`]).
+    ///
+    /// Action *functions* are closures and cannot be persisted; re-register
+    /// them after opening ([`Quark::register_action`]). Triggers fire lazily
+    /// — an action is resolved by name at firing time — so registration
+    /// order does not matter as long as it precedes the first firing.
+    ///
+    /// For an existing database the persisted translation mode and options
+    /// are authoritative; `mode` only seeds a fresh one.
+    ///
+    /// Durability is fsync-on-commit ([`quark_storage::SyncMode::Always`]);
+    /// use [`Quark::open_with`] to trade that for speed in tests.
+    pub fn open(path: impl AsRef<std::path::Path>, mode: Mode) -> Result<Self> {
+        Quark::open_with(path, mode, quark_storage::SyncMode::Always)
+    }
+
+    /// [`Quark::open`] with an explicit WAL sync mode.
+    pub fn open_with(
+        path: impl AsRef<std::path::Path>,
+        mode: Mode,
+        sync: quark_storage::SyncMode,
+    ) -> Result<Self> {
+        let start = std::time::Instant::now();
+        let (engine, recovered) = quark_storage::StorageEngine::open(path.as_ref(), sync)?;
+
+        // Rebuild the relational layer: checkpointed tables, then the
+        // committed WAL tail on top.
+        let mut db = Database::new();
+        for t in &recovered.tables {
+            db.create_table(t.schema.clone())?;
+            for &col in &t.indexes {
+                let column = t.schema.columns[col].name.clone();
+                db.create_index(&t.schema.name, &column)?;
+            }
+            if !t.rows.is_empty() {
+                let rows = t.rows.iter().map(|r| r.to_vec()).collect();
+                db.load(&t.schema.name, rows)?;
+            }
+        }
+        for batch in &recovered.redo_batches {
+            db.apply_redo(batch)?;
+        }
+
+        // Rebuild the view/trigger layer from the persisted core blob.
+        let fresh = recovered.core_blob.is_none();
+        let mut quark = Quark::new(db, mode);
+        if let Some(blob) = &recovered.core_blob {
+            persist::decode_core(&mut quark, blob)?;
+        }
+
+        quark.db.set_redo_capture(true);
+        quark.storage = Some(Arc::new(engine));
+        // Fold a replayed WAL tail (or a fresh directory) into a checkpoint
+        // immediately, so reopening is idempotent and the log stays short.
+        if fresh || !recovered.redo_batches.is_empty() {
+            quark.checkpoint()?;
+        }
+        quark
+            .storage
+            .as_ref()
+            .expect("attached above")
+            .set_recovery_ms(start.elapsed().as_millis() as u64);
+        Ok(quark)
+    }
+
+    /// The attached durable-storage engine, if any.
+    pub fn storage(&self) -> Option<&Arc<quark_storage::StorageEngine>> {
+        self.storage.as_ref()
+    }
+
+    /// Checkpoint the durable store (no-op without one): every table is
+    /// written to the page store, the full view/trigger/compile-cache state
+    /// is serialized into the catalog, and the WAL is truncated. The caller
+    /// must be at a statement boundary (the session layer checkpoints at
+    /// global commits).
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(engine) = &self.storage else {
+            return Ok(());
+        };
+        let blob = persist::encode_core(self)?;
+        engine.checkpoint(&self.db, blob)
     }
 
     /// Shared view of the underlying relational database (inspection,
@@ -324,9 +439,26 @@ impl Quark {
     /// Execution-counter snapshot of the underlying database: statement and
     /// firing counts plus the executor's `rows_scanned` / `index_probes` /
     /// `build_cache_hits` observability counters — the probe-not-scan
-    /// evidence behind the flat firing-latency curves.
+    /// evidence behind the flat firing-latency curves. When a durable
+    /// store is attached, its counters (`wal_bytes_written`, `wal_fsyncs`,
+    /// `checkpoints`, `pages_evicted`, `recovery_ms`) are merged in.
     pub fn stats(&self) -> quark_relational::Stats {
-        self.db.stats()
+        let mut stats = self.db.stats();
+        if let Some(engine) = &self.storage {
+            stats.wal_bytes_written = engine.wal_bytes_written();
+            stats.wal_fsyncs = engine.wal_fsyncs();
+            stats.checkpoints = engine.checkpoints();
+            stats.pages_evicted = engine.pages_evicted();
+            stats.recovery_ms = engine.recovery_ms();
+        }
+        stats
+    }
+
+    /// How many delta-graph translations (`build_affected` runs) this
+    /// system has performed. Zero after a warm restart: recovered groups
+    /// are re-armed from their persisted renderings, not re-translated.
+    pub fn translations(&self) -> u64 {
+        self.translations
     }
 
     /// Number of live compile-cache entries (each referenced by ≥ 1 group).
@@ -367,7 +499,7 @@ impl Quark {
         let mut attrs: Vec<(&String, &usize)> = template.attr_cols.iter().collect();
         attrs.sort();
         let o = self.options;
-        let gen = self.db.schema_generation() - self.internal_ddl;
+        let gen = self.db.schema_generation() as i64 - self.internal_ddl;
         let _ = write!(
             sig,
             "|node={} attrs={attrs:?} key={:?} event={event:?} needs=({},{}) \
@@ -567,6 +699,7 @@ impl Quark {
                 entry.plans.clone()
             }
             None => {
+                self.translations += 1;
                 // One shared arena for every table's delta graphs: the
                 // hash-consed graph reuses each (operator, source-variant)
                 // subplan by reference instead of recloning the template
@@ -619,8 +752,8 @@ impl Quark {
 
             let trigger_name = format!("__quark_g{group_id}_{}_{}", src.table, src.event);
             let body = self.make_handler(
-                plan,
-                residual,
+                Arc::clone(&plan),
+                residual.clone(),
                 src.clone(),
                 Arc::clone(&members),
                 consts.len(),
@@ -636,6 +769,9 @@ impl Quark {
                 table: src.table.clone(),
                 event: src.event,
                 plan: plan_explain,
+                plan_ref: plan,
+                residual,
+                src,
             });
         }
 

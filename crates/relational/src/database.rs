@@ -22,6 +22,7 @@ use crate::plan::PlanRef;
 use crate::schema::TableSchema;
 use crate::table::{Key, Table};
 use crate::value::{ColumnType, Row, Value};
+use crate::wire::RedoOp;
 use crate::{Error, Result};
 
 /// Relational statement kinds, which double as trigger event kinds.
@@ -138,6 +139,17 @@ pub struct Stats {
     /// Statements whose execution was folded into a coalesced batch by
     /// `Session::execute_batch` (each member of a merged run counts).
     pub batched_statements: u64,
+    /// Bytes appended to the write-ahead log (zero for in-memory
+    /// databases; filled in by the storage engine one layer up).
+    pub wal_bytes_written: u64,
+    /// `fsync` calls issued by the write-ahead log.
+    pub wal_fsyncs: u64,
+    /// Checkpoints taken by the storage engine.
+    pub checkpoints: u64,
+    /// Buffer-pool pages evicted by the clock sweep.
+    pub pages_evicted: u64,
+    /// Wall-clock milliseconds the last recovery (warm open) took.
+    pub recovery_ms: u64,
 }
 
 /// Execution counters. They are bumped during statement and plan
@@ -235,6 +247,13 @@ pub struct Database {
     /// instances (oracle shadow clones), so depth is keyed on both.
     db_id: u64,
     schema_generation: u64,
+    /// When set, the mutation entry points append physical [`RedoOp`]s to
+    /// a thread-local buffer keyed by `db_id`; the session layer drains it
+    /// per statement and hands the batch to the write-ahead log. Off by
+    /// default and **never copied by `Clone`**: snapshot clones and oracle
+    /// shadows must not log (their fresh `db_id` could not reach the
+    /// buffer anyway, but the flag stays off for clarity).
+    redo_capture: bool,
     pub(crate) counters: ExecCounters,
     pub(crate) exec_cache: ExecCache,
 }
@@ -247,6 +266,7 @@ impl Default for Database {
             trigger_names: Arc::new(std::collections::HashSet::new()),
             db_id: NEXT_DB_ID.fetch_add(1, Ordering::Relaxed),
             schema_generation: 0,
+            redo_capture: false,
             counters: ExecCounters::default(),
             exec_cache: ExecCache::default(),
         }
@@ -268,6 +288,7 @@ impl Clone for Database {
             trigger_names: Arc::clone(&self.trigger_names),
             db_id: NEXT_DB_ID.fetch_add(1, Ordering::Relaxed),
             schema_generation: self.schema_generation,
+            redo_capture: false,
             counters: self.counters.snapshot(),
             exec_cache: ExecCache::new(self.exec_cache.is_enabled()),
         }
@@ -313,6 +334,13 @@ thread_local! {
     /// (now shared) `Database`, where two threads' concurrent cascades
     /// would observe each other's nesting.
     static FIRE_DEPTH: RefCell<HashMap<u64, usize>> = RefCell::new(HashMap::new());
+
+    /// Captured redo operations per database instance on this thread (same
+    /// keying rationale as `FIRE_DEPTH`: a statement and its whole cascade
+    /// run on one thread, so the per-statement redo batch needs no
+    /// cross-thread coordination, but two threads' concurrent latched
+    /// statements must not interleave their batches).
+    static REDO_BUF: RefCell<HashMap<u64, Vec<RedoOp>>> = RefCell::new(HashMap::new());
 }
 
 /// Decrements the thread-local cascade depth on drop, so a panicking
@@ -410,6 +438,13 @@ impl Database {
             latch_waits: c.latch_waits.load(Ordering::Relaxed),
             latch_conflicts: c.latch_conflicts.load(Ordering::Relaxed),
             batched_statements: c.batched_statements.load(Ordering::Relaxed),
+            // Storage counters live in the storage engine; `Quark::stats`
+            // merges them in when the system was opened durably.
+            wal_bytes_written: 0,
+            wal_fsyncs: 0,
+            checkpoints: 0,
+            pages_evicted: 0,
+            recovery_ms: 0,
         }
     }
 
@@ -433,6 +468,94 @@ impl Database {
         self.counters
             .batched_statements
             .fetch_add(n, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Redo capture (durability hooks for the storage layer)
+    // ------------------------------------------------------------------
+
+    /// Enable or disable redo capture (off by default; the storage layer
+    /// turns it on when a database is opened durably). Not inherited by
+    /// clones — snapshots and oracle shadows never log.
+    pub fn set_redo_capture(&mut self, enabled: bool) {
+        self.redo_capture = enabled;
+    }
+
+    /// `true` when the mutation entry points record redo operations.
+    pub fn redo_capture_enabled(&self) -> bool {
+        self.redo_capture
+    }
+
+    /// Clear this thread's redo buffer for this database. The session
+    /// layer calls it at every statement start so leftovers from a
+    /// panicked or abandoned earlier statement cannot leak into the next
+    /// statement's log batch.
+    pub fn begin_redo(&self) {
+        REDO_BUF.with(|m| {
+            m.borrow_mut().remove(&self.db_id);
+        });
+    }
+
+    /// Drain this thread's redo buffer for this database: every physical
+    /// change the statement and its whole cascade made, in apply order.
+    /// Called once per latched statement — even a statement that returned
+    /// an error is drained, because partial effects stay visible in the
+    /// authoritative state and durability must match it.
+    pub fn take_redo(&self) -> Vec<RedoOp> {
+        REDO_BUF
+            .with(|m| m.borrow_mut().remove(&self.db_id))
+            .unwrap_or_default()
+    }
+
+    /// Apply a batch of redo operations verbatim: no triggers fire, no
+    /// redo is captured, and operations are idempotent (`Put` upserts,
+    /// `Del` of a missing key is a no-op). Recovery replays committed WAL
+    /// batches through here — the cascade's effects were logged physically
+    /// when it ran, so re-firing triggers would double-apply them.
+    pub fn apply_redo(&self, ops: &[RedoOp]) -> Result<()> {
+        for op in ops {
+            match op {
+                RedoOp::Put { table, row } => {
+                    let mut t = self.table_write(table)?;
+                    let key = t.schema().key_of(row);
+                    t.delete(&key);
+                    t.insert(row.to_vec())?;
+                }
+                RedoOp::Del { table, key } => {
+                    self.table_write(table)?.delete(key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Record one statement's physical effects (all deletions by
+    /// pre-image key, then all insertions by full row — matching the
+    /// two-phase apply order of `update_expr`, so key-reshuffling updates
+    /// replay correctly). No-op unless capture is enabled.
+    fn capture_redo(&self, table: &str, inserted: &[Row], deleted: &[Row]) {
+        if !self.redo_capture || (inserted.is_empty() && deleted.is_empty()) {
+            return;
+        }
+        let Ok(t) = self.table(table) else { return };
+        let schema = t.schema_ref();
+        drop(t);
+        REDO_BUF.with(|m| {
+            let mut m = m.borrow_mut();
+            let buf = m.entry(self.db_id).or_default();
+            for old in deleted {
+                buf.push(RedoOp::Del {
+                    table: table.to_string(),
+                    key: schema.key_of(old).into_vec(),
+                });
+            }
+            for new in inserted {
+                buf.push(RedoOp::Put {
+                    table: table.to_string(),
+                    row: Arc::clone(new),
+                });
+            }
+        });
     }
 
     /// Enable or disable the cross-firing executor cache (on by default).
@@ -551,6 +674,7 @@ impl Database {
             }
         }
         self.counters.add_statement();
+        self.capture_redo(table, &inserted, &[]);
         if !inserted.is_empty() {
             self.after_statement(TransitionTables {
                 table: table.to_string(),
@@ -592,6 +716,11 @@ impl Database {
             t.update(key, next)?
         };
         self.counters.add_statement();
+        self.capture_redo(
+            table,
+            std::slice::from_ref(&new),
+            std::slice::from_ref(&old),
+        );
         self.after_statement(TransitionTables {
             table: table.to_string(),
             event: Event::Update,
@@ -627,6 +756,7 @@ impl Database {
             (deleted, inserted)
         };
         self.counters.add_statement();
+        self.capture_redo(table, &inserted, &deleted);
         let n = inserted.len();
         if n > 0 {
             self.after_statement(TransitionTables {
@@ -732,6 +862,7 @@ impl Database {
         };
         self.note_access(probed, scanned);
         self.counters.add_statement();
+        self.capture_redo(table, &inserted, &deleted);
         let n = inserted.len();
         if n > 0 {
             self.after_statement(TransitionTables {
@@ -783,6 +914,7 @@ impl Database {
         };
         self.note_access(probed, scanned);
         self.counters.add_statement();
+        self.capture_redo(table, &[], &deleted);
         let n = deleted.len();
         if n > 0 {
             self.after_statement(TransitionTables {
@@ -803,6 +935,7 @@ impl Database {
         match old {
             None => Ok(false),
             Some(row) => {
+                self.capture_redo(table, &[], std::slice::from_ref(&row));
                 self.after_statement(TransitionTables {
                     table: table.to_string(),
                     event: Event::Delete,
@@ -832,6 +965,7 @@ impl Database {
             deleted
         };
         self.counters.add_statement();
+        self.capture_redo(table, &[], &deleted);
         let n = deleted.len();
         if n > 0 {
             self.after_statement(TransitionTables {
@@ -849,9 +983,15 @@ impl Database {
     pub fn load(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
         let mut t = self.table_write(table)?;
         let n = rows.len();
+        let mut loaded = Vec::new();
         for r in rows {
-            t.insert(r)?;
+            let row = t.insert(r)?;
+            if self.redo_capture {
+                loaded.push(row);
+            }
         }
+        drop(t);
+        self.capture_redo(table, &loaded, &[]);
         Ok(n)
     }
 
@@ -867,9 +1007,16 @@ impl Database {
             .map(|r| t.schema().key_of(r))
             .collect();
         let n = keys.len();
+        let mut removed = Vec::new();
         for k in keys {
-            t.delete(&k);
+            if let Some(row) = t.delete(&k) {
+                if self.redo_capture {
+                    removed.push(row);
+                }
+            }
         }
+        drop(t);
+        self.capture_redo(table, &[], &removed);
         Ok(n)
     }
 

@@ -54,6 +54,9 @@ pub enum Error {
     Eval(String),
     /// Malformed plan (e.g. index join without a usable index).
     Plan(String),
+    /// Durable-storage failure: I/O error, corrupt file, or a value that
+    /// cannot be serialized.
+    Storage(String),
 }
 
 impl fmt::Display for Error {
@@ -95,6 +98,7 @@ impl fmt::Display for Error {
             }
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

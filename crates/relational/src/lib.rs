@@ -34,6 +34,7 @@ mod schema;
 pub mod sql;
 mod table;
 mod value;
+pub mod wire;
 
 pub use database::{
     Database, Event, NativeTriggerFn, RowsHandler, SqlTrigger, Stats, TransitionTables, TriggerBody,
@@ -42,6 +43,7 @@ pub use error::{Error, Result};
 pub use schema::{ColumnDef, RowSet, TableSchema};
 pub use table::{Key, Table};
 pub use value::{row, ColumnType, Row, Value};
+pub use wire::RedoOp;
 
 #[cfg(test)]
 mod exec_tests;

@@ -174,6 +174,9 @@ pub enum Statement {
         /// Anchor element within the view.
         anchor: String,
     },
+    /// `STATS` — dump engine counters as rows; session-level only (the
+    /// session merges in durable-storage counters).
+    Stats,
     /// `INSERT INTO t VALUES (…), (…)`.
     Insert {
         /// Target table.
@@ -292,9 +295,13 @@ pub fn parse(text: &str) -> Result<Statement, StatementError> {
     if p.try_keyword("select") {
         return p.select();
     }
+    if p.try_keyword("stats") {
+        p.finish()?;
+        return Ok(Statement::Stats);
+    }
     Err(p.err_here(
         "unrecognized statement (expected CREATE, DROP, INSERT, UPDATE, \
-         DELETE, SELECT, EXPLAIN or MATERIALIZE)",
+         DELETE, SELECT, EXPLAIN, MATERIALIZE or STATS)",
     ))
 }
 
@@ -326,6 +333,9 @@ pub fn execute(db: &mut Database, stmt: &Statement) -> Result<SqlOutcome, Statem
         Statement::ExplainTrigger(_) | Statement::Materialize { .. } => Err(StatementError::Db(
             Error::Plan("view-level statement requires a Session".into()),
         )),
+        Statement::Stats => Err(StatementError::Db(Error::Plan(
+            "STATS requires a Session".into(),
+        ))),
         Statement::Insert { .. } | Statement::Update { .. } | Statement::Delete { .. } => {
             execute_dml(db, stmt)
         }

@@ -101,6 +101,14 @@ impl Table {
         self.secondary.contains_key(&column)
     }
 
+    /// Column indices carrying a secondary index, in ascending order
+    /// (persisted by the storage catalog so indices survive a restart).
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.secondary.keys().copied().collect();
+        cols.sort_unstable();
+        cols
+    }
+
     /// Fetch a row by primary key.
     pub fn get(&self, key: &[Value]) -> Option<&Row> {
         self.rows.get(key)

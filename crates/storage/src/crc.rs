@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3 polynomial), implemented in-tree so the storage
+//! layer stays dependency-free. Every WAL record and every page carries a
+//! checksum; a mismatch marks the torn tail of the log (discarded by
+//! recovery) or a corrupt page (reported as [`Error::Storage`]).
+//!
+//! [`Error::Storage`]: quark_relational::Error::Storage
+
+/// Reflected table-driven CRC-32 with the IEEE polynomial `0xEDB88320`
+/// (the one used by zlib, gzip and PNG).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        crc = TABLE[idx] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// 256-entry lookup table, built at compile time.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                0xEDB8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"hello world");
+        let mut flipped = b"hello world".to_vec();
+        flipped[3] ^= 0x01;
+        assert_ne!(base, crc32(&flipped));
+    }
+}

@@ -1,0 +1,448 @@
+//! The storage engine: one directory holding a WAL, a page file, and a
+//! catalog, with the recovery and checkpoint protocols that tie them
+//! together.
+//!
+//! **Logging.** Every latched statement (with its full trigger cascade)
+//! becomes one WAL batch + commit record pair via [`StorageEngine::
+//! log_statement`]. Redo ops are physical and idempotent, so replay never
+//! re-fires triggers — cascade effects are already in the batch.
+//!
+//! **Checkpointing.** [`StorageEngine::checkpoint`] writes a complete
+//! image: dirty tables (per-table version changed since the last
+//! checkpoint) get fresh page chains, clean tables keep their chains, the
+//! engine layers' opaque core blob is rewritten, and the WAL is truncated.
+//! The ordering is shadow-root safe: new chains only allocate pages that
+//! were free in the **durable** catalog, pages are flushed, old chains are
+//! freed, and only then is the new catalog renamed into place — a crash at
+//! any point leaves either the old or the new image fully intact.
+//!
+//! **Recovery.** [`StorageEngine::open`] loads the catalog, reads every
+//! table's page chain back into rows, and replays committed WAL batches
+//! (ARIES redo-only: there is nothing to undo, because only committed
+//! statement boundaries are ever logged). The caller rebuilds the
+//! in-memory database from the returned [`Recovered`] image.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use quark_relational::wire::{Dec, Enc};
+use quark_relational::{Database, Error, RedoOp, Result, Row, TableSchema};
+
+use crate::catalog::{Catalog, TableEntry};
+use crate::pager::Pager;
+use crate::wal::{SyncMode, Wal};
+
+/// One table reconstructed from the checkpoint image.
+#[derive(Debug)]
+pub struct RecoveredTable {
+    /// The table schema.
+    pub schema: TableSchema,
+    /// Columns whose secondary indices must be rebuilt.
+    pub indexes: Vec<usize>,
+    /// Rows as of the checkpoint (pre-WAL-replay).
+    pub rows: Vec<Row>,
+}
+
+/// Everything [`StorageEngine::open`] reconstructs from disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Tables as of the last checkpoint.
+    pub tables: Vec<RecoveredTable>,
+    /// Committed post-checkpoint statements, in commit order, to replay
+    /// with [`Database::apply_redo`].
+    pub redo_batches: Vec<Vec<RedoOp>>,
+    /// The engine layers' opaque state (views, triggers, compile cache),
+    /// `None` for a database created before any checkpoint.
+    pub core_blob: Option<Vec<u8>>,
+}
+
+struct StoredTable {
+    /// The in-memory table version at the last checkpoint **this engine
+    /// performed**. `None` right after open: persisted version counters
+    /// are meaningless across a restart (a recovered `Database` restarts
+    /// its counters, so a stale equality could keep a dirty table's old
+    /// chain and lose its WAL-truncated changes), so the first checkpoint
+    /// rewrites every table once.
+    version: Option<u64>,
+    schema: TableSchema,
+    pages: Vec<u64>,
+}
+
+struct Store {
+    pager: Pager,
+    tables: HashMap<String, StoredTable>,
+}
+
+/// Handle to one durable database directory.
+pub struct StorageEngine {
+    dir: PathBuf,
+    sync: SyncMode,
+    wal: Mutex<Wal>,
+    store: Mutex<Store>,
+    wal_bytes: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    checkpoints: AtomicU64,
+    recovery_ms: AtomicU64,
+}
+
+impl std::fmt::Debug for StorageEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageEngine")
+            .field("dir", &self.dir)
+            .field("sync", &self.sync)
+            .finish()
+    }
+}
+
+fn encode_rows(rows: impl Iterator<Item = Row>, count: usize) -> Result<Vec<u8>> {
+    let mut enc = Enc::new();
+    enc.u32(count as u32);
+    for row in rows {
+        enc.row(&row)?;
+    }
+    Ok(enc.into_bytes())
+}
+
+fn decode_rows(bytes: &[u8]) -> Result<Vec<Row>> {
+    let mut dec = Dec::new(bytes);
+    let n = dec.u32()?;
+    let rows = (0..n).map(|_| dec.row()).collect::<Result<Vec<_>>>()?;
+    dec.finish()?;
+    Ok(rows)
+}
+
+impl StorageEngine {
+    /// Open (creating if needed) the database directory and reconstruct
+    /// the last durable image: checkpointed tables plus committed WAL
+    /// batches. `sync` governs all subsequent logging and checkpointing.
+    pub fn open(dir: &Path, sync: SyncMode) -> Result<(StorageEngine, Recovered)> {
+        fs::create_dir_all(dir).map_err(|e| Error::Storage(format!("create database dir: {e}")))?;
+        let catalog = Catalog::load(&dir.join("catalog.bin"))?.unwrap_or_default();
+        let mut pager = Pager::open(
+            &dir.join("data.pages"),
+            catalog.next_page,
+            catalog.free.clone(),
+        )?;
+        let mut tables = Vec::with_capacity(catalog.tables.len());
+        let mut stored = HashMap::new();
+        for entry in &catalog.tables {
+            let rows = decode_rows(&pager.read_chain(&entry.pages)?)?;
+            tables.push(RecoveredTable {
+                schema: entry.schema.clone(),
+                indexes: entry.indexes.clone(),
+                rows,
+            });
+            stored.insert(
+                entry.schema.name.clone(),
+                StoredTable {
+                    version: None,
+                    schema: entry.schema.clone(),
+                    pages: entry.pages.clone(),
+                },
+            );
+        }
+        let replay = Wal::replay(&dir.join("wal"), catalog.wal_seq)?;
+        let next_lsn = replay.next_lsn.max(catalog.checkpoint_lsn + 1);
+        let wal = Wal::open(&dir.join("wal"), replay.last_seq, next_lsn)?;
+        let engine = StorageEngine {
+            dir: dir.to_path_buf(),
+            sync,
+            wal: Mutex::new(wal),
+            store: Mutex::new(Store {
+                pager,
+                tables: stored,
+            }),
+            wal_bytes: AtomicU64::new(0),
+            wal_fsyncs: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            recovery_ms: AtomicU64::new(0),
+        };
+        Ok((
+            engine,
+            Recovered {
+                tables,
+                redo_batches: replay.batches,
+                core_blob: catalog.core_blob,
+            },
+        ))
+    }
+
+    /// The sync policy this engine was opened with.
+    pub fn sync_mode(&self) -> SyncMode {
+        self.sync
+    }
+
+    /// Append one committed statement's redo ops to the WAL. Statements
+    /// with no data effects are not logged.
+    pub fn log_statement(&self, ops: &[RedoOp]) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let mut wal = self.wal.lock().expect("wal poisoned");
+        let info = wal.append_statement(ops, self.sync)?;
+        self.wal_bytes.fetch_add(info.bytes, Ordering::Relaxed);
+        self.wal_fsyncs.fetch_add(info.fsyncs, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Write a complete checkpoint of `db` (plus the engine layers'
+    /// `core_blob`) and truncate the WAL. Tables whose version is
+    /// unchanged since the last checkpoint keep their page chains.
+    pub fn checkpoint(&self, db: &Database, core_blob: Vec<u8>) -> Result<()> {
+        let mut store = self.store.lock().expect("store poisoned");
+        let mut wal = self.wal.lock().expect("wal poisoned");
+        let checkpoint_lsn = wal.next_lsn();
+
+        let mut names: Vec<String> = db.table_names().map(str::to_string).collect();
+        names.sort();
+        let mut entries = Vec::with_capacity(names.len());
+        // Chains replaced or dropped in this checkpoint are freed only
+        // after every new chain is written: pages referenced by the
+        // durable catalog must never be overwritten before the new
+        // catalog is renamed into place (shadow-root rule).
+        let mut dead_chains: Vec<Vec<u64>> = Vec::new();
+        for name in &names {
+            let t = db.table(name)?;
+            let version = t.version();
+            let schema = t.schema().clone();
+            let indexes = t.indexed_columns();
+            let reusable = store
+                .tables
+                .get(name)
+                .is_some_and(|s| s.version == Some(version) && s.schema == schema);
+            let pages = if reusable {
+                store.tables[name].pages.clone()
+            } else {
+                let bytes = encode_rows(t.iter().cloned(), t.len())?;
+                drop(t);
+                if let Some(old) = store.tables.get(name) {
+                    dead_chains.push(old.pages.clone());
+                }
+                store.pager.write_chain(&bytes, checkpoint_lsn)?
+            };
+            entries.push(TableEntry {
+                schema: schema.clone(),
+                indexes,
+                version,
+                pages: pages.clone(),
+            });
+            store.tables.insert(
+                name.clone(),
+                StoredTable {
+                    version: Some(version),
+                    schema,
+                    pages,
+                },
+            );
+        }
+        // Dropped tables: free their chains too.
+        let dropped: Vec<String> = store
+            .tables
+            .keys()
+            .filter(|n| !names.iter().any(|m| m == *n))
+            .cloned()
+            .collect();
+        for name in dropped {
+            if let Some(old) = store.tables.remove(&name) {
+                dead_chains.push(old.pages);
+            }
+        }
+        store.pager.flush(self.sync == SyncMode::Always)?;
+        for chain in dead_chains {
+            store.pager.free_chain(&chain);
+        }
+
+        let new_seq = wal.seq() + 1;
+        let catalog = Catalog {
+            checkpoint_lsn,
+            wal_seq: new_seq,
+            next_page: store.pager.next_page(),
+            free: store.pager.free_list().to_vec(),
+            tables: entries,
+            core_blob: Some(core_blob),
+        };
+        catalog.save(&self.dir.join("catalog.bin"), self.sync == SyncMode::Always)?;
+        wal.truncate_to(new_seq)?;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Bytes appended to the WAL since this engine was opened.
+    pub fn wal_bytes_written(&self) -> u64 {
+        self.wal_bytes.load(Ordering::Relaxed)
+    }
+
+    /// `fsync` calls issued for WAL commits.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal_fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoints completed since open.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-pool evictions since open.
+    pub fn pages_evicted(&self) -> u64 {
+        self.store
+            .lock()
+            .expect("store poisoned")
+            .pager
+            .pages_evicted()
+    }
+
+    /// Wall-clock milliseconds the last recovery took (stored by the
+    /// layer that drives recovery).
+    pub fn recovery_ms(&self) -> u64 {
+        self.recovery_ms.load(Ordering::Relaxed)
+    }
+
+    /// Record how long recovery took.
+    pub fn set_recovery_ms(&self, ms: u64) {
+        self.recovery_ms.store(ms, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quark_relational::{row, ColumnDef, ColumnType, Value};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("quark-engine-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn vendor_schema() -> TableSchema {
+        TableSchema::new(
+            "vendor",
+            vec![
+                ColumnDef::new("vid", ColumnType::Str),
+                ColumnDef::new("price", ColumnType::Double),
+            ],
+            &["vid"],
+        )
+        .unwrap()
+    }
+
+    fn fresh_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(vendor_schema()).unwrap();
+        db.create_index("vendor", "price").unwrap();
+        db
+    }
+
+    #[test]
+    fn checkpoint_then_open_restores_tables_and_blob() {
+        let dir = tmp_dir("basic");
+        let (engine, recovered) = StorageEngine::open(&dir, SyncMode::Never).unwrap();
+        assert!(recovered.tables.is_empty());
+        assert!(recovered.core_blob.is_none());
+
+        let db = fresh_db();
+        db.insert(
+            "vendor",
+            vec![
+                vec![Value::str("Amazon"), Value::Double(10.0)],
+                vec![Value::str("Bestbuy"), Value::Double(12.0)],
+            ],
+        )
+        .unwrap();
+        engine.checkpoint(&db, vec![7, 7, 7]).unwrap();
+        drop(engine);
+
+        let (_engine, recovered) = StorageEngine::open(&dir, SyncMode::Never).unwrap();
+        assert_eq!(recovered.tables.len(), 1);
+        let t = &recovered.tables[0];
+        assert_eq!(t.schema.name, "vendor");
+        assert_eq!(t.indexes, vec![1]);
+        assert_eq!(t.rows.len(), 2);
+        assert!(recovered.redo_batches.is_empty());
+        assert_eq!(recovered.core_blob.as_deref(), Some(&[7u8, 7, 7][..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_batches_survive_without_checkpoint() {
+        let dir = tmp_dir("wal");
+        let (engine, _) = StorageEngine::open(&dir, SyncMode::Never).unwrap();
+        let db = fresh_db();
+        engine.checkpoint(&db, Vec::new()).unwrap();
+        let ops = vec![RedoOp::Put {
+            table: "vendor".into(),
+            row: row([Value::str("Amazon"), Value::Double(10.0)]),
+        }];
+        engine.log_statement(&ops).unwrap();
+        assert!(engine.wal_bytes_written() > 0);
+        drop(engine);
+
+        let (_engine, recovered) = StorageEngine::open(&dir, SyncMode::Never).unwrap();
+        assert_eq!(recovered.redo_batches, vec![ops]);
+        // The checkpoint image itself has no rows yet.
+        assert!(recovered.tables[0].rows.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_tables_keep_their_chains_across_checkpoints() {
+        let dir = tmp_dir("clean");
+        let (engine, _) = StorageEngine::open(&dir, SyncMode::Never).unwrap();
+        let db = fresh_db();
+        db.insert(
+            "vendor",
+            vec![vec![Value::str("Amazon"), Value::Double(10.0)]],
+        )
+        .unwrap();
+        engine.checkpoint(&db, Vec::new()).unwrap();
+        let pages_before = {
+            let store = engine.store.lock().unwrap();
+            store.tables["vendor"].pages.clone()
+        };
+        engine.checkpoint(&db, Vec::new()).unwrap();
+        let store = engine.store.lock().unwrap();
+        assert_eq!(store.tables["vendor"].pages, pages_before);
+        drop(store);
+        assert_eq!(engine.checkpoints(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_tables_leave_the_catalog_and_pages_recycle() {
+        let dir = tmp_dir("drop");
+        let (engine, _) = StorageEngine::open(&dir, SyncMode::Never).unwrap();
+        let mut db = fresh_db();
+        db.insert(
+            "vendor",
+            vec![vec![Value::str("Amazon"), Value::Double(10.0)]],
+        )
+        .unwrap();
+        engine.checkpoint(&db, Vec::new()).unwrap();
+        db.drop_table("vendor").unwrap();
+        engine.checkpoint(&db, Vec::new()).unwrap();
+        drop(engine);
+        let (_engine, recovered) = StorageEngine::open(&dir, SyncMode::Never).unwrap();
+        assert!(recovered.tables.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn always_mode_counts_fsyncs() {
+        let dir = tmp_dir("fsync");
+        let (engine, _) = StorageEngine::open(&dir, SyncMode::Always).unwrap();
+        let ops = vec![RedoOp::Del {
+            table: "vendor".into(),
+            key: vec![Value::str("Amazon")],
+        }];
+        engine.log_statement(&ops).unwrap();
+        assert_eq!(engine.wal_fsyncs(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,36 @@
+//! `quark-storage`: the durable storage subsystem of the `quark-xtrig`
+//! reproduction of *"Triggers over XML Views of Relational Data"*
+//! (ICDE 2005).
+//!
+//! The paper's system (Quark) runs inside a commercial RDBMS and inherits
+//! its durability; this crate supplies the equivalent from scratch, with
+//! no dependencies beyond [`quark_relational`] and the standard library:
+//!
+//! * a [**write-ahead log**](wal) of statement-granular, CRC-framed redo
+//!   records — one batch + commit pair per latched statement and its
+//!   whole trigger cascade, fsync policy selectable per database,
+//! * a [**paged table store**](pager) — 4 KiB pages with header CRCs and
+//!   LSNs behind a pinning buffer pool with clock eviction,
+//! * a [**catalog**](catalog) replaced atomically at each checkpoint,
+//!   carrying table schemas, secondary-index columns, page chains, and an
+//!   opaque blob in which the engine layers persist views, trigger
+//!   groups, and the compile cache,
+//! * an [**engine**](engine) combining them: redo-only ARIES-style
+//!   recovery (only committed statement boundaries are ever logged, so
+//!   there is nothing to undo) and shadow-root checkpoints that truncate
+//!   the log.
+//!
+//! Everything trigger- and XML-specific stays in the layers above: this
+//! crate moves bytes, not semantics. The `quark-core` crate decides what
+//! goes in the core blob and how a recovered image is re-armed.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod crc;
+pub mod engine;
+pub mod pager;
+pub mod wal;
+
+pub use engine::{Recovered, RecoveredTable, StorageEngine};
+pub use wal::SyncMode;

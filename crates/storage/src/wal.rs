@@ -1,0 +1,377 @@
+//! Write-ahead log: statement-granular redo records with CRC framing.
+//!
+//! The log is a sequence of segment files `wal/<seq>.wal`. Each record is
+//! framed as `[len: u32 LE][crc: u32 LE][payload]` where `crc` covers the
+//! payload and the payload is `[kind: u8][lsn: u64][body]`:
+//!
+//! * kind 1 — **batch**: the redo ops of one statement (and its full
+//!   trigger cascade), encoded with [`quark_relational::wire`].
+//! * kind 2 — **commit**: a statement boundary. Empty body.
+//!
+//! The engine writes one batch record followed by one commit record per
+//! latched statement, so recovery only ever replays complete statement
+//! effects: replay buffers batch records and promotes them to the
+//! committed list when it sees the commit record. A torn or corrupt tail
+//! (truncated frame, CRC mismatch, batch without commit) is discarded,
+//! landing recovery exactly on the last committed statement boundary.
+//!
+//! Segments rotate at [`SEGMENT_LIMIT`] bytes (checked at commit
+//! boundaries, so one statement never spans segments' commit framing).
+//! Checkpointing truncates the log by starting a fresh segment sequence;
+//! the catalog records the active start segment, so stale segments from
+//! before the checkpoint are simply never replayed.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use quark_relational::wire::{Dec, Enc};
+use quark_relational::{Error, RedoOp, Result};
+
+use crate::crc::crc32;
+
+/// When the log forces bytes to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// `fsync` after every commit record — survives machine crashes.
+    Always,
+    /// Never `fsync`; the OS flushes lazily. Survives process kills (the
+    /// page cache lives on), not power loss. The mode for tests and for
+    /// workloads that accept a bounded durability window.
+    Never,
+}
+
+/// Rotate to a new segment once the current one exceeds this many bytes.
+pub const SEGMENT_LIMIT: u64 = 1 << 20;
+
+const KIND_BATCH: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+
+/// Append half of the log: owns the live segment file.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    seq: u64,
+    file: File,
+    segment_bytes: u64,
+    next_lsn: u64,
+}
+
+/// What one [`Wal::append_statement`] call did, for the engine's counters.
+#[derive(Debug, Clone, Copy)]
+pub struct Append {
+    /// Bytes appended (frames included).
+    pub bytes: u64,
+    /// Number of `fsync` calls issued.
+    pub fsyncs: u64,
+}
+
+/// Result of replaying the log from a segment sequence number.
+#[derive(Debug)]
+pub struct Replay {
+    /// Redo ops of each committed statement, in commit order.
+    pub batches: Vec<Vec<RedoOp>>,
+    /// First LSN not seen in the log.
+    pub next_lsn: u64,
+    /// Last segment that exists (where appends should resume).
+    pub last_seq: u64,
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{seq:010}.wal"))
+}
+
+fn io_err(what: &str, e: std::io::Error) -> Error {
+    Error::Storage(format!("{what}: {e}"))
+}
+
+impl Wal {
+    /// Open (creating if absent) the segment `seq` for appending, with the
+    /// given first LSN to hand out.
+    pub fn open(dir: &Path, seq: u64, next_lsn: u64) -> Result<Wal> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create wal dir", e))?;
+        let path = segment_path(dir, seq);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("open wal segment", e))?;
+        let segment_bytes = file
+            .metadata()
+            .map_err(|e| io_err("stat wal segment", e))?
+            .len();
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            seq,
+            file,
+            segment_bytes,
+            next_lsn,
+        })
+    }
+
+    /// The segment currently being appended to.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The LSN the next record will carry.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    fn frame(&mut self, kind: u8, body: &[u8]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(9 + body.len());
+        payload.push(kind);
+        payload.extend_from_slice(&self.next_lsn.to_le_bytes());
+        payload.extend_from_slice(body);
+        self.next_lsn += 1;
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Append one statement's redo ops as a batch record followed by a
+    /// commit record, fsync according to `sync`, and rotate the segment if
+    /// it outgrew [`SEGMENT_LIMIT`].
+    pub fn append_statement(&mut self, ops: &[RedoOp], sync: SyncMode) -> Result<Append> {
+        let mut enc = Enc::new();
+        enc.redo_ops(ops)?;
+        let body = enc.into_bytes();
+        let mut buf = self.frame(KIND_BATCH, &body);
+        buf.extend_from_slice(&self.frame(KIND_COMMIT, &[]));
+        self.file
+            .write_all(&buf)
+            .map_err(|e| io_err("append wal record", e))?;
+        self.segment_bytes += buf.len() as u64;
+        let mut fsyncs = 0;
+        if sync == SyncMode::Always {
+            self.file.sync_data().map_err(|e| io_err("fsync wal", e))?;
+            fsyncs = 1;
+        }
+        if self.segment_bytes >= SEGMENT_LIMIT {
+            self.rotate()?;
+        }
+        Ok(Append {
+            bytes: buf.len() as u64,
+            fsyncs,
+        })
+    }
+
+    fn rotate(&mut self) -> Result<()> {
+        self.seq += 1;
+        let path = segment_path(&self.dir, self.seq);
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("rotate wal segment", e))?;
+        self.segment_bytes = 0;
+        Ok(())
+    }
+
+    /// Start a fresh segment sequence after a checkpoint: segments before
+    /// `new_seq` are deleted (they are already reflected in the pages) and
+    /// an empty segment `new_seq` becomes the live one.
+    pub fn truncate_to(&mut self, new_seq: u64) -> Result<()> {
+        for seq in 0..new_seq {
+            let path = segment_path(&self.dir, seq);
+            if path.exists() {
+                fs::remove_file(&path).map_err(|e| io_err("remove wal segment", e))?;
+            }
+        }
+        self.seq = new_seq;
+        let path = segment_path(&self.dir, new_seq);
+        self.file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err("truncate wal", e))?;
+        self.segment_bytes = 0;
+        Ok(())
+    }
+
+    /// Replay every committed statement from segment `from_seq` onward.
+    /// Stops (discarding the rest) at the first torn or corrupt frame.
+    pub fn replay(dir: &Path, from_seq: u64) -> Result<Replay> {
+        let mut batches = Vec::new();
+        let mut pending: Vec<Vec<RedoOp>> = Vec::new();
+        let mut next_lsn = 1u64;
+        let mut seq = from_seq;
+        let mut last_seq = from_seq;
+        loop {
+            let path = segment_path(dir, seq);
+            let Ok(mut file) = File::open(&path) else {
+                break;
+            };
+            last_seq = seq;
+            let mut data = Vec::new();
+            file.read_to_end(&mut data)
+                .map_err(|e| io_err("read wal segment", e))?;
+            let mut pos = 0usize;
+            let clean = loop {
+                if pos == data.len() {
+                    break true;
+                }
+                if pos + 8 > data.len() {
+                    break false; // torn frame header
+                }
+                let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+                let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+                if pos + 8 + len > data.len() {
+                    break false; // torn payload
+                }
+                let payload = &data[pos + 8..pos + 8 + len];
+                if crc32(payload) != crc || len < 9 {
+                    break false; // corrupt record
+                }
+                let kind = payload[0];
+                let lsn = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+                next_lsn = next_lsn.max(lsn + 1);
+                match kind {
+                    KIND_BATCH => {
+                        let mut dec = Dec::new(&payload[9..]);
+                        let Ok(ops) = dec.redo_ops() else {
+                            break false;
+                        };
+                        if dec.finish().is_err() {
+                            break false;
+                        }
+                        pending.push(ops);
+                    }
+                    KIND_COMMIT => {
+                        batches.append(&mut pending);
+                    }
+                    _ => break false, // unknown record kind
+                }
+                pos += 8 + len;
+            };
+            if !clean {
+                // A damaged segment ends replay: anything after the tear
+                // (in this or later segments) is not known committed.
+                pending.clear();
+                break;
+            }
+            seq += 1;
+        }
+        // Batch without commit at the very end: uncommitted, discard.
+        Ok(Replay {
+            batches,
+            next_lsn,
+            last_seq,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quark_relational::{row, Value};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("quark-wal-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn put(table: &str, v: i64) -> RedoOp {
+        RedoOp::Put {
+            table: table.into(),
+            row: row([Value::Int(v), Value::str("x")]),
+        }
+    }
+
+    #[test]
+    fn committed_statements_replay_in_order() {
+        let dir = tmp_dir("order");
+        let mut wal = Wal::open(&dir, 0, 1).unwrap();
+        wal.append_statement(&[put("t", 1)], SyncMode::Never)
+            .unwrap();
+        wal.append_statement(&[put("t", 2), put("t", 3)], SyncMode::Never)
+            .unwrap();
+        let replay = Wal::replay(&dir, 0).unwrap();
+        assert_eq!(replay.batches.len(), 2);
+        assert_eq!(replay.batches[0], vec![put("t", 1)]);
+        assert_eq!(replay.batches[1], vec![put("t", 2), put("t", 3)]);
+        assert_eq!(replay.next_lsn, wal.next_lsn());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_discards_only_the_last_statement() {
+        let dir = tmp_dir("torn");
+        let mut wal = Wal::open(&dir, 0, 1).unwrap();
+        wal.append_statement(&[put("t", 1)], SyncMode::Never)
+            .unwrap();
+        wal.append_statement(&[put("t", 2)], SyncMode::Never)
+            .unwrap();
+        drop(wal);
+        // Chop a few bytes off the end: the second statement's commit (or
+        // batch) record is torn.
+        let path = segment_path(&dir, 0);
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..data.len() - 5]).unwrap();
+        let replay = Wal::replay(&dir, 0).unwrap();
+        assert_eq!(replay.batches.len(), 1);
+        assert_eq!(replay.batches[0], vec![put("t", 1)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_byte_in_tail_detected_by_crc() {
+        let dir = tmp_dir("crc");
+        let mut wal = Wal::open(&dir, 0, 1).unwrap();
+        wal.append_statement(&[put("t", 1)], SyncMode::Never)
+            .unwrap();
+        wal.append_statement(&[put("t", 2)], SyncMode::Never)
+            .unwrap();
+        drop(wal);
+        let path = segment_path(&dir, 0);
+        let mut data = fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 3] ^= 0xFF; // flip a bit inside the final record
+        fs::write(&path, &data).unwrap();
+        let replay = Wal::replay(&dir, 0).unwrap();
+        assert_eq!(replay.batches.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replay_spans_them() {
+        let dir = tmp_dir("rotate");
+        let mut wal = Wal::open(&dir, 0, 1).unwrap();
+        // Each op is ~30 bytes; push well past SEGMENT_LIMIT to rotate
+        // at least once.
+        let big: Vec<RedoOp> = (0..2000).map(|i| put("t", i)).collect();
+        for _ in 0..40 {
+            wal.append_statement(&big, SyncMode::Never).unwrap();
+        }
+        assert!(wal.seq() > 0, "expected at least one rotation");
+        let replay = Wal::replay(&dir, 0).unwrap();
+        assert_eq!(replay.batches.len(), 40);
+        assert_eq!(replay.last_seq, wal.seq());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_to_starts_a_fresh_sequence() {
+        let dir = tmp_dir("trunc");
+        let mut wal = Wal::open(&dir, 0, 1).unwrap();
+        wal.append_statement(&[put("t", 1)], SyncMode::Never)
+            .unwrap();
+        wal.truncate_to(1).unwrap();
+        let replay = Wal::replay(&dir, 1).unwrap();
+        assert!(replay.batches.is_empty());
+        assert!(!segment_path(&dir, 0).exists());
+        wal.append_statement(&[put("t", 2)], SyncMode::Always)
+            .unwrap();
+        let replay = Wal::replay(&dir, 1).unwrap();
+        assert_eq!(replay.batches, vec![vec![put("t", 2)]]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

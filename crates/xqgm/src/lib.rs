@@ -25,6 +25,7 @@ pub mod eval;
 pub mod fixtures;
 pub mod graph;
 pub mod keys;
+pub mod wire;
 
 pub use compile::{compile, compile_restricted, AggCompensation, Compiler, Driver};
 pub use graph::{Graph, JoinKind, OpId, OpKind, Operator, TableSource};

@@ -107,6 +107,31 @@ pub fn session(db: Database, mode: Mode) -> Session {
     Session::with_frontend(Quark::new(db, mode), Box::new(XQueryFrontend))
 }
 
+/// Open (or create) a **durable** session rooted at directory `path`, with
+/// the XQuery frontend wired in: [`Quark::open`] recovery — tables, views
+/// and trigger groups re-armed to the last committed statement boundary —
+/// plus the full `CREATE VIEW` / `CREATE TRIGGER` statement surface.
+/// Re-register action functions before the first trigger firing.
+pub fn open_session(path: impl AsRef<std::path::Path>, mode: Mode) -> Result<Session> {
+    Ok(Session::with_frontend(
+        Quark::open(path, mode)?,
+        Box::new(XQueryFrontend),
+    ))
+}
+
+/// [`open_session`] with an explicit WAL sync mode (see
+/// [`quark_core::Session::open_with`]).
+pub fn open_session_with(
+    path: impl AsRef<std::path::Path>,
+    mode: Mode,
+    sync: quark_core::storage::SyncMode,
+) -> Result<Session> {
+    Ok(Session::with_frontend(
+        Quark::open_with(path, mode, sync)?,
+        Box::new(XQueryFrontend),
+    ))
+}
+
 /// Parse, lower, build and register an XQuery view definition
 /// (programmatic form of the `CREATE VIEW` statement).
 pub fn register_view(quark: &mut Quark, text: &str) -> Result<ViewSpec> {

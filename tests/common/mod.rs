@@ -35,6 +35,7 @@ impl Log {
 }
 
 /// Build the catalog Path graph (`view('catalog')/product`) over `db`.
+#[allow(dead_code)] // each test binary compiles this module separately
 pub fn catalog_path(db: &Database) -> PathGraph {
     let mut g = Graph::new();
     let (top, _) = catalog_path_graph(&mut g);
