@@ -108,7 +108,7 @@ impl Report {
 const USAGE: &str = "\
 Regenerates the paper's measurement figures.
 
-Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|cardinality|sessions|restart|ablations|all] [--quick] [--full-ungrouped] [--out PATH] [--check BASELINE] [--tolerance F]
+Usage: figures [fig17|fig18|fig22|fig23|fig24|compile|cardinality|sessions|wire|restart|ablations|all] [--quick] [--full-ungrouped] [--out PATH] [--check BASELINE] [--tolerance F]
 
   --quick           scale workloads down to CI-friendly sizes
   --full-ungrouped  extend Fig. 17's UNGROUPED sweep beyond 1000 triggers (slow)
@@ -197,6 +197,7 @@ fn main() {
         ("fig23", &fig23),
         ("cardinality", &cardinality),
         ("sessions", &sessions_sweep),
+        ("wire", &wire_sweep),
         ("restart", &restart_sweep),
         ("ablations", &ablations),
     ];
@@ -759,6 +760,110 @@ fn sessions_sweep(args: &Args, report: &mut Report) {
                 conflicts
             );
             report.push("sessions", series, "sessions", k as f64, ms(elapsed));
+        }
+    }
+}
+
+/// Wire-protocol sweep (no paper counterpart): the [`sessions_sweep`]
+/// scenarios replayed over TCP through `quark-server`, 1/2/4/8 client
+/// connections against one server on the sharded workload. READ-ONLY:
+/// keyed SELECTs, one shard per connection (lock-free snapshot reads plus
+/// framing/codec cost). DISJOINT-WRITE: keyed trigger-bearing UPDATEs,
+/// connection t writing shard t — pairwise-disjoint footprints, so the
+/// wall time should not grow 1→8 (falling on multi-core hosts; the
+/// headline scaling claim of the network front door). PIPELINED-INGEST:
+/// each connection creates a private table over the wire and streams
+/// single-row INSERTs via the pipelined client path; the server coalesces
+/// consecutive same-table INSERTs into batched statements, so this series
+/// measures how much of the in-process batched-ingest speedup survives
+/// the socket.
+fn wire_sweep(args: &Args, report: &mut Report) {
+    use quark_server::{Client, Server, ServerConfig, WireResult};
+    use std::thread;
+
+    let total_ops: usize = if args.quick { 2_000 } else { 20_000 };
+    println!("\n== Wire: remote sessions over the TCP front door ==");
+    println!("   shards=8 ops={total_ops} workers=8");
+
+    for series in ["READ-ONLY", "DISJOINT-WRITE", "PIPELINED-INGEST"] {
+        println!("\n{series}:");
+        println!("{:<12} {:>16} {:>14}", "connections", "total (ms)", "ops/s");
+        for &k in &[1usize, 2, 4, 8] {
+            let w = build_sharded(ShardSpec::quick(8, Mode::Grouped)).expect("sharded workload");
+            let pool = quark_core::SessionPool::new(w.session);
+            pool.session()
+                .execute("SELECT name FROM m0 WHERE id = 0")
+                .expect("warmup read");
+            let server = Server::start(
+                pool,
+                "127.0.0.1:0",
+                ServerConfig {
+                    workers: 8,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("start server");
+            let addr = server.addr();
+            let per = total_ops / k;
+            let start = Instant::now();
+            let threads: Vec<_> = (0..k)
+                .map(|t| {
+                    thread::spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        match series {
+                            "READ-ONLY" => {
+                                for i in 0..per {
+                                    let id = i % 256;
+                                    client
+                                        .execute(&format!("SELECT name FROM m{t} WHERE id = {id}"))
+                                        .expect("wire read");
+                                }
+                            }
+                            "DISJOINT-WRITE" => {
+                                for i in 0..per {
+                                    let price = 50.0 + (i % 1000) as f64 / 7.0;
+                                    client
+                                        .execute(&format!(
+                                            "UPDATE m{t} SET price = {price:?} WHERE id = 0"
+                                        ))
+                                        .expect("wire write");
+                                }
+                            }
+                            _ => {
+                                client
+                                    .execute(&format!(
+                                        "CREATE TABLE wire_ingest_{t} (id INT PRIMARY KEY, payload TEXT)"
+                                    ))
+                                    .expect("create ingest table");
+                                let stmts: Vec<String> = (0..per)
+                                    .map(|i| {
+                                        format!(
+                                            "INSERT INTO wire_ingest_{t} VALUES ({i}, 'p{i}')"
+                                        )
+                                    })
+                                    .collect();
+                                let results = client
+                                    .execute_pipelined(stmts.iter().map(|s| s.as_str()))
+                                    .expect("pipelined ingest");
+                                for r in results {
+                                    match r.expect("ingest insert") {
+                                        WireResult::RowsAffected(1) => {}
+                                        other => panic!("unexpected ingest result {other:?}"),
+                                    }
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for th in threads {
+                th.join().expect("wire client thread");
+            }
+            let elapsed = start.elapsed();
+            server.shutdown();
+            let throughput = (per * k) as f64 / elapsed.as_secs_f64();
+            println!("{k:<12} {:>16.3} {:>14.0}", ms(elapsed), throughput);
+            report.push("wire", series, "connections", k as f64, ms(elapsed));
         }
     }
 }

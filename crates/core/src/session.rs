@@ -842,8 +842,13 @@ impl Session {
                 let snap = self.snapshot();
                 let s = snap.stats();
                 let mut counters = vec![
+                    ("active_connections", s.active_connections),
+                    ("backpressure_stalls", s.backpressure_stalls),
                     ("batched_statements", s.batched_statements),
                     ("build_cache_hits", s.build_cache_hits),
+                    ("frames_received", s.frames_received),
+                    ("frames_rejected", s.frames_rejected),
+                    ("pipelined_batches", s.pipelined_batches),
                     ("checkpoints", s.checkpoints),
                     ("compile_cache_hits", snap.compile_cache_hits()),
                     ("index_probes", s.index_probes),

@@ -139,6 +139,23 @@ pub struct Stats {
     /// Statements whose execution was folded into a coalesced batch by
     /// `Session::execute_batch` (each member of a merged run counts).
     pub batched_statements: u64,
+    /// Well-formed request frames decoded by the network front door
+    /// (zero for in-process sessions; bumped by `quark-server`).
+    pub frames_received: u64,
+    /// Frames or connections the server refused: torn/oversized/CRC-bad
+    /// frames, unknown tags, and admission rejections when the worker
+    /// pool's accept queue was full.
+    pub frames_rejected: u64,
+    /// Pipelined same-table `INSERT` runs the server coalesced into one
+    /// `Session::execute_batch` call (one per coalesced run).
+    pub pipelined_batches: u64,
+    /// Times a connection's pipeline window filled and the server stopped
+    /// reading from the socket until in-flight statements drained —
+    /// explicit backpressure instead of unbounded buffering.
+    pub backpressure_stalls: u64,
+    /// Connections currently being served by the worker pool (a gauge,
+    /// not a monotonic counter).
+    pub active_connections: u64,
     /// Bytes appended to the write-ahead log (zero for in-memory
     /// databases; filled in by the storage engine one layer up).
     pub wal_bytes_written: u64,
@@ -166,6 +183,11 @@ pub(crate) struct ExecCounters {
     pub(crate) latch_waits: AtomicU64,
     pub(crate) latch_conflicts: AtomicU64,
     pub(crate) batched_statements: AtomicU64,
+    pub(crate) frames_received: AtomicU64,
+    pub(crate) frames_rejected: AtomicU64,
+    pub(crate) pipelined_batches: AtomicU64,
+    pub(crate) backpressure_stalls: AtomicU64,
+    pub(crate) active_connections: AtomicU64,
 }
 
 impl ExecCounters {
@@ -199,6 +221,11 @@ impl ExecCounters {
             latch_waits: AtomicU64::new(self.latch_waits.load(Ordering::Relaxed)),
             latch_conflicts: AtomicU64::new(self.latch_conflicts.load(Ordering::Relaxed)),
             batched_statements: AtomicU64::new(self.batched_statements.load(Ordering::Relaxed)),
+            frames_received: AtomicU64::new(self.frames_received.load(Ordering::Relaxed)),
+            frames_rejected: AtomicU64::new(self.frames_rejected.load(Ordering::Relaxed)),
+            pipelined_batches: AtomicU64::new(self.pipelined_batches.load(Ordering::Relaxed)),
+            backpressure_stalls: AtomicU64::new(self.backpressure_stalls.load(Ordering::Relaxed)),
+            active_connections: AtomicU64::new(self.active_connections.load(Ordering::Relaxed)),
         }
     }
 }
@@ -438,6 +465,11 @@ impl Database {
             latch_waits: c.latch_waits.load(Ordering::Relaxed),
             latch_conflicts: c.latch_conflicts.load(Ordering::Relaxed),
             batched_statements: c.batched_statements.load(Ordering::Relaxed),
+            frames_received: c.frames_received.load(Ordering::Relaxed),
+            frames_rejected: c.frames_rejected.load(Ordering::Relaxed),
+            pipelined_batches: c.pipelined_batches.load(Ordering::Relaxed),
+            backpressure_stalls: c.backpressure_stalls.load(Ordering::Relaxed),
+            active_connections: c.active_connections.load(Ordering::Relaxed),
             // Storage counters live in the storage engine; `Quark::stats`
             // merges them in when the system was opened durably.
             wal_bytes_written: 0,
@@ -468,6 +500,52 @@ impl Database {
         self.counters
             .batched_statements
             .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` well-formed request frames decoded off the wire
+    /// (bumped by the `quark-server` front door).
+    pub fn note_frames_received(&self, n: u64) {
+        self.counters
+            .frames_received
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one rejected frame or connection: a torn/oversized/CRC-bad
+    /// frame, an unknown request tag, or a busy-rejected connection.
+    pub fn note_frame_rejected(&self) {
+        self.counters
+            .frames_rejected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one pipelined `INSERT` run coalesced into a batched
+    /// execution by the server.
+    pub fn note_pipelined_batch(&self) {
+        self.counters
+            .pipelined_batches
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one backpressure stall: a connection's pipeline window
+    /// filled and the server stopped reading until it drained.
+    pub fn note_backpressure_stall(&self) {
+        self.counters
+            .backpressure_stalls
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adjust the served-connection gauge by ±1 (worker picks a
+    /// connection up / finishes with it).
+    pub fn note_connection(&self, open: bool) {
+        if open {
+            self.counters
+                .active_connections
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters
+                .active_connections
+                .fetch_sub(1, Ordering::Relaxed);
+        }
     }
 
     // ------------------------------------------------------------------

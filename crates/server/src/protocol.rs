@@ -1,0 +1,572 @@
+//! The wire format: length-prefixed, CRC-framed request/response payloads.
+//!
+//! Every frame, in both directions, is
+//!
+//! ```text
+//! +----------------+----------------+------------------------+
+//! | len: u32 LE    | crc: u32 LE    | payload (len bytes)    |
+//! +----------------+----------------+------------------------+
+//! ```
+//!
+//! where `crc` is the CRC-32 (IEEE) of the payload — the same checksum the
+//! write-ahead log uses, so a flipped bit anywhere in a frame is caught
+//! before the payload is interpreted. `len` is bounded by the server's
+//! configured maximum frame size; an oversized header is rejected *before*
+//! buffering, so a malicious length cannot make the server allocate.
+//!
+//! Payloads reuse the storage layer's byte codecs
+//! ([`Enc`]/[`Dec`]): little-endian
+//! integers, `u32`-length-prefixed UTF-8 strings, one tag byte per enum
+//! variant. The first payload byte is the frame tag:
+//!
+//! | tag | direction | body |
+//! |---|---|---|
+//! | `0x01` EXECUTE | request | statement text |
+//! | `0x80` ROWS_AFFECTED | response | `u64` count |
+//! | `0x81` ROWS | response | column names, then rows of typed values |
+//! | `0x82` CREATED | response | object kind + name |
+//! | `0x83` DROPPED | response | object kind + name |
+//! | `0x84` EXPLAIN | response | rendering text |
+//! | `0x85` XML | response | serialized XML fragments |
+//! | `0xE0` ERROR | response | error kind, message, optional byte span |
+//!
+//! Error kinds distinguish *statement* errors (parse errors with their
+//! byte span, engine errors — the connection stays open) from
+//! *connection* errors (protocol violations, shutdown, admission
+//! rejection — the server closes the connection after responding).
+//! `ShuttingDown` and `Busy` are **retriable**: the statement was never
+//! executed.
+
+use std::fmt;
+use std::io::{self, Write};
+
+use quark_core::relational::wire::{Dec, Enc};
+use quark_core::relational::{Row, Value};
+use quark_core::storage::crc::crc32;
+use quark_core::{ObjectKind, Span, StatementError, StatementResult};
+
+/// Frame header: payload length + payload CRC, 4 bytes each.
+pub const HEADER_LEN: usize = 8;
+
+/// Default maximum payload size (16 MiB).
+pub const MAX_FRAME_DEFAULT: usize = 16 * 1024 * 1024;
+
+const REQ_EXECUTE: u8 = 0x01;
+const RESP_ROWS_AFFECTED: u8 = 0x80;
+const RESP_ROWS: u8 = 0x81;
+const RESP_CREATED: u8 = 0x82;
+const RESP_DROPPED: u8 = 0x83;
+const RESP_EXPLAIN: u8 = 0x84;
+const RESP_XML: u8 = 0x85;
+const RESP_ERROR: u8 = 0xE0;
+
+/// One decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Execute one statement of the session surface.
+    Execute(String),
+}
+
+/// Wire-level mirror of [`StatementResult`]: XML results travel as
+/// serialized text (the tree is rebuilt client-side on demand), everything
+/// else round-trips typed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResult {
+    /// Rows changed by a data-change statement.
+    RowsAffected(u64),
+    /// `SELECT` / `STATS` output.
+    Rows {
+        /// Projected column names.
+        columns: Vec<String>,
+        /// Result rows.
+        rows: Vec<Row>,
+    },
+    /// A schema object was created.
+    Created {
+        /// What was created.
+        kind: ObjectKind,
+        /// Its name.
+        name: String,
+    },
+    /// A schema object was dropped.
+    Dropped {
+        /// What was dropped.
+        kind: ObjectKind,
+        /// Its name.
+        name: String,
+    },
+    /// `EXPLAIN TRIGGER` rendering.
+    Explain(String),
+    /// `MATERIALIZE` output, one serialized fragment per monitored node.
+    Xml(Vec<String>),
+}
+
+impl WireResult {
+    /// Rows affected, if this is a data-change result.
+    pub fn rows_affected(&self) -> Option<u64> {
+        match self {
+            WireResult::RowsAffected(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// What kind of failure an ERROR frame reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireErrorKind {
+    /// Statement parse/bind failure (span points into the statement text).
+    Parse,
+    /// Engine error executing a well-formed statement.
+    Db,
+    /// Protocol violation (torn/oversized/CRC-bad frame, unknown tag).
+    /// The server closes the connection after sending this.
+    Protocol,
+    /// The server is draining for shutdown; the statement was **not**
+    /// executed and can be retried against a restarted server.
+    ShuttingDown,
+    /// The worker pool's admission queue was full; the connection was
+    /// never served. Retriable.
+    Busy,
+}
+
+impl WireErrorKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            WireErrorKind::Parse => 0,
+            WireErrorKind::Db => 1,
+            WireErrorKind::Protocol => 2,
+            WireErrorKind::ShuttingDown => 3,
+            WireErrorKind::Busy => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => WireErrorKind::Parse,
+            1 => WireErrorKind::Db,
+            2 => WireErrorKind::Protocol,
+            3 => WireErrorKind::ShuttingDown,
+            4 => WireErrorKind::Busy,
+            _ => return None,
+        })
+    }
+
+    /// `true` if the statement was provably never executed and can be
+    /// resent verbatim ([`ShuttingDown`](WireErrorKind::ShuttingDown) /
+    /// [`Busy`](WireErrorKind::Busy)).
+    pub fn is_retriable(self) -> bool {
+        matches!(self, WireErrorKind::ShuttingDown | WireErrorKind::Busy)
+    }
+}
+
+/// An error frame, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Failure class.
+    pub kind: WireErrorKind,
+    /// Human-readable message.
+    pub message: String,
+    /// Byte span into the statement text, for parse errors.
+    pub span: Option<Span>,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.kind, self.span) {
+            (WireErrorKind::Parse, Some(span)) => {
+                write!(f, "parse error at {span}: {}", self.message)
+            }
+            _ => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn object_kind_u8(kind: ObjectKind) -> u8 {
+    match kind {
+        ObjectKind::Table => 0,
+        ObjectKind::Index => 1,
+        ObjectKind::View => 2,
+        ObjectKind::Trigger => 3,
+    }
+}
+
+fn object_kind_from(v: u8) -> Result<ObjectKind, String> {
+    Ok(match v {
+        0 => ObjectKind::Table,
+        1 => ObjectKind::Index,
+        2 => ObjectKind::View,
+        3 => ObjectKind::Trigger,
+        other => return Err(format!("bad object kind byte 0x{other:02x}")),
+    })
+}
+
+// ----------------------------------------------------------------------
+// Framing
+// ----------------------------------------------------------------------
+
+/// Write one frame: header (length + CRC) followed by the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Outcome of one framing step over a receive buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Framing {
+    /// Not enough buffered bytes for a complete frame yet.
+    Need,
+    /// One complete, CRC-verified payload (consumed from the buffer).
+    Frame(Vec<u8>),
+    /// Unrecoverable framing violation; the connection must close.
+    Bad(String),
+}
+
+/// Try to peel one frame off the front of `buf`. Oversized length headers
+/// and CRC mismatches are [`Framing::Bad`] — a stream that has lost frame
+/// alignment cannot be resynchronized, only closed.
+pub fn decode_frame(buf: &mut Vec<u8>, max_frame: usize) -> Framing {
+    if buf.len() < HEADER_LEN {
+        return Framing::Need;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > max_frame {
+        return Framing::Bad(format!("frame of {len} bytes exceeds maximum {max_frame}"));
+    }
+    if buf.len() < HEADER_LEN + len {
+        return Framing::Need;
+    }
+    let want = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let payload: Vec<u8> = buf[HEADER_LEN..HEADER_LEN + len].to_vec();
+    buf.drain(..HEADER_LEN + len);
+    let got = crc32(&payload);
+    if got != want {
+        return Framing::Bad(format!(
+            "frame checksum mismatch (got {got:#010x}, header says {want:#010x})"
+        ));
+    }
+    Framing::Frame(payload)
+}
+
+// ----------------------------------------------------------------------
+// Requests
+// ----------------------------------------------------------------------
+
+/// Encode an EXECUTE request payload.
+pub fn encode_request(statement: &str) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u8(REQ_EXECUTE);
+    enc.str(statement);
+    enc.into_bytes()
+}
+
+/// Decode a request payload (CRC already verified by the framing layer, so
+/// any failure here is a protocol violation, not line noise).
+pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
+    let mut dec = Dec::new(payload);
+    let tag = dec.u8().map_err(|e| e.to_string())?;
+    match tag {
+        REQ_EXECUTE => {
+            let text = dec.str().map_err(|e| format!("bad statement text: {e}"))?;
+            dec.finish()
+                .map_err(|_| "trailing bytes after request".to_string())?;
+            Ok(Request::Execute(text))
+        }
+        other => Err(format!("unknown request tag 0x{other:02x}")),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Responses
+// ----------------------------------------------------------------------
+
+/// Encode a successful statement result. [`Value::Xml`] cells (possible in
+/// principle for computed outputs) are downgraded to their serialized text
+/// — stored tables cannot contain XML, so `SELECT`/`STATS` rows round-trip
+/// typed.
+pub fn encode_result(result: &StatementResult) -> Vec<u8> {
+    let mut enc = Enc::new();
+    match result {
+        StatementResult::RowsAffected(n) => {
+            enc.u8(RESP_ROWS_AFFECTED);
+            enc.u64(*n as u64);
+        }
+        StatementResult::Rows { columns, rows } => {
+            enc.u8(RESP_ROWS);
+            enc.u32(columns.len() as u32);
+            for c in columns {
+                enc.str(c);
+            }
+            enc.u32(rows.len() as u32);
+            for row in rows {
+                enc.u32(row.len() as u32);
+                for v in row.iter() {
+                    let flat;
+                    let v = match v {
+                        Value::Xml(x) => {
+                            flat = Value::str(x.to_xml());
+                            &flat
+                        }
+                        other => other,
+                    };
+                    enc.value(v).expect("non-XML value always encodes");
+                }
+            }
+        }
+        StatementResult::Created { kind, name } => {
+            enc.u8(RESP_CREATED);
+            enc.u8(object_kind_u8(*kind));
+            enc.str(name);
+        }
+        StatementResult::Dropped { kind, name } => {
+            enc.u8(RESP_DROPPED);
+            enc.u8(object_kind_u8(*kind));
+            enc.str(name);
+        }
+        StatementResult::Explain(text) => {
+            enc.u8(RESP_EXPLAIN);
+            enc.str(text);
+        }
+        StatementResult::Xml(nodes) => {
+            enc.u8(RESP_XML);
+            enc.u32(nodes.len() as u32);
+            for n in nodes {
+                enc.str(&n.to_xml());
+            }
+        }
+    }
+    enc.into_bytes()
+}
+
+/// Encode an ERROR response payload.
+pub fn encode_error(kind: WireErrorKind, message: &str, span: Option<Span>) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u8(RESP_ERROR);
+    enc.u8(kind.to_u8());
+    enc.str(message);
+    match span {
+        Some(span) => {
+            enc.u8(1);
+            enc.u64(span.start as u64);
+            enc.u64(span.end as u64);
+        }
+        None => enc.u8(0),
+    }
+    enc.into_bytes()
+}
+
+/// Encode a [`StatementError`] (parse errors keep their span).
+pub fn encode_statement_error(e: &StatementError) -> Vec<u8> {
+    match e {
+        StatementError::Parse { message, span } => {
+            encode_error(WireErrorKind::Parse, message, Some(*span))
+        }
+        StatementError::Db(db) => encode_error(WireErrorKind::Db, &db.to_string(), None),
+    }
+}
+
+/// Decode a response payload. The outer `Err` is a protocol violation
+/// (malformed payload); the inner `Err` is a well-formed ERROR frame.
+#[allow(clippy::type_complexity)]
+pub fn decode_response(payload: &[u8]) -> Result<Result<WireResult, WireError>, String> {
+    let mut dec = Dec::new(payload);
+    let tag = dec.u8().map_err(|e| e.to_string())?;
+    let strerr = |e: quark_core::relational::Error| e.to_string();
+    let ok = match tag {
+        RESP_ROWS_AFFECTED => WireResult::RowsAffected(dec.u64().map_err(strerr)?),
+        RESP_ROWS => {
+            let ncols = dec.u32().map_err(strerr)? as usize;
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                columns.push(dec.str().map_err(strerr)?);
+            }
+            let nrows = dec.u32().map_err(strerr)? as usize;
+            let mut rows = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                let arity = dec.u32().map_err(strerr)? as usize;
+                let mut row = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    row.push(dec.value().map_err(strerr)?);
+                }
+                rows.push(quark_core::relational::row(row));
+            }
+            WireResult::Rows { columns, rows }
+        }
+        RESP_CREATED => WireResult::Created {
+            kind: object_kind_from(dec.u8().map_err(strerr)?)?,
+            name: dec.str().map_err(strerr)?,
+        },
+        RESP_DROPPED => WireResult::Dropped {
+            kind: object_kind_from(dec.u8().map_err(strerr)?)?,
+            name: dec.str().map_err(strerr)?,
+        },
+        RESP_EXPLAIN => WireResult::Explain(dec.str().map_err(strerr)?),
+        RESP_XML => {
+            let n = dec.u32().map_err(strerr)? as usize;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(dec.str().map_err(strerr)?);
+            }
+            WireResult::Xml(out)
+        }
+        RESP_ERROR => {
+            let kind = WireErrorKind::from_u8(dec.u8().map_err(strerr)?)
+                .ok_or_else(|| "bad error kind byte".to_string())?;
+            let message = dec.str().map_err(strerr)?;
+            let span = match dec.u8().map_err(strerr)? {
+                0 => None,
+                _ => Some(Span::new(
+                    dec.u64().map_err(strerr)? as usize,
+                    dec.u64().map_err(strerr)? as usize,
+                )),
+            };
+            dec.finish()
+                .map_err(|_| "trailing bytes after response".to_string())?;
+            return Ok(Err(WireError {
+                kind,
+                message,
+                span,
+            }));
+        }
+        other => return Err(format!("unknown response tag 0x{other:02x}")),
+    };
+    dec.finish()
+        .map_err(|_| "trailing bytes after response".to_string())?;
+    Ok(Ok(ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let payload = encode_request("SELECT a FROM t");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut buf = wire.clone();
+        let Framing::Frame(got) = decode_frame(&mut buf, MAX_FRAME_DEFAULT) else {
+            panic!("frame must decode");
+        };
+        assert_eq!(got, payload);
+        assert!(buf.is_empty());
+        assert_eq!(decode_frame(&mut buf, MAX_FRAME_DEFAULT), Framing::Need);
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let payload = encode_request("SELECT a FROM t");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        for cut in [0, 3, HEADER_LEN, wire.len() - 1] {
+            let mut buf = wire[..cut].to_vec();
+            assert_eq!(
+                decode_frame(&mut buf, MAX_FRAME_DEFAULT),
+                Framing::Need,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_and_oversized_frames_are_bad() {
+        let payload = encode_request("SELECT a FROM t");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        // Flip one payload bit: CRC mismatch.
+        let mut corrupt = wire.clone();
+        *corrupt.last_mut().unwrap() ^= 0x40;
+        assert!(matches!(
+            decode_frame(&mut corrupt, MAX_FRAME_DEFAULT),
+            Framing::Bad(_)
+        ));
+        // Oversized length header: rejected before buffering.
+        let mut oversized = u32::MAX.to_le_bytes().to_vec();
+        oversized.extend_from_slice(&[0; 4]);
+        assert!(matches!(
+            decode_frame(&mut oversized, MAX_FRAME_DEFAULT),
+            Framing::Bad(_)
+        ));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let payload = encode_request("INSERT INTO t VALUES (1)");
+        assert_eq!(
+            decode_request(&payload).unwrap(),
+            Request::Execute("INSERT INTO t VALUES (1)".into())
+        );
+        assert!(decode_request(&[0x7f]).is_err(), "unknown tag");
+        assert!(decode_request(&[]).is_err(), "empty payload");
+    }
+
+    #[test]
+    fn results_round_trip() {
+        use quark_core::relational::row;
+        let cases = [
+            StatementResult::RowsAffected(7),
+            StatementResult::Rows {
+                columns: vec!["a".into(), "b".into()],
+                rows: vec![
+                    row([Value::Int(1), Value::str("x")]),
+                    row([Value::Null, Value::Double(2.5)]),
+                ],
+            },
+            StatementResult::Created {
+                kind: ObjectKind::View,
+                name: "v".into(),
+            },
+            StatementResult::Dropped {
+                kind: ObjectKind::Trigger,
+                name: "t".into(),
+            },
+            StatementResult::Explain("plan".into()),
+        ];
+        for case in &cases {
+            let wire = decode_response(&encode_result(case)).unwrap().unwrap();
+            match (case, &wire) {
+                (StatementResult::RowsAffected(n), WireResult::RowsAffected(m)) => {
+                    assert_eq!(*n as u64, *m)
+                }
+                (
+                    StatementResult::Rows { columns, rows },
+                    WireResult::Rows {
+                        columns: c,
+                        rows: r,
+                    },
+                ) => {
+                    assert_eq!(columns, c);
+                    assert_eq!(rows, r);
+                }
+                (
+                    StatementResult::Created { kind, name },
+                    WireResult::Created { kind: k, name: n },
+                ) => {
+                    assert_eq!((kind, name.as_str()), (k, n.as_str()))
+                }
+                (
+                    StatementResult::Dropped { kind, name },
+                    WireResult::Dropped { kind: k, name: n },
+                ) => {
+                    assert_eq!((kind, name.as_str()), (k, n.as_str()))
+                }
+                (StatementResult::Explain(a), WireResult::Explain(b)) => assert_eq!(a, b),
+                other => panic!("variant mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors_round_trip_with_spans() {
+        let payload = encode_error(WireErrorKind::Parse, "oops", Some(Span::new(3, 9)));
+        let err = decode_response(&payload).unwrap().unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::Parse);
+        assert_eq!(err.span, Some(Span::new(3, 9)));
+        assert!(!err.kind.is_retriable());
+        let payload = encode_error(WireErrorKind::ShuttingDown, "draining", None);
+        let err = decode_response(&payload).unwrap().unwrap_err();
+        assert!(err.kind.is_retriable());
+    }
+}

@@ -1,0 +1,177 @@
+//! A minimal blocking client for the wire protocol — enough to drive a
+//! server from tests, benchmarks, and other processes without an async
+//! runtime.
+//!
+//! Two call shapes:
+//!
+//! * [`Client::execute`] — one statement, one round trip. Statement-level
+//!   failures (parse/engine errors) come back as
+//!   [`ClientError::Remote`]; the connection stays usable.
+//! * [`Client::execute_pipelined`] — stream many statements before
+//!   reading any response. The client interleaves writes and reads under
+//!   a fixed credit window so an arbitrarily long batch can never
+//!   deadlock against the server's own backpressure (both sides writing,
+//!   neither reading). Per-statement outcomes come back positionally.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    decode_frame, decode_response, encode_request, write_frame, Framing, WireError, WireResult,
+    MAX_FRAME_DEFAULT,
+};
+
+/// How many request frames [`Client::execute_pipelined`] may write ahead
+/// of the responses it has read. Matches the server's default pipeline
+/// window; correctness only needs it to be finite.
+const PIPELINE_CREDITS: usize = 64;
+
+/// Why a client call failed at the *connection* level. Statement-level
+/// failures are [`ClientError::Remote`] and leave the connection usable.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer broke the wire protocol (malformed frame or payload).
+    Protocol(String),
+    /// The server reported a statement or connection error.
+    Remote(WireError),
+    /// The server closed the connection before answering.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::Closed => f.write_str("connection closed by server"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a quark server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            buf: Vec::new(),
+            max_frame: MAX_FRAME_DEFAULT,
+        })
+    }
+
+    /// Read one complete response frame (blocking). Useful after
+    /// [`Client::send_raw`], when responses must be consumed positionally;
+    /// [`Client::execute`] pairs the write and the read for you.
+    pub fn read_response(&mut self) -> Result<Result<WireResult, WireError>, ClientError> {
+        loop {
+            match decode_frame(&mut self.buf, self.max_frame) {
+                Framing::Frame(payload) => {
+                    return decode_response(&payload).map_err(ClientError::Protocol)
+                }
+                Framing::Bad(msg) => return Err(ClientError::Protocol(msg)),
+                Framing::Need => {}
+            }
+            let mut scratch = [0u8; 16 * 1024];
+            let n = self.reader.read(&mut scratch)?;
+            if n == 0 {
+                return if self.buf.is_empty() {
+                    Err(ClientError::Closed)
+                } else {
+                    Err(ClientError::Protocol("torn response frame".into()))
+                };
+            }
+            self.buf.extend_from_slice(&scratch[..n]);
+        }
+    }
+
+    /// Execute one statement and wait for its result.
+    pub fn execute(&mut self, statement: &str) -> Result<WireResult, ClientError> {
+        write_frame(&mut self.writer, &encode_request(statement))?;
+        self.writer.flush()?;
+        self.read_response()?.map_err(ClientError::Remote)
+    }
+
+    /// Stream `statements` down the connection without waiting for
+    /// individual results, then return every outcome in order. The server
+    /// executes them in order and may coalesce consecutive same-table
+    /// `INSERT`s into one batched statement.
+    ///
+    /// The outer `Err` means the connection failed part-way: some prefix
+    /// of the statements may have executed (retriable error kinds —
+    /// [`WireErrorKind::is_retriable`](crate::protocol::WireErrorKind::is_retriable)
+    /// — provably did not).
+    pub fn execute_pipelined<'s>(
+        &mut self,
+        statements: impl IntoIterator<Item = &'s str>,
+    ) -> Result<Vec<Result<WireResult, WireError>>, ClientError> {
+        let mut results = Vec::new();
+        let mut in_flight = 0usize;
+        for stmt in statements {
+            if in_flight >= PIPELINE_CREDITS {
+                // Window full: a response must be consumed before the next
+                // write, or both sides could block writing.
+                self.writer.flush()?;
+                results.push(self.read_response()?);
+                in_flight -= 1;
+            }
+            write_frame(&mut self.writer, &encode_request(stmt))?;
+            in_flight += 1;
+        }
+        self.writer.flush()?;
+        for _ in 0..in_flight {
+            results.push(self.read_response()?);
+        }
+        Ok(results)
+    }
+
+    /// Send raw bytes down the connection, bypassing the framing layer —
+    /// for protocol-robustness tests that need to produce torn or corrupt
+    /// frames on purpose.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Read frames until the server closes the connection, returning the
+    /// decoded responses. For tests asserting close-after-error behavior.
+    pub fn drain_until_close(mut self) -> Vec<Result<WireResult, WireError>> {
+        let mut out = Vec::new();
+        loop {
+            match self.read_response() {
+                Ok(r) => out.push(r),
+                Err(_) => return out,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("buffered", &self.buf.len())
+            .field("max_frame", &self.max_frame)
+            .finish()
+    }
+}

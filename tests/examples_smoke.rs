@@ -17,6 +17,7 @@ fn all_examples_run_to_completion() {
         "orders_monitor",
         "catalog_notifications",
         "trigger_explain",
+        "wire_quickstart",
     ] {
         let output = Command::new(&cargo)
             .args(["run", "--quiet", "--example", example])
