@@ -24,7 +24,10 @@
 
 use std::time::{Duration, Instant};
 
-use quark_bench::{build, build_sharded, trigger_statement, watched_name, ShardSpec, WorkloadSpec};
+use quark_bench::{
+    build, build_sharded, build_shared_read, trigger_statement, watched_name, ShardSpec,
+    WorkloadSpec,
+};
 use quark_core::Mode;
 
 struct Args {
@@ -284,6 +287,10 @@ fn parse_baseline(text: &str) -> Vec<(String, String, f64, f64)> {
 /// ratios exceeds `1 + tolerance`; per-point jitter on sub-millisecond
 /// series averages out across the series. Points only present on one side
 /// (new depths, retired sweeps) are reported but never fail the check.
+/// Every series prints its geo-mean ratio; a regressed series additionally
+/// dumps its per-point ratios so the offending sweep point is visible in
+/// the CI log, and series present only in the baseline are listed at the
+/// end (stale baseline, or a sweep that silently stopped running).
 fn check_against_baseline(report: &Report, baseline: &str, tolerance: f64) -> bool {
     use std::collections::BTreeMap;
     let base = parse_baseline(baseline);
@@ -318,7 +325,7 @@ fn check_against_baseline(report: &Report, baseline: &str, tolerance: f64) -> bo
             continue;
         };
         let mut log_sum = 0.0f64;
-        let mut n = 0usize;
+        let mut ratios: Vec<(f64, f64)> = Vec::new();
         for (x, ms) in fresh_points {
             let Some((_, base_ms)) = base_points.iter().find(|(bx, _)| (bx - x).abs() < 1e-9)
             else {
@@ -326,9 +333,10 @@ fn check_against_baseline(report: &Report, baseline: &str, tolerance: f64) -> bo
             };
             if *base_ms > 0.0 && *ms > 0.0 {
                 log_sum += (ms / base_ms).ln();
-                n += 1;
+                ratios.push((*x, ms / base_ms));
             }
         }
+        let n = ratios.len();
         if n == 0 {
             println!("{figure:<14} {series:<36} {:>8} {:>12}", "0", "-");
             continue;
@@ -341,6 +349,22 @@ fn check_against_baseline(report: &Report, baseline: &str, tolerance: f64) -> bo
             ""
         };
         println!("{figure:<14} {series:<36} {n:>8} {gm:>12.3}{verdict}");
+        if !verdict.is_empty() {
+            // Per-point triage so the CI log pins the offending sweep point.
+            for (x, ratio) in &ratios {
+                println!("{:<14} {:<36} x={x:<10} {ratio:>10.3}×", "", "");
+            }
+        }
+    }
+    let missing: Vec<_> = base_map
+        .keys()
+        .filter(|key| !fresh_map.contains_key(*key))
+        .collect();
+    if !missing.is_empty() {
+        println!("baseline-only series (not measured this run — stale baseline?):");
+        for (figure, series) in missing {
+            println!("  {figure} / {series}");
+        }
     }
     if ok {
         println!("regression check passed");
@@ -706,9 +730,17 @@ fn sessions_sweep(args: &Args, report: &mut Report) {
     // non-overlapping latch sets and the wall time should not grow with
     // k (falling on multi-core hosts). OVERLAP: every handle writes
     // shard 0 — all writers serialize on one latch set, the floor the
-    // per-table refactor lifts the disjoint case above.
+    // per-table refactor lifts the disjoint case above. OVERLAP-READ:
+    // handle t writes shard t of the shared-hub workload
+    // ([`build_shared_read`]) — write sets disjoint but every cascade
+    // reads the common `hub` table, so this series separates shared read
+    // latches (parallel) from exclusive-only latching (serialized).
     let total_ops: usize = if args.quick { 2_000 } else { 20_000 };
-    for (series, overlap) in [("MIXED-DISJOINT", false), ("MIXED-OVERLAP", true)] {
+    for (series, overlap) in [
+        ("MIXED-DISJOINT", false),
+        ("MIXED-OVERLAP", true),
+        ("MIXED-OVERLAP-READ", false),
+    ] {
         println!(
             "\n{series}: {total_ops} mixed ops (50% keyed UPDATE w/ triggers, 50% keyed SELECT)"
         );
@@ -717,7 +749,12 @@ fn sessions_sweep(args: &Args, report: &mut Report) {
             "sessions", "total (ms)", "ops/s", "conflicts"
         );
         for &k in &[1usize, 2, 4, 8] {
-            let w = build_sharded(ShardSpec::quick(8, Mode::Grouped)).expect("sharded workload");
+            let spec = ShardSpec::quick(8, Mode::Grouped);
+            let w = if series == "MIXED-OVERLAP-READ" {
+                build_shared_read(spec).expect("shared-read workload")
+            } else {
+                build_sharded(spec).expect("sharded workload")
+            };
             let pool = quark_core::SessionPool::new(w.session);
             pool.session()
                 .execute("SELECT name FROM m0 WHERE id = 0")
@@ -771,7 +808,12 @@ fn sessions_sweep(args: &Args, report: &mut Report) {
 /// framing/codec cost). DISJOINT-WRITE: keyed trigger-bearing UPDATEs,
 /// connection t writing shard t — pairwise-disjoint footprints, so the
 /// wall time should not grow 1→8 (falling on multi-core hosts; the
-/// headline scaling claim of the network front door). PIPELINED-INGEST:
+/// headline scaling claim of the network front door). MIXED-OVERLAP-READ:
+/// the same keyed-UPDATE loop over the shared-hub workload
+/// ([`build_shared_read`]) — write sets disjoint, every cascade reading
+/// the common `hub` table, so scaling here requires the shared read
+/// latches to admit the overlapping readers concurrently over the wire
+/// too. PIPELINED-INGEST:
 /// each connection creates a private table over the wire and streams
 /// single-row INSERTs via the pipelined client path; the server coalesces
 /// consecutive same-table INSERTs into batched statements, so this series
@@ -785,11 +827,21 @@ fn wire_sweep(args: &Args, report: &mut Report) {
     println!("\n== Wire: remote sessions over the TCP front door ==");
     println!("   shards=8 ops={total_ops} workers=8");
 
-    for series in ["READ-ONLY", "DISJOINT-WRITE", "PIPELINED-INGEST"] {
+    for series in [
+        "READ-ONLY",
+        "DISJOINT-WRITE",
+        "MIXED-OVERLAP-READ",
+        "PIPELINED-INGEST",
+    ] {
         println!("\n{series}:");
         println!("{:<12} {:>16} {:>14}", "connections", "total (ms)", "ops/s");
         for &k in &[1usize, 2, 4, 8] {
-            let w = build_sharded(ShardSpec::quick(8, Mode::Grouped)).expect("sharded workload");
+            let spec = ShardSpec::quick(8, Mode::Grouped);
+            let w = if series == "MIXED-OVERLAP-READ" {
+                build_shared_read(spec).expect("shared-read workload")
+            } else {
+                build_sharded(spec).expect("sharded workload")
+            };
             let pool = quark_core::SessionPool::new(w.session);
             pool.session()
                 .execute("SELECT name FROM m0 WHERE id = 0")
@@ -819,7 +871,7 @@ fn wire_sweep(args: &Args, report: &mut Report) {
                                         .expect("wire read");
                                 }
                             }
-                            "DISJOINT-WRITE" => {
+                            "DISJOINT-WRITE" | "MIXED-OVERLAP-READ" => {
                                 for i in 0..per {
                                     let price = 50.0 + (i % 1000) as f64 / 7.0;
                                     client

@@ -431,6 +431,108 @@ pub fn build_sharded(spec: ShardSpec) -> Result<ShardedWorkload> {
     Ok(ShardedWorkload { session, spec })
 }
 
+/// Build `spec.shards` trigger systems whose write footprints are
+/// pairwise disjoint but which all **read** one shared `hub` table — the
+/// paper's shared-subview shape, where many views hang off a common
+/// ancestor. Shard `h` is a two-level view `sr{h}`: top element over the
+/// shared `hub(id, name, price)` table, child element over
+/// `m{h}(id, parent, name, price)`, with `spec.triggers` triggers on the
+/// top element watching `hub_0` whose `audit{h}` action (declared write
+/// set) appends the fired node into `audit{h}`.
+///
+/// An UPDATE against `m{h}` must join through `hub` to find its affected
+/// top elements, so its footprint is `{m{h}, audit{h}}` on the write side
+/// and `{hub, constants}` on the read side: shards overlap **only on read
+/// tables**. Under exclusive-only latching these writers serialize on
+/// `hub`; with shared read latches they admit concurrently (and a
+/// single-writer run records zero latch conflicts).
+pub fn build_shared_read(spec: ShardSpec) -> Result<ShardedWorkload> {
+    let session = quark_xquery::session(Database::new(), spec.mode);
+    let hub_rows = 4.max(spec.rows / 64);
+    session.execute("CREATE TABLE hub (id INT PRIMARY KEY, name TEXT, price DOUBLE)")?;
+    let rows: Vec<Vec<Value>> = (0..hub_rows)
+        .map(|k| {
+            vec![
+                Value::Int(k as i64),
+                Value::str(format!("hub_{k}")),
+                Value::Double(10.0),
+            ]
+        })
+        .collect();
+    session.database_mut().load("hub", rows)?;
+
+    for h in 0..spec.shards {
+        session.execute(&format!(
+            "CREATE TABLE m{h} (id INT PRIMARY KEY, parent INT, name TEXT, price DOUBLE)"
+        ))?;
+        session.execute(&format!("CREATE INDEX ON m{h} (parent)"))?;
+        let rows: Vec<Vec<Value>> = (0..spec.rows)
+            .map(|k| {
+                vec![
+                    Value::Int(k as i64),
+                    Value::Int((k % hub_rows) as i64),
+                    Value::str(format!("row_{h}_{k}")),
+                    Value::Double(100.0),
+                ]
+            })
+            .collect();
+        session.database_mut().load(&format!("m{h}"), rows)?;
+
+        let view = ViewSpec {
+            name: format!("sr{h}"),
+            root_element: "doc".into(),
+            binding: TopBinding::Rows,
+            top: LevelSpec {
+                element: "e0".into(),
+                table: "hub".into(),
+                parent_fk: None,
+                attrs: vec![("name".into(), "name".into())],
+                scalars: vec![],
+                child_count: None,
+                child: Some(Box::new(LevelSpec {
+                    element: "e1".into(),
+                    table: format!("m{h}"),
+                    parent_fk: Some("parent".into()),
+                    attrs: vec![("name".into(), "name".into())],
+                    scalars: vec![("*".into(), "*".into())],
+                    child_count: None,
+                    child: None,
+                })),
+            },
+        };
+        let xml_view = view.build(&session.database())?;
+        session.quark_mut().register_view(xml_view);
+
+        session.execute(&format!(
+            "CREATE TABLE audit{h} (seq INT PRIMARY KEY, content TEXT)"
+        ))?;
+        let seq = std::sync::Arc::new(std::sync::Mutex::new(0i64));
+        let audit_table = format!("audit{h}");
+        let target = audit_table.clone();
+        session.register_action_with_writes(
+            audit_table.clone(),
+            [audit_table.clone()],
+            move |db, call| {
+                let mut s = seq.lock().expect("audit seq");
+                *s += 1;
+                let content = match &call.params[0] {
+                    Value::Xml(x) => x.to_xml(),
+                    other => other.to_string(),
+                };
+                db.insert_row(&target, vec![Value::Int(*s), Value::str(content)])
+            },
+        )?;
+
+        for i in 0..spec.triggers {
+            session.execute(&format!(
+                "create trigger sr{h}_t{i} after update on view('sr{h}')/e0 \
+                 where OLD_NODE/@name = 'hub_0' do audit{h}(NEW_NODE)"
+            ))?;
+        }
+    }
+    Ok(ShardedWorkload { session, spec })
+}
+
 impl ShardedWorkload {
     /// Keyed UPDATE against shard `shard`'s hot row; `seq` varies the
     /// written price deterministically.
@@ -468,6 +570,22 @@ mod tests {
         assert_eq!(w.audit_rows(1), 0);
         // Single-threaded disjoint writes never contend.
         assert_eq!(w.session.quark().stats().latch_conflicts, 0);
+    }
+
+    #[test]
+    fn shared_read_shards_overlap_only_on_reads() {
+        let w = build_shared_read(ShardSpec::quick(2, Mode::Grouped)).unwrap();
+        w.session.execute(&w.update_stmt(0, 1)).unwrap();
+        // Row 0 of m0 hangs under hub_0, so every shard-0 trigger fires.
+        assert_eq!(w.audit_rows(0), w.spec.triggers);
+        assert_eq!(w.audit_rows(1), 0);
+        let stats = w.session.quark().stats();
+        // The hub is only read, so a lone writer never contends …
+        assert_eq!(stats.latch_conflicts, 0);
+        // … and the statement latched `hub` (+ constants) shared while
+        // taking `m0`/`audit0` exclusive.
+        assert!(stats.latch_shared_acquisitions >= 1, "{stats:?}");
+        assert!(stats.latch_exclusive_acquisitions >= 2, "{stats:?}");
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod angraph;
 pub mod condition;
 pub mod events;
 pub mod inject;
+pub mod latch;
 pub mod oracle;
 pub mod session;
 pub mod spec;
@@ -38,6 +39,7 @@ pub mod tagger;
 
 pub use angraph::{AnOptions, Needs, SideNeeds};
 pub use condition::{CondValue, Condition, NodePath, NodeRef, Step};
+pub use latch::{LatchGuard, LatchManager};
 pub use session::{
     ObjectKind, Session, SessionPool, Span, StatementError, StatementFrontend, StatementResult,
 };

@@ -37,14 +37,17 @@
 //!
 //! * **Footprint-latched writes** — `INSERT`/`UPDATE`/`DELETE` whose
 //!   trigger [`Footprint`] is statically bounded —
-//!   acquire exactly the per-table latches of that footprint (the target
-//!   table plus every table their reachable trigger groups read or write)
-//!   and run the whole statement, cascade included, under them. Writers
-//!   with **disjoint footprints run in parallel**; overlapping writers
-//!   serialize on the first shared table. Latch admission is
+//!   acquire exactly the per-table latches of that footprint and run the
+//!   whole statement, cascade included, under them. The footprint's
+//!   *write set* (the target table plus every table a reachable cascade
+//!   can mutate) latches **exclusive**; its *read set* (view sources,
+//!   constants tables, join build sides the firing only scans) latches
+//!   **shared**. Writers with disjoint write sets run in parallel even
+//!   when their read sets overlap; a writer mutating a table other
+//!   cascades read still serializes against them. Latch admission is
 //!   all-or-nothing — a writer waits holding *no* latches until its whole
-//!   footprint is free — so the hierarchy is deadlock-free by
-//!   construction.
+//!   footprint is admissible — so the hierarchy is deadlock-free by
+//!   construction (see [`crate::latch`]).
 //! * **Global writes** — DDL, trigger creation/drop, and any DML whose
 //!   cascade can reach an opaque body (a raw SQL trigger, or an action
 //!   registered without a declared write set) — take the exclusive level
@@ -52,7 +55,7 @@
 //! * **Read statements** — `SELECT`, `EXPLAIN TRIGGER`, `MATERIALIZE` —
 //!   run lock-free against an immutable [`Quark`] snapshot behind an
 //!   `Arc`, republished by the *writers* at commit: a latched writer folds
-//!   exactly its footprint tables into the current snapshot (an `Arc`
+//!   exactly its write-set tables into the current snapshot (an `Arc`
 //!   swap per table), a global writer republishes a full copy-on-write
 //!   clone. Publication only happens while readers are active — an
 //!   unobserved write stream pays no snapshot maintenance at all. Readers
@@ -84,16 +87,17 @@
 //! assert_eq!(rows[0][0], 75.0.into());
 //! ```
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use quark_relational::sql::{self, SqlOutcome, Statement};
 use quark_relational::{Database, Error, Result, Value};
 use quark_xml::XmlNodeRef;
 
+use crate::latch::LatchManager;
 use crate::system::{ActionCall, Footprint, Quark};
 
 pub use quark_relational::sql::{Span, StatementError};
@@ -197,7 +201,8 @@ struct Shared {
     /// their full duration (statement + every trigger cascade).
     state: RwLock<Quark>,
     /// Level 2: the per-table latches footprint-scoped writers hold while
-    /// the level-1 lock is only shared.
+    /// the level-1 lock is only shared — read-set tables shared, write-set
+    /// tables exclusive (see [`crate::latch`]).
     latches: LatchManager,
     /// Frontend for the XQuery-bodied DDL, shared by all handles.
     frontend: Option<Box<dyn StatementFrontend>>,
@@ -221,63 +226,6 @@ struct Shared {
     /// access can change a footprint, and all of those take the global
     /// mode, which clears this cache at commit.
     footprints: Mutex<HashMap<String, Footprint>>,
-}
-
-/// The per-table latch table of the write path.
-///
-/// Not a lock per table: a single held-set under one mutex, with
-/// all-or-nothing admission. `acquire` blocks (holding **no** latches)
-/// until every table of the requested footprint is free, then takes them
-/// all in one critical section. Since no waiter ever holds a latch while
-/// waiting, no cycle of waiters can form — deadlock freedom without
-/// imposing an acquisition order on callers (footprints are `BTreeSet`s,
-/// so the order is canonical anyway).
-#[derive(Default)]
-struct LatchManager {
-    held: Mutex<HashSet<String>>,
-    freed: Condvar,
-}
-
-impl LatchManager {
-    /// Block until every table in `footprint` is unlatched, then latch
-    /// them all. Contention is recorded on `db`'s counters: one
-    /// `latch_conflicts` per acquisition that found any wanted table busy,
-    /// one `latch_waits` per blocking wait.
-    fn acquire<'a>(&'a self, footprint: &BTreeSet<String>, db: &Database) -> LatchGuard<'a> {
-        let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
-        let mut conflicted = false;
-        while footprint.iter().any(|t| held.contains(t)) {
-            if !conflicted {
-                conflicted = true;
-                db.note_latch_conflict();
-            }
-            db.note_latch_wait();
-            held = self.freed.wait(held).unwrap_or_else(|e| e.into_inner());
-        }
-        held.extend(footprint.iter().cloned());
-        LatchGuard {
-            latches: self,
-            tables: footprint.clone(),
-        }
-    }
-}
-
-/// Releases its tables and wakes all waiters on drop — including during a
-/// panic unwind, so a trigger body that panics mid-cascade cannot wedge
-/// other writers' footprints.
-struct LatchGuard<'a> {
-    latches: &'a LatchManager,
-    tables: BTreeSet<String>,
-}
-
-impl Drop for LatchGuard<'_> {
-    fn drop(&mut self) {
-        let mut held = self.latches.held.lock().unwrap_or_else(|e| e.into_inner());
-        for t in &self.tables {
-            held.remove(t);
-        }
-        self.latches.freed.notify_all();
-    }
 }
 
 impl Shared {
@@ -851,8 +799,14 @@ impl Session {
                     ("pipelined_batches", s.pipelined_batches),
                     ("checkpoints", s.checkpoints),
                     ("compile_cache_hits", snap.compile_cache_hits()),
+                    ("group_commit_batches", s.group_commit_batches),
                     ("index_probes", s.index_probes),
                     ("latch_conflicts", s.latch_conflicts),
+                    (
+                        "latch_exclusive_acquisitions",
+                        s.latch_exclusive_acquisitions,
+                    ),
+                    ("latch_shared_acquisitions", s.latch_shared_acquisitions),
                     ("latch_waits", s.latch_waits),
                     ("pages_evicted", s.pages_evicted),
                     ("recovery_ms", s.recovery_ms),
@@ -943,8 +897,16 @@ impl Session {
                     out
                 })?
             }
-            Footprint::Tables(tables) => {
-                let _latch = self.shared.latches.acquire(&tables, state.database());
+            Footprint::Tables { write, read } => {
+                let latch = self.shared.latches.acquire(&read, &write);
+                {
+                    let db = state.database();
+                    if latch.contended() {
+                        db.note_latch_conflict();
+                    }
+                    db.note_latch_waits(latch.waits());
+                    db.note_latch_acquisitions(latch.shared_count(), latch.exclusive_count());
+                }
                 // Capture the statement's physical effects — cascade
                 // included — and append them to the write-ahead log as one
                 // batch closed by a commit record: the statement boundary
@@ -962,7 +924,9 @@ impl Session {
                 // Commit even on a statement error: partial effects (a
                 // cascade failing mid-way) are visible in the
                 // authoritative state and must reach/demote the snapshot.
-                self.shared.commit_tables(&state, &tables);
+                // Only the write set can have changed, so only it is
+                // folded; shared-latched read tables are untouched.
+                self.shared.commit_tables(&state, &write);
                 let outcome = out?;
                 logged?;
                 Ok(outcome)

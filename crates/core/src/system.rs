@@ -92,12 +92,25 @@ type ActionRegistry = Arc<Mutex<HashMap<String, ActionEntry>>>;
 
 /// The set of per-table latches a write statement must hold: the
 /// statement's target table plus every table read or written by the
-/// trigger groups its cascade can reach ([`Quark::write_footprint`]).
+/// trigger groups its cascade can reach ([`Quark::write_footprint`]),
+/// partitioned by latch mode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Footprint {
-    /// A statically bounded footprint — writers whose `Tables` sets are
-    /// disjoint can run in parallel.
-    Tables(BTreeSet<String>),
+    /// A statically bounded footprint. `write` holds every table the
+    /// statement or its cascade can mutate (the DML target plus declared
+    /// action write sets, chased transitively) — latched exclusive.
+    /// `read` holds tables the cascade only scans while firing (view
+    /// sources, constants tables, join build sides) — latched shared, so
+    /// writers whose footprints overlap solely on read tables still run
+    /// in parallel. The two sets are disjoint: a table both scanned and
+    /// mutated is in `write`.
+    Tables {
+        /// Tables the statement or its cascade can mutate — latched
+        /// exclusive.
+        write: BTreeSet<String>,
+        /// Tables the cascade only scans while firing — latched shared.
+        read: BTreeSet<String>,
+    },
     /// Not statically boundable: a raw SQL trigger (opaque body) or an
     /// action without a declared write set is reachable, so the write must
     /// serialize in the session's global exclusive mode.
@@ -447,6 +460,7 @@ impl Quark {
         if let Some(engine) = &self.storage {
             stats.wal_bytes_written = engine.wal_bytes_written();
             stats.wal_fsyncs = engine.wal_fsyncs();
+            stats.group_commit_batches = engine.group_commit_batches();
             stats.checkpoints = engine.checkpoints();
             stats.pages_evicted = engine.pages_evicted();
             stats.recovery_ms = engine.recovery_ms();
@@ -1156,7 +1170,8 @@ impl Quark {
     /// cascade can *write* (declared action write sets), because writes
     /// fire further triggers; tables a reachable group merely *reads*
     /// (its compiled plans' sources and its constants table) join the
-    /// footprint without being chased. The result degrades to
+    /// footprint's shared `read` side without being chased, while the
+    /// chased tables form the exclusive `write` side. The result degrades to
     /// [`Footprint::Global`] as soon as anything opaque is reachable — a
     /// raw SQL trigger installed directly on the database (its body is an
     /// arbitrary closure) or a group member whose action did not declare
@@ -1170,19 +1185,18 @@ impl Quark {
             .flat_map(|g| g.sql_triggers.iter().map(move |t| (t.name.as_str(), g)))
             .collect();
         let actions = self.actions.lock().expect("action registry");
-        let mut tables: BTreeSet<String> = BTreeSet::new();
+        let mut read: BTreeSet<String> = BTreeSet::new();
         let mut written: BTreeSet<String> = BTreeSet::new();
         let mut queue: Vec<String> = vec![table.to_string()];
         while let Some(t) = queue.pop() {
             if !written.insert(t.clone()) {
                 continue;
             }
-            tables.insert(t.clone());
             for trig in self.db.triggers().filter(|tr| tr.table == t) {
                 let Some(group) = group_of.get(trig.name.as_str()) else {
                     return Footprint::Global;
                 };
-                tables.extend(group.footprint.iter().cloned());
+                read.extend(group.footprint.iter().cloned());
                 for members in group.members.lock().expect("members").values() {
                     for m in members {
                         match actions.get(&m.function).and_then(|e| e.writes.as_ref()) {
@@ -1194,7 +1208,13 @@ impl Quark {
                 }
             }
         }
-        Footprint::Tables(tables)
+        // A table both scanned and mutated needs the exclusive latch; keep
+        // the sets disjoint so the latch manager sees one mode per table.
+        read.retain(|t| !written.contains(t));
+        Footprint::Tables {
+            write: written,
+            read,
+        }
     }
 
     /// Replace this system's versions of `tables` with `from`'s current

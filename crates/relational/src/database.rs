@@ -136,6 +136,13 @@ pub struct Stats {
     /// Footprint-latch acquisitions that found at least one requested
     /// table latched by another writer (one per contended acquisition).
     pub latch_conflicts: u64,
+    /// Tables latched in **shared** mode by footprint-latched writers (one
+    /// per read-set table per acquisition) — the read side of a trigger
+    /// footprint, held concurrently by overlapping writers.
+    pub latch_shared_acquisitions: u64,
+    /// Tables latched in **exclusive** mode by footprint-latched writers
+    /// (one per write-set table per acquisition).
+    pub latch_exclusive_acquisitions: u64,
     /// Statements whose execution was folded into a coalesced batch by
     /// `Session::execute_batch` (each member of a merged run counts).
     pub batched_statements: u64,
@@ -161,6 +168,12 @@ pub struct Stats {
     pub wal_bytes_written: u64,
     /// `fsync` calls issued by the write-ahead log.
     pub wal_fsyncs: u64,
+    /// Group-commit fsync batches: one per `fsync` the WAL's group
+    /// committer issued on behalf of every commit record appended (but not
+    /// yet durable) at that moment. Under concurrent writers this stays
+    /// below the committed-statement count — the whole point of group
+    /// commit.
+    pub group_commit_batches: u64,
     /// Checkpoints taken by the storage engine.
     pub checkpoints: u64,
     /// Buffer-pool pages evicted by the clock sweep.
@@ -182,6 +195,8 @@ pub(crate) struct ExecCounters {
     pub(crate) build_cache_hits: AtomicU64,
     pub(crate) latch_waits: AtomicU64,
     pub(crate) latch_conflicts: AtomicU64,
+    pub(crate) latch_shared_acquisitions: AtomicU64,
+    pub(crate) latch_exclusive_acquisitions: AtomicU64,
     pub(crate) batched_statements: AtomicU64,
     pub(crate) frames_received: AtomicU64,
     pub(crate) frames_rejected: AtomicU64,
@@ -220,6 +235,12 @@ impl ExecCounters {
             build_cache_hits: AtomicU64::new(self.build_cache_hits.load(Ordering::Relaxed)),
             latch_waits: AtomicU64::new(self.latch_waits.load(Ordering::Relaxed)),
             latch_conflicts: AtomicU64::new(self.latch_conflicts.load(Ordering::Relaxed)),
+            latch_shared_acquisitions: AtomicU64::new(
+                self.latch_shared_acquisitions.load(Ordering::Relaxed),
+            ),
+            latch_exclusive_acquisitions: AtomicU64::new(
+                self.latch_exclusive_acquisitions.load(Ordering::Relaxed),
+            ),
             batched_statements: AtomicU64::new(self.batched_statements.load(Ordering::Relaxed)),
             frames_received: AtomicU64::new(self.frames_received.load(Ordering::Relaxed)),
             frames_rejected: AtomicU64::new(self.frames_rejected.load(Ordering::Relaxed)),
@@ -464,6 +485,8 @@ impl Database {
             build_cache_hits: c.build_cache_hits.load(Ordering::Relaxed),
             latch_waits: c.latch_waits.load(Ordering::Relaxed),
             latch_conflicts: c.latch_conflicts.load(Ordering::Relaxed),
+            latch_shared_acquisitions: c.latch_shared_acquisitions.load(Ordering::Relaxed),
+            latch_exclusive_acquisitions: c.latch_exclusive_acquisitions.load(Ordering::Relaxed),
             batched_statements: c.batched_statements.load(Ordering::Relaxed),
             frames_received: c.frames_received.load(Ordering::Relaxed),
             frames_rejected: c.frames_rejected.load(Ordering::Relaxed),
@@ -474,6 +497,7 @@ impl Database {
             // merges them in when the system was opened durably.
             wal_bytes_written: 0,
             wal_fsyncs: 0,
+            group_commit_batches: 0,
             checkpoints: 0,
             pages_evicted: 0,
             recovery_ms: 0,
@@ -484,6 +508,24 @@ impl Database {
     /// (bumped by the session layer's latch manager).
     pub fn note_latch_wait(&self) {
         self.counters.latch_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` blocking waits observed by one footprint-latch
+    /// acquisition (bumped by the session layer's latch manager).
+    pub fn note_latch_waits(&self, n: u64) {
+        self.counters.latch_waits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record the per-mode table counts of one admitted footprint-latch
+    /// acquisition: `shared` read-set tables and `exclusive` write-set
+    /// tables.
+    pub fn note_latch_acquisitions(&self, shared: u64, exclusive: u64) {
+        self.counters
+            .latch_shared_acquisitions
+            .fetch_add(shared, Ordering::Relaxed);
+        self.counters
+            .latch_exclusive_acquisitions
+            .fetch_add(exclusive, Ordering::Relaxed);
     }
 
     /// Record one contended footprint-latch acquisition (bumped by the

@@ -61,5 +61,5 @@ pub mod quark_client;
 mod server;
 
 pub use protocol::{WireError, WireErrorKind, WireResult};
-pub use quark_client::{Client, ClientError};
+pub use quark_client::{Client, ClientError, RetryPolicy};
 pub use server::{Server, ServerConfig, ServerHandle};

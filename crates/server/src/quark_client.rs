@@ -15,6 +15,7 @@
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::protocol::{
     decode_frame, decode_response, encode_request, write_frame, Framing, WireError, WireResult,
@@ -56,6 +57,46 @@ impl std::error::Error for ClientError {}
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
         ClientError::Io(e)
+    }
+}
+
+/// Bounded exponential backoff for retriable server rejections.
+///
+/// The server answers `Busy` (admission queue full) and `ShuttingDown`
+/// (drain in progress) *before* executing anything and then closes the
+/// connection, so a rejected statement provably never ran and can be
+/// resent verbatim — but only on a **fresh** connection. The policy
+/// bounds both the attempt count and the per-attempt delay, which doubles
+/// from [`base_delay`](RetryPolicy::base_delay) up to
+/// [`max_delay`](RetryPolicy::max_delay).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total connection attempts (≥ 1); the first carries no delay.
+    pub attempts: u32,
+    /// Delay before the second attempt; doubles per subsequent attempt.
+    pub base_delay: Duration,
+    /// Ceiling on the per-attempt delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based): `base_delay`
+    /// doubled `attempt` times, capped at `max_delay`.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX);
+        self.base_delay
+            .checked_mul(factor)
+            .map_or(self.max_delay, |d| d.min(self.max_delay))
     }
 }
 
@@ -144,6 +185,49 @@ impl Client {
             results.push(self.read_response()?);
         }
         Ok(results)
+    }
+
+    /// Dial `addr` and execute one statement, retrying under `policy`
+    /// when the server answers with a retriable rejection (`Busy` /
+    /// `ShuttingDown` — see
+    /// [`WireErrorKind::is_retriable`](crate::protocol::WireErrorKind::is_retriable)).
+    ///
+    /// Those frames are sent *before* any execution and the server closes
+    /// the connection after them, so each retry must — and does — dial a
+    /// fresh connection; the statement provably never ran, making the
+    /// resend safe. Connect failures are also retried (dialing executes
+    /// nothing), but any other error — including statement-level
+    /// [`ClientError::Remote`] failures — returns immediately: after an
+    /// ambiguous mid-execution failure a blind resend could double-apply.
+    ///
+    /// On success returns the live connection alongside the result so the
+    /// caller can keep using it.
+    pub fn execute_with_retry(
+        addr: impl ToSocketAddrs,
+        statement: &str,
+        policy: RetryPolicy,
+    ) -> Result<(Client, WireResult), ClientError> {
+        let mut last = ClientError::Protocol("retry policy allows zero attempts".into());
+        for attempt in 0..policy.attempts {
+            if attempt > 0 {
+                std::thread::sleep(policy.delay_for(attempt - 1));
+            }
+            let mut client = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    last = ClientError::Io(e);
+                    continue;
+                }
+            };
+            match client.execute(statement) {
+                Ok(result) => return Ok((client, result)),
+                Err(ClientError::Remote(e)) if e.kind.is_retriable() => {
+                    last = ClientError::Remote(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
     }
 
     /// Send raw bytes down the connection, bypassing the framing layer —

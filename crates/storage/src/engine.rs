@@ -26,7 +26,8 @@ use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use quark_relational::wire::{Dec, Enc};
 use quark_relational::{Database, Error, RedoOp, Result, Row, TableSchema};
@@ -76,14 +77,46 @@ struct Store {
     tables: HashMap<String, StoredTable>,
 }
 
+/// How long a group-commit leader waits for sibling commits to finish
+/// appending before it fsyncs, when at least one other `log_statement`
+/// call is in flight. Negligible next to a real-disk `fsync`, but enough
+/// for concurrently-latched writers to pile their commit records into one
+/// sync even on fast storage. A lone writer never pays it.
+const GROUP_COMMIT_WINDOW: Duration = Duration::from_micros(200);
+
+/// Group-commit bookkeeping (see [`StorageEngine::log_statement`]).
+///
+/// Tickets are commit-record sequence numbers: `appended` counts commit
+/// records fully written to the live segment (bumped under the WAL lock,
+/// so a ticket never names a partially-written record), `synced` is the
+/// highest ticket known durable. The leader flag makes fsyncs single-file:
+/// one caller syncs on behalf of every ticket appended at that moment,
+/// the rest wait on the condvar until `synced` covers them.
+#[derive(Default)]
+struct GcState {
+    appended: u64,
+    synced: u64,
+    leader: bool,
+    /// A failed fsync poisons the committer: durability of every
+    /// in-flight commit is unknown, so all current and future callers
+    /// error out rather than acknowledge.
+    poison: Option<String>,
+}
+
 /// Handle to one durable database directory.
 pub struct StorageEngine {
     dir: PathBuf,
     sync: SyncMode,
     wal: Mutex<Wal>,
     store: Mutex<Store>,
+    gc: Mutex<GcState>,
+    gc_synced: Condvar,
+    /// `log_statement` calls currently in flight — the leader only pays
+    /// the gather window when somebody else is committing.
+    active_commits: AtomicU64,
     wal_bytes: AtomicU64,
     wal_fsyncs: AtomicU64,
+    group_commit_batches: AtomicU64,
     checkpoints: AtomicU64,
     recovery_ms: AtomicU64,
 }
@@ -155,8 +188,12 @@ impl StorageEngine {
                 pager,
                 tables: stored,
             }),
+            gc: Mutex::new(GcState::default()),
+            gc_synced: Condvar::new(),
+            active_commits: AtomicU64::new(0),
             wal_bytes: AtomicU64::new(0),
             wal_fsyncs: AtomicU64::new(0),
+            group_commit_batches: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             recovery_ms: AtomicU64::new(0),
         };
@@ -177,15 +214,99 @@ impl StorageEngine {
 
     /// Append one committed statement's redo ops to the WAL. Statements
     /// with no data effects are not logged.
+    ///
+    /// In `SyncMode::Always` durability is **group-committed**: the batch
+    /// and commit records are appended under the WAL lock, but the fsync
+    /// is handed to a leader–follower committer — whoever finds no sync
+    /// in flight becomes leader and issues one `fsync` covering *every*
+    /// commit record fully appended at that moment; the rest wait until
+    /// the durable ticket passes theirs. The call never returns before
+    /// this statement's commit record is durable, so the acknowledgment
+    /// semantics of `Always` are unchanged — only the fsync count drops:
+    /// under concurrent writers `wal_fsyncs` stays below the committed-
+    /// statement count (each such sync bumps `group_commit_batches`).
     pub fn log_statement(&self, ops: &[RedoOp]) -> Result<()> {
         if ops.is_empty() {
             return Ok(());
         }
-        let mut wal = self.wal.lock().expect("wal poisoned");
-        let info = wal.append_statement(ops, self.sync)?;
-        self.wal_bytes.fetch_add(info.bytes, Ordering::Relaxed);
-        self.wal_fsyncs.fetch_add(info.fsyncs, Ordering::Relaxed);
-        Ok(())
+        if self.sync == SyncMode::Never {
+            let mut wal = self.wal.lock().expect("wal poisoned");
+            let info = wal.append_statement(ops, self.sync)?;
+            self.wal_bytes.fetch_add(info.bytes, Ordering::Relaxed);
+            self.wal_fsyncs.fetch_add(info.fsyncs, Ordering::Relaxed);
+            return Ok(());
+        }
+        self.active_commits.fetch_add(1, Ordering::Relaxed);
+        let result = self.commit_durably(ops);
+        self.active_commits.fetch_sub(1, Ordering::Relaxed);
+        result
+    }
+
+    /// The `SyncMode::Always` path of [`StorageEngine::log_statement`]:
+    /// append, then drive or ride the group committer until this commit
+    /// record is durable.
+    ///
+    /// Lock order is WAL → group-commit state, everywhere: tickets are
+    /// handed out under both (so `appended` only ever counts fully-written
+    /// commit records), and the leader holds the WAL lock across its
+    /// `fsync` (so the cover it reads equals what is physically in the
+    /// live segment — rotation already synced any older segment).
+    fn commit_durably(&self, ops: &[RedoOp]) -> Result<()> {
+        let ticket = {
+            let mut wal = self.wal.lock().expect("wal poisoned");
+            let info = wal.append_statement(ops, self.sync)?;
+            self.wal_bytes.fetch_add(info.bytes, Ordering::Relaxed);
+            self.wal_fsyncs.fetch_add(info.fsyncs, Ordering::Relaxed);
+            let mut gc = self.gc.lock().expect("group commit poisoned");
+            gc.appended += 1;
+            gc.appended
+        };
+        let mut gc = self.gc.lock().expect("group commit poisoned");
+        loop {
+            if let Some(msg) = &gc.poison {
+                return Err(Error::Storage(format!("wal group commit failed: {msg}")));
+            }
+            if gc.synced >= ticket {
+                return Ok(());
+            }
+            if gc.leader {
+                // Bounded wait: re-check on a timeout so a leader lost to
+                // a panic can be replaced instead of wedging followers.
+                let (g, _) = self
+                    .gc_synced
+                    .wait_timeout(gc, Duration::from_millis(10))
+                    .expect("group commit poisoned");
+                gc = g;
+                continue;
+            }
+            gc.leader = true;
+            drop(gc);
+            // Gather window: with sibling commits in flight, give them a
+            // beat to finish appending so one fsync covers them too.
+            if self.active_commits.load(Ordering::Relaxed) > 1 {
+                std::thread::sleep(GROUP_COMMIT_WINDOW);
+            }
+            let synced = {
+                let mut wal = self.wal.lock().expect("wal poisoned");
+                let cover = self.gc.lock().expect("group commit poisoned").appended;
+                wal.sync().map(|()| cover)
+            };
+            gc = self.gc.lock().expect("group commit poisoned");
+            gc.leader = false;
+            match synced {
+                Ok(cover) => {
+                    gc.synced = gc.synced.max(cover);
+                    self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+                    self.group_commit_batches.fetch_add(1, Ordering::Relaxed);
+                    self.gc_synced.notify_all();
+                }
+                Err(e) => {
+                    gc.poison = Some(e.to_string());
+                    self.gc_synced.notify_all();
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// Write a complete checkpoint of `db` (plus the engine layers'
@@ -278,6 +399,12 @@ impl StorageEngine {
     /// `fsync` calls issued for WAL commits.
     pub fn wal_fsyncs(&self) -> u64 {
         self.wal_fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Group-commit fsync batches issued (one per leader sync; under
+    /// concurrent writers this is fewer than the statements it covered).
+    pub fn group_commit_batches(&self) -> u64 {
+        self.group_commit_batches.load(Ordering::Relaxed)
     }
 
     /// Checkpoints completed since open.
@@ -443,6 +570,50 @@ mod tests {
         }];
         engine.log_statement(&ops).unwrap();
         assert_eq!(engine.wal_fsyncs(), 1);
+        assert_eq!(engine.group_commit_batches(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_commits_coalesce_fsyncs() {
+        use std::sync::{Arc, Barrier};
+        let dir = tmp_dir("group");
+        let (engine, _) = StorageEngine::open(&dir, SyncMode::Always).unwrap();
+        let engine = Arc::new(engine);
+        const THREADS: u64 = 4;
+        const STMTS: u64 = 50;
+        let barrier = Arc::new(Barrier::new(THREADS as usize));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..STMTS {
+                        let ops = vec![RedoOp::Put {
+                            table: format!("t{t}"),
+                            row: row([Value::Int(i as i64), Value::str("x")]),
+                        }];
+                        engine.log_statement(&ops).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let committed = THREADS * STMTS;
+        assert!(
+            engine.wal_fsyncs() < committed,
+            "group commit never coalesced: {} fsyncs for {committed} statements",
+            engine.wal_fsyncs(),
+        );
+        assert!(engine.group_commit_batches() >= 1);
+        assert!(engine.group_commit_batches() <= engine.wal_fsyncs());
+        drop(engine);
+        // Every acknowledged statement must be on disk.
+        let (_engine, recovered) = StorageEngine::open(&dir, SyncMode::Never).unwrap();
+        assert_eq!(recovered.redo_batches.len(), committed as usize);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -133,8 +133,17 @@ impl Wal {
     }
 
     /// Append one statement's redo ops as a batch record followed by a
-    /// commit record, fsync according to `sync`, and rotate the segment if
-    /// it outgrew [`SEGMENT_LIMIT`].
+    /// commit record, and rotate the segment if it outgrew
+    /// [`SEGMENT_LIMIT`].
+    ///
+    /// **Does not make the commit durable.** The per-commit `fsync` of
+    /// `SyncMode::Always` is the engine's group committer's job (see
+    /// `StorageEngine::log_statement`), which calls [`Wal::sync`] once for
+    /// every commit record appended since the last sync. The one fsync
+    /// issued *here* is the rotation edge in `Always` mode: the outgoing
+    /// segment is synced before the live file moves on, so closed segments
+    /// are always durable and the group committer only ever needs to sync
+    /// the live one.
     pub fn append_statement(&mut self, ops: &[RedoOp], sync: SyncMode) -> Result<Append> {
         let mut enc = Enc::new();
         enc.redo_ops(ops)?;
@@ -146,17 +155,22 @@ impl Wal {
             .map_err(|e| io_err("append wal record", e))?;
         self.segment_bytes += buf.len() as u64;
         let mut fsyncs = 0;
-        if sync == SyncMode::Always {
-            self.file.sync_data().map_err(|e| io_err("fsync wal", e))?;
-            fsyncs = 1;
-        }
         if self.segment_bytes >= SEGMENT_LIMIT {
+            if sync == SyncMode::Always {
+                self.sync()?;
+                fsyncs = 1;
+            }
             self.rotate()?;
         }
         Ok(Append {
             bytes: buf.len() as u64,
             fsyncs,
         })
+    }
+
+    /// Force everything appended to the live segment to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data().map_err(|e| io_err("fsync wal", e))
     }
 
     fn rotate(&mut self) -> Result<()> {

@@ -17,14 +17,14 @@ mod common;
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::thread;
 
 use common::{all_modes, Log};
 use proptest::prelude::*;
 use quark_core::relational::{Database, Value};
 use quark_core::storage::SyncMode;
-use quark_core::{Mode, Session, StatementResult};
+use quark_core::{Mode, Session, SessionPool, StatementResult};
 
 fn tmp_dir(tag: &str) -> PathBuf {
     use std::sync::atomic::AtomicU64;
@@ -397,6 +397,18 @@ fn stats_statement_reports_storage_counters() {
         "latched DML commits to the WAL"
     );
     assert!(get("wal_fsyncs") > 0, "SyncMode::Always must fsync commits");
+    assert!(
+        get("group_commit_batches") > 0,
+        "every durable commit rides some fsync batch"
+    );
+    assert!(
+        get("latch_exclusive_acquisitions") > 0,
+        "latched DML takes its write set exclusive"
+    );
+    assert!(
+        get("latch_shared_acquisitions") > 0,
+        "the trigger cascade latches its read set shared"
+    );
     let _ = get("pages_evicted"); // present even when the pool never fills
     session.close().expect("close");
 
@@ -409,6 +421,83 @@ fn stats_statement_reports_storage_counters() {
         rows.iter().any(|r| r[0] == Value::str("recovery_ms")),
         "recovery_ms must be reported"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Group commit at the session layer: concurrent `SyncMode::Always`
+/// writers on disjoint tables have their commit records coalesced into
+/// shared fsyncs — strictly fewer fsyncs than committed statements — and
+/// every acknowledged statement still survives a crash. The `Always`
+/// contract is untouched (no ack before its commit record is durable);
+/// only the fsync *count* changes.
+#[test]
+fn concurrent_always_writers_share_fsyncs_and_recover() {
+    const WRITERS: usize = 4;
+    const STATEMENTS: usize = 50;
+    let dir = tmp_dir("group-commit");
+    {
+        let session = open(&dir, Mode::Grouped, SyncMode::Always);
+        for t in 0..WRITERS {
+            session
+                .execute(&format!(
+                    "CREATE TABLE gc{t} (id INT PRIMARY KEY, payload TEXT)"
+                ))
+                .expect("create shard table");
+        }
+        let fsyncs_before = session.quark().stats().wal_fsyncs;
+        let pool = SessionPool::new(session);
+        let barrier = Arc::new(Barrier::new(WRITERS));
+        let threads: Vec<_> = (0..WRITERS)
+            .map(|t| {
+                let session = pool.session();
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..STATEMENTS {
+                        session
+                            .execute(&format!("INSERT INTO gc{t} VALUES ({i}, 'p{i}')"))
+                            .expect("durable insert");
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().expect("writer thread");
+        }
+        let session = pool.session();
+        let stats = session.quark().stats();
+        let committed = (WRITERS * STATEMENTS) as u64;
+        assert!(
+            stats.wal_fsyncs - fsyncs_before < committed,
+            "group commit must coalesce: {} fsyncs for {committed} commits",
+            stats.wal_fsyncs - fsyncs_before
+        );
+        assert!(
+            stats.group_commit_batches >= 1,
+            "at least one commit batch must be recorded: {stats:?}"
+        );
+        assert!(
+            stats.group_commit_batches <= stats.wal_fsyncs,
+            "every batch costs exactly one fsync: {stats:?}"
+        );
+        // Crash: drop every handle without `close()`.
+    }
+
+    // Recovery: every acknowledged statement is on disk.
+    let session = open(&dir, Mode::Grouped, SyncMode::Always);
+    for t in 0..WRITERS {
+        let StatementResult::Rows { rows, .. } = session
+            .execute(&format!("SELECT id FROM gc{t}"))
+            .expect("select after recovery")
+        else {
+            panic!("expected rows");
+        };
+        assert_eq!(
+            rows.len(),
+            STATEMENTS,
+            "table gc{t} lost acknowledged inserts across the crash"
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 
-use quark_bench::{build_sharded, ShardSpec};
+use quark_bench::{build_sharded, build_shared_read, ShardSpec};
 use quark_core::relational::{Row, Value};
 use quark_core::{Mode, Session, SessionPool, StatementResult};
 use quark_xquery::viewtree::{LevelSpec, TopBinding, ViewSpec};
@@ -89,6 +89,94 @@ fn disjoint_writers_match_serial_replay() {
             serial.audit_rows(h),
             spec.triggers * UPDATES as usize,
             "every update fires every shard trigger"
+        );
+    }
+}
+
+/// Writers whose footprints overlap **only on read tables** — disjoint
+/// write sets, every cascade scanning one shared `hub` table — must admit
+/// concurrently under shared read latches (zero conflicts, where the old
+/// exclusive-only latch serialized them) and still match a serial replay
+/// exactly. The differential oracle is complete for the same reason as
+/// the disjoint case: no statement writes a table another statement
+/// reads or writes, so every interleaving is equivalent.
+#[test]
+fn overlapping_readers_match_serial_replay_without_contention() {
+    const WRITERS: usize = 4;
+    const UPDATES: i64 = 20;
+    let spec = ShardSpec::quick(WRITERS, Mode::Grouped);
+
+    // Concurrent run over the shared-hub workload.
+    let concurrent = build_shared_read(spec).expect("shared-read workload");
+    let stmts: Vec<Vec<String>> = (0..WRITERS)
+        .map(|t| (0..UPDATES).map(|i| concurrent.update_stmt(t, i)).collect())
+        .collect();
+    let pool = SessionPool::new(concurrent.session);
+    let barrier = Arc::new(Barrier::new(WRITERS));
+    let threads: Vec<_> = stmts
+        .iter()
+        .map(|writer_stmts| {
+            let session = pool.session();
+            let barrier = Arc::clone(&barrier);
+            let writer_stmts = writer_stmts.clone();
+            thread::spawn(move || {
+                barrier.wait();
+                for s in &writer_stmts {
+                    session.execute(s).expect("overlapping-read write");
+                }
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().expect("writer thread");
+    }
+    let concurrent = pool.session();
+    let stats = concurrent.quark().stats();
+    // The hub overlap is read-only: shared latches admit every writer.
+    assert_eq!(
+        stats.latch_conflicts, 0,
+        "read-only overlap must not contend: {stats:?}"
+    );
+    // Every statement took `hub` (+ constants) shared and its own
+    // `m{{t}}`/`audit{{t}}` exclusive.
+    let statements = (WRITERS as u64) * (UPDATES as u64);
+    assert!(
+        stats.latch_shared_acquisitions >= statements,
+        "each update latches the hub shared: {stats:?}"
+    );
+    assert!(
+        stats.latch_exclusive_acquisitions >= 2 * statements,
+        "each update latches its write set exclusive: {stats:?}"
+    );
+
+    // Serial replay on an identically built system.
+    let serial = build_shared_read(spec).expect("replay workload");
+    for writer_stmts in &stmts {
+        for s in writer_stmts {
+            serial.session.execute(s).expect("serial replay");
+        }
+    }
+
+    assert_eq!(
+        dump(&concurrent, "hub"),
+        dump(&serial.session, "hub"),
+        "the shared read table must be untouched by either run"
+    );
+    for h in 0..WRITERS {
+        assert_eq!(
+            dump(&concurrent, &format!("m{h}")),
+            dump(&serial.session, &format!("m{h}")),
+            "shard {h} base table diverged from serial replay"
+        );
+        assert_eq!(
+            dump(&concurrent, &format!("audit{h}")),
+            dump(&serial.session, &format!("audit{h}")),
+            "shard {h} audit table diverged from serial replay"
+        );
+        assert_eq!(
+            serial.audit_rows(h),
+            spec.triggers * UPDATES as usize,
+            "every update fires every shard trigger through the hub join"
         );
     }
 }

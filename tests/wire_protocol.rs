@@ -21,7 +21,7 @@ use quark_core::storage::SyncMode;
 use quark_core::{Mode, ObjectKind, Session, SessionPool};
 use quark_server::protocol::{encode_request, write_frame};
 use quark_server::{
-    Client, ClientError, Server, ServerConfig, ServerHandle, WireErrorKind, WireResult,
+    Client, ClientError, RetryPolicy, Server, ServerConfig, ServerHandle, WireErrorKind, WireResult,
 };
 
 // ---------------------------------------------------------------------
@@ -470,6 +470,65 @@ fn busy_rejection_when_the_accept_queue_overflows() {
 
     // The held connection is unaffected.
     held.execute(&select_stmt(0, 1)).expect("A still served");
+    server.shutdown();
+}
+
+/// [`Client::execute_with_retry`] rides out a `Busy` rejection: while the
+/// lone worker is pinned and the accept queue is full, the helper keeps
+/// redialing with bounded backoff; once capacity frees up, the statement
+/// lands and the returned connection stays usable.
+#[test]
+fn execute_with_retry_survives_busy_rejection() {
+    let server = sharded_server(
+        1,
+        ServerConfig {
+            workers: 1,
+            accept_queue: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Pin the worker and fill the queue slot, as in the rejection test.
+    let mut held = Client::connect(addr).expect("connect A");
+    held.execute(&select_stmt(0, 0)).expect("A served");
+    let queued = TcpStream::connect(addr).expect("connect B");
+    thread::sleep(Duration::from_millis(100)); // let the listener accept B
+
+    let stmt = select_stmt(0, 2);
+    let retrier = thread::spawn(move || {
+        Client::execute_with_retry(
+            addr,
+            &stmt,
+            RetryPolicy {
+                attempts: 40,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(50),
+            },
+        )
+    });
+
+    // Give the retrier time to collect at least one Busy frame, then free
+    // the worker so a later attempt can be admitted.
+    thread::sleep(Duration::from_millis(150));
+    drop(held);
+    drop(queued);
+
+    let (mut client, result) = retrier
+        .join()
+        .expect("retry thread")
+        .expect("retry must eventually be admitted");
+    match result {
+        WireResult::Rows { rows, .. } => assert_eq!(rows.len(), 1),
+        other => panic!("expected rows, got {other:?}"),
+    }
+    // The connection returned by the helper is live.
+    client.execute(&select_stmt(0, 3)).expect("follow-up");
+    let s = stats(&server);
+    assert!(
+        s.frames_rejected >= 1,
+        "the retrier must have absorbed at least one Busy frame: {s:?}"
+    );
     server.shutdown();
 }
 
