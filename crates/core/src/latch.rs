@@ -20,6 +20,22 @@
 //! So writers whose footprints overlap solely on read-side tables admit
 //! concurrently, while anything touching a table some holder is mutating
 //! still serializes.
+//!
+//! # Writer priority
+//!
+//! Classic reader-preference starves writers: under a steady stream of
+//! shared acquisitions a table's reader count never reaches zero and a
+//! parked exclusive waiter waits forever. Admission therefore uses
+//! **ticket seniority**: every acquisition draws a monotonic ticket on
+//! arrival, and a *parked* exclusive waiter registers its ticket on each
+//! table of its write set. A request (shared or exclusive) is blocked not
+//! only by current holders but also by any **strictly older** registered
+//! writer on one of its tables — new readers queue behind a waiting
+//! writer instead of overtaking it. Seniority, not absolute priority,
+//! keeps this deadlock-free: a waiter is never blocked by a *younger*
+//! registration, so the globally oldest waiter is always admissible once
+//! current holders drain, and tickets strictly order any would-be wait
+//! cycle.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Condvar, Mutex};
@@ -33,10 +49,22 @@ enum Hold {
     Shared(usize),
 }
 
+/// Mode map plus waiter bookkeeping, all under the one mutex.
+#[derive(Default)]
+struct LatchState {
+    held: HashMap<String, Hold>,
+    /// Tickets of parked exclusive waiters, per wanted write table. A
+    /// strictly older ticket here blocks newer requests for the table
+    /// (see the module docs).
+    parked: HashMap<String, BTreeSet<u64>>,
+    /// Monotonic arrival ticket source.
+    next_ticket: u64,
+}
+
 /// The latch table (see the [module docs](self)).
 #[derive(Default)]
 pub struct LatchManager {
-    held: Mutex<HashMap<String, Hold>>,
+    state: Mutex<LatchState>,
     freed: Condvar,
 }
 
@@ -47,8 +75,10 @@ impl LatchManager {
     }
 
     /// Block until every table in `write` is completely free and every
-    /// table in `read` has no exclusive holder, then latch `write` tables
-    /// exclusive and `read` tables shared — all in one critical section.
+    /// table in `read` has no exclusive holder — and no *older* parked
+    /// writer wants any of them (see the module docs' writer priority) —
+    /// then latch `write` tables exclusive and `read` tables shared, all
+    /// in one critical section.
     ///
     /// A table named in both sets is treated as `write` (the caller's
     /// footprint analysis keeps the sets disjoint, but exclusive must win
@@ -60,33 +90,62 @@ impl LatchManager {
         read: &BTreeSet<String>,
         write: &BTreeSet<String>,
     ) -> LatchGuard<'a> {
-        let blocked = |held: &HashMap<String, Hold>| {
-            write.iter().any(|t| held.contains_key(t))
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        let blocked = |s: &LatchState| {
+            let older_writer = |t: &String| {
+                s.parked
+                    .get(t)
+                    .and_then(|tickets| tickets.first())
+                    .is_some_and(|&oldest| oldest < ticket)
+            };
+            write
+                .iter()
+                .any(|t| s.held.contains_key(t) || older_writer(t))
                 || read
                     .iter()
-                    .any(|t| matches!(held.get(t), Some(Hold::Exclusive)))
+                    .any(|t| matches!(s.held.get(t), Some(Hold::Exclusive)) || older_writer(t))
         };
-        let mut held = self.held.lock().unwrap_or_else(|e| e.into_inner());
         let mut waits = 0u64;
-        while blocked(&held) {
-            waits += 1;
-            held = self.freed.wait(held).unwrap_or_else(|e| e.into_inner());
+        if blocked(&state) {
+            // Park. An exclusive waiter registers its ticket so newer
+            // arrivals — shared included — queue behind it instead of
+            // starving it; pure readers register nothing.
+            for t in write {
+                state.parked.entry(t.clone()).or_default().insert(ticket);
+            }
+            while blocked(&state) {
+                waits += 1;
+                state = self.freed.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            // Deregister inside the same critical section that takes the
+            // latches: anyone we were blocking is now blocked by the
+            // exclusive holds themselves, so no wakeup is needed here.
+            for t in write {
+                if let Some(tickets) = state.parked.get_mut(t) {
+                    tickets.remove(&ticket);
+                    if tickets.is_empty() {
+                        state.parked.remove(t);
+                    }
+                }
+            }
         }
         for t in write {
-            held.insert(t.clone(), Hold::Exclusive);
+            state.held.insert(t.clone(), Hold::Exclusive);
         }
         for t in read {
             if write.contains(t) {
                 continue;
             }
-            match held.get_mut(t) {
+            match state.held.get_mut(t) {
                 Some(Hold::Shared(n)) => *n += 1,
                 _ => {
-                    held.insert(t.clone(), Hold::Shared(1));
+                    state.held.insert(t.clone(), Hold::Shared(1));
                 }
             }
         }
-        drop(held);
+        drop(state);
         LatchGuard {
             latches: self,
             read: read
@@ -140,19 +199,19 @@ impl LatchGuard<'_> {
 
 impl Drop for LatchGuard<'_> {
     fn drop(&mut self) {
-        let mut held = self.latches.held.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.latches.state.lock().unwrap_or_else(|e| e.into_inner());
         for t in &self.write {
-            held.remove(t);
+            state.held.remove(t);
         }
         for t in &self.read {
-            match held.get_mut(t) {
+            match state.held.get_mut(t) {
                 Some(Hold::Shared(n)) if *n > 1 => *n -= 1,
                 _ => {
-                    held.remove(t);
+                    state.held.remove(t);
                 }
             }
         }
-        drop(held);
+        drop(state);
         self.latches.freed.notify_all();
     }
 }
@@ -202,6 +261,62 @@ mod tests {
         drop(reader);
         t.join().unwrap();
         assert!(writer_in.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn parked_writer_admits_before_newer_readers() {
+        // Reader-preference starvation scenario: a reader holds `hub`, a
+        // writer parks wanting it exclusive, then more readers arrive.
+        // Ticket seniority must queue the newer readers *behind* the parked
+        // writer, and admit the writer first once the original reader
+        // drains.
+        let m = Arc::new(LatchManager::new());
+        let first_reader = m.acquire(&set(&["hub"]), &set(&[]));
+        let writer_in = Arc::new(AtomicBool::new(false));
+        let late_reader_in = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let m = Arc::clone(&m);
+            let writer_in = Arc::clone(&writer_in);
+            let late_reader_in = Arc::clone(&late_reader_in);
+            thread::spawn(move || {
+                let g = m.acquire(&set(&[]), &set(&["hub"]));
+                assert!(
+                    !late_reader_in.load(Ordering::SeqCst),
+                    "a reader that arrived after the parked writer overtook it"
+                );
+                writer_in.store(true, Ordering::SeqCst);
+                assert!(g.contended());
+            })
+        };
+        // Let the writer park (registering its ticket on `hub`).
+        thread::sleep(std::time::Duration::from_millis(50));
+        let late_readers: Vec<_> = (0..3)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let writer_in = Arc::clone(&writer_in);
+                let late_reader_in = Arc::clone(&late_reader_in);
+                thread::spawn(move || {
+                    let _g = m.acquire(&set(&["hub"]), &set(&[]));
+                    assert!(
+                        writer_in.load(Ordering::SeqCst),
+                        "late reader admitted before the older parked writer"
+                    );
+                    late_reader_in.store(true, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            !writer_in.load(Ordering::SeqCst) && !late_reader_in.load(Ordering::SeqCst),
+            "nobody may pass the live first reader"
+        );
+        drop(first_reader);
+        writer.join().unwrap();
+        for r in late_readers {
+            r.join().unwrap();
+        }
+        assert!(writer_in.load(Ordering::SeqCst));
+        assert!(late_reader_in.load(Ordering::SeqCst));
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub use session::{
     ObjectKind, Session, SessionPool, Span, StatementError, StatementFrontend, StatementResult,
 };
 pub use spec::{Action, ActionParam, PathGraph, TriggerSpec, XmlEvent, XmlView};
+pub use system::analysis::{
+    AnalysisReport, Cycle, Finding, GroupFacts, PairReport, Severity, TriggerAnalysis,
+};
 pub use system::{ActionCall, ActionFn, Footprint, Mode, Quark};
 
 // Re-export the layers below for one-stop consumption by examples/benches.

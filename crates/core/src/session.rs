@@ -22,6 +22,7 @@
 //! | `EXPLAIN TRIGGER name` | [`StatementResult::Explain`] |
 //! | `MATERIALIZE view('v')/anchor` | [`StatementResult::Xml`] |
 //! | `STATS` | [`StatementResult::Rows`] (one `counter`/`value` row each) |
+//! | `ANALYZE TRIGGERS` | [`StatementResult::Analysis`] |
 //!
 //! The XQuery-bodied statements (`CREATE VIEW`, `CREATE TRIGGER`) are
 //! parsed by a pluggable [`StatementFrontend`] so this crate stays below
@@ -98,6 +99,7 @@ use quark_relational::{Database, Error, Result, Value};
 use quark_xml::XmlNodeRef;
 
 use crate::latch::LatchManager;
+use crate::system::analysis::AnalysisReport;
 use crate::system::{ActionCall, Footprint, Quark};
 
 pub use quark_relational::sql::{Span, StatementError};
@@ -158,6 +160,10 @@ pub enum StatementResult {
     /// `MATERIALIZE view('v')/anchor`: the monitored nodes, in canonical
     /// key order.
     Xml(Vec<XmlNodeRef>),
+    /// `ANALYZE TRIGGERS`: summary counts plus the rendered report of the
+    /// static analysis over the installed trigger program (see
+    /// [`crate::system::analysis`]).
+    Analysis(AnalysisReport),
 }
 
 impl StatementResult {
@@ -786,6 +792,9 @@ impl Session {
             Statement::Materialize { view, anchor } => Ok(StatementResult::Xml(
                 self.snapshot().materialize(view, anchor)?,
             )),
+            Statement::AnalyzeTriggers => Ok(StatementResult::Analysis(
+                self.snapshot().analyze_triggers().report(),
+            )),
             Statement::Stats => {
                 let snap = self.snapshot();
                 let s = snap.stats();
@@ -799,6 +808,7 @@ impl Session {
                     ("pipelined_batches", s.pipelined_batches),
                     ("checkpoints", s.checkpoints),
                     ("compile_cache_hits", snap.compile_cache_hits()),
+                    ("footprint_violations", s.footprint_violations),
                     ("group_commit_batches", s.group_commit_batches),
                     ("index_probes", s.index_probes),
                     ("latch_conflicts", s.latch_conflicts),
@@ -891,6 +901,10 @@ impl Session {
                 // so captured ops cannot leak into the next statement.
                 self.with_write(|quark| {
                     let db = quark.database();
+                    // Under the `footprint-oracle` feature, record that this
+                    // statement holds global exclusive access: any table
+                    // access is in bounds.
+                    let _scope = db.oracle_scope_global();
                     db.begin_redo();
                     let out = sql::execute_dml(db, stmt);
                     let _ = db.take_redo();
@@ -912,7 +926,15 @@ impl Session {
                 // batch closed by a commit record: the statement boundary
                 // is the durability boundary.
                 state.database().begin_redo();
-                let out = sql::execute_dml(state.database(), stmt);
+                let out = {
+                    // Under the `footprint-oracle` feature, assert that the
+                    // statement and its whole cascade stay inside the
+                    // footprint just latched: any access to a table outside
+                    // `write` ∪ `read` is a proven hole in the static
+                    // analysis and bumps `footprint_violations`.
+                    let _scope = state.database().oracle_scope(&write, &read);
+                    sql::execute_dml(state.database(), stmt)
+                };
                 let ops = state.database().take_redo();
                 // Logged even when the statement erred: partial cascade
                 // effects stay committed in the authoritative state (see

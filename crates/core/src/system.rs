@@ -51,6 +51,11 @@ use crate::spec::{Action, ActionParam, PathGraph, TriggerSpec, XmlEvent, XmlView
 #[path = "persist.rs"]
 pub(crate) mod persist;
 
+/// Static analysis over the installed trigger program (`ANALYZE
+/// TRIGGERS`). A child module so it can walk the private group registry.
+#[path = "analysis.rs"]
+pub mod analysis;
+
 /// Translation strategy (the three systems compared in §6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -1133,6 +1138,38 @@ impl Quark {
             }
             None => {
                 let _ = writeln!(out, "constants: none (condition fully compiled)");
+            }
+        }
+        // The declared footprint the session's latch analysis uses when a
+        // write can fire this group: the group's recorded read set, plus
+        // the union of member actions' declared write sets.
+        let _ = writeln!(
+            out,
+            "read footprint: {:?} (latched shared)",
+            group.footprint
+        );
+        let mut writes: Option<BTreeSet<String>> = Some(BTreeSet::new());
+        let actions = self.actions.lock().expect("action registry");
+        for m in group.members.lock().expect("members").values().flatten() {
+            match actions.get(&m.function).and_then(|e| e.writes.as_ref()) {
+                Some(ws) => {
+                    if let Some(acc) = writes.as_mut() {
+                        acc.extend(ws.iter().cloned());
+                    }
+                }
+                None => writes = None,
+            }
+        }
+        drop(actions);
+        match writes {
+            Some(ws) => {
+                let _ = writeln!(out, "write footprint: {ws:?} (latched exclusive)");
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "write footprint: global (member action has no declared write set)"
+                );
             }
         }
         let _ = writeln!(out, "SQL triggers ({}):", group.sql_triggers.len());

@@ -10,7 +10,7 @@
 //! at a DB2-like nesting depth of 16.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -180,6 +180,14 @@ pub struct Stats {
     pub pages_evicted: u64,
     /// Wall-clock milliseconds the last recovery (warm open) took.
     pub recovery_ms: u64,
+    /// Table accesses the `footprint-oracle` feature caught outside the
+    /// session's latched footprint — a write to a table not latched
+    /// exclusive, or a read of a table not latched at all. Always present
+    /// so `STATS` output is feature-independent; only ever bumped when the
+    /// crate is built with `--features footprint-oracle`, and **must stay
+    /// zero**: a nonzero value is a proven data race in the footprint
+    /// analysis.
+    pub footprint_violations: u64,
 }
 
 /// Execution counters. They are bumped during statement and plan
@@ -203,6 +211,7 @@ pub(crate) struct ExecCounters {
     pub(crate) pipelined_batches: AtomicU64,
     pub(crate) backpressure_stalls: AtomicU64,
     pub(crate) active_connections: AtomicU64,
+    pub(crate) footprint_violations: AtomicU64,
 }
 
 impl ExecCounters {
@@ -247,6 +256,7 @@ impl ExecCounters {
             pipelined_batches: AtomicU64::new(self.pipelined_batches.load(Ordering::Relaxed)),
             backpressure_stalls: AtomicU64::new(self.backpressure_stalls.load(Ordering::Relaxed)),
             active_connections: AtomicU64::new(self.active_connections.load(Ordering::Relaxed)),
+            footprint_violations: AtomicU64::new(self.footprint_violations.load(Ordering::Relaxed)),
         }
     }
 }
@@ -391,6 +401,73 @@ thread_local! {
     static REDO_BUF: RefCell<HashMap<u64, Vec<RedoOp>>> = RefCell::new(HashMap::new());
 }
 
+/// What latch coverage the current statement's scope promises (see
+/// [`Database::oracle_scope`]).
+#[cfg(feature = "footprint-oracle")]
+enum OracleState {
+    /// Global exclusive mode: every table is covered.
+    Global,
+    /// Footprint-latched mode: `write` tables are latched exclusive,
+    /// `read` tables shared.
+    Latched {
+        write: BTreeSet<String>,
+        read: BTreeSet<String>,
+    },
+}
+
+#[cfg(feature = "footprint-oracle")]
+thread_local! {
+    /// Latch scopes per database instance on this thread (same keying
+    /// rationale as `FIRE_DEPTH`: a statement and its whole cascade run on
+    /// one thread, and one thread may drive several instances). A stack so
+    /// scope installation composes; in practice one scope per statement.
+    static ORACLE_SCOPES: RefCell<HashMap<u64, Vec<OracleState>>> =
+        RefCell::new(HashMap::new());
+
+    /// When nonzero, an oracle violation bumps the counter but does not
+    /// panic — the escape hatch tests use to *observe* an intentional
+    /// violation (see [`Database::tolerate_footprint_violations`]).
+    static ORACLE_TOLERANCE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// RAII handle for a latch scope installed by [`Database::oracle_scope`] /
+/// [`Database::oracle_scope_global`]; uninstalls the scope on drop (panic
+/// unwind included). A zero-sized no-op unless the crate is built with the
+/// `footprint-oracle` feature.
+pub struct FootprintScope {
+    #[cfg(feature = "footprint-oracle")]
+    db_id: u64,
+}
+
+#[cfg(feature = "footprint-oracle")]
+impl Drop for FootprintScope {
+    fn drop(&mut self) {
+        ORACLE_SCOPES.with(|m| {
+            let mut m = m.borrow_mut();
+            if let Some(stack) = m.get_mut(&self.db_id) {
+                stack.pop();
+                if stack.is_empty() {
+                    m.remove(&self.db_id);
+                }
+            }
+        });
+    }
+}
+
+/// RAII handle suppressing the oracle's panic-on-violation on this thread
+/// while alive (the `footprint_violations` counter still counts). Obtained
+/// from [`Database::tolerate_footprint_violations`].
+pub struct FootprintTolerance {
+    _private: (),
+}
+
+impl Drop for FootprintTolerance {
+    fn drop(&mut self) {
+        #[cfg(feature = "footprint-oracle")]
+        ORACLE_TOLERANCE.with(|c| c.set(c.get() - 1));
+    }
+}
+
 /// Decrements the thread-local cascade depth on drop, so a panicking
 /// trigger body cannot leave the depth permanently elevated.
 struct DepthGuard(u64);
@@ -493,6 +570,7 @@ impl Database {
             pipelined_batches: c.pipelined_batches.load(Ordering::Relaxed),
             backpressure_stalls: c.backpressure_stalls.load(Ordering::Relaxed),
             active_connections: c.active_connections.load(Ordering::Relaxed),
+            footprint_violations: c.footprint_violations.load(Ordering::Relaxed),
             // Storage counters live in the storage engine; `Quark::stats`
             // merges them in when the system was opened durably.
             wal_bytes_written: 0,
@@ -589,6 +667,102 @@ impl Database {
                 .fetch_sub(1, Ordering::Relaxed);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Footprint oracle (the `footprint-oracle` feature)
+    // ------------------------------------------------------------------
+
+    /// Install a **latched** oracle scope for the current thread: until
+    /// the returned guard drops, every table access on this database from
+    /// this thread must be covered by the declared footprint — mutations
+    /// by `write`, reads by `write ∪ read`. The session layer installs
+    /// this around footprint-latched statement execution with exactly the
+    /// table sets it latched, making the latch claim dynamically checked.
+    ///
+    /// No-op (and zero-cost) unless the crate is built with the
+    /// `footprint-oracle` feature; callers install scopes unconditionally.
+    #[allow(unused_variables)]
+    pub fn oracle_scope(
+        &self,
+        write: &BTreeSet<String>,
+        read: &BTreeSet<String>,
+    ) -> FootprintScope {
+        #[cfg(feature = "footprint-oracle")]
+        {
+            ORACLE_SCOPES.with(|m| {
+                m.borrow_mut()
+                    .entry(self.db_id)
+                    .or_default()
+                    .push(OracleState::Latched {
+                        write: write.clone(),
+                        read: read.clone(),
+                    })
+            });
+            FootprintScope { db_id: self.db_id }
+        }
+        #[cfg(not(feature = "footprint-oracle"))]
+        FootprintScope {}
+    }
+
+    /// Install a **global** oracle scope: the session holds the level-1
+    /// lock exclusively, so every table is covered. See
+    /// [`Database::oracle_scope`].
+    pub fn oracle_scope_global(&self) -> FootprintScope {
+        #[cfg(feature = "footprint-oracle")]
+        {
+            ORACLE_SCOPES.with(|m| {
+                m.borrow_mut()
+                    .entry(self.db_id)
+                    .or_default()
+                    .push(OracleState::Global)
+            });
+            FootprintScope { db_id: self.db_id }
+        }
+        #[cfg(not(feature = "footprint-oracle"))]
+        FootprintScope {}
+    }
+
+    /// Suppress the oracle's panic-on-violation on the calling thread
+    /// while the returned guard lives — the `footprint_violations`
+    /// counter still counts, so a test can provoke an intentional
+    /// violation and assert it was detected without unwinding.
+    pub fn tolerate_footprint_violations() -> FootprintTolerance {
+        #[cfg(feature = "footprint-oracle")]
+        ORACLE_TOLERANCE.with(|c| c.set(c.get() + 1));
+        FootprintTolerance { _private: () }
+    }
+
+    /// Assert that accessing `name` (mutating or reading) is covered by
+    /// the innermost oracle scope installed on this thread for this
+    /// database instance. Outside any scope — programmatic access, oracle
+    /// shadow clones, recovery replay — nothing is checked.
+    #[cfg(feature = "footprint-oracle")]
+    fn oracle_check(&self, name: &str, mutating: bool) {
+        let covered =
+            ORACLE_SCOPES.with(
+                |m| match m.borrow().get(&self.db_id).and_then(|s| s.last()) {
+                    None | Some(OracleState::Global) => true,
+                    Some(OracleState::Latched { write, read }) => {
+                        write.contains(name) || (!mutating && read.contains(name))
+                    }
+                },
+            );
+        if !covered {
+            self.counters
+                .footprint_violations
+                .fetch_add(1, Ordering::Relaxed);
+            if ORACLE_TOLERANCE.with(|c| c.get()) == 0 {
+                panic!(
+                    "footprint oracle: {} of table `{name}` outside the latched footprint",
+                    if mutating { "mutation" } else { "read" }
+                );
+            }
+        }
+    }
+
+    #[cfg(not(feature = "footprint-oracle"))]
+    #[inline(always)]
+    fn oracle_check(&self, _name: &str, _mutating: bool) {}
 
     // ------------------------------------------------------------------
     // Redo capture (durability hooks for the storage layer)
@@ -696,6 +870,7 @@ impl Database {
     /// while a latched writer runs (reads through the session surface use
     /// published snapshots, which are separate instances).
     pub fn table(&self, name: &str) -> Result<TableRef<'_>> {
+        self.oracle_check(name, false);
         self.tables
             .get(name)
             .map(|cell| TableRef(cell.read().unwrap_or_else(|e| e.into_inner())))
@@ -709,6 +884,7 @@ impl Database {
     /// table is the session latch manager's job; this latch only protects
     /// the slot itself.
     fn table_write(&self, name: &str) -> Result<TableWrite<'_>> {
+        self.oracle_check(name, true);
         self.tables
             .get(name)
             .map(|cell| TableWrite(cell.write().unwrap_or_else(|e| e.into_inner())))

@@ -37,7 +37,8 @@ mod value;
 pub mod wire;
 
 pub use database::{
-    Database, Event, NativeTriggerFn, RowsHandler, SqlTrigger, Stats, TransitionTables, TriggerBody,
+    Database, Event, FootprintScope, FootprintTolerance, NativeTriggerFn, RowsHandler, SqlTrigger,
+    Stats, TransitionTables, TriggerBody,
 };
 pub use error::{Error, Result};
 pub use schema::{ColumnDef, RowSet, TableSchema};

@@ -177,6 +177,10 @@ pub enum Statement {
     /// `STATS` — dump engine counters as rows; session-level only (the
     /// session merges in durable-storage counters).
     Stats,
+    /// `ANALYZE TRIGGERS` — static analysis of the installed trigger
+    /// program (footprint soundness, cascade termination, commutativity);
+    /// session-level only (it needs the trigger-group registry).
+    AnalyzeTriggers,
     /// `INSERT INTO t VALUES (…), (…)`.
     Insert {
         /// Target table.
@@ -299,9 +303,14 @@ pub fn parse(text: &str) -> Result<Statement, StatementError> {
         p.finish()?;
         return Ok(Statement::Stats);
     }
+    if p.try_keyword("analyze") {
+        p.keyword("triggers")?;
+        p.finish()?;
+        return Ok(Statement::AnalyzeTriggers);
+    }
     Err(p.err_here(
         "unrecognized statement (expected CREATE, DROP, INSERT, UPDATE, \
-         DELETE, SELECT, EXPLAIN, MATERIALIZE or STATS)",
+         DELETE, SELECT, EXPLAIN, MATERIALIZE, ANALYZE or STATS)",
     ))
 }
 
@@ -335,6 +344,9 @@ pub fn execute(db: &mut Database, stmt: &Statement) -> Result<SqlOutcome, Statem
         )),
         Statement::Stats => Err(StatementError::Db(Error::Plan(
             "STATS requires a Session".into(),
+        ))),
+        Statement::AnalyzeTriggers => Err(StatementError::Db(Error::Plan(
+            "ANALYZE TRIGGERS requires a Session".into(),
         ))),
         Statement::Insert { .. } | Statement::Update { .. } | Statement::Delete { .. } => {
             execute_dml(db, stmt)
@@ -1440,6 +1452,13 @@ mod tests {
             execute(&mut db, &stmt),
             Err(StatementError::Db(Error::Plan(_)))
         ));
+        let stmt = parse("ANALYZE TRIGGERS").unwrap();
+        assert_eq!(stmt, Statement::AnalyzeTriggers);
+        assert!(matches!(
+            execute(&mut db, &stmt),
+            Err(StatementError::Db(Error::Plan(_)))
+        ));
+        assert!(parse("ANALYZE").is_err(), "bare ANALYZE is incomplete");
     }
 
     #[test]

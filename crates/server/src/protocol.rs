@@ -28,6 +28,7 @@
 //! | `0x83` DROPPED | response | object kind + name |
 //! | `0x84` EXPLAIN | response | rendering text |
 //! | `0x85` XML | response | serialized XML fragments |
+//! | `0x86` ANALYSIS | response | analysis counts, then the rendered report |
 //! | `0xE0` ERROR | response | error kind, message, optional byte span |
 //!
 //! Error kinds distinguish *statement* errors (parse errors with their
@@ -43,7 +44,7 @@ use std::io::{self, Write};
 use quark_core::relational::wire::{Dec, Enc};
 use quark_core::relational::{Row, Value};
 use quark_core::storage::crc::crc32;
-use quark_core::{ObjectKind, Span, StatementError, StatementResult};
+use quark_core::{AnalysisReport, ObjectKind, Span, StatementError, StatementResult};
 
 /// Frame header: payload length + payload CRC, 4 bytes each.
 pub const HEADER_LEN: usize = 8;
@@ -58,6 +59,7 @@ const RESP_CREATED: u8 = 0x82;
 const RESP_DROPPED: u8 = 0x83;
 const RESP_EXPLAIN: u8 = 0x84;
 const RESP_XML: u8 = 0x85;
+const RESP_ANALYSIS: u8 = 0x86;
 const RESP_ERROR: u8 = 0xE0;
 
 /// One decoded request frame.
@@ -99,6 +101,8 @@ pub enum WireResult {
     Explain(String),
     /// `MATERIALIZE` output, one serialized fragment per monitored node.
     Xml(Vec<String>),
+    /// `ANALYZE TRIGGERS` output: the summary counts and rendered report.
+    Analysis(AnalysisReport),
 }
 
 impl WireResult {
@@ -336,6 +340,17 @@ pub fn encode_result(result: &StatementResult) -> Vec<u8> {
                 enc.str(&n.to_xml());
             }
         }
+        StatementResult::Analysis(report) => {
+            enc.u8(RESP_ANALYSIS);
+            enc.u64(report.groups);
+            enc.u64(report.errors);
+            enc.u64(report.warnings);
+            enc.u64(report.cycles_bounded);
+            enc.u64(report.cycles_unbounded);
+            enc.u64(report.commuting_pairs);
+            enc.u64(report.conflicting_pairs);
+            enc.str(&report.text);
+        }
     }
     enc.into_bytes()
 }
@@ -411,6 +426,16 @@ pub fn decode_response(payload: &[u8]) -> Result<Result<WireResult, WireError>, 
             }
             WireResult::Xml(out)
         }
+        RESP_ANALYSIS => WireResult::Analysis(AnalysisReport {
+            groups: dec.u64().map_err(strerr)?,
+            errors: dec.u64().map_err(strerr)?,
+            warnings: dec.u64().map_err(strerr)?,
+            cycles_bounded: dec.u64().map_err(strerr)?,
+            cycles_unbounded: dec.u64().map_err(strerr)?,
+            commuting_pairs: dec.u64().map_err(strerr)?,
+            conflicting_pairs: dec.u64().map_err(strerr)?,
+            text: dec.str().map_err(strerr)?,
+        }),
         RESP_ERROR => {
             let kind = WireErrorKind::from_u8(dec.u8().map_err(strerr)?)
                 .ok_or_else(|| "bad error kind byte".to_string())?;
@@ -523,6 +548,16 @@ mod tests {
                 name: "t".into(),
             },
             StatementResult::Explain("plan".into()),
+            StatementResult::Analysis(AnalysisReport {
+                groups: 3,
+                errors: 1,
+                warnings: 2,
+                cycles_bounded: 1,
+                cycles_unbounded: 0,
+                commuting_pairs: 2,
+                conflicting_pairs: 1,
+                text: "trigger program analysis".into(),
+            }),
         ];
         for case in &cases {
             let wire = decode_response(&encode_result(case)).unwrap().unwrap();
@@ -553,6 +588,7 @@ mod tests {
                     assert_eq!((kind, name.as_str()), (k, n.as_str()))
                 }
                 (StatementResult::Explain(a), WireResult::Explain(b)) => assert_eq!(a, b),
+                (StatementResult::Analysis(a), WireResult::Analysis(b)) => assert_eq!(a, b),
                 other => panic!("variant mismatch: {other:?}"),
             }
         }

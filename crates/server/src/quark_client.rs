@@ -60,15 +60,23 @@ impl From<io::Error> for ClientError {
     }
 }
 
-/// Bounded exponential backoff for retriable server rejections.
+/// Bounded exponential backoff with decorrelated jitter for retriable
+/// server rejections.
 ///
 /// The server answers `Busy` (admission queue full) and `ShuttingDown`
 /// (drain in progress) *before* executing anything and then closes the
 /// connection, so a rejected statement provably never ran and can be
 /// resent verbatim — but only on a **fresh** connection. The policy
-/// bounds both the attempt count and the per-attempt delay, which doubles
-/// from [`base_delay`](RetryPolicy::base_delay) up to
-/// [`max_delay`](RetryPolicy::max_delay).
+/// bounds both the attempt count and the per-attempt delay.
+///
+/// [`execute_with_retry`](Client::execute_with_retry) sleeps a
+/// *decorrelated jitter* schedule — each delay is drawn uniformly from
+/// `[base_delay, 3 × previous_delay]`, capped at
+/// [`max_delay`](RetryPolicy::max_delay) — so a fleet of clients rejected
+/// by the same `Busy` burst does not reconnect in lockstep and re-create
+/// the burst. [`delay_for`](RetryPolicy::delay_for) remains the
+/// deterministic doubling schedule: it is the jitter's upper envelope and
+/// what callers needing reproducible timing can use directly.
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     /// Total connection attempts (≥ 1); the first carries no delay.
@@ -90,14 +98,66 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// Backoff before retry number `attempt` (0-based): `base_delay`
-    /// doubled `attempt` times, capped at `max_delay`.
+    /// Deterministic backoff before retry number `attempt` (0-based):
+    /// `base_delay` doubled `attempt` times, capped at `max_delay`. The
+    /// upper envelope of the jittered schedule.
     pub fn delay_for(&self, attempt: u32) -> Duration {
         let factor = 1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX);
         self.base_delay
             .checked_mul(factor)
             .map_or(self.max_delay, |d| d.min(self.max_delay))
     }
+
+    /// Start a jittered delay sequence (one per retry loop).
+    fn jitter(&self) -> Jitter {
+        Jitter {
+            policy: *self,
+            prev: self.base_delay,
+            rng: rng_seed(),
+        }
+    }
+}
+
+/// Stateful decorrelated-jitter schedule: `next ∈ [base, 3 × prev]`,
+/// capped at `max_delay` (AWS architecture blog's "decorrelated jitter").
+struct Jitter {
+    policy: RetryPolicy,
+    prev: Duration,
+    rng: u64,
+}
+
+impl Jitter {
+    fn next_delay(&mut self) -> Duration {
+        let base = self.policy.base_delay.as_nanos() as u64;
+        let ceiling = (self.prev.as_nanos() as u64).saturating_mul(3).max(base);
+        // xorshift64: cheap, no external deps, quality is ample for spreading
+        // sleep times.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let span = ceiling - base;
+        let nanos = if span == 0 {
+            base
+        } else {
+            base + self.rng % (span + 1)
+        };
+        let delay = Duration::from_nanos(nanos).min(self.policy.max_delay);
+        self.prev = delay;
+        delay
+    }
+}
+
+/// Seed from wall-clock nanos and the thread id so concurrent clients
+/// started in the same instant still decorrelate.
+fn rng_seed() -> u64 {
+    use std::hash::BuildHasher;
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x9e37_79b9_7f4a_7c15);
+    let tid = std::collections::hash_map::RandomState::new().hash_one(std::thread::current().id());
+    // A zero state would keep xorshift at zero forever.
+    (nanos ^ tid) | 1
 }
 
 /// A blocking connection to a quark server.
@@ -208,9 +268,10 @@ impl Client {
         policy: RetryPolicy,
     ) -> Result<(Client, WireResult), ClientError> {
         let mut last = ClientError::Protocol("retry policy allows zero attempts".into());
+        let mut jitter = policy.jitter();
         for attempt in 0..policy.attempts {
             if attempt > 0 {
-                std::thread::sleep(policy.delay_for(attempt - 1));
+                std::thread::sleep(jitter.next_delay());
             }
             let mut client = match Client::connect(&addr) {
                 Ok(c) => c,
@@ -257,5 +318,79 @@ impl std::fmt::Debug for Client {
             .field("buffered", &self.buf.len())
             .field("max_frame", &self.max_frame)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jittered_delays_stay_within_policy_bounds() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+        };
+        let mut jitter = policy.jitter();
+        let mut prev = policy.base_delay;
+        for i in 0..200 {
+            let d = jitter.next_delay();
+            assert!(d >= policy.base_delay, "attempt {i}: {d:?} below base");
+            assert!(d <= policy.max_delay, "attempt {i}: {d:?} above max");
+            // Decorrelated: the ceiling is 3× the *previous* delay, not a
+            // fixed doubling of the base.
+            assert!(
+                d <= (prev * 3).max(policy.base_delay).min(policy.max_delay),
+                "attempt {i}: {d:?} above 3x previous {prev:?}"
+            );
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn degenerate_policies_do_not_panic() {
+        // Zero base: every delay collapses to the max-capped ceiling math.
+        let zero = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::from_millis(1),
+        };
+        let mut jitter = zero.jitter();
+        for _ in 0..10 {
+            assert!(jitter.next_delay() <= zero.max_delay);
+        }
+        // Base above max: capped at max.
+        let inverted = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(5),
+        };
+        let mut jitter = inverted.jitter();
+        for _ in 0..10 {
+            assert_eq!(jitter.next_delay(), inverted.max_delay);
+        }
+    }
+
+    #[test]
+    fn two_sequences_decorrelate() {
+        let policy = RetryPolicy::default();
+        let schedule = || -> Vec<Duration> {
+            let mut j = policy.jitter();
+            (0..8).map(|_| j.next_delay()).collect()
+        };
+        // Seeds mix wall-clock nanos, so two schedules built moments apart
+        // should diverge somewhere; identical ones would mean the jitter
+        // degenerated to a fixed schedule. Tolerate a coarse clock by
+        // allowing a few seed collisions before declaring degeneracy.
+        let first = schedule();
+        let diverged = (0..5).any(|_| {
+            std::thread::sleep(Duration::from_micros(50));
+            schedule() != first
+        });
+        assert!(
+            diverged,
+            "independent retry schedules must not be identical"
+        );
     }
 }

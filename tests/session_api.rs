@@ -147,6 +147,15 @@ fn explain_variant_renders_translation_artifacts() {
     assert!(text.contains("constants"), "{text}");
     assert!(text.contains("__quark_g"), "{text}");
     assert!(text.contains("TransitionScan"), "{text}");
+    // The declared latch footprint is part of the rendering: the read set
+    // covers the view's base tables, and `notify` is registered without a
+    // declared write set, so the write side reports global.
+    assert!(text.contains("read footprint: {"), "{text}");
+    assert!(text.contains("\"product\""), "{text}");
+    assert!(
+        text.contains("write footprint: global (member action has no declared write set)"),
+        "{text}"
+    );
     // Unknown triggers are a Db error.
     assert!(matches!(
         session.execute("EXPLAIN TRIGGER nope").unwrap_err(),
